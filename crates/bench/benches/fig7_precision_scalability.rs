@@ -1,0 +1,37 @@
+//! Bench regenerating Fig. 7 (a and b): the clock-period sweep over every
+//! design × precision mode.
+//!
+//! Characterization (the expensive gate-level part) happens once in setup;
+//! the measured body is the PPA evaluation across the sweep, which is what
+//! the harness re-runs per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bsc_bench::{experiments, Workbench};
+
+fn bench_fig7(c: &mut Criterion) {
+    let wb = Workbench::quick().expect("characterization");
+    c.bench_function("fig7/sweep_eval", |b| {
+        b.iter(|| {
+            let pts = experiments::fig7_sweep(&wb);
+            assert!(!pts.is_empty());
+            pts
+        })
+    });
+    c.bench_function("fig7/render", |b| {
+        let pts = experiments::fig7_sweep(&wb);
+        b.iter(|| {
+            (
+                experiments::render_fig7a(&pts),
+                experiments::render_fig7b(&pts),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig7
+}
+criterion_main!(benches);

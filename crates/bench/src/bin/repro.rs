@@ -1,0 +1,157 @@
+//! Reproduction harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|all]
+//! ```
+//!
+//! * `--quick` uses a reduced vector length (8) and short activity runs —
+//!   orderings hold but absolute numbers are noisier than the default
+//!   paper-faithful configuration (vector length 32).
+//! * `--csv DIR` additionally writes each experiment's raw data as CSV
+//!   files into `DIR` (created if missing), ready for plotting.
+
+use std::path::PathBuf;
+
+use bsc_bench::{experiments, Workbench};
+
+struct Options {
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+    which: String,
+}
+
+fn parse_args() -> Options {
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut which = "all".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--csv requires a directory argument"));
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            other if !other.starts_with("--") => which = other.to_owned(),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    Options { quick, csv_dir, which }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("cannot create {}: {e}", dir.display()));
+        }
+    }
+
+    let needs_workbench =
+        !matches!(opts.which.as_str(), "table1" | "fig8b-gate" | "extensions");
+    let wb = if needs_workbench {
+        eprintln!(
+            "characterizing BSC/LPC/HPS netlists ({} mode)...",
+            if opts.quick { "quick" } else { "paper" }
+        );
+        let start = std::time::Instant::now();
+        let wb = if opts.quick { Workbench::quick() } else { Workbench::paper() }
+            .unwrap_or_else(|e| die(&format!("characterization failed: {e}")));
+        eprintln!("characterized in {:.1}s\n", start.elapsed().as_secs_f64());
+        Some(wb)
+    } else {
+        None
+    };
+    let wb = wb.as_ref();
+
+    let write_csv = |name: &str, data: String| {
+        if let Some(dir) = &opts.csv_dir {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, data) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    let run_table1 = || {
+        print!("{}", experiments::render_table1());
+        write_csv("table1.csv", experiments::table1_csv());
+    };
+    let run_fig7 = |wb: &Workbench, which: &str| {
+        let pts = experiments::fig7_sweep(wb);
+        if which != "fig7b" {
+            print!("{}", experiments::render_fig7a(&pts));
+        }
+        if which != "fig7a" {
+            print!("{}", experiments::render_fig7b(&pts));
+        }
+        write_csv("fig7_sweep.csv", experiments::fig7_csv(&pts));
+    };
+    let run_fig8a = |wb: &Workbench| match experiments::fig8a(wb) {
+        Ok(rows) => {
+            print!("{}", experiments::render_fig8a(&rows));
+            write_csv("fig8a.csv", experiments::fig8a_csv(&rows));
+        }
+        Err(e) => die(&format!("fig8a failed: {e}")),
+    };
+    let run_fig8b = |wb: &Workbench| match experiments::fig8b(wb) {
+        Ok(rows) => {
+            print!("{}", experiments::render_fig8b(&rows));
+            write_csv("fig8b.csv", experiments::fig8b_csv(&rows));
+        }
+        Err(e) => die(&format!("fig8b failed: {e}")),
+    };
+    let run_fig9 = |wb: &Workbench| match experiments::fig9(wb) {
+        Ok(rows) => {
+            print!("{}", experiments::render_fig9(&rows));
+            write_csv("fig9.csv", experiments::fig9_csv(&rows));
+        }
+        Err(e) => die(&format!("fig9 failed: {e}")),
+    };
+
+    match opts.which.as_str() {
+        "table1" => run_table1(),
+        "extensions" => match experiments::render_extensions() {
+            Ok(text) => print!("{text}"),
+            Err(e) => die(&format!("extensions report failed: {e}")),
+        },
+        "fig8b-gate" => {
+            let (pes, length, steps) = if opts.quick { (2, 4, 24) } else { (4, 16, 48) };
+            eprintln!("building and characterizing gate-level arrays ({pes} PEs x L={length})...");
+            match experiments::fig8b_gate_level(pes, length, steps) {
+                Ok(rows) => {
+                    print!("{}", experiments::render_fig8b_gate_level(&rows, pes));
+                    write_csv("fig8b_gate.csv", experiments::fig8b_csv(&rows));
+                }
+                Err(e) => die(&format!("fig8b-gate failed: {e}")),
+            }
+        }
+        "fig7a" | "fig7b" => run_fig7(wb.expect("workbench"), &opts.which),
+        "fig8a" => run_fig8a(wb.expect("workbench")),
+        "fig8b" => run_fig8b(wb.expect("workbench")),
+        "fig9" => run_fig9(wb.expect("workbench")),
+        "all" => {
+            let wb = wb.expect("workbench");
+            run_table1();
+            println!();
+            run_fig7(wb, "all");
+            println!();
+            run_fig8a(wb);
+            println!();
+            run_fig8b(wb);
+            println!();
+            run_fig9(wb);
+        }
+        other => die(&format!(
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|extensions|all)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

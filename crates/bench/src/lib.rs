@@ -1,0 +1,15 @@
+//! Shared experiment drivers for the `repro` harness binary and the
+//! criterion benches.
+//!
+//! Each `figN`/`table1` function regenerates the data behind one table or
+//! figure of the paper and returns it as plain structs; `render_*`
+//! companions produce the aligned-text views the harness prints, with the
+//! paper's published values alongside for comparison (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workbench;
+
+pub use workbench::Workbench;

@@ -1,0 +1,76 @@
+//! Characterization workbench shared by every experiment.
+
+use std::collections::BTreeMap;
+
+use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization, PpaError};
+use bsc_mac::MacKind;
+
+/// All three designs characterized once, ready for the figure drivers.
+#[derive(Debug)]
+pub struct Workbench {
+    designs: BTreeMap<MacKind, DesignCharacterization>,
+    config: CharacterizeConfig,
+}
+
+impl Workbench {
+    /// Characterizes BSC, LPC and HPS at the paper's vector length (32).
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures.
+    pub fn paper() -> Result<Self, PpaError> {
+        Self::with_config(CharacterizeConfig::default())
+    }
+
+    /// A reduced workbench (vector length 8, short activity runs) for
+    /// quick smoke runs; ratios are noisier but the orderings hold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures.
+    pub fn quick() -> Result<Self, PpaError> {
+        Self::with_config(CharacterizeConfig::quick(8))
+    }
+
+    /// Characterizes all designs with an explicit configuration, running
+    /// the three gate-level characterizations on parallel threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures.
+    pub fn with_config(config: CharacterizeConfig) -> Result<Self, PpaError> {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = MacKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    let cfg = &config;
+                    scope.spawn(move || (kind, DesignCharacterization::new(kind, cfg)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("characterization thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut designs = BTreeMap::new();
+        for (kind, result) in results {
+            designs.insert(kind, result?);
+        }
+        Ok(Workbench { designs, config })
+    }
+
+    /// The characterization of one design.
+    pub fn design(&self, kind: MacKind) -> &DesignCharacterization {
+        &self.designs[&kind]
+    }
+
+    /// The characterization configuration in use.
+    pub fn config(&self) -> &CharacterizeConfig {
+        &self.config
+    }
+
+    /// Vector length of the characterized designs.
+    pub fn vector_length(&self) -> usize {
+        self.config.length
+    }
+}

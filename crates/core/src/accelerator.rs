@@ -1,0 +1,262 @@
+//! The end-to-end accelerator API.
+
+use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization};
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::Network;
+use bsc_systolic::energy::ArrayEnergyModel;
+use bsc_systolic::mapping::schedule_conv;
+use bsc_systolic::{ArrayConfig, Matrix, MatmulRun, SystolicArray};
+
+use crate::report::{LayerReport, NetworkReport};
+use crate::{layer_to_conv_shape, AccelError};
+
+/// Configuration of one accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Vector MAC architecture (BSC, LPC or HPS).
+    pub kind: MacKind,
+    /// PE-array geometry.
+    pub array: ArrayConfig,
+    /// Operating clock period in ps.
+    pub period_ps: f64,
+    /// Gate-level characterization settings.
+    pub characterize: CharacterizeConfig,
+}
+
+impl AcceleratorConfig {
+    /// The paper's configuration: 32 PEs × vector length 32 at 500 MHz
+    /// (2 ns clock).
+    pub fn paper(kind: MacKind) -> Self {
+        AcceleratorConfig {
+            kind,
+            array: ArrayConfig::paper(kind),
+            period_ps: 2000.0,
+            characterize: CharacterizeConfig::default(),
+        }
+    }
+
+    /// A reduced configuration for fast tests: 4 PEs × vector length 4,
+    /// short characterization runs.
+    pub fn quick(kind: MacKind) -> Self {
+        AcceleratorConfig {
+            kind,
+            array: ArrayConfig { pes: 4, vector_length: 4, kind },
+            period_ps: 2000.0,
+            characterize: CharacterizeConfig::quick(4),
+        }
+    }
+}
+
+/// A configured accelerator: a characterized vector-MAC design inside a
+/// weight-stationary systolic array at a fixed operating point.
+///
+/// Construction is expensive (it builds the gate-level netlist and runs
+/// the activity testbench in all three precision modes); reuse one
+/// instance across experiments.
+#[derive(Debug)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    charac: DesignCharacterization,
+    array: SystolicArray,
+}
+
+impl Accelerator {
+    /// Characterizes the configured design and prepares the array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures.
+    pub fn new(config: AcceleratorConfig) -> Result<Self, AccelError> {
+        let mut charac_cfg = config.characterize.clone();
+        charac_cfg.length = config.array.vector_length;
+        let charac = DesignCharacterization::new(config.kind, &charac_cfg)?;
+        Ok(Self::with_characterization(config, charac))
+    }
+
+    /// Builds an accelerator around an already-characterized design,
+    /// avoiding a second gate-level simulation pass (the characterization's
+    /// vector length must match `config.array.vector_length`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the characterization's architecture differs from
+    /// `config.kind`.
+    pub fn with_characterization(
+        config: AcceleratorConfig,
+        charac: DesignCharacterization,
+    ) -> Self {
+        assert_eq!(charac.kind(), config.kind, "characterization architecture mismatch");
+        let array = SystolicArray::new(config.array);
+        Accelerator { config, charac, array }
+    }
+
+    /// The configuration this accelerator was built with.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The underlying characterization (for custom PPA queries).
+    pub fn characterization(&self) -> &DesignCharacterization {
+        &self.charac
+    }
+
+    /// The array-level energy model for one precision mode at the
+    /// configured operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operating period is infeasible.
+    pub fn energy_model(&self, p: Precision) -> Result<ArrayEnergyModel, AccelError> {
+        let unit = self.charac.at_period_weight_stationary(p, self.config.period_ps)?;
+        Ok(ArrayEnergyModel::new(unit, self.config.array))
+    }
+
+    /// Runs one exact matrix multiplication through the cycle-accurate
+    /// array simulation (functional path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and operand-range errors.
+    pub fn matmul(
+        &self,
+        p: Precision,
+        features: &Matrix,
+        weights: &Matrix,
+    ) -> Result<MatmulRun, AccelError> {
+        Ok(self.array.matmul(p, features, weights)?)
+    }
+
+    /// Runs one exact quantized convolution on the array: lowers it with
+    /// im2col (the Fig. 6 mapping), executes the tiled systolic matmul,
+    /// and folds the result back into a `(out_c, out_h, out_w)` tensor.
+    ///
+    /// The returned tensor is bit-exact against
+    /// [`bsc_nn::ops::conv2d`]; operands must fit the mode `p`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and operand-range errors from the lowering and the
+    /// array.
+    pub fn conv2d(
+        &self,
+        p: Precision,
+        input: &bsc_nn::Tensor,
+        weights: &bsc_nn::ops::ConvWeights,
+        stride: usize,
+        padding: usize,
+    ) -> Result<(bsc_nn::Tensor, bsc_systolic::DataflowStats), AccelError> {
+        let (feat, wmat) = bsc_nn::ops::im2col(input, weights, stride, padding);
+        let run = self.array.matmul_tiled(
+            p,
+            &Matrix::from_rows(&feat),
+            &Matrix::from_rows(&wmat),
+        )?;
+        let out_h = (input.height() + 2 * padding - weights.kh) / stride + 1;
+        let out_w = (input.width() + 2 * padding - weights.kw) / stride + 1;
+        let out = bsc_nn::Tensor::from_fn(weights.out_c, out_h, out_w, |o, y, x| {
+            run.output.get(y * out_w + x, o)
+        });
+        Ok((out, run.stats))
+    }
+
+    /// Extension beyond the paper: the per-layer energy breakdown
+    /// *including* the SRAM hierarchy (weight buffer, feature buffer and
+    /// partial-sum read-modify-write traffic), which the paper's PPA scope
+    /// excludes.  Returns `(layer name, breakdown)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and characterization errors.
+    pub fn memory_report(
+        &self,
+        net: &Network,
+        sram: &bsc_systolic::energy::SramModel,
+    ) -> Result<Vec<(String, bsc_systolic::energy::MemoryEnergyBreakdown)>, AccelError> {
+        let mut rows = Vec::with_capacity(net.layers.len());
+        for layer in &net.layers {
+            let shape = layer_to_conv_shape(&layer.kind);
+            let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
+            let model = self.energy_model(layer.precision)?;
+            rows.push((layer.name.clone(), model.schedule_energy_with_memory(&schedule, sram)));
+        }
+        Ok(rows)
+    }
+
+    /// Schedules and energy-models every layer of a network (analytic
+    /// path), producing the per-layer and whole-network numbers behind
+    /// Fig. 9.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and characterization errors.
+    pub fn run_network(&self, net: &Network) -> Result<NetworkReport, AccelError> {
+        let mut layers = Vec::with_capacity(net.layers.len());
+        for layer in &net.layers {
+            let shape = layer_to_conv_shape(&layer.kind);
+            let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
+            let model = self.energy_model(layer.precision)?;
+            let energy_fj = model.schedule_energy_fj(&schedule);
+            layers.push(LayerReport {
+                name: layer.name.clone(),
+                precision: layer.precision,
+                macs: schedule.useful_macs,
+                cycles: schedule.cycles,
+                utilization: schedule.utilization,
+                energy_fj,
+                tops_per_w: model.schedule_tops_per_w(&schedule),
+            });
+        }
+        Ok(NetworkReport::new(
+            net.name.clone(),
+            self.config.kind,
+            self.config.period_ps,
+            layers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_accelerator_runs_a_small_network() {
+        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+        let net = bsc_nn::models::lenet5();
+        let report = accel.run_network(&net).unwrap();
+        assert_eq!(report.layers().len(), net.layers.len());
+        assert!(report.total_energy_fj() > 0.0);
+        assert!(report.avg_tops_per_w() > 0.0);
+        assert_eq!(report.total_macs(), net.total_macs());
+    }
+
+    #[test]
+    fn matmul_through_facade_is_exact() {
+        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Hps)).unwrap();
+        let k = accel.config().array.dot_length(Precision::Int8);
+        let f = Matrix::from_fn(3, k, |r, c| ((r + c) % 5) as i64 - 2);
+        let w = Matrix::from_fn(2, k, |r, c| ((r * c) % 3) as i64 - 1);
+        let run = accel.matmul(Precision::Int8, &f, &w).unwrap();
+        assert_eq!(run.output, f.matmul_nt(&w));
+    }
+}
+
+#[cfg(test)]
+mod conv_tests {
+    use super::*;
+
+    #[test]
+    fn accelerator_conv2d_matches_golden() {
+        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+        let p = Precision::Int4;
+        let input = bsc_nn::Tensor::random(3, 6, 6, p.value_range(), 11);
+        let weights = bsc_nn::ops::ConvWeights::from_fn(4, 3, 3, 3, |o, i, y, x| {
+            (((o * 7 + i * 3 + y + x) % 15) as i64) - 7
+        });
+        let (out, stats) = accel.conv2d(p, &input, &weights, 1, 1).unwrap();
+        let golden = bsc_nn::ops::conv2d(&input, &weights, 1, 1).unwrap();
+        assert_eq!(out, golden);
+        assert!(stats.cycles > 0);
+        assert_eq!(out.shape(), (4, 6, 6));
+    }
+}

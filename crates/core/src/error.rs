@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the accelerator facade.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// PPA characterization or analysis failure.
+    Ppa(bsc_mac::ppa::PpaError),
+    /// Systolic simulation or mapping failure.
+    Systolic(bsc_systolic::SystolicError),
+    /// Vector MAC operand failure.
+    Mac(bsc_mac::MacError),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::Ppa(e) => write!(f, "characterization error: {e}"),
+            AccelError::Systolic(e) => write!(f, "systolic error: {e}"),
+            AccelError::Mac(e) => write!(f, "mac error: {e}"),
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Ppa(e) => Some(e),
+            AccelError::Systolic(e) => Some(e),
+            AccelError::Mac(e) => Some(e),
+        }
+    }
+}
+
+impl From<bsc_mac::ppa::PpaError> for AccelError {
+    fn from(e: bsc_mac::ppa::PpaError) -> Self {
+        AccelError::Ppa(e)
+    }
+}
+
+impl From<bsc_systolic::SystolicError> for AccelError {
+    fn from(e: bsc_systolic::SystolicError) -> Self {
+        AccelError::Systolic(e)
+    }
+}
+
+impl From<bsc_mac::MacError> for AccelError {
+    fn from(e: bsc_mac::MacError) -> Self {
+        AccelError::Mac(e)
+    }
+}

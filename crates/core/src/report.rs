@@ -1,0 +1,252 @@
+//! Per-layer and whole-network energy-efficiency reports.
+
+use std::fmt;
+
+use bsc_mac::{MacKind, Precision};
+
+/// The scheduled execution of one layer on the array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Precision the layer runs at.
+    pub precision: Precision,
+    /// Useful MACs.
+    pub macs: u64,
+    /// Clock cycles.
+    pub cycles: u64,
+    /// Array utilization (useful MACs over peak).
+    pub utilization: f64,
+    /// Energy in fJ.
+    pub energy_fj: f64,
+    /// Layer-level energy efficiency in TOPS/W.
+    pub tops_per_w: f64,
+}
+
+/// The execution of a whole network — one bar of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    network: String,
+    kind: MacKind,
+    period_ps: f64,
+    layers: Vec<LayerReport>,
+}
+
+impl NetworkReport {
+    pub(crate) fn new(
+        network: String,
+        kind: MacKind,
+        period_ps: f64,
+        layers: Vec<LayerReport>,
+    ) -> Self {
+        NetworkReport { network, kind, period_ps, layers }
+    }
+
+    /// Network name.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// Vector MAC architecture of the run.
+    pub fn kind(&self) -> MacKind {
+        self.kind
+    }
+
+    /// Per-layer rows.
+    pub fn layers(&self) -> &[LayerReport] {
+        &self.layers
+    }
+
+    /// Total useful MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total energy in fJ.
+    pub fn total_energy_fj(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_fj).sum()
+    }
+
+    /// Inference latency in ms at the configured clock.
+    pub fn latency_ms(&self) -> f64 {
+        self.total_cycles() as f64 * self.period_ps * 1e-9
+    }
+
+    /// The network-average energy efficiency in TOPS/W — the quantity
+    /// Fig. 9 reports per benchmark (total ops over total energy, 2 ops
+    /// per MAC).
+    pub fn avg_tops_per_w(&self) -> f64 {
+        let e = self.total_energy_fj();
+        if e > 0.0 {
+            2.0e3 * self.total_macs() as f64 / e
+        } else {
+            0.0
+        }
+    }
+
+    /// Average array utilization weighted by cycles.
+    pub fn avg_utilization(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.utilization * l.cycles as f64)
+            .sum::<f64>()
+            / cycles as f64
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} @ {:.0} MHz: {:.2} TOPS/W, {:.2} ms, utilization {:.1}%",
+            self.network,
+            self.kind,
+            1.0e6 / self.period_ps,
+            self.avg_tops_per_w(),
+            self.latency_ms(),
+            100.0 * self.avg_utilization(),
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:<22} {:>5} {:>14} MACs {:>12} cyc  util {:>5.1}%  {:>8.2} TOPS/W",
+                l.name,
+                l.precision.to_string(),
+                l.macs,
+                l.cycles,
+                100.0 * l.utilization,
+                l.tops_per_w,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a side-by-side comparison of the same network on several
+/// designs — the textual form of one Fig. 9 group.
+///
+/// # Panics
+///
+/// Panics if the reports describe different networks.
+pub fn render_comparison(reports: &[NetworkReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(first) = reports.first() else {
+        return out;
+    };
+    for r in reports {
+        assert_eq!(r.network(), first.network(), "reports must share a network");
+    }
+    let _ = writeln!(out, "{}:", first.network());
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>10} {:>12} {:>10} {:>8}",
+        "design", "TOPS/W", "latency ms", "util %", "vs BSC"
+    );
+    let bsc = reports
+        .iter()
+        .find(|r| r.kind() == MacKind::Bsc)
+        .map(NetworkReport::avg_tops_per_w);
+    for r in reports {
+        let ratio = bsc.map_or(String::from("-"), |b| format!("{:.2}x", b / r.avg_tops_per_w()));
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>10.2} {:>12.3} {:>10.1} {:>8}",
+            r.kind().to_string(),
+            r.avg_tops_per_w(),
+            r.latency_ms(),
+            100.0 * r.avg_utilization(),
+            ratio
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> NetworkReport {
+        NetworkReport::new(
+            "toy".into(),
+            MacKind::Bsc,
+            2000.0,
+            vec![
+                LayerReport {
+                    name: "a".into(),
+                    precision: Precision::Int4,
+                    macs: 1000,
+                    cycles: 10,
+                    utilization: 0.8,
+                    energy_fj: 500.0,
+                    tops_per_w: 4.0,
+                },
+                LayerReport {
+                    name: "b".into(),
+                    precision: Precision::Int8,
+                    macs: 3000,
+                    cycles: 30,
+                    utilization: 0.4,
+                    energy_fj: 1500.0,
+                    tops_per_w: 4.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_aggregate_layers() {
+        let r = toy_report();
+        assert_eq!(r.total_macs(), 4000);
+        assert_eq!(r.total_cycles(), 40);
+        assert!((r.total_energy_fj() - 2000.0).abs() < 1e-12);
+        // 2e3 * 4000 / 2000 = 4000 TOPS/W (toy numbers).
+        assert!((r.avg_tops_per_w() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_utilization_is_cycle_weighted() {
+        let r = toy_report();
+        let expect = (0.8 * 10.0 + 0.4 * 30.0) / 40.0;
+        assert!((r.avg_utilization() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_render_ratios_against_bsc() {
+        let mk = |kind: MacKind, eff: f64| {
+            NetworkReport::new(
+                "net".into(),
+                kind,
+                2000.0,
+                vec![LayerReport {
+                    name: "l".into(),
+                    precision: Precision::Int4,
+                    macs: 1000,
+                    cycles: 10,
+                    utilization: 0.5,
+                    energy_fj: 2.0e3 * 1000.0 / eff,
+                    tops_per_w: eff,
+                }],
+            )
+        };
+        let s = render_comparison(&[mk(MacKind::Bsc, 20.0), mk(MacKind::Lpc, 10.0)]);
+        assert!(s.contains("BSC"));
+        assert!(s.contains("2.00x"), "{s}");
+    }
+
+    #[test]
+    fn display_contains_layer_rows() {
+        let s = toy_report().to_string();
+        assert!(s.contains("toy on BSC"));
+        assert!(s.contains("4-bit"));
+    }
+}

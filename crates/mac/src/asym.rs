@@ -1,0 +1,215 @@
+//! Asymmetric weight × activation precision modes — the BitFusion /
+//! BitBlade feature the paper *eliminated* from its LPC and HPS baselines
+//! for fairness (§V-A2, §V-A3), provided here as an extension.
+//!
+//! An LPC unit's sixteen BitBricks can fuse into any `w-bits × a-bits`
+//! rectangle: a 2b×4b product takes 2 bricks (8 products per unit per
+//! cycle), a 4b×8b product takes 8 bricks (2 per cycle).  This module
+//! implements the exact functional semantics through the same brick
+//! decomposition as the symmetric modes, plus an energy estimate fitted to
+//! the gate-level symmetric characterizations.
+
+use crate::golden::validate;
+use crate::{MacError, Precision};
+
+/// An asymmetric precision mode: weights at one bit width, activations at
+/// another.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::asym::AsymMode;
+/// use bsc_mac::Precision;
+///
+/// let m = AsymMode::W2A4;
+/// assert_eq!(m.weight, Precision::Int2);
+/// assert_eq!(m.bricks_per_product(), 2);
+/// assert_eq!(m.products_per_lpc_unit(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsymMode {
+    /// Weight precision.
+    pub weight: Precision,
+    /// Activation precision.
+    pub act: Precision,
+}
+
+impl AsymMode {
+    /// 2-bit weights × 4-bit activations.
+    pub const W2A4: AsymMode = AsymMode { weight: Precision::Int2, act: Precision::Int4 };
+    /// 4-bit weights × 8-bit activations.
+    pub const W4A8: AsymMode = AsymMode { weight: Precision::Int4, act: Precision::Int8 };
+
+    /// The asymmetric modes BitFusion/BitBlade support and the paper
+    /// removed.
+    pub const ALL: [AsymMode; 2] = [AsymMode::W2A4, AsymMode::W4A8];
+
+    /// 2-bit slices per weight operand.
+    pub fn weight_slices(self) -> usize {
+        self.weight.bits() as usize / 2
+    }
+
+    /// 2-bit slices per activation operand.
+    pub fn act_slices(self) -> usize {
+        self.act.bits() as usize / 2
+    }
+
+    /// BitBricks fused per product.
+    pub fn bricks_per_product(self) -> usize {
+        self.weight_slices() * self.act_slices()
+    }
+
+    /// Products one 16-brick LPC unit completes per cycle.
+    pub fn products_per_lpc_unit(self) -> usize {
+        16 / self.bricks_per_product()
+    }
+}
+
+impl std::fmt::Display for AsymMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "W{}A{}", self.weight.bits(), self.act.bits())
+    }
+}
+
+/// Decomposes a signed value into 2-bit slices, least significant first
+/// (all slices unsigned except the top, which carries the sign).
+fn slices2(v: i64, bits: u32) -> Vec<i64> {
+    let n = (bits / 2) as usize;
+    (0..n)
+        .map(|i| {
+            if i + 1 == n {
+                v >> (2 * i) // arithmetic: top slice keeps the sign
+            } else {
+                (v >> (2 * i)) & 0x3
+            }
+        })
+        .collect()
+}
+
+/// One exact asymmetric product through fused BitBricks:
+/// `w × a = Σ_{i,j} w_i · a_j · 4^{i+j}`.
+pub fn brick_product(mode: AsymMode, w: i64, a: i64) -> i64 {
+    let ws = slices2(w, mode.weight.bits());
+    let as_ = slices2(a, mode.act.bits());
+    let mut sum = 0i64;
+    for (i, &wi) in ws.iter().enumerate() {
+        for (j, &aj) in as_.iter().enumerate() {
+            sum += (wi * aj) << (2 * (i + j));
+        }
+    }
+    sum
+}
+
+/// An asymmetric dot product on an LPC vector of `length` element slots:
+/// `length × products_per_lpc_unit(mode)` MACs per cycle.
+///
+/// # Errors
+///
+/// Returns length/range errors when the operands do not fit the mode.
+pub fn lpc_dot(
+    mode: AsymMode,
+    length: usize,
+    weights: &[i64],
+    acts: &[i64],
+) -> Result<i64, MacError> {
+    let n = length * mode.products_per_lpc_unit();
+    validate(mode.weight, n, weights)?;
+    validate(mode.act, n, acts)?;
+    Ok(weights
+        .iter()
+        .zip(acts)
+        .map(|(&w, &a)| brick_product(mode, w, a))
+        .sum())
+}
+
+/// Estimates the energy per MAC of an asymmetric mode from the three
+/// symmetric gate-level characterizations, by least-squares fitting
+/// `energy = base + slope × bricks_per_product` through the measured
+/// (1, e_2b), (4, e_4b), (16, e_8b) points — brick count is the quantity
+/// that actually scales in a fused-brick datapath.
+///
+/// Returns `None` when the fit would be degenerate (non-finite inputs).
+pub fn estimate_energy_per_mac_fj(
+    e2_fj: f64,
+    e4_fj: f64,
+    e8_fj: f64,
+    mode: AsymMode,
+) -> Option<f64> {
+    if ![e2_fj, e4_fj, e8_fj].iter().all(|v| v.is_finite()) {
+        return None;
+    }
+    // Least squares through (1, e2), (4, e4), (16, e8).
+    let xs = [1.0f64, 4.0, 16.0];
+    let ys = [e2_fj, e4_fj, e8_fj];
+    let xm = xs.iter().sum::<f64>() / 3.0;
+    let ym = ys.iter().sum::<f64>() / 3.0;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xm) * (y - ym)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - xm) * (x - xm)).sum();
+    let slope = sxy / sxx;
+    let base = ym - slope * xm;
+    Some(base + slope * mode.bricks_per_product() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn brick_product_is_exact_for_all_asym_operands() {
+        for mode in AsymMode::ALL {
+            for w in mode.weight.value_range() {
+                for a in mode.act.value_range() {
+                    assert_eq!(brick_product(mode, w, a), w * a, "{mode} {w}*{a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_interpolates_between_symmetric_modes() {
+        assert_eq!(AsymMode::W2A4.products_per_lpc_unit(), 8); // between 16 (2b) and 4 (4b)
+        assert_eq!(AsymMode::W4A8.products_per_lpc_unit(), 2); // between 4 (4b) and 1 (8b)
+    }
+
+    #[test]
+    fn lpc_dot_matches_golden() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for mode in AsymMode::ALL {
+            let n = 4 * mode.products_per_lpc_unit();
+            for _ in 0..50 {
+                let w = random_signed_vec(&mut rng, mode.weight.bits(), n);
+                let a = random_signed_vec(&mut rng, mode.act.bits(), n);
+                assert_eq!(
+                    lpc_dot(mode, 4, &w, &a).unwrap(),
+                    crate::golden::dot(&w, &a),
+                    "{mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpc_dot_validates_each_side_separately() {
+        // 4-bit values are legal activations but illegal weights in W2A4.
+        let n = 8;
+        let ok_w = vec![1i64; n];
+        let big = vec![5i64; n];
+        assert!(lpc_dot(AsymMode::W2A4, 1, &ok_w, &big).is_ok());
+        assert!(matches!(
+            lpc_dot(AsymMode::W2A4, 1, &big, &ok_w),
+            Err(MacError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_estimate_is_monotone_in_brick_count() {
+        // Plausible symmetric energies: 40 / 150 / 500 fJ per MAC.
+        let e24 = estimate_energy_per_mac_fj(40.0, 150.0, 500.0, AsymMode::W2A4).unwrap();
+        let e48 = estimate_energy_per_mac_fj(40.0, 150.0, 500.0, AsymMode::W4A8).unwrap();
+        assert!(e24 > 40.0 && e24 < 150.0, "W2A4 between 2b and 4b: {e24}");
+        assert!(e48 > 150.0 && e48 < 500.0, "W4A8 between 4b and 8b: {e48}");
+        assert!(estimate_energy_per_mac_fj(f64::NAN, 1.0, 2.0, AsymMode::W2A4).is_none());
+    }
+}

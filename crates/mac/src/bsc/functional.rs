@@ -1,0 +1,167 @@
+//! Cycle-level functional model of the BSC vector MAC.
+
+use crate::bsc::BitSplitUnit;
+use crate::golden::{split8, validate};
+use crate::{MacError, MacKind, Precision, VectorMac};
+
+/// Functional model of a BSC vector of length `L` (paper Fig. 3).
+///
+/// The model evaluates one dot product per "cycle" exactly the way the
+/// hardware does — through bit-split units and lane composition — so that
+/// equivalence with both the golden integer model and the structural
+/// netlist is meaningful.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::{bsc::BscVector, Precision, VectorMac};
+///
+/// # fn main() -> Result<(), bsc_mac::MacError> {
+/// let v = BscVector::new(4);
+/// // 4-bit mode: 16 MACs per cycle for a length-4 vector.
+/// assert_eq!(v.macs_per_cycle(Precision::Int4), 16);
+/// let w = vec![1; 16];
+/// let a = vec![-2; 16];
+/// assert_eq!(v.dot(Precision::Int4, &w, &a)?, -32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BscVector {
+    length: usize,
+}
+
+impl BscVector {
+    /// A BSC vector with `length` element slots (the paper uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "vector length must be positive");
+        BscVector { length }
+    }
+
+    /// The paper's configuration: vector length 32.
+    pub fn paper() -> Self {
+        BscVector::new(32)
+    }
+
+    /// Generates the structural gate-level netlist of this vector
+    /// (see [`crate::bsc`] for the topology).
+    pub fn build_netlist(&self) -> crate::MacNetlist {
+        super::netlist::build(self.length)
+    }
+
+    /// Generates the *per-element accumulation* ablation netlist: same
+    /// arithmetic, but every element pays for its own shifters and local
+    /// adder trees instead of the Fig. 4 same-shift sharing.
+    pub fn build_netlist_per_element(&self) -> crate::MacNetlist {
+        super::netlist::build_with(self.length, super::netlist::Accumulation::PerElement)
+    }
+
+    fn dot8(&self, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        // Per element: four bit-split units compute the cross products;
+        // partial products with equal shift are accumulated before shifting
+        // (Fig. 4), then combined with {0,4,4,8} shifts.
+        let (mut sll, mut shl, mut slh, mut shh) = (0i64, 0i64, 0i64, 0i64);
+        for (&w, &a) in weights.iter().zip(acts) {
+            let (wh, wl) = split8(w);
+            let (ah, al) = split8(a);
+            sll += BitSplitUnit::mul4(al, false, wl, false)?;
+            shl += BitSplitUnit::mul4(ah, true, wl, false)?;
+            slh += BitSplitUnit::mul4(al, false, wh, true)?;
+            shh += BitSplitUnit::mul4(ah, true, wh, true)?;
+        }
+        Ok(sll + ((shl + slh) << 4) + (shh << 8))
+    }
+
+    fn dot4(&self, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        let mut sum = 0;
+        for (&w, &a) in weights.iter().zip(acts) {
+            sum += BitSplitUnit::mul4(a, true, w, true)?;
+        }
+        Ok(sum)
+    }
+
+    fn dot2(&self, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        let mut sum = 0;
+        for (w2, a2) in weights.chunks_exact(2).zip(acts.chunks_exact(2)) {
+            sum += BitSplitUnit::dual_mul2([a2[0], a2[1]], [w2[0], w2[1]])?;
+        }
+        Ok(sum)
+    }
+}
+
+impl VectorMac for BscVector {
+    fn kind(&self) -> MacKind {
+        MacKind::Bsc
+    }
+
+    fn vector_length(&self) -> usize {
+        self.length
+    }
+
+    fn dot(&self, p: Precision, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        let n = self.macs_per_cycle(p);
+        validate(p, n, weights)?;
+        validate(p, n, acts)?;
+        match p {
+            Precision::Int8 => self.dot8(weights, acts),
+            Precision::Int4 => self.dot4(weights, acts),
+            Precision::Int2 => self.dot2(weights, acts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn matches_golden_dot_in_all_modes() {
+        let v = BscVector::new(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in Precision::ALL {
+            let n = v.macs_per_cycle(p);
+            for _ in 0..100 {
+                let w = random_signed_vec(&mut rng, p.bits(), n);
+                let a = random_signed_vec(&mut rng, p.bits(), n);
+                assert_eq!(v.dot(p, &w, &a).unwrap(), golden::dot(&w, &a), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_operands_compose_correctly() {
+        let v = BscVector::new(2);
+        let w = vec![-128i64, 127];
+        let a = vec![127i64, -128];
+        assert_eq!(v.dot(Precision::Int8, &w, &a).unwrap(), -128 * 127 * 2);
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let v = BscVector::new(4);
+        let err = v.dot(Precision::Int2, &[0; 7], &[0; 7]);
+        assert!(matches!(err, Err(MacError::LengthMismatch { expected: 32, .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let v = BscVector::new(1);
+        let err = v.dot(Precision::Int4, &[8, 0, 0, 0], &[0; 4]);
+        assert!(matches!(err, Err(MacError::ValueOutOfRange { .. })));
+    }
+
+    #[test]
+    fn paper_configuration_throughput() {
+        let v = BscVector::paper();
+        assert_eq!(v.macs_per_cycle(Precision::Int8), 32);
+        assert_eq!(v.macs_per_cycle(Precision::Int4), 128);
+        assert_eq!(v.macs_per_cycle(Precision::Int2), 256);
+    }
+}

@@ -1,0 +1,32 @@
+//! The bit-split-and-combination (BSC) vector MAC — the paper's
+//! contribution (Figs. 2c, 3 and 4).
+//!
+//! A BSC element slot holds four *bit-split units* (one per cross-product
+//! lane).  Each signed 4-bit bit-split unit performs one 4b×4b product or,
+//! in 2-bit mode, two gated 2b×2b products.  Composing the four lanes with
+//! {0,4,4,8} shifts yields one 8b×8b product per slot; leaving them
+//! unshifted yields four 4b or eight 2b MACs per slot.
+//!
+//! The structural netlist ([`BscVector::build_netlist`]) also implements the
+//! *same-shift partial-product accumulation* of Fig. 4: partial products
+//! with equal shift values from different vector elements are summed in
+//! narrow carry-save trees **before** any shifting, which is where BSC's
+//! adder-energy advantage over LPC comes from.
+
+mod functional;
+mod netlist;
+mod unit;
+
+pub use functional::BscVector;
+pub use netlist::Accumulation;
+pub use unit::BitSplitUnit;
+
+pub(crate) fn netlist_datapath(
+    n: &mut bsc_netlist::Netlist,
+    mode2: bsc_netlist::NodeId,
+    mode8: bsc_netlist::NodeId,
+    w_reg: &[bsc_netlist::Bus],
+    a_reg: &[bsc_netlist::Bus],
+) -> bsc_netlist::Bus {
+    netlist::datapath(n, mode2, mode8, w_reg, a_reg, Accumulation::SameShift)
+}

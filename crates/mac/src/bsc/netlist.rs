@@ -1,0 +1,387 @@
+//! Structural (gate-level) netlist of the BSC vector MAC.
+//!
+//! Topology (Figs. 3 and 4 of the paper):
+//!
+//! * Per element slot, four *bit-split lanes* `{LL, HL, LH, HH}` receive
+//!   4-bit operand nibbles (with small input muxes re-routing lanes HL/LH/HH
+//!   between the 8-bit composition and the independent-nibble modes).
+//! * Each lane generates four partial-product rows with controlled
+//!   signedness: the multiplicand nibble is extended by `S_a AND msb`, the
+//!   multiplier-MSB row is conditionally inverted with its `+1` carry
+//!   injected into the accumulation — the NAND/NOT/mux + `S_b0 ∩ S_a`
+//!   structure of Fig. 4.  In 2-bit mode the row pair {0,1} multiplies the
+//!   low 2-bit sub-word and pair {2,3} the high sub-word ("gated and signed
+//!   expand").
+//! * **Same-shift accumulation**: row `j` of lane `ℓ` from *all* `L`
+//!   elements is summed in one narrow carry-save tree before any shifting.
+//!   Only then are the four row sums combined with per-**vector** shifters
+//!   ({0,1,2,3} in 4/8-bit mode, {0,1,0,1} in 2-bit mode) and the four lane
+//!   sums with {0,4,4,8} (8-bit) or no (4/2-bit) shifts.  Shifters are
+//!   amortized over the whole vector — BSC's key structural saving over
+//!   LPC, which shifts inside every unit.
+//! * Operand inputs and the accumulator output are registered (the PE's
+//!   interface flops, 16 bits per element per stream).
+
+use bsc_netlist::components::csa::{self, Term};
+use bsc_netlist::components::shift::shl_select2;
+use bsc_netlist::{Bus, Netlist, NodeId};
+
+use crate::{MacKind, MacNetlist};
+
+const ROWSUM_WIDTH: usize = 12;
+const LANE_WIDTH: usize = 16;
+const OUT_WIDTH: usize = 24;
+
+/// Accumulation topology of the BSC vector netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Accumulation {
+    /// Same-shift cross-element accumulation (Fig. 4, the paper's design):
+    /// row sums are built across all elements before any shifting, so the
+    /// configurable shifters are instantiated once per *vector*.
+    #[default]
+    SameShift,
+    /// Per-element accumulation (the ablation): every element combines its
+    /// own rows and lanes with its own shifters before the element tree —
+    /// the naïve topology whose cost Fig. 4's trick avoids.
+    PerElement,
+}
+
+/// Builds the structural BSC vector netlist with `length` element slots.
+///
+/// # Panics
+///
+/// Panics if `length` is zero.
+pub(crate) fn build(length: usize) -> MacNetlist {
+    build_with(length, Accumulation::SameShift)
+}
+
+/// Builds the BSC netlist with an explicit accumulation topology (used by
+/// the Fig. 4 ablation).
+///
+/// # Panics
+///
+/// Panics if `length` is zero.
+pub(crate) fn build_with(length: usize, accumulation: Accumulation) -> MacNetlist {
+    assert!(length > 0, "vector length must be positive");
+    let mut n = Netlist::new();
+    let mode2 = n.input("mode2");
+    let mode8 = n.input("mode8");
+    let weights: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("w{e}"), 16)).collect();
+    let acts: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("a{e}"), 16)).collect();
+
+    // Interface registers (part of the PE, counted in area and power).
+    let w_reg: Vec<Bus> = weights.iter().map(|b| b.register(&mut n, false)).collect();
+    let a_reg: Vec<Bus> = acts.iter().map(|b| b.register(&mut n, false)).collect();
+
+    let out_comb = datapath(&mut n, mode2, mode8, &w_reg, &a_reg, accumulation);
+    let out_reg = out_comb.register(&mut n, false);
+    n.mark_output_bus("acc", &out_reg);
+
+    MacNetlist {
+        netlist: n,
+        kind: MacKind::Bsc,
+        length,
+        mode2,
+        mode8,
+        asym_pins: None,
+        weights,
+        acts,
+        out_comb,
+    }
+}
+
+/// The combinational BSC datapath *after* the interface registers: takes
+/// the registered operand buses (16 bits per element) and produces the
+/// 24-bit dot-product value.  Exposed (via [`crate::build_datapath`]) so
+/// the gate-level systolic-array netlist can instantiate one per PE.
+pub(crate) fn datapath(
+    n: &mut Netlist,
+    mode2: NodeId,
+    mode8: NodeId,
+    w_reg: &[Bus],
+    a_reg: &[Bus],
+    accumulation: Accumulation,
+) -> Bus {
+    let length = w_reg.len();
+    assert!(length > 0, "vector length must be positive");
+    assert_eq!(length, a_reg.len(), "operand stream lengths must match");
+
+    // Per-lane signedness in the 8-bit composition: the high nibble of each
+    // operand is signed, the low nibble unsigned.  Outside 8-bit mode every
+    // nibble is signed.  Lane order: 0 = (aL,bL), 1 = (aH,bL), 2 = (aL,bH),
+    // 3 = (aH,bH) where a = activation, b = weight.
+    let one = n.constant(true);
+    let lane_sa: Vec<NodeId> = (0..4)
+        .map(|l| {
+            let high = n.constant(l & 1 == 1);
+            n.mux(mode8, one, high)
+        })
+        .collect();
+    let lane_sb: Vec<NodeId> = (0..4)
+        .map(|l| {
+            let high = n.constant(l >= 2);
+            n.mux(mode8, one, high)
+        })
+        .collect();
+
+    // Row-group term collections: groups[lane][row] across all elements.
+    let mut groups: Vec<Vec<Vec<Term>>> = vec![vec![Vec::new(); 4]; 4];
+    let mut group_bits: Vec<Vec<Vec<(NodeId, usize)>>> = vec![vec![Vec::new(); 4]; 4];
+    // Per-element ablation: each element's fully combined value.
+    let mut element_terms: Vec<Term> = Vec::new();
+
+    for e in 0..length {
+        let mut element_rows: Vec<Vec<(Bus, NodeId)>> = vec![Vec::new(); 4];
+        let a16 = &a_reg[e];
+        let w16 = &w_reg[e];
+        for lane in 0..4 {
+            // Operand nibble selection.  In 4/2-bit mode lane ℓ owns nibble
+            // ℓ of both streams; in 8-bit mode lanes map to the (low, high)
+            // nibble cross products of the low bytes.
+            let a_nibble_native = a16.slice(4 * lane, 4 * lane + 4);
+            let a_nibble_8b = if lane & 1 == 1 { a16.slice(4, 8) } else { a16.slice(0, 4) };
+            let a4 = mux_nibble(n, mode8, &a_nibble_native, &a_nibble_8b);
+            let w_nibble_native = w16.slice(4 * lane, 4 * lane + 4);
+            let w_nibble_8b = if lane >= 2 { w16.slice(4, 8) } else { w16.slice(0, 4) };
+            let b4 = mux_nibble(n, mode8, &w_nibble_native, &w_nibble_8b);
+
+            // Row multiplicand: full nibble (4/8-bit) or the sign-extended
+            // 2-bit sub-words (2-bit mode) — "gated and signed expand".
+            let ext = n.and(lane_sa[lane], a4.msb());
+            let a5 = a4.ext_with(ext, 5);
+            let a_lo5 = a4.slice(0, 2).sext(n, 5);
+            let a_hi5 = a4.slice(2, 4).sext(n, 5);
+            let r_a01 = bsc_netlist::components::mux::mux_bus(n, mode2, &a5, &a_lo5);
+            let r_a23 = bsc_netlist::components::mux::mux_bus(n, mode2, &a5, &a_hi5);
+
+            for row in 0..4 {
+                let src = if row < 2 { &r_a01 } else { &r_a23 };
+                let pp = src.and_bit(n, b4.bit(row));
+                // Negative digit weights: the multiplier MSB row when the
+                // multiplier is signed (row 3 in 4/8-bit mode; rows 1 and 3
+                // are the sub-word MSBs in 2-bit mode).
+                let neg = match row {
+                    1 => mode2,
+                    3 => n.or(mode2, lane_sb[lane]),
+                    _ => n.constant(false),
+                };
+                let pp = pp.xor_bit(n, neg);
+                match accumulation {
+                    Accumulation::SameShift => {
+                        groups[lane][row].push(Term::signed(pp, 0));
+                        group_bits[lane][row].push((neg, 0));
+                    }
+                    Accumulation::PerElement => element_rows[lane].push((pp, neg)),
+                }
+            }
+        }
+        if accumulation == Accumulation::PerElement {
+            // Combine this element's rows and lanes locally, paying for
+            // private shifters on every element.
+            let mut lane_vals = Vec::with_capacity(4);
+            for rows in &element_rows {
+                let mut terms = Vec::with_capacity(8);
+                let mut bits = Vec::with_capacity(2);
+                for (row_idx, (pp, neg)) in rows.iter().enumerate() {
+                    // The `+1` of a negated row must land at the row's
+                    // (mode-dependent) shift position.
+                    let zero = n.constant(false);
+                    match row_idx {
+                        0 => terms.push(Term::signed(pp.clone(), 0)),
+                        1 => {
+                            terms.push(Term::signed(pp.shl(n, 1), 0));
+                            bits.push((*neg, 1));
+                        }
+                        2 => terms.push(Term::signed(
+                            shl_select2(n, mode2, pp, 2, 0),
+                            0,
+                        )),
+                        3 => {
+                            terms.push(Term::signed(
+                                shl_select2(n, mode2, pp, 3, 1),
+                                0,
+                            ));
+                            let carry = Bus::from_bits([*neg, zero]);
+                            terms.push(Term::unsigned(
+                                shl_select2(n, mode2, &carry, 3, 1),
+                                0,
+                            ));
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                lane_vals.push(csa::sum_terms(n, &terms, &bits, 10));
+            }
+            let t0 = Term::signed(lane_vals[0].clone(), 0);
+            let t1 = Term::signed(shl_select2(n, mode8, &lane_vals[1], 0, 4), 0);
+            let t2 = Term::signed(shl_select2(n, mode8, &lane_vals[2], 0, 4), 0);
+            let t3 = Term::signed(shl_select2(n, mode8, &lane_vals[3], 0, 8), 0);
+            let element = csa::sum_terms(n, &[t0, t1, t2, t3], &[], 18);
+            element_terms.push(Term::signed(element, 0));
+        }
+    }
+
+    if accumulation == Accumulation::PerElement {
+        return csa::sum_terms(n, &element_terms, &[], OUT_WIDTH);
+    }
+
+    // Same-shift accumulation: one narrow tree per (lane, row) over all
+    // elements, then per-vector shifters.
+    let mut lane_vals = Vec::with_capacity(4);
+    for lane in 0..4 {
+        let mut lane_terms = Vec::with_capacity(4);
+        for row in 0..4 {
+            let rowsum = csa::sum_terms(
+                n,
+                &groups[lane][row],
+                &group_bits[lane][row],
+                ROWSUM_WIDTH,
+            );
+            // Row weight: 2^row in 4/8-bit mode; in 2-bit mode rows {2,3}
+            // belong to the high sub-word product and re-weight to {0,1}.
+            let shifted = match row {
+                0 => rowsum,
+                1 => rowsum.shl(n, 1),
+                2 => shl_select2(n, mode2, &rowsum, 2, 0),
+                3 => shl_select2(n, mode2, &rowsum, 3, 1),
+                _ => unreachable!(),
+            };
+            lane_terms.push(Term::signed(shifted, 0));
+        }
+        lane_vals.push(csa::sum_terms(n, &lane_terms, &[], LANE_WIDTH));
+    }
+
+    // Lane combination: {0,4,4,8} in 8-bit mode, no shift otherwise.
+    let t0 = Term::signed(lane_vals[0].clone(), 0);
+    let t1 = Term::signed(shl_select2(n, mode8, &lane_vals[1], 0, 4), 0);
+    let t2 = Term::signed(shl_select2(n, mode8, &lane_vals[2], 0, 4), 0);
+    let t3 = Term::signed(shl_select2(n, mode8, &lane_vals[3], 0, 8), 0);
+    csa::sum_terms(n, &[t0, t1, t2, t3], &[], OUT_WIDTH)
+}
+
+fn mux_nibble(n: &mut Netlist, sel: NodeId, native: &Bus, composed: &Bus) -> Bus {
+    if native == composed {
+        native.clone()
+    } else {
+        bsc_netlist::components::mux::mux_bus(n, sel, native, composed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bsc::BscVector;
+    use crate::{MacKind, Precision, VectorMac};
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn netlist_matches_functional_model_in_all_modes() {
+        let v = BscVector::new(3);
+        let mac = v.build_netlist();
+        assert_eq!(mac.kind(), MacKind::Bsc);
+        let mut rng = StdRng::seed_from_u64(23);
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            for _ in 0..20 {
+                let w = random_signed_vec(&mut rng, p.bits(), len);
+                let a = random_signed_vec(&mut rng, p.bits(), len);
+                let expect = v.dot(p, &w, &a).unwrap();
+                let got = mac.eval_dot(p, &w, &a).unwrap();
+                assert_eq!(got, expect, "{p} w={w:?} a={a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_handles_extreme_values() {
+        let v = BscVector::new(2);
+        let mac = v.build_netlist();
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            let lo = p.value_range().start;
+            let hi = p.value_range().end - 1;
+            for (w, a) in [
+                (vec![lo; len], vec![lo; len]),
+                (vec![lo; len], vec![hi; len]),
+                (vec![hi; len], vec![hi; len]),
+            ] {
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interface_registers_are_present() {
+        let v = BscVector::new(2);
+        let mac = v.build_netlist();
+        let stats = mac.netlist().stats();
+        // 2 elements × 16 bits × 2 streams + 24-bit accumulator.
+        assert_eq!(stats.flops(), 2 * 16 * 2 + 24);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use crate::bsc::BscVector;
+    use crate::{Precision, VectorMac};
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn per_element_variant_is_functionally_identical() {
+        let v = BscVector::new(3);
+        let mac = v.build_netlist_per_element();
+        let mut rng = StdRng::seed_from_u64(61);
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            for _ in 0..15 {
+                let w = random_signed_vec(&mut rng, p.bits(), len);
+                let a = random_signed_vec(&mut rng, p.bits(), len);
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p} w={w:?} a={a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_element_variant_handles_extremes() {
+        let v = BscVector::new(2);
+        let mac = v.build_netlist_per_element();
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            let lo = p.value_range().start;
+            let hi = p.value_range().end - 1;
+            for (w, a) in [
+                (vec![lo; len], vec![lo; len]),
+                (vec![lo; len], vec![hi; len]),
+                (vec![hi; len], vec![hi; len]),
+            ] {
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_shift_sharing_saves_mux_cells() {
+        let v = BscVector::new(8);
+        let shared = v.build_netlist();
+        let naive = v.build_netlist_per_element();
+        let mux_shared = shared.netlist().stats().count(bsc_netlist::GateKind::Mux);
+        let mux_naive = naive.netlist().stats().count(bsc_netlist::GateKind::Mux);
+        assert!(
+            mux_naive > mux_shared,
+            "per-element shifters should cost more muxes: {mux_naive} vs {mux_shared}"
+        );
+    }
+}

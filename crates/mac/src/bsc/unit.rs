@@ -1,0 +1,114 @@
+//! Functional model of one signed 4-bit bit-split unit (paper Fig. 4).
+
+use crate::{MacError, Precision};
+
+/// One signed 4-bit bit-split unit: a 4b×4b multiplier with per-operand
+/// signedness flags that can be reconfigured into two signed 2b×2b
+/// multipliers whose products are accumulated locally.
+///
+/// The signedness flags (`sa`, `sb`) mirror the paper's `S_a` / `S_bx`
+/// controls: inside an 8-bit composition the low nibble of an operand is
+/// unsigned and the high nibble signed.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::bsc::BitSplitUnit;
+///
+/// // Signed 4x4: (-3) * 5
+/// assert_eq!(BitSplitUnit::mul4(-3, true, 5, true).unwrap(), -15);
+/// // Two packed signed 2x2 products: (-2)*1 + 1*(-1)
+/// assert_eq!(BitSplitUnit::dual_mul2([-2, 1], [1, -1]).unwrap(), -3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitSplitUnit;
+
+impl BitSplitUnit {
+    /// One 4b×4b product with per-operand signedness (`true` = signed
+    /// nibble in `[-8, 8)`, `false` = unsigned nibble in `[0, 16)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::ValueOutOfRange`] when an operand exceeds its
+    /// declared range.
+    pub fn mul4(a: i64, sa: bool, b: i64, sb: bool) -> Result<i64, MacError> {
+        check_nibble(a, sa)?;
+        check_nibble(b, sb)?;
+        Ok(a * b)
+    }
+
+    /// Two independent signed 2b×2b products, locally accumulated — the
+    /// unit's 2-bit mode (`gated and signed expand` in the paper's words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::ValueOutOfRange`] when an operand leaves the
+    /// signed 2-bit range `[-2, 2)`.
+    pub fn dual_mul2(a: [i64; 2], b: [i64; 2]) -> Result<i64, MacError> {
+        for v in a.iter().chain(b.iter()) {
+            if !Precision::Int2.contains(*v) {
+                return Err(MacError::ValueOutOfRange {
+                    precision: Precision::Int2,
+                    value: *v,
+                });
+            }
+        }
+        Ok(a[0] * b[0] + a[1] * b[1])
+    }
+}
+
+fn check_nibble(v: i64, signed: bool) -> Result<(), MacError> {
+    let ok = if signed { (-8..8).contains(&v) } else { (0..16).contains(&v) };
+    if ok {
+        Ok(())
+    } else {
+        Err(MacError::ValueOutOfRange { precision: Precision::Int4, value: v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul4_covers_all_signedness_combinations() {
+        // signed × signed
+        assert_eq!(BitSplitUnit::mul4(-8, true, 7, true).unwrap(), -56);
+        // signed × unsigned
+        assert_eq!(BitSplitUnit::mul4(-8, true, 15, false).unwrap(), -120);
+        // unsigned × signed
+        assert_eq!(BitSplitUnit::mul4(15, false, -8, true).unwrap(), -120);
+        // unsigned × unsigned
+        assert_eq!(BitSplitUnit::mul4(15, false, 15, false).unwrap(), 225);
+    }
+
+    #[test]
+    fn mul4_rejects_out_of_range() {
+        assert!(BitSplitUnit::mul4(8, true, 0, true).is_err());
+        assert!(BitSplitUnit::mul4(-1, false, 0, true).is_err());
+        assert!(BitSplitUnit::mul4(0, true, 16, false).is_err());
+    }
+
+    #[test]
+    fn dual_mul2_accumulates_two_products() {
+        assert_eq!(BitSplitUnit::dual_mul2([1, 1], [1, 1]).unwrap(), 2);
+        assert_eq!(BitSplitUnit::dual_mul2([-2, -2], [-2, -2]).unwrap(), 8);
+        assert!(BitSplitUnit::dual_mul2([2, 0], [0, 0]).is_err());
+    }
+
+    #[test]
+    fn composition_identity_via_four_units() {
+        // 8x8 from four bit-split units with {0,4,4,8} shifts.
+        for a in (-128..128).step_by(17) {
+            for b in (-128..128).step_by(13) {
+                let (ah, al) = crate::golden::split8(a);
+                let (bh, bl) = crate::golden::split8(b);
+                let ll = BitSplitUnit::mul4(al, false, bl, false).unwrap();
+                let hl = BitSplitUnit::mul4(ah, true, bl, false).unwrap();
+                let lh = BitSplitUnit::mul4(al, false, bh, true).unwrap();
+                let hh = BitSplitUnit::mul4(ah, true, bh, true).unwrap();
+                assert_eq!(ll + ((hl + lh) << 4) + (hh << 8), a * b, "a={a} b={b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+use std::fmt;
+
+use crate::{MacError, Precision};
+
+/// Which precision-scalable MAC architecture a design implements.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::MacKind;
+///
+/// assert_eq!(MacKind::Bsc.to_string(), "BSC");
+/// assert_eq!(MacKind::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MacKind {
+    /// Bit-split-and-combination (the paper's contribution, Fig. 2c).
+    Bsc,
+    /// Low-precision-combination (BitFusion / BitBlade style, Fig. 2a).
+    Lpc,
+    /// High-precision-split (sub-word parallel style, Fig. 2b).
+    Hps,
+}
+
+impl MacKind {
+    /// All architectures, proposed design first.
+    pub const ALL: [MacKind; 3] = [MacKind::Bsc, MacKind::Lpc, MacKind::Hps];
+
+    /// MAC operations completed per clock per *element slot* of the vector
+    /// in the given mode (the paper's throughput table):
+    ///
+    /// | | 8-bit | 4-bit | 2-bit |
+    /// |---|---|---|---|
+    /// | BSC | 1 | 4 | 8 |
+    /// | LPC | 1 | 4 | 16 |
+    /// | HPS | 1 | 2 | 4 |
+    pub fn fields_per_element(self, p: Precision) -> usize {
+        match (self, p) {
+            (_, Precision::Int8) => 1,
+            (MacKind::Bsc, Precision::Int4) => 4,
+            (MacKind::Bsc, Precision::Int2) => 8,
+            (MacKind::Lpc, Precision::Int4) => 4,
+            (MacKind::Lpc, Precision::Int2) => 16,
+            (MacKind::Hps, Precision::Int4) => 2,
+            (MacKind::Hps, Precision::Int2) => 4,
+        }
+    }
+
+    /// Interface width of one vector element in bits (paper §IV-A: 16 for
+    /// BSC, 32 for LPC, 8 for HPS).
+    pub fn element_bits(self) -> usize {
+        match self {
+            MacKind::Bsc => 16,
+            MacKind::Lpc => 32,
+            MacKind::Hps => 8,
+        }
+    }
+}
+
+impl fmt::Display for MacKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MacKind::Bsc => "BSC",
+            MacKind::Lpc => "LPC",
+            MacKind::Hps => "HPS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A precision-scalable vector MAC: one dot product per clock cycle whose
+/// length depends on the precision mode.
+///
+/// Implementations must agree exactly with [`crate::golden::dot`] in every
+/// mode; the structural netlists are in turn verified against the
+/// implementations of this trait.
+pub trait VectorMac {
+    /// The architecture of this design.
+    fn kind(&self) -> MacKind;
+
+    /// Number of element slots in the vector (the paper uses `L = 32`).
+    fn vector_length(&self) -> usize;
+
+    /// Dot-product length (= MACs per cycle) in the given mode.
+    fn macs_per_cycle(&self, p: Precision) -> usize {
+        self.vector_length() * self.kind().fields_per_element(p)
+    }
+
+    /// Computes the dot product `Σ weights[i] × acts[i]` in mode `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::LengthMismatch`] when the slices are not exactly
+    /// [`VectorMac::macs_per_cycle`] long, and [`MacError::ValueOutOfRange`]
+    /// when any operand exceeds the mode's two's-complement range.
+    fn dot(&self, p: Precision, weights: &[i64], acts: &[i64]) -> Result<i64, MacError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_table_matches_paper() {
+        use Precision::*;
+        assert_eq!(MacKind::Bsc.fields_per_element(Int2), 8);
+        assert_eq!(MacKind::Bsc.fields_per_element(Int4), 4);
+        assert_eq!(MacKind::Bsc.fields_per_element(Int8), 1);
+        assert_eq!(MacKind::Lpc.fields_per_element(Int2), 16);
+        assert_eq!(MacKind::Hps.fields_per_element(Int4), 2);
+    }
+
+    #[test]
+    fn array_totals_match_paper_section_iv() {
+        // 32 PEs × vector length 32: 1024 / 4096 / 8192 MACs per cycle.
+        let l = 32 * 32;
+        assert_eq!(l * MacKind::Bsc.fields_per_element(Precision::Int8), 1024);
+        assert_eq!(l * MacKind::Bsc.fields_per_element(Precision::Int4), 4096);
+        assert_eq!(l * MacKind::Bsc.fields_per_element(Precision::Int2), 8192);
+    }
+
+    #[test]
+    fn element_widths_match_paper() {
+        assert_eq!(MacKind::Bsc.element_bits(), 16);
+        assert_eq!(MacKind::Lpc.element_bits(), 32);
+        assert_eq!(MacKind::Hps.element_bits(), 8);
+    }
+}

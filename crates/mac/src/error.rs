@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Precision;
+
+/// Errors from the vector MAC functional models and netlist harnesses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MacError {
+    /// Operand vectors did not have the length the mode requires.
+    LengthMismatch {
+        /// Precision mode of the operation.
+        precision: Precision,
+        /// Length the design expects in that mode.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// An operand value does not fit the precision's two's-complement range.
+    ValueOutOfRange {
+        /// Precision mode of the operation.
+        precision: Precision,
+        /// The offending value.
+        value: i64,
+    },
+    /// An unsupported operand bit width was requested.
+    UnsupportedBits(u32),
+    /// An asymmetric mode was requested on a netlist built without the
+    /// asymmetric extension.
+    AsymUnsupported,
+    /// An underlying netlist problem.
+    Netlist(bsc_netlist::NetlistError),
+}
+
+impl fmt::Display for MacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacError::LengthMismatch { precision, expected, got } => write!(
+                f,
+                "{precision} mode expects {expected} operands, got {got}"
+            ),
+            MacError::ValueOutOfRange { precision, value } => {
+                write!(f, "value {value} outside {precision} range")
+            }
+            MacError::UnsupportedBits(bits) => {
+                write!(f, "unsupported operand width {bits} (expected 2, 4 or 8)")
+            }
+            MacError::AsymUnsupported => {
+                write!(f, "netlist was built without asymmetric-mode support")
+            }
+            MacError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for MacError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MacError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bsc_netlist::NetlistError> for MacError {
+    fn from(e: bsc_netlist::NetlistError) -> Self {
+        MacError::Netlist(e)
+    }
+}

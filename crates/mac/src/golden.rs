@@ -1,0 +1,81 @@
+//! Golden (reference) integer models against which every functional model
+//! and every structural netlist is verified.
+
+use crate::{MacError, Precision};
+
+/// Validates an operand slice against a precision's length and value range.
+///
+/// # Errors
+///
+/// Returns [`MacError::LengthMismatch`] or [`MacError::ValueOutOfRange`].
+pub fn validate(p: Precision, expected_len: usize, values: &[i64]) -> Result<(), MacError> {
+    if values.len() != expected_len {
+        return Err(MacError::LengthMismatch {
+            precision: p,
+            expected: expected_len,
+            got: values.len(),
+        });
+    }
+    for &v in values {
+        if !p.contains(v) {
+            return Err(MacError::ValueOutOfRange { precision: p, value: v });
+        }
+    }
+    Ok(())
+}
+
+/// The exact dot product `Σ weights[i] × acts[i]` in wide arithmetic.
+///
+/// This is the semantic every vector MAC must reproduce in every mode.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(weights: &[i64], acts: &[i64]) -> i64 {
+    assert_eq!(weights.len(), acts.len(), "dot operands must match in length");
+    weights.iter().zip(acts).map(|(&w, &a)| w * a).sum()
+}
+
+/// The bit-split decomposition identity used by the BSC 8-bit composition:
+/// `a × b = aH·bH·2^8 + (aH·bL + aL·bH)·2^4 + aL·bL` with `aH = a >> 4`
+/// (arithmetic) and `aL = a & 0xF` (unsigned).
+pub fn split8(a: i64) -> (i64, i64) {
+    let high = a >> 4;
+    let low = a & 0xF;
+    (high, low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        assert_eq!(dot(&[1, -2, 3], &[4, 5, -6]), 4 - 10 - 18);
+    }
+
+    #[test]
+    fn split8_identity_holds_for_all_bytes() {
+        for a in -128..128i64 {
+            for b in -128..128i64 {
+                let (ah, al) = split8(a);
+                let (bh, bl) = split8(b);
+                let recomposed = ah * bh * 256 + (ah * bl + al * bh) * 16 + al * bl;
+                assert_eq!(recomposed, a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_lengths_and_values() {
+        assert!(validate(Precision::Int2, 2, &[1, -2]).is_ok());
+        assert!(matches!(
+            validate(Precision::Int2, 3, &[1, -2]),
+            Err(MacError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            validate(Precision::Int2, 2, &[1, 2]),
+            Err(MacError::ValueOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Cycle-level functional model of the HPS (sub-word parallel) vector MAC.
+
+use crate::golden::{split8, validate};
+use crate::{MacError, MacKind, Precision, VectorMac};
+
+/// Functional model of an HPS vector of length `L`.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::{hps::HpsVector, Precision, VectorMac};
+///
+/// # fn main() -> Result<(), bsc_mac::MacError> {
+/// let v = HpsVector::new(4);
+/// // 4-bit mode: only two products per element slot (50% utilization).
+/// assert_eq!(v.macs_per_cycle(Precision::Int4), 8);
+/// let w = vec![3; 8];
+/// let a = vec![-1; 8];
+/// assert_eq!(v.dot(Precision::Int4, &w, &a)?, -24);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpsVector {
+    length: usize,
+}
+
+impl HpsVector {
+    /// An HPS vector with `length` element slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "vector length must be positive");
+        HpsVector { length }
+    }
+
+    /// The paper's configuration: vector length 32.
+    pub fn paper() -> Self {
+        HpsVector::new(32)
+    }
+
+    /// Generates the structural gate-level netlist of this vector.
+    pub fn build_netlist(&self) -> crate::MacNetlist {
+        super::netlist::build(self.length)
+    }
+
+    /// One 8×8 product through the quadrant decomposition.
+    fn mul8(w: i64, a: i64) -> i64 {
+        let (ah, al) = split8(a);
+        let (wh, wl) = split8(w);
+        let ll = al * wl;
+        let hl = ah * wl;
+        let lh = al * wh;
+        let hh = ah * wh;
+        ll + ((hl + lh) << 4) + (hh << 8)
+    }
+}
+
+impl VectorMac for HpsVector {
+    fn kind(&self) -> MacKind {
+        MacKind::Hps
+    }
+
+    fn vector_length(&self) -> usize {
+        self.length
+    }
+
+    fn dot(&self, p: Precision, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        let n = self.macs_per_cycle(p);
+        validate(p, n, weights)?;
+        validate(p, n, acts)?;
+        let sum = match p {
+            // 4-bit: diagonal quadrants, two products per slot.
+            // 2-bit: one 2×2 product per quadrant, four per slot.
+            Precision::Int2 | Precision::Int4 => {
+                weights.iter().zip(acts).map(|(&w, &a)| w * a).sum()
+            }
+            Precision::Int8 => weights.iter().zip(acts).map(|(&w, &a)| Self::mul8(w, a)).sum(),
+        };
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn mul8_quadrants_reconstruct_product() {
+        for a in (-128..128).step_by(5) {
+            for b in (-128..128).step_by(9) {
+                assert_eq!(HpsVector::mul8(b, a), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_golden_dot_in_all_modes() {
+        let v = HpsVector::new(6);
+        let mut rng = StdRng::seed_from_u64(41);
+        for p in Precision::ALL {
+            let n = v.macs_per_cycle(p);
+            for _ in 0..60 {
+                let w = random_signed_vec(&mut rng, p.bits(), n);
+                let a = random_signed_vec(&mut rng, p.bits(), n);
+                assert_eq!(v.dot(p, &w, &a).unwrap(), golden::dot(&w, &a), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_limited_throughput() {
+        let v = HpsVector::paper();
+        assert_eq!(v.macs_per_cycle(Precision::Int8), 32);
+        assert_eq!(v.macs_per_cycle(Precision::Int4), 64);
+        assert_eq!(v.macs_per_cycle(Precision::Int2), 128);
+    }
+}

@@ -1,0 +1,26 @@
+//! The high-precision-split (HPS) baseline — sub-word parallel style
+//! (paper Fig. 2b, methodology §V-A3).
+//!
+//! One 8×8 multiplier array per element slot, partitioned into four 4×4
+//! quadrants.  Splitting is top-down: in 4-bit mode the two diagonal
+//! quadrants compute two independent products while the cross quadrants
+//! are switched off by operand-isolation gating; in 2-bit mode each
+//! quadrant computes a single 2×2 product in its sub-array.  The narrow
+//! 8-bit element interface is HPS's strength (cheap buffers at full
+//! precision) and its weakness: hardware utilization drops to 50% in
+//! 4-bit and 25% in 2-bit mode, exactly as Fig. 2(b) annotates.
+
+mod functional;
+mod netlist;
+
+pub use functional::HpsVector;
+
+pub(crate) fn netlist_datapath(
+    n: &mut bsc_netlist::Netlist,
+    mode2: bsc_netlist::NodeId,
+    mode8: bsc_netlist::NodeId,
+    w_reg: &[bsc_netlist::Bus],
+    a_reg: &[bsc_netlist::Bus],
+) -> bsc_netlist::Bus {
+    netlist::datapath(n, mode2, mode8, w_reg, a_reg)
+}

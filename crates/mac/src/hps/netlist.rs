@@ -1,0 +1,199 @@
+//! Structural (gate-level) netlist of the HPS vector MAC.
+//!
+//! Per element slot: four 4×4 quadrant multipliers over the halves of the
+//! 8-bit operands.  Mode behaviour:
+//!
+//! * **8-bit**: all quadrants active with dynamic signedness (high halves
+//!   signed, low halves unsigned); products combine with {0,4,4,8} shifts.
+//! * **4-bit**: diagonal quadrants (LL, HH) compute two independent signed
+//!   products; cross quadrants (HL, LH) have their operands isolated to
+//!   zero, suppressing their switching.  The HH shift collapses to 0.
+//! * **2-bit**: each quadrant computes one signed 2×2 product from a 2-bit
+//!   sub-slice of its operand region (sign-extended into the 4-bit port —
+//!   the sub-word routing that pins HPS to 25% utilization); all shifts
+//!   collapse to 0.
+//!
+//! Operand inputs are only 8 bits per element per stream — the narrowest
+//! interface of the three designs — and are registered along with the
+//! accumulator.
+
+use bsc_netlist::components::csa::{self, Term};
+use bsc_netlist::components::mul::{multiply, Signedness};
+use bsc_netlist::components::mux::mux_bus;
+use bsc_netlist::components::shift::shl_select2;
+use bsc_netlist::{Bus, Netlist, NodeId};
+
+use crate::{MacKind, MacNetlist};
+
+const UNIT_WIDTH: usize = 18;
+const OUT_WIDTH: usize = 24;
+
+/// Quadrant descriptors: (a-high-half?, b-high-half?, 2-bit sub-slice LSB
+/// within the a region, within the b region, 8-bit combine shift).
+const QUADRANTS: [(bool, bool, usize, usize, usize); 4] = [
+    (false, false, 0, 0, 0), // LL: a[1:0] × b[1:0] in 2-bit mode
+    (true, false, 0, 2, 4),  // HL: a[5:4] × b[3:2]
+    (false, true, 2, 0, 4),  // LH: a[3:2] × b[5:4]
+    (true, true, 2, 2, 8),   // HH: a[7:6] × b[7:6]
+];
+
+pub(crate) fn build(length: usize) -> MacNetlist {
+    assert!(length > 0, "vector length must be positive");
+    let mut n = Netlist::new();
+    let mode2 = n.input("mode2");
+    let mode8 = n.input("mode8");
+    let weights: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("w{e}"), 8)).collect();
+    let acts: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("a{e}"), 8)).collect();
+    let w_reg: Vec<Bus> = weights.iter().map(|b| b.register(&mut n, false)).collect();
+    let a_reg: Vec<Bus> = acts.iter().map(|b| b.register(&mut n, false)).collect();
+
+    let out_comb = datapath(&mut n, mode2, mode8, &w_reg, &a_reg);
+    let out_reg = out_comb.register(&mut n, false);
+    n.mark_output_bus("acc", &out_reg);
+
+    MacNetlist {
+        netlist: n,
+        kind: MacKind::Hps,
+        length,
+        mode2,
+        mode8,
+        asym_pins: None,
+        weights,
+        acts,
+        out_comb,
+    }
+}
+
+/// The combinational HPS datapath after the interface registers
+/// (8 bits per element per stream), producing the 24-bit dot value.
+pub(crate) fn datapath(
+    n: &mut Netlist,
+    mode2: NodeId,
+    mode8: NodeId,
+    w_reg: &[Bus],
+    a_reg: &[Bus],
+) -> Bus {
+    assert!(!w_reg.is_empty(), "vector length must be positive");
+    assert_eq!(w_reg.len(), a_reg.len(), "operand stream lengths must match");
+    // Cross quadrants are enabled in 8-bit and 2-bit modes, gated in 4-bit.
+    let cross_enable = n.or(mode2, mode8);
+    let one = n.constant(true);
+
+    let mut unit_terms = Vec::with_capacity(w_reg.len());
+    for (w, a) in w_reg.iter().zip(a_reg) {
+        let unit = build_unit(n, a, w, mode2, mode8, cross_enable, one);
+        unit_terms.push(Term::signed(unit, 0));
+    }
+    csa::sum_terms(n, &unit_terms, &[], OUT_WIDTH)
+}
+
+fn build_unit(
+    n: &mut Netlist,
+    a8: &Bus,
+    w8: &Bus,
+    mode2: NodeId,
+    mode8: NodeId,
+    cross_enable: NodeId,
+    one: NodeId,
+) -> Bus {
+    let mut terms = Vec::with_capacity(4);
+    for &(a_high, b_high, a_sub, b_sub, shift8) in &QUADRANTS {
+        let is_cross = a_high != b_high;
+        let qa = quadrant_operand(n, a8, a_high, a_sub, mode2, is_cross, cross_enable);
+        let qb = quadrant_operand(n, w8, b_high, b_sub, mode2, is_cross, cross_enable);
+        // Signedness: high halves only in 8-bit mode; everything signed in
+        // 4/2-bit modes.
+        let ca = n.constant(a_high);
+        let sa = n.mux(mode8, one, ca);
+        let cb = n.constant(b_high);
+        let sb = n.mux(mode8, one, cb);
+        let p = multiply(n, &qa, Signedness::Dynamic(sa), &qb, Signedness::Dynamic(sb), 9);
+        let shifted = match shift8 {
+            0 => p,
+            s => shl_select2(n, mode8, &p, 0, s),
+        };
+        terms.push(Term::signed(shifted, 0));
+    }
+    csa::sum_terms(n, &terms, &[], UNIT_WIDTH)
+}
+
+/// One quadrant operand port: the 4-bit region half in 8/4-bit mode, the
+/// sign-extended 2-bit sub-slice in 2-bit mode, isolated to zero for cross
+/// quadrants in 4-bit mode.
+fn quadrant_operand(
+    n: &mut Netlist,
+    elem: &Bus,
+    high: bool,
+    sub_lsb: usize,
+    mode2: NodeId,
+    is_cross: bool,
+    cross_enable: NodeId,
+) -> Bus {
+    let region = if high { elem.slice(4, 8) } else { elem.slice(0, 4) };
+    let base = 4 * usize::from(high);
+    let sub = elem
+        .slice(base + sub_lsb, base + sub_lsb + 2)
+        .sext(n, 4);
+    let port = mux_bus(n, mode2, &region, &sub);
+    if is_cross {
+        port.and_bit(n, cross_enable)
+    } else {
+        port
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hps::HpsVector;
+    use crate::{MacKind, Precision, VectorMac};
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn netlist_matches_functional_model_in_all_modes() {
+        let v = HpsVector::new(3);
+        let mac = v.build_netlist();
+        assert_eq!(mac.kind(), MacKind::Hps);
+        let mut rng = StdRng::seed_from_u64(37);
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            for _ in 0..20 {
+                let w = random_signed_vec(&mut rng, p.bits(), len);
+                let a = random_signed_vec(&mut rng, p.bits(), len);
+                let expect = v.dot(p, &w, &a).unwrap();
+                let got = mac.eval_dot(p, &w, &a).unwrap();
+                assert_eq!(got, expect, "{p} w={w:?} a={a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_handles_extreme_values() {
+        let v = HpsVector::new(2);
+        let mac = v.build_netlist();
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            let lo = p.value_range().start;
+            let hi = p.value_range().end - 1;
+            for (w, a) in [
+                (vec![lo; len], vec![lo; len]),
+                (vec![lo; len], vec![hi; len]),
+                (vec![hi; len], vec![hi; len]),
+            ] {
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hps_has_the_narrowest_interface() {
+        let v = HpsVector::new(2);
+        let mac = v.build_netlist();
+        // 2 elements × 8 bits × 2 streams + 24-bit accumulator.
+        assert_eq!(mac.netlist().stats().flops(), 2 * 8 * 2 + 24);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cycle-level functional model of the LPC (BitFusion/BitBlade-style)
+//! vector MAC, evaluated through its BitBrick decomposition.
+
+use crate::golden::validate;
+use crate::{MacError, MacKind, Precision, VectorMac};
+
+/// Functional model of an LPC vector of length `L`.
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::{lpc::LpcVector, Precision, VectorMac};
+///
+/// # fn main() -> Result<(), bsc_mac::MacError> {
+/// let v = LpcVector::new(2);
+/// // 2-bit mode: 16 MACs per element slot.
+/// assert_eq!(v.macs_per_cycle(Precision::Int2), 32);
+/// let w = vec![-1; 32];
+/// let a = vec![1; 32];
+/// assert_eq!(v.dot(Precision::Int2, &w, &a)?, -32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpcVector {
+    length: usize,
+}
+
+/// One BitBrick: a signed 3b×3b multiply of two 2-bit slices whose
+/// signedness is controlled per slice (the top slice of a signed operand is
+/// signed, all others unsigned).
+fn bit_brick(a2: i64, sa: bool, b2: i64, sb: bool) -> i64 {
+    debug_assert!(if sa { (-2..2).contains(&a2) } else { (0..4).contains(&a2) });
+    debug_assert!(if sb { (-2..2).contains(&b2) } else { (0..4).contains(&b2) });
+    a2 * b2
+}
+
+/// Decomposes a signed 4-bit value into (high signed, low unsigned) 2-bit
+/// slices.
+fn split4(v: i64) -> (i64, i64) {
+    (v >> 2, v & 0x3)
+}
+
+/// One 4b×4b product via a brick group with {0,2,2,4} shifts.
+fn group_mul4(a: i64, sa: bool, b: i64, sb: bool) -> i64 {
+    let (ah, al) = if sa { split4(a) } else { ((a >> 2) & 0x3, a & 0x3) };
+    let (bh, bl) = if sb { split4(b) } else { ((b >> 2) & 0x3, b & 0x3) };
+    let ll = bit_brick(al, false, bl, false);
+    let hl = bit_brick(ah, sa, bl, false);
+    let lh = bit_brick(al, false, bh, sb);
+    let hh = bit_brick(ah, sa, bh, sb);
+    ll + ((hl + lh) << 2) + (hh << 4)
+}
+
+impl LpcVector {
+    /// An LPC vector with `length` element slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "vector length must be positive");
+        LpcVector { length }
+    }
+
+    /// The paper's configuration: vector length 32.
+    pub fn paper() -> Self {
+        LpcVector::new(32)
+    }
+
+    /// Generates the structural gate-level netlist of this vector.
+    pub fn build_netlist(&self) -> crate::MacNetlist {
+        super::netlist::build(self.length)
+    }
+
+    /// Generates the netlist with the asymmetric-mode extension (2b×4b
+    /// and 4b×8b) enabled — see [`crate::asym`].
+    pub fn build_netlist_asym(&self) -> crate::MacNetlist {
+        super::netlist::build_with_asym(self.length, true)
+    }
+
+    fn mul8(w: i64, a: i64) -> i64 {
+        // Two-level decomposition: 4-bit halves, each a brick group.
+        let (ah, al) = ((a >> 4), a & 0xF);
+        let (wh, wl) = ((w >> 4), w & 0xF);
+        let ll = group_mul4(al, false, wl, false);
+        let hl = group_mul4(ah, true, wl, false);
+        let lh = group_mul4(al, false, wh, true);
+        let hh = group_mul4(ah, true, wh, true);
+        ll + ((hl + lh) << 4) + (hh << 8)
+    }
+}
+
+impl VectorMac for LpcVector {
+    fn kind(&self) -> MacKind {
+        MacKind::Lpc
+    }
+
+    fn vector_length(&self) -> usize {
+        self.length
+    }
+
+    fn dot(&self, p: Precision, weights: &[i64], acts: &[i64]) -> Result<i64, MacError> {
+        let n = self.macs_per_cycle(p);
+        validate(p, n, weights)?;
+        validate(p, n, acts)?;
+        let sum = match p {
+            Precision::Int2 => weights
+                .iter()
+                .zip(acts)
+                .map(|(&w, &a)| bit_brick(a, true, w, true))
+                .sum(),
+            Precision::Int4 => weights
+                .iter()
+                .zip(acts)
+                .map(|(&w, &a)| group_mul4(a, true, w, true))
+                .sum(),
+            Precision::Int8 => weights.iter().zip(acts).map(|(&w, &a)| Self::mul8(w, a)).sum(),
+        };
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn group_mul4_is_exact_for_all_signed_nibbles() {
+        for a in -8..8 {
+            for b in -8..8 {
+                assert_eq!(group_mul4(a, true, b, true), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_mul4_handles_unsigned_halves() {
+        for a in 0..16 {
+            for b in -8..8 {
+                assert_eq!(group_mul4(a, false, b, true), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul8_is_exact_for_sampled_bytes() {
+        for a in (-128..128).step_by(7) {
+            for b in (-128..128).step_by(11) {
+                assert_eq!(LpcVector::mul8(b, a), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_golden_dot_in_all_modes() {
+        let v = LpcVector::new(5);
+        let mut rng = StdRng::seed_from_u64(31);
+        for p in Precision::ALL {
+            let n = v.macs_per_cycle(p);
+            for _ in 0..60 {
+                let w = random_signed_vec(&mut rng, p.bits(), n);
+                let a = random_signed_vec(&mut rng, p.bits(), n);
+                assert_eq!(v.dot(p, &w, &a).unwrap(), golden::dot(&w, &a), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_is_sixteen_bricks_per_slot() {
+        let v = LpcVector::paper();
+        assert_eq!(v.macs_per_cycle(Precision::Int2), 512);
+        assert_eq!(v.macs_per_cycle(Precision::Int4), 128);
+        assert_eq!(v.macs_per_cycle(Precision::Int8), 32);
+    }
+}

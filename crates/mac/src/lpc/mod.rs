@@ -1,0 +1,34 @@
+//! The low-precision-combination (LPC) baseline — BitFusion / BitBlade
+//! style (paper Fig. 2a, methodology §V-A2).
+//!
+//! Each LPC unit contains sixteen *BitBricks* (signed 3b×3b multipliers
+//! fed by 2-bit operand slices with controlled sign extension), organized
+//! as four groups of four.  Configurable shifters combine brick products
+//! with {0,2,2,4} intra-group shifts (4/8-bit modes) and the group sums
+//! with {0,4,4,8} global shifts (8-bit mode); in 2-bit mode all sixteen
+//! products are added unshifted.  Asymmetric precision modes are omitted,
+//! exactly as the paper's baseline reproduction does.
+//!
+//! The architecture's weakness, which the paper's comparison surfaces, is
+//! that the operand-routing muxes and configurable shifters sit inside
+//! *every* unit and scale with the vector length.
+
+mod functional;
+mod netlist;
+
+pub use functional::LpcVector;
+
+pub(crate) fn netlist_datapath(
+    n: &mut bsc_netlist::Netlist,
+    mode2: bsc_netlist::NodeId,
+    mode8: bsc_netlist::NodeId,
+    w_reg: &[bsc_netlist::Bus],
+    a_reg: &[bsc_netlist::Bus],
+) -> bsc_netlist::Bus {
+    netlist::datapath(n, mode2, mode8, w_reg, a_reg)
+}
+
+/// Intra-group brick shifts in 4/8-bit mode (2-bit slices).
+pub const INTRA_GROUP_SHIFTS: [usize; 4] = [0, 2, 2, 4];
+/// Global group shifts in 8-bit mode (4-bit halves).
+pub const GLOBAL_SHIFTS: [usize; 4] = [0, 4, 4, 8];

@@ -1,0 +1,462 @@
+//! Structural (gate-level) netlist of the LPC vector MAC.
+//!
+//! Per element slot: sixteen BitBricks in four groups, operand-routing
+//! muxes on every brick input (three candidate 2-bit slices per mode),
+//! configurable intra-group shifters ({0,2,2,4} vs none) and global group
+//! shifters ({0,4,4,8} vs none), then a per-unit adder tree.  All unit
+//! outputs join a vector-wide accumulation tree.  Operand inputs
+//! (32 bits per element per stream) and the accumulator are registered.
+
+use bsc_netlist::components::csa::{self, Term};
+use bsc_netlist::components::mul::{multiply, Signedness};
+use bsc_netlist::components::mux::mux3_bus;
+use bsc_netlist::components::shift::shl_select2;
+use bsc_netlist::{Bus, Netlist, NodeId};
+
+use crate::{MacKind, MacNetlist};
+
+const GROUP_WIDTH: usize = 12;
+const UNIT_WIDTH: usize = 17;
+const OUT_WIDTH: usize = 24;
+
+/// (a-slot, b-slot) per brick within a group: (lo,lo), (hi,lo), (lo,hi),
+/// (hi,hi).
+const BRICK_SLOTS: [(usize, usize); 4] = [(0, 0), (1, 0), (0, 1), (1, 1)];
+
+pub(crate) fn build(length: usize) -> MacNetlist {
+    build_with_asym(length, false)
+}
+
+/// Builds the LPC netlist, optionally with the asymmetric-mode extension
+/// (2b×4b and 4b×8b, the BitFusion feature the paper removed).  Without
+/// the extension the asymmetric control nets are constant zero and every
+/// mux they would drive folds away, so the symmetric netlist is exactly
+/// the paper-faithful baseline.
+pub(crate) fn build_with_asym(length: usize, asym: bool) -> MacNetlist {
+    assert!(length > 0, "vector length must be positive");
+    let mut n = Netlist::new();
+    let mode2 = n.input("mode2");
+    let mode8 = n.input("mode8");
+    let asym_pins = if asym {
+        Some((n.input("asym24"), n.input("asym48")))
+    } else {
+        None
+    };
+    let weights: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("w{e}"), 32)).collect();
+    let acts: Vec<Bus> = (0..length).map(|e| n.input_bus(&format!("a{e}"), 32)).collect();
+    let w_reg: Vec<Bus> = weights.iter().map(|b| b.register(&mut n, false)).collect();
+    let a_reg: Vec<Bus> = acts.iter().map(|b| b.register(&mut n, false)).collect();
+
+    let zero = n.constant(false);
+    let (a24, a48) = asym_pins.unwrap_or((zero, zero));
+    let out_comb = datapath_asym(&mut n, mode2, mode8, a24, a48, &w_reg, &a_reg);
+    let out_reg = out_comb.register(&mut n, false);
+    n.mark_output_bus("acc", &out_reg);
+
+    MacNetlist {
+        netlist: n,
+        kind: MacKind::Lpc,
+        length,
+        mode2,
+        mode8,
+        asym_pins,
+        weights,
+        acts,
+        out_comb,
+    }
+}
+
+/// The combinational LPC datapath after the interface registers
+/// (32 bits per element per stream), producing the 24-bit dot value.
+pub(crate) fn datapath(
+    n: &mut Netlist,
+    mode2: NodeId,
+    mode8: NodeId,
+    w_reg: &[Bus],
+    a_reg: &[Bus],
+) -> Bus {
+    let zero = n.constant(false);
+    datapath_asym(n, mode2, mode8, zero, zero, w_reg, a_reg)
+}
+
+/// The datapath with asymmetric-mode control nets (`asym24`, `asym48`);
+/// tie them to constant zero for the symmetric baseline.
+pub(crate) fn datapath_asym(
+    n: &mut Netlist,
+    mode2: NodeId,
+    mode8: NodeId,
+    asym24: NodeId,
+    asym48: NodeId,
+    w_reg: &[Bus],
+    a_reg: &[Bus],
+) -> Bus {
+    assert!(!w_reg.is_empty(), "vector length must be positive");
+    assert_eq!(w_reg.len(), a_reg.len(), "operand stream lengths must match");
+    let modes = ModeNets { mode2, mode8, asym24, asym48, not_m2: n.not(mode2) };
+    let mut unit_terms = Vec::with_capacity(w_reg.len());
+    for (w, a) in w_reg.iter().zip(a_reg) {
+        let unit = build_unit(n, a, w, &modes);
+        unit_terms.push(Term::signed(unit, 0));
+    }
+    csa::sum_terms(n, &unit_terms, &[], OUT_WIDTH)
+}
+
+/// The mode-control nets threaded through the unit builders.
+#[derive(Debug, Clone, Copy)]
+struct ModeNets {
+    mode2: NodeId,
+    mode8: NodeId,
+    asym24: NodeId,
+    asym48: NodeId,
+    not_m2: NodeId,
+}
+
+fn build_unit(n: &mut Netlist, a32: &Bus, w32: &Bus, m: &ModeNets) -> Bus {
+    let mut group_terms = Vec::with_capacity(4);
+    for g in 0..4 {
+        let (ga, gb) = (g & 1, g >> 1); // 8-bit half indices of this group
+        let mut brick_terms = Vec::with_capacity(4);
+        for (k, &(ka, kb)) in BRICK_SLOTS.iter().enumerate() {
+            // Slice indices per mode (see module docs): the activation and
+            // weight sides diverge in the asymmetric modes.
+            let a3 = brick_operand(
+                n,
+                a32,
+                m,
+                SliceSelect {
+                    slice_4b: 2 * g + ka,
+                    slice_2b: 4 * g + k,
+                    slice_8b: 2 * ga + ka,
+                    slice_24: 4 * g + k,
+                    slice_48: 2 * g + ka,
+                    signed_4b: ka == 1,
+                    signed_8b: ga == 1 && ka == 1,
+                    signed_24: k % 2 == 1,
+                    signed_48: g % 2 == 1 && ka == 1,
+                },
+            );
+            let b3 = brick_operand(
+                n,
+                w32,
+                m,
+                SliceSelect {
+                    slice_4b: 2 * g + kb,
+                    slice_2b: 4 * g + k,
+                    slice_8b: 2 * gb + kb,
+                    slice_24: 2 * g + k / 2,
+                    slice_48: (g - g % 2) + kb,
+                    signed_4b: kb == 1,
+                    signed_8b: gb == 1 && kb == 1,
+                    signed_24: true,
+                    signed_48: kb == 1,
+                },
+            );
+            let p = multiply(n, &a3, Signedness::Signed, &b3, Signedness::Signed, 6);
+            // Intra-group shifts: {0,2,2,4} in 4/8-bit and W4A8 modes, all
+            // zero in 2-bit, {0,2,0,2} in W2A4 (brick pairs share one
+            // weight slice).
+            let shifted = match k {
+                0 => p,
+                1 => shl_select2(n, m.not_m2, &p, 0, 2),
+                2 => {
+                    let off = n.or(m.mode2, m.asym24);
+                    let en = n.not(off);
+                    shl_select2(n, en, &p, 0, 2)
+                }
+                _ => bsc_netlist::components::shift::shl_select3(
+                    n,
+                    (m.mode2, m.asym24),
+                    &p,
+                    4,
+                    0,
+                    2,
+                ),
+            };
+            brick_terms.push(Term::signed(shifted, 0));
+        }
+        let gsum = csa::sum_terms(n, &brick_terms, &[], GROUP_WIDTH);
+        // Global shifts: {0,4,4,8} in 8-bit, {0,4,0,4} in W4A8 (each
+        // product spans two groups, the a-high group shifted by 4), none
+        // otherwise.
+        let shifted = match g {
+            0 => gsum,
+            1 => {
+                let sel = n.or(m.mode8, m.asym48);
+                shl_select2(n, sel, &gsum, 0, 4)
+            }
+            2 => shl_select2(n, m.mode8, &gsum, 0, 4),
+            _ => bsc_netlist::components::shift::shl_select3(
+                n,
+                (m.mode8, m.asym48),
+                &gsum,
+                0,
+                8,
+                4,
+            ),
+        };
+        group_terms.push(Term::signed(shifted, 0));
+    }
+    csa::sum_terms(n, &group_terms, &[], UNIT_WIDTH)
+}
+
+/// Per-mode slice index and signedness of one brick operand.
+#[derive(Debug, Clone, Copy)]
+struct SliceSelect {
+    slice_4b: usize,
+    slice_2b: usize,
+    slice_8b: usize,
+    slice_24: usize,
+    slice_48: usize,
+    signed_4b: bool,
+    signed_8b: bool,
+    signed_24: bool,
+    signed_48: bool,
+}
+
+/// Selects the 2-bit slice feeding a brick operand (per mode) and extends
+/// it with the controlled sign bit into a 3-bit signed value.
+fn brick_operand(n: &mut Netlist, elem: &Bus, m: &ModeNets, sel: SliceSelect) -> Bus {
+    let grab = |s: usize| elem.slice(2 * s, 2 * s + 2);
+    let base = mux3_bus(n, (m.mode2, m.mode8), &grab(sel.slice_4b), &grab(sel.slice_2b), &grab(sel.slice_8b));
+    // Asymmetric overrides (fold away when the pins are constant zero).
+    let with24 = bsc_netlist::components::mux::mux_bus(n, m.asym24, &base, &grab(sel.slice_24));
+    let slice = bsc_netlist::components::mux::mux_bus(n, m.asym48, &with24, &grab(sel.slice_48));
+
+    // Signedness: always signed in 2-bit mode, per-slot constants in the
+    // other modes.
+    let c4 = n.constant(sel.signed_4b);
+    let c8 = n.constant(sel.signed_8b);
+    let s48m = n.mux(m.mode8, c4, c8);
+    let one = n.constant(true);
+    let sym = n.mux(m.mode2, s48m, one);
+    let c24 = n.constant(sel.signed_24);
+    let c48 = n.constant(sel.signed_48);
+    let with24s = n.mux(m.asym24, sym, c24);
+    let sa = n.mux(m.asym48, with24s, c48);
+    let ext = n.and(sa, slice.msb());
+    slice.ext_with(ext, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lpc::LpcVector;
+    use crate::{MacKind, Precision, VectorMac};
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn netlist_matches_functional_model_in_all_modes() {
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist();
+        assert_eq!(mac.kind(), MacKind::Lpc);
+        let mut rng = StdRng::seed_from_u64(29);
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            for _ in 0..20 {
+                let w = random_signed_vec(&mut rng, p.bits(), len);
+                let a = random_signed_vec(&mut rng, p.bits(), len);
+                let expect = v.dot(p, &w, &a).unwrap();
+                let got = mac.eval_dot(p, &w, &a).unwrap();
+                assert_eq!(got, expect, "{p} w={w:?} a={a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_handles_extreme_values() {
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist();
+        for p in Precision::ALL {
+            let len = v.macs_per_cycle(p);
+            let lo = p.value_range().start;
+            let hi = p.value_range().end - 1;
+            for (w, a) in [
+                (vec![lo; len], vec![lo; len]),
+                (vec![lo; len], vec![hi; len]),
+                (vec![hi; len], vec![hi; len]),
+            ] {
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpc_interface_is_twice_as_wide_as_bsc() {
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist();
+        // 2 elements × 32 bits × 2 streams + 24-bit accumulator.
+        assert_eq!(mac.netlist().stats().flops(), 2 * 32 * 2 + 24);
+    }
+}
+
+#[cfg(test)]
+mod asym_tests {
+    use crate::asym::{lpc_dot, AsymMode};
+    use crate::lpc::LpcVector;
+    use crate::{MacError, Precision, VectorMac};
+    use bsc_netlist::tb::random_signed_vec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn asym_netlist_matches_functional_asym_model() {
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist_asym();
+        assert!(mac.supports_asym());
+        let mut rng = StdRng::seed_from_u64(0xA5);
+        for mode in AsymMode::ALL {
+            let n = mac.macs_per_cycle_asym(mode);
+            for _ in 0..25 {
+                let w = random_signed_vec(&mut rng, mode.weight.bits(), n);
+                let a = random_signed_vec(&mut rng, mode.act.bits(), n);
+                let expect = lpc_dot(mode, 2, &w, &a).unwrap();
+                let got = mac.eval_dot_asym(mode, &w, &a).unwrap();
+                assert_eq!(got, expect, "{mode} w={w:?} a={a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn asym_netlist_handles_extremes() {
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist_asym();
+        for mode in AsymMode::ALL {
+            let n = mac.macs_per_cycle_asym(mode);
+            let (wlo, whi) = (mode.weight.value_range().start, mode.weight.value_range().end - 1);
+            let (alo, ahi) = (mode.act.value_range().start, mode.act.value_range().end - 1);
+            for (w, a) in [
+                (vec![wlo; n], vec![alo; n]),
+                (vec![wlo; n], vec![ahi; n]),
+                (vec![whi; n], vec![alo; n]),
+                (vec![whi; n], vec![ahi; n]),
+            ] {
+                assert_eq!(
+                    mac.eval_dot_asym(mode, &w, &a).unwrap(),
+                    lpc_dot(mode, 2, &w, &a).unwrap(),
+                    "{mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asym_netlist_still_handles_symmetric_modes() {
+        // The extension must not disturb the paper's three modes.
+        let v = LpcVector::new(2);
+        let mac = v.build_netlist_asym();
+        let mut rng = StdRng::seed_from_u64(0xA6);
+        for p in Precision::ALL {
+            let n = v.macs_per_cycle(p);
+            for _ in 0..15 {
+                let w = random_signed_vec(&mut rng, p.bits(), n);
+                let a = random_signed_vec(&mut rng, p.bits(), n);
+                assert_eq!(
+                    mac.eval_dot(p, &w, &a).unwrap(),
+                    v.dot(p, &w, &a).unwrap(),
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_netlist_rejects_asym_requests() {
+        let mac = LpcVector::new(1).build_netlist();
+        assert!(!mac.supports_asym());
+        let n = mac.macs_per_cycle_asym(AsymMode::W2A4);
+        let err = mac.eval_dot_asym(AsymMode::W2A4, &vec![0; n], &vec![0; n]);
+        assert!(matches!(err, Err(MacError::AsymUnsupported)));
+    }
+
+    #[test]
+    fn asym_support_costs_area_only_when_enabled() {
+        // The symmetric build must not pay for the extension: constant
+        // asym pins fold all extra muxes away.
+        let sym = LpcVector::new(2).build_netlist();
+        let asym = LpcVector::new(2).build_netlist_asym();
+        let (s, a) = (
+            sym.netlist().stats().total_cells(),
+            asym.netlist().stats().total_cells(),
+        );
+        assert!(a > s, "asym build carries real mux cost: {a} vs {s}");
+        assert!((a as f64) < 1.5 * s as f64, "but bounded: {a} vs {s}");
+    }
+
+    #[test]
+    fn measured_asym_energy_lands_between_symmetric_anchors() {
+        use bsc_synth::{analyze, CellLibrary, EffortModel};
+        let mac = LpcVector::new(2).build_netlist_asym();
+        let lib = CellLibrary::smic28_like();
+        let effort = EffortModel::default();
+        let period = 2400.0;
+        let e = |act: bsc_netlist::Activity, macs: f64| {
+            analyze(mac.netlist(), &act, &lib, &effort, period, macs)
+                .unwrap()
+                .energy_per_mac_fj
+        };
+        let e2 = e(
+            mac.characterize(Precision::Int2, 24, 1).unwrap(),
+            mac.macs_per_cycle(Precision::Int2) as f64,
+        );
+        let e4 = e(
+            mac.characterize(Precision::Int4, 24, 2).unwrap(),
+            mac.macs_per_cycle(Precision::Int4) as f64,
+        );
+        let e8 = e(
+            mac.characterize(Precision::Int8, 24, 3).unwrap(),
+            mac.macs_per_cycle(Precision::Int8) as f64,
+        );
+        let e24 = e(
+            mac.characterize_asym(AsymMode::W2A4, 24, 4).unwrap(),
+            mac.macs_per_cycle_asym(AsymMode::W2A4) as f64,
+        );
+        let e48 = e(
+            mac.characterize_asym(AsymMode::W4A8, 24, 5).unwrap(),
+            mac.macs_per_cycle_asym(AsymMode::W4A8) as f64,
+        );
+        assert!(e24 > e2 && e24 < e4, "W2A4 {e24:.1} between 2b {e2:.1} and 4b {e4:.1}");
+        assert!(e48 > e4 && e48 < e8, "W4A8 {e48:.1} between 4b {e4:.1} and 8b {e8:.1}");
+        // The brick-count estimator from `asym` should land in the same
+        // ballpark as the measurement (within 40%).
+        let est24 = crate::asym::estimate_energy_per_mac_fj(e2, e4, e8, AsymMode::W2A4).unwrap();
+        let est48 = crate::asym::estimate_energy_per_mac_fj(e2, e4, e8, AsymMode::W4A8).unwrap();
+        assert!((est24 / e24 - 1.0).abs() < 0.4, "est {est24:.1} vs measured {e24:.1}");
+        assert!((est48 / e48 - 1.0).abs() < 0.4, "est {est48:.1} vs measured {e48:.1}");
+    }
+}
+
+#[cfg(test)]
+mod asym_exhaustive {
+    use crate::asym::{brick_product, AsymMode};
+    use crate::lpc::LpcVector;
+
+    /// Every (w, a) operand pair in every field position of both
+    /// asymmetric modes — exhaustive per-field coverage of the extension.
+    #[test]
+    fn every_field_every_operand_pair() {
+        let v = LpcVector::new(1);
+        let mac = v.build_netlist_asym();
+        for mode in AsymMode::ALL {
+            let n = mac.macs_per_cycle_asym(mode);
+            for field in 0..n {
+                for w in mode.weight.value_range() {
+                    for a in mode.act.value_range() {
+                        let mut wv = vec![0i64; n];
+                        let mut av = vec![0i64; n];
+                        wv[field] = w;
+                        av[field] = a;
+                        assert_eq!(
+                            mac.eval_dot_asym(mode, &wv, &av).unwrap(),
+                            w * a,
+                            "{mode} field {field}: {w}*{a}"
+                        );
+                        assert_eq!(brick_product(mode, w, a), w * a);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Shared harness around a structural vector-MAC netlist: operand packing,
+//! mode configuration, simulation driving and activity characterization.
+
+use bsc_netlist::{Activity, Bus, Netlist, NodeId, Simulator, SIM_LANES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::golden::validate;
+use crate::{MacError, MacKind, Precision};
+
+/// Which operand stream a field layout describes (the two sides differ only
+/// for HPS in 2-bit mode, where sub-word routing constraints pin each
+/// product's operands to different bit positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandSide {
+    /// The weight stream (the multiplier `b` inside the units).
+    Weight,
+    /// The activation / feature stream (the multiplicand `a`).
+    Activation,
+}
+
+/// LSB position of field `k` within one interface element.
+pub(crate) fn field_lsb(kind: MacKind, p: Precision, k: usize, side: OperandSide) -> usize {
+    match (kind, p) {
+        (_, Precision::Int8) => 0,
+        (MacKind::Bsc, Precision::Int4) | (MacKind::Lpc, Precision::Int4) => 4 * k,
+        (MacKind::Bsc, Precision::Int2) | (MacKind::Lpc, Precision::Int2) => 2 * k,
+        (MacKind::Hps, Precision::Int4) => 4 * k,
+        (MacKind::Hps, Precision::Int2) => match side {
+            // Quadrant routing: pairs live at (a, b) bit positions
+            // (0,0), (4,2), (2,4), (6,6) — see `hps::netlist`.
+            OperandSide::Activation => [0, 4, 2, 6][k],
+            OperandSide::Weight => [0, 2, 4, 6][k],
+        },
+    }
+}
+
+/// Packs asymmetric-mode fields: operand `k` of width `bits` sits at LSB
+/// `k × bits` of the element word.
+pub(crate) fn pack_asym(p: Precision, fields: &[i64]) -> i64 {
+    let mask = (1i64 << p.bits()) - 1;
+    let mut word = 0i64;
+    for (k, &v) in fields.iter().enumerate() {
+        word |= (v & mask) << (k as u32 * p.bits());
+    }
+    word
+}
+
+/// Packs `fields` (one dot-product operand per field) into the integer
+/// value of one interface element — public so array-level netlists can
+/// encode their port values with the exact field layout of each design.
+pub fn pack_element(
+    kind: MacKind,
+    p: Precision,
+    side: OperandSide,
+    fields: &[i64],
+) -> i64 {
+    let mask = (1i64 << p.bits()) - 1;
+    let mut word = 0i64;
+    for (k, &v) in fields.iter().enumerate() {
+        word |= (v & mask) << field_lsb(kind, p, k, side);
+    }
+    word
+}
+
+/// A built structural netlist of one vector MAC design, together with its
+/// I/O descriptors.
+///
+/// The netlist has registered operand inputs and a registered accumulator
+/// output (the interface flops are part of the design and part of its
+/// power), two level-held mode pins, and one combinational dot-product
+/// result per cycle.
+#[derive(Debug)]
+pub struct MacNetlist {
+    pub(crate) netlist: Netlist,
+    pub(crate) kind: MacKind,
+    pub(crate) length: usize,
+    pub(crate) mode2: NodeId,
+    pub(crate) mode8: NodeId,
+    /// Asymmetric-mode pins `(asym24, asym48)` when the design was built
+    /// with the asymmetric extension (LPC only).
+    pub(crate) asym_pins: Option<(NodeId, NodeId)>,
+    pub(crate) weights: Vec<Bus>,
+    pub(crate) acts: Vec<Bus>,
+    /// Combinational dot-product value (before the output register).
+    pub(crate) out_comb: Bus,
+}
+
+impl MacNetlist {
+    /// The underlying gate-level netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Architecture of the design.
+    pub fn kind(&self) -> MacKind {
+        self.kind
+    }
+
+    /// Number of element slots.
+    pub fn vector_length(&self) -> usize {
+        self.length
+    }
+
+    /// MACs per cycle in a mode.
+    pub fn macs_per_cycle(&self, p: Precision) -> usize {
+        self.length * self.kind.fields_per_element(p)
+    }
+
+    /// The weight-element input buses (one per element slot).
+    pub fn weights(&self) -> &[Bus] {
+        &self.weights
+    }
+
+    /// The activation-element input buses (one per element slot).
+    pub fn acts(&self) -> &[Bus] {
+        &self.acts
+    }
+
+    /// The `(pin, level)` assignments that configure a precision mode.
+    pub fn mode_pins(&self, p: Precision) -> [(NodeId, bool); 2] {
+        [
+            (self.mode2, p == Precision::Int2),
+            (self.mode8, p == Precision::Int8),
+        ]
+    }
+
+    /// Writes one lane's operand vectors into the interface elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::LengthMismatch`] / [`MacError::ValueOutOfRange`]
+    /// when the vectors do not match the mode.
+    pub fn write_vector_lane(
+        &self,
+        sim: &mut Simulator<'_>,
+        lane: usize,
+        p: Precision,
+        weights: &[i64],
+        acts: &[i64],
+    ) -> Result<(), MacError> {
+        let n = self.macs_per_cycle(p);
+        validate(p, n, weights)?;
+        validate(p, n, acts)?;
+        let fields = self.kind.fields_per_element(p);
+        for e in 0..self.length {
+            let wv = pack_element(self.kind, p, OperandSide::Weight, &weights[e * fields..(e + 1) * fields]);
+            let av = pack_element(self.kind, p, OperandSide::Activation, &acts[e * fields..(e + 1) * fields]);
+            sim.write_bus_lane(&self.weights[e], lane, wv);
+            sim.write_bus_lane(&self.acts[e], lane, av);
+        }
+        Ok(())
+    }
+
+    /// Reads the combinational dot-product result of one lane (after the
+    /// input registers have been clocked and the logic evaluated).
+    pub fn read_dot_lane(&self, sim: &Simulator<'_>, lane: usize) -> i64 {
+        sim.read_bus_signed_lane(&self.out_comb, lane)
+    }
+
+    /// Holds the mode pins of `p` on the simulator (and clears the
+    /// asymmetric pins when present).
+    pub fn set_mode(&self, sim: &mut Simulator<'_>, p: Precision) {
+        for (pin, v) in self.mode_pins(p) {
+            sim.write(pin, if v { u64::MAX } else { 0 });
+        }
+        if let Some((a24, a48)) = self.asym_pins {
+            sim.write(a24, 0);
+            sim.write(a48, 0);
+        }
+    }
+
+    /// Whether this netlist was built with asymmetric-mode support.
+    pub fn supports_asym(&self) -> bool {
+        self.asym_pins.is_some()
+    }
+
+    /// Holds the pins for an asymmetric mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::AsymUnsupported`] when the design was built
+    /// without the extension.
+    pub fn set_asym_mode(
+        &self,
+        sim: &mut Simulator<'_>,
+        mode: crate::asym::AsymMode,
+    ) -> Result<(), MacError> {
+        let (a24, a48) = self.asym_pins.ok_or(MacError::AsymUnsupported)?;
+        sim.write(self.mode2, 0);
+        sim.write(self.mode8, 0);
+        sim.write(a24, if mode == crate::asym::AsymMode::W2A4 { u64::MAX } else { 0 });
+        sim.write(a48, if mode == crate::asym::AsymMode::W4A8 { u64::MAX } else { 0 });
+        Ok(())
+    }
+
+    /// MACs per cycle in an asymmetric mode.
+    pub fn macs_per_cycle_asym(&self, mode: crate::asym::AsymMode) -> usize {
+        self.length * mode.products_per_lpc_unit()
+    }
+
+    /// Computes one asymmetric dot product through the netlist (lane 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::AsymUnsupported`] without the extension, plus
+    /// the usual length/range validation errors.
+    pub fn eval_dot_asym(
+        &self,
+        mode: crate::asym::AsymMode,
+        weights: &[i64],
+        acts: &[i64],
+    ) -> Result<i64, MacError> {
+        let n = self.macs_per_cycle_asym(mode);
+        validate(mode.weight, n, weights)?;
+        validate(mode.act, n, acts)?;
+        let mut sim = Simulator::new(&self.netlist)?;
+        self.set_asym_mode(&mut sim, mode)?;
+        let fields = mode.products_per_lpc_unit();
+        for e in 0..self.length {
+            let wv = pack_asym(mode.weight, &weights[e * fields..(e + 1) * fields]);
+            let av = pack_asym(mode.act, &acts[e * fields..(e + 1) * fields]);
+            sim.write_bus_lane(&self.weights[e], 0, wv);
+            sim.write_bus_lane(&self.acts[e], 0, av);
+        }
+        sim.step();
+        sim.eval();
+        Ok(self.read_dot_lane(&sim, 0))
+    }
+
+    /// Switching-activity characterization in an asymmetric mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::AsymUnsupported`] without the extension.
+    pub fn characterize_asym(
+        &self,
+        mode: crate::asym::AsymMode,
+        steps: usize,
+        seed: u64,
+    ) -> Result<Activity, MacError> {
+        let mut sim = Simulator::new(&self.netlist)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.set_asym_mode(&mut sim, mode)?;
+        let fields = mode.products_per_lpc_unit();
+        let drive = |sim: &mut Simulator<'_>, rng: &mut StdRng| {
+            let mut w_lane = vec![0i64; SIM_LANES];
+            let mut a_lane = vec![0i64; SIM_LANES];
+            for e in 0..self.length {
+                for lane in 0..SIM_LANES {
+                    let wf = bsc_netlist::tb::random_signed_vec(rng, mode.weight.bits(), fields);
+                    let af = bsc_netlist::tb::random_signed_vec(rng, mode.act.bits(), fields);
+                    w_lane[lane] = pack_asym(mode.weight, &wf);
+                    a_lane[lane] = pack_asym(mode.act, &af);
+                }
+                sim.write_bus_packed(&self.weights[e], &w_lane);
+                sim.write_bus_packed(&self.acts[e], &a_lane);
+            }
+        };
+        drive(&mut sim, &mut rng);
+        sim.step();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        for _ in 0..steps {
+            drive(&mut sim, &mut rng);
+            sim.step();
+            sim.eval();
+            act.record(&sim);
+        }
+        Ok(act)
+    }
+
+    /// Computes one dot product through the netlist (lane 0), for
+    /// equivalence testing against the functional model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation and netlist errors.
+    pub fn eval_dot(
+        &self,
+        p: Precision,
+        weights: &[i64],
+        acts: &[i64],
+    ) -> Result<i64, MacError> {
+        let mut sim = Simulator::new(&self.netlist)?;
+        self.set_mode(&mut sim, p);
+        self.write_vector_lane(&mut sim, 0, p, weights, acts)?;
+        sim.step(); // latch operands
+        sim.eval(); // compute
+        Ok(self.read_dot_lane(&sim, 0))
+    }
+
+    /// Runs a randomized switching-activity characterization in mode `p`:
+    /// `steps` cycles of fresh uniform operands across all 64 lanes, with
+    /// the mode pins held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::Netlist`] for combinational cycles.
+    pub fn characterize(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+    ) -> Result<Activity, MacError> {
+        let mut sim = Simulator::new(&self.netlist)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.set_mode(&mut sim, p);
+        self.drive_random(&mut sim, p, &mut rng);
+        sim.step();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        for _ in 0..steps {
+            self.drive_random(&mut sim, p, &mut rng);
+            sim.step();
+            sim.eval();
+            act.record(&sim);
+        }
+        Ok(act)
+    }
+
+    /// Runs a *weight-stationary* switching-activity characterization in
+    /// mode `p`: the weight stream is randomized once and then held (as in
+    /// the systolic array, where each PE keeps its weight vector for a whole
+    /// tile) while the feature stream gets fresh uniform operands every
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::Netlist`] for combinational cycles.
+    pub fn characterize_weight_stationary(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+    ) -> Result<Activity, MacError> {
+        let mut sim = Simulator::new(&self.netlist)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.set_mode(&mut sim, p);
+        self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Weight);
+        self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Activation);
+        sim.step();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        for _ in 0..steps {
+            self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Activation);
+            sim.step();
+            sim.eval();
+            act.record(&sim);
+        }
+        Ok(act)
+    }
+
+    fn drive_random_side(
+        &self,
+        sim: &mut Simulator<'_>,
+        p: Precision,
+        rng: &mut StdRng,
+        side: OperandSide,
+    ) {
+        let fields = self.kind.fields_per_element(p);
+        let mut lane_vals = vec![0i64; SIM_LANES];
+        let buses = match side {
+            OperandSide::Weight => &self.weights,
+            OperandSide::Activation => &self.acts,
+        };
+        for (e, bus) in buses.iter().enumerate().take(self.length) {
+            let _ = e;
+            for lane_val in lane_vals.iter_mut() {
+                let f: Vec<i64> = bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
+                *lane_val = pack_element(self.kind, p, side, &f);
+            }
+            sim.write_bus_packed(bus, &lane_vals);
+        }
+    }
+
+    fn drive_random(&self, sim: &mut Simulator<'_>, p: Precision, rng: &mut StdRng) {
+        let fields = self.kind.fields_per_element(p);
+        let mut w_lane = vec![0i64; SIM_LANES];
+        let mut a_lane = vec![0i64; SIM_LANES];
+        for e in 0..self.length {
+            for lane in 0..SIM_LANES {
+                let wf: Vec<i64> =
+                    bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
+                let af: Vec<i64> =
+                    bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
+                w_lane[lane] = pack_element(self.kind, p, OperandSide::Weight, &wf);
+                a_lane[lane] = pack_element(self.kind, p, OperandSide::Activation, &af);
+            }
+            sim.write_bus_packed(&self.weights[e], &w_lane);
+            sim.write_bus_packed(&self.acts[e], &a_lane);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsc_field_layout_is_contiguous() {
+        assert_eq!(field_lsb(MacKind::Bsc, Precision::Int4, 3, OperandSide::Weight), 12);
+        assert_eq!(field_lsb(MacKind::Bsc, Precision::Int2, 7, OperandSide::Weight), 14);
+    }
+
+    #[test]
+    fn hps_2bit_sides_differ() {
+        let a = field_lsb(MacKind::Hps, Precision::Int2, 1, OperandSide::Activation);
+        let w = field_lsb(MacKind::Hps, Precision::Int2, 1, OperandSide::Weight);
+        assert_eq!((a, w), (4, 2));
+    }
+
+    #[test]
+    fn pack_element_masks_twos_complement() {
+        // -1 in 2 bits is 0b11; four fields of -1 fill a byte.
+        let v = pack_element(MacKind::Hps, Precision::Int2, OperandSide::Weight, &[-1, -1, -1, -1]);
+        assert_eq!(v, 0xFF);
+        let v = pack_element(MacKind::Bsc, Precision::Int4, OperandSide::Weight, &[-8, 7, 0, -1]);
+        assert_eq!(v, 0x8 | (0x7 << 4) | (0xF << 12));
+    }
+}

@@ -1,0 +1,305 @@
+//! PPA characterization of the vector MAC designs: builds each structural
+//! netlist, runs the randomized activity testbench per precision mode, and
+//! evaluates the synthesis/power models at chosen clock periods.
+//!
+//! This is the reproduction of the paper's §V-A flow (RTL → DC → PTPX with
+//! VCS stimulus), packaged so the systolic-array simulator and the
+//! benchmark harness can look energies up instead of re-simulating gates.
+
+use std::collections::BTreeMap;
+
+use bsc_synth::{analyze, CellLibrary, EffortModel, PpaReport, SynthError};
+
+use crate::{build_netlist, MacError, MacKind, MacNetlist, Precision};
+
+/// Default number of random stimulus cycles per characterization run
+/// (each cycle evaluates 64 packed lanes).
+pub const DEFAULT_STEPS: usize = 96;
+
+/// Configuration of a characterization sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeConfig {
+    /// Vector length `L` (the paper uses 32).
+    pub length: usize,
+    /// Random stimulus cycles per mode.
+    pub steps: usize,
+    /// RNG seed for the stimulus.
+    pub seed: u64,
+    /// Cell library shared by every design.
+    pub library: CellLibrary,
+    /// Synthesis effort model shared by every design.
+    pub effort: EffortModel,
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> Self {
+        CharacterizeConfig {
+            length: 32,
+            steps: DEFAULT_STEPS,
+            seed: 0xB5C,
+            library: CellLibrary::smic28_like(),
+            effort: EffortModel::default(),
+        }
+    }
+}
+
+impl CharacterizeConfig {
+    /// A faster configuration for unit tests (short vectors, few steps).
+    pub fn quick(length: usize) -> Self {
+        CharacterizeConfig { length, steps: 16, ..Self::default() }
+    }
+}
+
+/// Errors from a characterization run.
+#[derive(Debug)]
+pub enum PpaError {
+    /// Functional/netlist harness failure.
+    Mac(MacError),
+    /// Synthesis/power analysis failure.
+    Synth(SynthError),
+}
+
+impl std::fmt::Display for PpaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpaError::Mac(e) => write!(f, "characterization failed: {e}"),
+            PpaError::Synth(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PpaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PpaError::Mac(e) => Some(e),
+            PpaError::Synth(e) => Some(e),
+        }
+    }
+}
+
+impl From<MacError> for PpaError {
+    fn from(e: MacError) -> Self {
+        PpaError::Mac(e)
+    }
+}
+
+impl From<SynthError> for PpaError {
+    fn from(e: SynthError) -> Self {
+        PpaError::Synth(e)
+    }
+}
+
+/// A characterized design: its netlist plus per-mode recorded activity,
+/// ready for repeated [`DesignCharacterization::at_period`] queries.
+#[derive(Debug)]
+pub struct DesignCharacterization {
+    kind: MacKind,
+    netlist: MacNetlist,
+    activities: BTreeMap<Precision, bsc_netlist::Activity>,
+    activities_ws: BTreeMap<Precision, bsc_netlist::Activity>,
+    config: CharacterizeConfig,
+}
+
+impl DesignCharacterization {
+    /// Builds the netlist for `kind` and records activity in all three
+    /// precision modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation failures.
+    pub fn new(kind: MacKind, config: &CharacterizeConfig) -> Result<Self, PpaError> {
+        let netlist = build_netlist(kind, config.length);
+        let mut activities = BTreeMap::new();
+        let mut activities_ws = BTreeMap::new();
+        for (i, p) in Precision::ALL.into_iter().enumerate() {
+            let act = netlist.characterize(p, config.steps, config.seed ^ ((i as u64) << 17))?;
+            activities.insert(p, act);
+            let ws = netlist.characterize_weight_stationary(
+                p,
+                config.steps,
+                config.seed ^ ((i as u64) << 17) ^ 0x5757,
+            )?;
+            activities_ws.insert(p, ws);
+        }
+        Ok(DesignCharacterization {
+            kind,
+            netlist,
+            activities,
+            activities_ws,
+            config: config.clone(),
+        })
+    }
+
+    /// The architecture characterized.
+    pub fn kind(&self) -> MacKind {
+        self.kind
+    }
+
+    /// The structural netlist.
+    pub fn netlist(&self) -> &MacNetlist {
+        &self.netlist
+    }
+
+    /// PPA of one mode at one clock period (in ps), under the *both streams
+    /// random* stimulus the paper's vector-unit testbench uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::TimingInfeasible`] (wrapped) when the period is
+    /// below what upsizing can reach.
+    pub fn at_period(&self, p: Precision, period_ps: f64) -> Result<PpaReport, PpaError> {
+        self.analyze_with(&self.activities[&p], p, period_ps)
+    }
+
+    /// PPA of one mode at one clock period under *weight-stationary*
+    /// stimulus (weights held, features streaming) — the activity profile
+    /// of a PE inside the systolic array, where the data reuse the paper's
+    /// §IV highlights suppresses the weight-register switching.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DesignCharacterization::at_period`].
+    pub fn at_period_weight_stationary(
+        &self,
+        p: Precision,
+        period_ps: f64,
+    ) -> Result<PpaReport, PpaError> {
+        self.analyze_with(&self.activities_ws[&p], p, period_ps)
+    }
+
+    fn analyze_with(
+        &self,
+        act: &bsc_netlist::Activity,
+        p: Precision,
+        period_ps: f64,
+    ) -> Result<PpaReport, PpaError> {
+        let report = analyze(
+            self.netlist.netlist(),
+            act,
+            &self.config.library,
+            &self.config.effort,
+            period_ps,
+            self.netlist.macs_per_cycle(p) as f64,
+        )?;
+        Ok(report)
+    }
+
+    /// Nominal (unconstrained-synthesis) minimum clock period in ps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STA failures on cyclic netlists.
+    pub fn nominal_period_ps(&self) -> Result<f64, PpaError> {
+        Ok(bsc_synth::timing::min_period_ps(
+            self.netlist.netlist(),
+            &self.config.library,
+        )
+        .map_err(SynthError::from)?)
+    }
+
+    /// The maximum-energy-efficiency operating point of one mode over a
+    /// period sweep: evaluates every feasible period and returns the report
+    /// with the highest TOPS/W.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when *no* period in the sweep is feasible.
+    pub fn best_efficiency(
+        &self,
+        p: Precision,
+        periods_ps: &[f64],
+    ) -> Result<PpaReport, PpaError> {
+        let mut best: Option<PpaReport> = None;
+        let mut last_err = None;
+        for &t in periods_ps {
+            match self.at_period(p, t) {
+                Ok(r) => {
+                    if best.as_ref().is_none_or(|b| r.tops_per_w > b.tops_per_w) {
+                        best = Some(r);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| {
+            last_err.unwrap_or(PpaError::Synth(SynthError::InvalidPeriod(f64::NAN)))
+        })
+    }
+
+    /// Like [`DesignCharacterization::best_efficiency`] but under
+    /// weight-stationary activity (the systolic-array operating profile).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when *no* period in the sweep is feasible.
+    pub fn best_efficiency_weight_stationary(
+        &self,
+        p: Precision,
+        periods_ps: &[f64],
+    ) -> Result<PpaReport, PpaError> {
+        let mut best: Option<PpaReport> = None;
+        let mut last_err = None;
+        for &t in periods_ps {
+            match self.at_period_weight_stationary(p, t) {
+                Ok(r) => {
+                    if best.as_ref().is_none_or(|b| r.tops_per_w > b.tops_per_w) {
+                        best = Some(r);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| {
+            last_err.unwrap_or(PpaError::Synth(SynthError::InvalidPeriod(f64::NAN)))
+        })
+    }
+}
+
+/// The paper's Fig. 7 clock-period sweep: 0.8 ns to 2.4 ns in 0.2 ns steps,
+/// in ps.
+pub fn paper_period_sweep_ps() -> Vec<f64> {
+    (0..9).map(|i| 800.0 + 200.0 * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_range() {
+        let s = paper_period_sweep_ps();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0], 800.0);
+        assert_eq!(*s.last().unwrap(), 2400.0);
+    }
+
+    #[test]
+    fn characterization_produces_reports_for_all_modes() {
+        let cfg = CharacterizeConfig::quick(2);
+        let c = DesignCharacterization::new(MacKind::Hps, &cfg).unwrap();
+        for p in Precision::ALL {
+            let r = c.at_period(p, 2400.0).unwrap();
+            assert!(r.dynamic_power_mw > 0.0, "{p}");
+            assert!(r.tops_per_w > 0.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn lower_precision_is_more_efficient_within_a_design() {
+        let cfg = CharacterizeConfig::quick(2);
+        let c = DesignCharacterization::new(MacKind::Bsc, &cfg).unwrap();
+        let e2 = c.at_period(Precision::Int2, 2400.0).unwrap().tops_per_w;
+        let e8 = c.at_period(Precision::Int8, 2400.0).unwrap().tops_per_w;
+        assert!(e2 > e8, "2-bit ({e2}) should beat 8-bit ({e8}) within BSC");
+    }
+
+    #[test]
+    fn best_efficiency_picks_a_feasible_point() {
+        let cfg = CharacterizeConfig::quick(2);
+        let c = DesignCharacterization::new(MacKind::Bsc, &cfg).unwrap();
+        let best = c
+            .best_efficiency(Precision::Int4, &paper_period_sweep_ps())
+            .unwrap();
+        assert!(best.tops_per_w > 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+use std::fmt;
+use std::ops::Range;
+
+/// The three symmetric precision modes evaluated by the paper
+/// (asymmetric 2×4 and 4×8 modes are excluded, per its methodology §V-A).
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::Precision;
+///
+/// assert_eq!(Precision::Int4.bits(), 4);
+/// assert_eq!(Precision::Int2.value_range(), -2..2);
+/// assert_eq!(Precision::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 2-bit × 2-bit signed operands.
+    Int2,
+    /// 4-bit × 4-bit signed operands.
+    Int4,
+    /// 8-bit × 8-bit signed operands.
+    Int8,
+}
+
+impl Precision {
+    /// All modes, lowest precision first.
+    pub const ALL: [Precision; 3] = [Precision::Int2, Precision::Int4, Precision::Int8];
+
+    /// Operand bit width.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int2 => 2,
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// The two's-complement value range `[-2^(b-1), 2^(b-1))`.
+    pub fn value_range(self) -> Range<i64> {
+        let half = 1i64 << (self.bits() - 1);
+        -half..half
+    }
+
+    /// Whether `v` is representable in this precision.
+    pub fn contains(self, v: i64) -> bool {
+        self.value_range().contains(&v)
+    }
+
+    /// The mode for a given operand bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MacError::UnsupportedBits`] for widths other than
+    /// 2, 4 and 8.
+    pub fn from_bits(bits: u32) -> Result<Self, crate::MacError> {
+        match bits {
+            2 => Ok(Precision::Int2),
+            4 => Ok(Precision::Int4),
+            8 => Ok(Precision::Int8),
+            other => Err(crate::MacError::UnsupportedBits(other)),
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = crate::MacError;
+
+    /// Parses `"2"`, `"4"`, `"8"`, `"2-bit"`, `"int4"`, `"INT8"`, ….
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let digits: String = t.chars().filter(char::is_ascii_digit).collect();
+        let bits: u32 = digits.parse().map_err(|_| crate::MacError::UnsupportedBits(0))?;
+        Precision::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_twos_complement() {
+        assert_eq!(Precision::Int2.value_range(), -2..2);
+        assert_eq!(Precision::Int4.value_range(), -8..8);
+        assert_eq!(Precision::Int8.value_range(), -128..128);
+    }
+
+    #[test]
+    fn from_bits_roundtrips() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_bits(p.bits()).unwrap(), p);
+        }
+        assert!(Precision::from_bits(3).is_err());
+        assert!(Precision::from_bits(16).is_err());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        assert!(Precision::Int2.contains(-2));
+        assert!(!Precision::Int2.contains(2));
+        assert!(Precision::Int8.contains(127));
+        assert!(!Precision::Int8.contains(128));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Int8.to_string(), "8-bit");
+    }
+
+    #[test]
+    fn parses_common_spellings() {
+        for (s, p) in [
+            ("2", Precision::Int2),
+            ("4-bit", Precision::Int4),
+            ("INT8", Precision::Int8),
+            (" int2 ", Precision::Int2),
+        ] {
+            assert_eq!(s.parse::<Precision>().unwrap(), p, "{s}");
+        }
+        assert!("3".parse::<Precision>().is_err());
+        assert!("wide".parse::<Precision>().is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based gate-level equivalence: arbitrary operand vectors through
+//! the structural netlists must match the golden dot product.  Netlists are
+//! built once per design (they are pure functions of the vector length).
+
+use std::sync::OnceLock;
+
+use bsc_mac::{golden, MacKind, MacNetlist, Precision};
+use proptest::prelude::*;
+
+const LENGTH: usize = 2;
+
+fn netlist(kind: MacKind) -> &'static MacNetlist {
+    static BSC: OnceLock<MacNetlist> = OnceLock::new();
+    static LPC: OnceLock<MacNetlist> = OnceLock::new();
+    static HPS: OnceLock<MacNetlist> = OnceLock::new();
+    match kind {
+        MacKind::Bsc => BSC.get_or_init(|| bsc_mac::build_netlist(kind, LENGTH)),
+        MacKind::Lpc => LPC.get_or_init(|| bsc_mac::build_netlist(kind, LENGTH)),
+        MacKind::Hps => HPS.get_or_init(|| bsc_mac::build_netlist(kind, LENGTH)),
+    }
+}
+
+fn clamp_into(p: Precision, v: i64) -> i64 {
+    let r = p.value_range();
+    (v - r.start).rem_euclid(r.end - r.start) + r.start
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn netlists_match_golden_for_arbitrary_operands(
+        kind_idx in 0usize..3,
+        mode_idx in 0usize..3,
+        raw in proptest::collection::vec(any::<i64>(), 64),
+    ) {
+        let kind = MacKind::ALL[kind_idx];
+        let p = Precision::ALL[mode_idx];
+        let mac = netlist(kind);
+        let n = mac.macs_per_cycle(p);
+        let w: Vec<i64> = raw.iter().cycle().take(n).map(|&v| clamp_into(p, v)).collect();
+        let a: Vec<i64> = raw.iter().rev().cycle().take(n).map(|&v| clamp_into(p, v ^ 0x55)).collect();
+        prop_assert_eq!(mac.eval_dot(p, &w, &a).unwrap(), golden::dot(&w, &a));
+    }
+
+    #[test]
+    fn sparse_one_hot_operands_isolate_each_field(
+        kind_idx in 0usize..3,
+        mode_idx in 0usize..3,
+        hot in 0usize..64,
+        wv in any::<i64>(),
+        av in any::<i64>(),
+    ) {
+        // Exactly one nonzero (w, a) pair: the dot product must equal that
+        // single product, proving no cross-field leakage anywhere in the
+        // datapath.
+        let kind = MacKind::ALL[kind_idx];
+        let p = Precision::ALL[mode_idx];
+        let mac = netlist(kind);
+        let n = mac.macs_per_cycle(p);
+        let hot = hot % n;
+        let mut w = vec![0i64; n];
+        let mut a = vec![0i64; n];
+        w[hot] = clamp_into(p, wv);
+        a[hot] = clamp_into(p, av);
+        prop_assert_eq!(mac.eval_dot(p, &w, &a).unwrap(), w[hot] * a[hot]);
+    }
+
+    #[test]
+    fn dot_is_linear_in_weights(
+        kind_idx in 0usize..3,
+        raw in proptest::collection::vec(-8i64..8, 32),
+    ) {
+        // dot(w1 + w2, a) == dot(w1, a) + dot(w2, a) when the sum stays in
+        // range — use disjoint supports so it always does.
+        let kind = MacKind::ALL[kind_idx];
+        let p = Precision::Int4;
+        let mac = netlist(kind);
+        let n = mac.macs_per_cycle(p);
+        let a: Vec<i64> = raw.iter().cycle().take(n).cloned().collect();
+        let mut w1 = vec![0i64; n];
+        let mut w2 = vec![0i64; n];
+        for (i, &v) in raw.iter().cycle().take(n).enumerate() {
+            if i % 2 == 0 { w1[i] = v } else { w2[i] = v }
+        }
+        let sum: Vec<i64> = w1.iter().zip(&w2).map(|(&x, &y)| x + y).collect();
+        let d1 = mac.eval_dot(p, &w1, &a).unwrap();
+        let d2 = mac.eval_dot(p, &w2, &a).unwrap();
+        let ds = mac.eval_dot(p, &sum, &a).unwrap();
+        prop_assert_eq!(ds, d1 + d2);
+    }
+}

@@ -1,0 +1,216 @@
+use std::collections::BTreeMap;
+
+use crate::{GateKind, NodeId, Simulator, SIM_LANES};
+
+/// Switching-activity recorder: accumulates *per-net* toggle counts
+/// between successive evaluations of a [`Simulator`].
+///
+/// With the 64-lane packed simulator, each lane is an independent stimulus
+/// stream, so one [`Activity::record`] call after an `eval` observes 64
+/// cycle transitions at once.  Average toggles per cell per cycle — the
+/// quantity PrimeTime PX derives from a SAIF file — is
+/// `toggles / observed_cycles`.
+///
+/// Per-net counts feed the SAIF export ([`crate::saif`]) and hotspot
+/// queries ([`Activity::hottest_nets`]); per-kind aggregates feed the
+/// power model.
+///
+/// # Example
+///
+/// ```
+/// use bsc_netlist::{Activity, Netlist, Simulator};
+///
+/// # fn main() -> Result<(), bsc_netlist::NetlistError> {
+/// let mut n = Netlist::new();
+/// let a = n.input("a");
+/// let y = n.not(a);
+/// n.mark_output(y, "y");
+/// let mut sim = Simulator::new(&n)?;
+/// sim.eval();
+/// let mut act = Activity::new(&sim);
+/// sim.write(a, u64::MAX);
+/// sim.eval();
+/// act.record(&sim);
+/// assert_eq!(act.toggles(bsc_netlist::GateKind::Not), 64);
+/// assert_eq!(act.node_toggles(y), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Activity {
+    prev: Vec<u64>,
+    kinds: Vec<GateKind>,
+    live: Vec<bool>,
+    node_toggles: Vec<u64>,
+    observed_cycles: u64,
+}
+
+impl Activity {
+    /// Starts recording from the simulator's current state (baseline).
+    pub fn new(sim: &Simulator<'_>) -> Self {
+        let netlist = sim.netlist();
+        let kinds = (0..netlist.len())
+            .map(|i| netlist.gate(NodeId(i as u32)).kind())
+            .collect();
+        Activity {
+            prev: sim.values().to_vec(),
+            kinds,
+            live: netlist.live_set(),
+            node_toggles: vec![0; netlist.len()],
+            observed_cycles: 0,
+        }
+    }
+
+    /// Accumulates toggles between the stored snapshot and the simulator's
+    /// current values, then updates the snapshot.
+    pub fn record(&mut self, sim: &Simulator<'_>) {
+        for (i, (&cur, prev)) in sim.values().iter().zip(self.prev.iter_mut()).enumerate() {
+            if !self.live[i] {
+                continue;
+            }
+            let diff = cur ^ *prev;
+            if diff != 0 {
+                self.node_toggles[i] += u64::from(diff.count_ones());
+            }
+            *prev = cur;
+        }
+        self.observed_cycles += SIM_LANES as u64;
+    }
+
+    /// Total toggles recorded for one cell kind.
+    pub fn toggles(&self, kind: GateKind) -> u64 {
+        self.node_toggles
+            .iter()
+            .zip(&self.kinds)
+            .filter(|&(_, &k)| k == kind)
+            .map(|(&t, _)| t)
+            .sum()
+    }
+
+    /// Total toggles recorded on one net.
+    pub fn node_toggles(&self, id: NodeId) -> u64 {
+        self.node_toggles[id.index()]
+    }
+
+    /// Number of cycle transitions observed so far (lanes × record calls).
+    pub fn observed_cycles(&self) -> u64 {
+        self.observed_cycles
+    }
+
+    /// Average toggles per cycle for one cell kind (across all its cells).
+    pub fn toggles_per_cycle(&self, kind: GateKind) -> f64 {
+        if self.observed_cycles == 0 {
+            return 0.0;
+        }
+        self.toggles(kind) as f64 / self.observed_cycles as f64
+    }
+
+    /// Iterates over `(kind, total toggles)` in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
+        let mut by_kind: BTreeMap<GateKind, u64> = BTreeMap::new();
+        for (&t, &k) in self.node_toggles.iter().zip(&self.kinds) {
+            if t > 0 {
+                *by_kind.entry(k).or_insert(0) += t;
+            }
+        }
+        by_kind.into_iter()
+    }
+
+    /// Iterates over live nets with their toggle counts.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.node_toggles
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.live[*i])
+            .map(|(i, &t)| (NodeId(i as u32), t))
+    }
+
+    /// The `k` most active nets, highest toggle count first — the switching
+    /// hotspots a power engineer would chase.
+    pub fn hottest_nets(&self, k: usize) -> Vec<(NodeId, u64)> {
+        let mut nets: Vec<(NodeId, u64)> = self.iter_nodes().collect();
+        nets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        nets.truncate(k);
+        nets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn stable_inputs_produce_no_toggles() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and(a, b);
+        n.mark_output(y, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        sim.eval();
+        act.record(&sim);
+        assert_eq!(act.toggles(GateKind::And), 0);
+    }
+
+    #[test]
+    fn dead_gates_are_not_counted() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let _dead = n.xor(a, b);
+        let y = n.and(a, b);
+        n.mark_output(y, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        sim.write(a, u64::MAX);
+        sim.write(b, u64::MAX);
+        sim.eval();
+        act.record(&sim);
+        assert_eq!(act.toggles(GateKind::Xor), 0);
+        assert_eq!(act.toggles(GateKind::And), 64);
+    }
+
+    #[test]
+    fn toggles_per_cycle_is_normalized() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.not(a);
+        n.mark_output(y, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        // Toggle every lane once over one recorded transition.
+        sim.write(a, u64::MAX);
+        sim.eval();
+        act.record(&sim);
+        assert!((act.toggles_per_cycle(GateKind::Not) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hottest_nets_rank_by_activity() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let busy = n.not(a); // toggles with a
+        let quiet = n.and(a, b); // b stays 0 -> and stays 0
+        let y = n.or(busy, quiet);
+        n.mark_output(y, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write(b, 0);
+        sim.eval();
+        let mut act = Activity::new(&sim);
+        for v in [u64::MAX, 0, u64::MAX, 0] {
+            sim.write(a, v);
+            sim.eval();
+            act.record(&sim);
+        }
+        let hot = act.hottest_nets(2);
+        assert_eq!(act.node_toggles(quiet), 0);
+        assert!(hot.iter().any(|&(id, t)| id == busy && t == 4 * 64));
+        assert!(!hot.iter().any(|&(id, _)| id == quiet));
+    }
+}

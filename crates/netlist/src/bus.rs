@@ -1,0 +1,194 @@
+use crate::{Netlist, NodeId};
+
+/// An ordered, LSB-first collection of nets forming a multi-bit signal.
+///
+/// A `Bus` owns no hardware: it is a view over nodes of a [`Netlist`].
+/// Slicing, concatenation and zero/sign extension are pure wiring and emit
+/// no gates (extension replicates the MSB net, which is free fan-out in
+/// standard-cell terms).
+///
+/// # Example
+///
+/// ```
+/// use bsc_netlist::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let a = n.input_bus("a", 4);
+/// let hi = a.slice(2, 4);
+/// assert_eq!(hi.width(), 2);
+/// let wide = a.sext(&mut n, 8);
+/// assert_eq!(wide.width(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus(Vec<NodeId>);
+
+impl Bus {
+    /// Builds a bus from LSB-first bits.
+    pub fn from_bits(bits: impl IntoIterator<Item = NodeId>) -> Self {
+        Bus(bits.into_iter().collect())
+    }
+
+    /// A bus of `width` constant bits encoding `value` (two's complement for
+    /// negative values).
+    pub fn literal(n: &mut Netlist, value: i64, width: usize) -> Self {
+        Bus::from_bits((0..width).map(|i| n.constant((value >> i) & 1 == 1)))
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the bus has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying nets, LSB first.
+    pub fn bits(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// The `i`-th bit (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NodeId {
+        self.0[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is empty.
+    pub fn msb(&self) -> NodeId {
+        *self.0.last().expect("empty bus has no msb")
+    }
+
+    /// Bits `lo..hi` as a new bus (LSB-first, `hi` exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.width()`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bus {
+        Bus(self.0[lo..hi].to_vec())
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Bus) -> Bus {
+        let mut bits = self.0.clone();
+        bits.extend_from_slice(&high.0);
+        Bus(bits)
+    }
+
+    /// Zero-extends to `width` bits (pure wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    pub fn zext(&self, n: &mut Netlist, width: usize) -> Bus {
+        assert!(width >= self.width(), "zext cannot shrink a bus");
+        let zero = n.constant(false);
+        let mut bits = self.0.clone();
+        bits.resize(width, zero);
+        Bus(bits)
+    }
+
+    /// Sign-extends to `width` bits by replicating the MSB (pure wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()` or the bus is empty.
+    pub fn sext(&self, _n: &mut Netlist, width: usize) -> Bus {
+        assert!(width >= self.width(), "sext cannot shrink a bus");
+        let msb = self.msb();
+        let mut bits = self.0.clone();
+        bits.resize(width, msb);
+        Bus(bits)
+    }
+
+    /// Extends to `width` with a caller-chosen extension net (e.g. a
+    /// *controlled* sign bit such as `signed_flag AND msb`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    pub fn ext_with(&self, ext: NodeId, width: usize) -> Bus {
+        assert!(width >= self.width(), "ext_with cannot shrink a bus");
+        let mut bits = self.0.clone();
+        bits.resize(width, ext);
+        Bus(bits)
+    }
+
+    /// Shifts left by `k` bits, inserting constant zeros (pure wiring).
+    pub fn shl(&self, n: &mut Netlist, k: usize) -> Bus {
+        let zero = n.constant(false);
+        let mut bits = vec![zero; k];
+        bits.extend_from_slice(&self.0);
+        Bus(bits)
+    }
+
+    /// Bitwise NOT of every bit.
+    pub fn not(&self, n: &mut Netlist) -> Bus {
+        Bus(self.0.iter().map(|&b| n.not(b)).collect())
+    }
+
+    /// Bitwise XOR with a single control net (conditional inversion).
+    pub fn xor_bit(&self, n: &mut Netlist, flag: NodeId) -> Bus {
+        Bus(self.0.iter().map(|&b| n.xor(b, flag)).collect())
+    }
+
+    /// Bitwise AND with a single control net (operand isolation / gating).
+    pub fn and_bit(&self, n: &mut Netlist, enable: NodeId) -> Bus {
+        Bus(self.0.iter().map(|&b| n.and(b, enable)).collect())
+    }
+
+    /// Registers every bit through a D flip-flop.
+    pub fn register(&self, n: &mut Netlist, init: bool) -> Bus {
+        Bus(self.0.iter().map(|&b| n.dff(b, init)).collect())
+    }
+}
+
+impl FromIterator<NodeId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Bus(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encodes_twos_complement() {
+        let mut n = Netlist::new();
+        let b = Bus::literal(&mut n, -3, 4); // 1101
+        let vals: Vec<bool> = b
+            .bits()
+            .iter()
+            .map(|&id| matches!(n.gate(id), crate::Gate::Const(true)))
+            .collect();
+        assert_eq!(vals, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 8);
+        let lo = a.slice(0, 4);
+        let hi = a.slice(4, 8);
+        assert_eq!(lo.concat(&hi), a);
+    }
+
+    #[test]
+    fn shl_inserts_zeros() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 2);
+        let s = a.shl(&mut n, 3);
+        assert_eq!(s.width(), 5);
+        assert!(matches!(n.gate(s.bit(0)), crate::Gate::Const(false)));
+        assert_eq!(s.bit(3), a.bit(0));
+    }
+}

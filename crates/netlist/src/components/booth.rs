@@ -1,0 +1,143 @@
+//! Radix-4 (modified) Booth multiplier generator.
+//!
+//! Provided as an alternative to the row-based array multiplier in
+//! [`crate::components::mul`]: Booth recoding halves the partial-product
+//! row count at the cost of digit-recode logic per row.  Synthesis tools
+//! pick Booth for wide multipliers; at the 2–4-bit granularity of
+//! precision-scalable MACs the array form wins — the comparison test below
+//! demonstrates exactly the trade-off that motivates bit-slice designs
+//! like the paper's.
+
+use crate::components::csa::{self, Term};
+use crate::{Bus, Netlist, NodeId};
+
+/// One radix-4 Booth digit's control signals decoded from three multiplier
+/// bits `(b_{2i+1}, b_{2i}, b_{2i-1})`: `neg` (digit is negative), `one`
+/// (|digit| = 1), `two` (|digit| = 2).
+fn booth_controls(
+    n: &mut Netlist,
+    hi: NodeId,
+    mid: NodeId,
+    lo: NodeId,
+) -> (NodeId, NodeId, NodeId) {
+    let neg = hi;
+    let one = n.xor(mid, lo);
+    // two: digit is ±2 -> (hi, mid, lo) = (1,0,0) or (0,1,1).
+    let mid_nor_lo = n.nor(mid, lo);
+    let t1 = n.and(hi, mid_nor_lo);
+    let mid_and_lo = n.and(mid, lo);
+    let nhi = n.not(hi);
+    let t2 = n.and(nhi, mid_and_lo);
+    let two = n.or(t1, t2);
+    (neg, one, two)
+}
+
+/// Signed × signed multiplication via radix-4 Booth recoding of `b`.
+///
+/// Both operands are two's-complement signed; the result is read modulo
+/// `2^width` (use `a.width() + b.width()` for an exact product).
+///
+/// # Panics
+///
+/// Panics if either bus is empty.
+pub fn booth_multiply(n: &mut Netlist, a: &Bus, b: &Bus, width: usize) -> Bus {
+    assert!(!a.is_empty() && !b.is_empty(), "multiplier operands must be non-empty");
+    let zero = n.constant(false);
+    // a and 2a, sign-extended one bit so ±2a is representable.
+    let aw = a.width() + 2;
+    let a_ext = a.sext(n, aw);
+    let a2 = a.shl(n, 1).sext(n, aw);
+
+    let digits = b.width().div_ceil(2);
+    let mut terms = Vec::with_capacity(digits);
+    let mut bits = Vec::with_capacity(digits);
+    for i in 0..digits {
+        let lo = if i == 0 { zero } else { b.bit(2 * i - 1) };
+        let mid = b.bit(2 * i);
+        // Sign-extend b for the top digit of odd widths.
+        let hi = if 2 * i + 1 < b.width() { b.bit(2 * i + 1) } else { b.msb() };
+        let (neg, one, two) = booth_controls(n, hi, mid, lo);
+        // Magnitude row: one ? a : (two ? 2a : 0).
+        let row: Bus = a_ext
+            .bits()
+            .iter()
+            .zip(a2.bits())
+            .map(|(&xa, &x2)| {
+                let pick2 = n.and(two, x2);
+                let pick1 = n.and(one, xa);
+                n.or(pick1, pick2)
+            })
+            .collect();
+        // Conditional negation: invert + carry at the digit's offset.
+        let row = row.xor_bit(n, neg);
+        terms.push(Term::signed(row, 2 * i));
+        bits.push((neg, 2 * i));
+    }
+    csa::sum_terms(n, &terms, &bits, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::mul::{multiply, Signedness};
+    use crate::Simulator;
+
+    fn check_exhaustive(aw: usize, bw: usize) {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", aw);
+        let b = n.input_bus("b", bw);
+        let p = booth_multiply(&mut n, &a, &b, aw + bw);
+        n.mark_output_bus("p", &p);
+        let mut sim = Simulator::new(&n).unwrap();
+        let (am, bm) = (1i64 << (aw - 1), 1i64 << (bw - 1));
+        for x in -am..am {
+            for y in -bm..bm {
+                sim.write_bus_lane(&a, 0, x);
+                sim.write_bus_lane(&b, 0, y);
+                sim.eval();
+                assert_eq!(sim.read_bus_signed_lane(&p, 0), x * y, "{x}*{y} ({aw}x{bw})");
+            }
+        }
+    }
+
+    #[test]
+    fn booth_4x4_exhaustive() {
+        check_exhaustive(4, 4);
+    }
+
+    #[test]
+    fn booth_5x3_odd_width_exhaustive() {
+        check_exhaustive(5, 3);
+    }
+
+    #[test]
+    fn booth_6x6_exhaustive() {
+        check_exhaustive(6, 6);
+    }
+
+    #[test]
+    fn booth_halves_partial_product_rows_but_costs_recode_logic() {
+        // At 8x8, Booth needs fewer adder cells; at 4x4 the array form is
+        // at least as lean — the granularity argument behind bit-slice
+        // precision-scalable MACs.
+        let cells = |booth: bool, w: usize| {
+            let mut n = Netlist::new();
+            let a = n.input_bus("a", w);
+            let b = n.input_bus("b", w);
+            let p = if booth {
+                booth_multiply(&mut n, &a, &b, 2 * w)
+            } else {
+                multiply(&mut n, &a, Signedness::Signed, &b, Signedness::Signed, 2 * w)
+            };
+            n.mark_output_bus("p", &p);
+            n.stats().total_cells()
+        };
+        let (array4, booth4) = (cells(false, 4), cells(true, 4));
+        let (array12, booth12) = (cells(false, 12), cells(true, 12));
+        assert!(
+            booth4 as f64 / array4 as f64 > booth12 as f64 / array12 as f64,
+            "booth's relative cost must shrink with width: \
+             4-bit {booth4}/{array4}, 12-bit {booth12}/{array12}"
+        );
+    }
+}

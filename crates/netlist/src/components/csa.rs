@@ -1,0 +1,259 @@
+//! Carry-save compressor trees (Wallace-style reduction).
+//!
+//! The multi-operand adders at the heart of every vector MAC are generated
+//! here: partial products and cross-element partial sums are reduced with
+//! 3:2 and 2:2 compressors column by column until two rows remain, then a
+//! final ripple-carry adder produces the result.
+
+use crate::components::adder::{full_adder, half_adder};
+use crate::{Bus, Gate, Netlist, NodeId};
+
+/// One addend of a multi-operand sum: a bus placed at a bit offset, with a
+/// signedness flag controlling how it is extended to the result width.
+///
+/// # Example
+///
+/// ```
+/// use bsc_netlist::{Netlist, components::{csa, Term}};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input_bus("a", 4);
+/// let b = n.input_bus("b", 4);
+/// let sum = csa::sum_terms(
+///     &mut n,
+///     &[Term::signed(a, 0), Term::signed(b, 1)],
+///     &[],
+///     8,
+/// );
+/// assert_eq!(sum.width(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// The addend bits, LSB first.
+    pub bus: Bus,
+    /// Left-shift applied before summation (pure wiring).
+    pub shift: usize,
+    /// Whether the bus is sign-extended (`true`) or zero-extended (`false`)
+    /// to the result width.
+    pub signed: bool,
+}
+
+impl Term {
+    /// A sign-extended addend at bit offset `shift`.
+    pub fn signed(bus: Bus, shift: usize) -> Self {
+        Term { bus, shift, signed: true }
+    }
+
+    /// A zero-extended addend at bit offset `shift`.
+    pub fn unsigned(bus: Bus, shift: usize) -> Self {
+        Term { bus, shift, signed: false }
+    }
+}
+
+/// Sums an arbitrary set of [`Term`]s plus loose single bits, producing a
+/// `width`-bit two's-complement result (modulo `2^width`).
+///
+/// `extra_bits` are `(net, position)` pairs — typically the `+1` correction
+/// carries of conditionally negated partial-product rows.
+///
+/// Signed terms use the standard *negative-MSB* encoding instead of naive
+/// sign-extension: for a `W`-bit signed addend, `-b·2^(W-1)` is rewritten as
+/// `(¬b)·2^(W-1) - 2^(W-1)`, so only the inverted MSB enters the tree and
+/// all the `-2^(W-1)` constants are merged into a single correction row.
+/// This is the compression every production multiplier generator performs
+/// and keeps the tree columns as narrow as real hardware's.
+///
+/// The reduction then uses full/half adders column-wise until every column
+/// holds at most two bits, and a ripple-carry adder finishes the sum.
+pub fn sum_terms(
+    n: &mut Netlist,
+    terms: &[Term],
+    extra_bits: &[(NodeId, usize)],
+    width: usize,
+) -> Bus {
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+    // Correction constant accumulated from negative-MSB rewrites, modulo
+    // 2^width (i128 avoids overflow for thousands of terms).
+    let mut correction: i128 = 0;
+    let modulus: i128 = 1i128 << width.min(126);
+    for term in terms {
+        if term.bus.is_empty() {
+            continue;
+        }
+        let w = term.bus.width();
+        for k in 0..w {
+            let col = term.shift + k;
+            if col >= width {
+                break;
+            }
+            if term.signed && k == w - 1 {
+                let inv = n.not(term.bus.bit(k));
+                push_bit(n, &mut columns, col, inv);
+                correction -= 1i128 << col;
+            } else {
+                push_bit(n, &mut columns, col, term.bus.bit(k));
+            }
+        }
+        // A signed MSB at or beyond `width` still affects the result
+        // modulo 2^width only through bits below `width`, all of which were
+        // pushed above; nothing further is needed.
+    }
+    for &(bit, pos) in extra_bits {
+        if pos < width {
+            push_bit(n, &mut columns, pos, bit);
+        }
+    }
+    // Push the merged correction constant as literal one-bits.
+    let corr = correction.rem_euclid(modulus) as u128;
+    for (col, column) in columns.iter_mut().enumerate().take(width) {
+        if (corr >> col) & 1 == 1 {
+            column.push(n.constant(true));
+        }
+    }
+    reduce_columns(n, columns, width)
+}
+
+fn push_bit(n: &mut Netlist, columns: &mut [Vec<NodeId>], col: usize, bit: NodeId) {
+    // Constant zeros contribute nothing; constant ones are kept (they fold
+    // through the adder cells via the netlist's constant propagation).
+    if matches!(n.gate(bit), Gate::Const(false)) {
+        return;
+    }
+    columns[col].push(bit);
+}
+
+fn reduce_columns(n: &mut Netlist, mut columns: Vec<Vec<NodeId>>, width: usize) -> Bus {
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+        for col in 0..width {
+            let bits = std::mem::take(&mut columns[col]);
+            let mut i = 0;
+            while bits.len() - i >= 3 {
+                let (s, c) = full_adder(n, bits[i], bits[i + 1], bits[i + 2]);
+                next[col].push(s);
+                if col + 1 < width {
+                    next[col + 1].push(c);
+                }
+                i += 3;
+            }
+            if bits.len() - i == 2 {
+                let (s, c) = half_adder(n, bits[i], bits[i + 1]);
+                next[col].push(s);
+                if col + 1 < width {
+                    next[col + 1].push(c);
+                }
+                i += 2;
+            }
+            if bits.len() - i == 1 {
+                next[col].push(bits[i]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate add over the (at most) two remaining rows.
+    // Wide sums use a parallel-prefix adder, as synthesis would under a
+    // tight clock constraint; narrow ones stay ripple-carry.
+    let zero = n.constant(false);
+    let row_a = Bus::from_bits(
+        (0..width).map(|c| columns[c].first().copied().unwrap_or(zero)),
+    );
+    let row_b = Bus::from_bits(
+        (0..width).map(|c| columns[c].get(1).copied().unwrap_or(zero)),
+    );
+    if width >= 10 {
+        crate::components::adder::kogge_stone(n, &row_a, &row_b)
+    } else {
+        let (sum, _) = crate::components::adder::ripple_carry(n, &row_a, &row_b, None);
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn sums_many_signed_terms() {
+        let mut n = Netlist::new();
+        let buses: Vec<Bus> = (0..7).map(|i| n.input_bus(&format!("t{i}"), 5)).collect();
+        let terms: Vec<Term> = buses.iter().map(|b| Term::signed(b.clone(), 0)).collect();
+        let sum = sum_terms(&mut n, &terms, &[], 9);
+        n.mark_output_bus("sum", &sum);
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let vals: Vec<i64> = (0..7).map(|_| rng.gen_range(-16..16)).collect();
+            for (b, &v) in buses.iter().zip(&vals) {
+                sim.write_bus_lane(b, 0, v);
+            }
+            sim.eval();
+            assert_eq!(sim.read_bus_signed_lane(&sum, 0), vals.iter().sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn shifted_terms_are_weighted() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 3);
+        let b = n.input_bus("b", 3);
+        let sum = sum_terms(
+            &mut n,
+            &[Term::unsigned(a.clone(), 0), Term::unsigned(b.clone(), 2)],
+            &[],
+            6,
+        );
+        n.mark_output_bus("sum", &sum);
+        let mut sim = Simulator::new(&n).unwrap();
+        for x in 0..8i64 {
+            for y in 0..8i64 {
+                sim.write_bus_lane(&a, 0, x);
+                sim.write_bus_lane(&b, 0, y);
+                sim.eval();
+                assert_eq!(sim.read_bus_unsigned_lane(&sum, 0) as i64, x + 4 * y);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_bits_add_corrections() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 4);
+        let c = n.input("c");
+        let sum = sum_terms(&mut n, &[Term::signed(a.clone(), 0)], &[(c, 1)], 6);
+        n.mark_output_bus("sum", &sum);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, -5);
+        sim.write(c, 1);
+        sim.eval();
+        assert_eq!(sim.read_bus_signed_lane(&sum, 0), -5 + 2);
+    }
+
+    #[test]
+    fn mixed_signed_unsigned_terms() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 4);
+        let b = n.input_bus("b", 4);
+        let sum = sum_terms(
+            &mut n,
+            &[Term::signed(a.clone(), 0), Term::unsigned(b.clone(), 0)],
+            &[],
+            7,
+        );
+        n.mark_output_bus("sum", &sum);
+        let mut sim = Simulator::new(&n).unwrap();
+        for x in -8..8i64 {
+            for y in 0..16i64 {
+                sim.write_bus_lane(&a, 0, x);
+                sim.write_bus_lane(&b, 0, y);
+                sim.eval();
+                assert_eq!(sim.read_bus_signed_lane(&sum, 0), x + y, "{x}+{y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Arithmetic and steering component generators.
+//!
+//! Every function in this module appends gates to a [`crate::Netlist`] and
+//! returns the [`crate::Bus`]es wiring them together.  These are the shared
+//! building blocks from which the BSC, LPC and HPS vector MAC netlists are
+//! constructed, so all three designs pay identical per-component costs and
+//! PPA comparisons between them reflect architecture, not implementation
+//! accidents.
+
+pub mod adder;
+pub mod booth;
+pub mod csa;
+pub mod gating;
+pub mod mul;
+pub mod mux;
+pub mod shift;
+
+pub use csa::Term;
+pub use mul::Signedness;

@@ -1,0 +1,223 @@
+//! Partial-product row generation and array multipliers with *dynamic*
+//! signedness.
+//!
+//! The paper's bit-split units multiply operands whose signedness depends on
+//! the precision mode and on the position of the sub-word inside an 8-bit
+//! operand (Fig. 4: `S_a`/`S_bx` flags, NAND-based row negation, and the
+//! `S_b0 ∩ S_a`-style correction bit that avoids a separate increment).
+//! [`pp_rows`] implements exactly that scheme:
+//!
+//! * the multiplicand is extended by one *controlled sign bit*
+//!   (`S_a AND a_msb`), so the same row hardware handles signed and unsigned
+//!   operands;
+//! * row `j` is the AND of the extended multiplicand with multiplier bit
+//!   `b_j`;
+//! * the MSB row is conditionally inverted (XOR with the `S_b` flag — the
+//!   NAND/NOT/mux structure of Fig. 4 after mapping) and a correction carry
+//!   equal to `S_b` is injected at the row's offset, realizing
+//!   `-X = ~X + 1` without a dedicated incrementer.
+
+use crate::components::csa::{self, Term};
+use crate::{Bus, Netlist, NodeId};
+
+/// Compile-time or run-time signedness of a multiplier operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signedness {
+    /// Operand is always unsigned.
+    Unsigned,
+    /// Operand is always two's-complement signed.
+    Signed,
+    /// Operand signedness is selected at run time by a control net
+    /// (1 = signed), as in the paper's `S_a`/`S_bx` flags.
+    Dynamic(NodeId),
+}
+
+impl Signedness {
+    /// The controlled sign-extension net for an operand with this
+    /// signedness: the bit appended above the MSB.
+    fn extension(self, n: &mut Netlist, msb: NodeId) -> NodeId {
+        match self {
+            Signedness::Unsigned => n.constant(false),
+            Signedness::Signed => msb,
+            Signedness::Dynamic(s) => n.and(s, msb),
+        }
+    }
+
+    /// The row-negation net for the multiplier MSB row.
+    fn negate(self, n: &mut Netlist) -> NodeId {
+        match self {
+            Signedness::Unsigned => n.constant(false),
+            Signedness::Signed => n.constant(true),
+            Signedness::Dynamic(s) => s,
+        }
+    }
+}
+
+/// The partial products of `a × b` as CSA terms plus correction bits.
+///
+/// Row `j` (for multiplier bit `b_j`) has value `±(a_ext · b_j) · 2^j`; the
+/// MSB row carries negative weight when `b` is signed.  Feeding the returned
+/// `(terms, bits)` into [`csa::sum_terms`] yields the exact product.
+///
+/// `shift` offsets every row (used when embedding a sub-multiplier inside a
+/// wider datapath).
+///
+/// # Panics
+///
+/// Panics if either bus is empty.
+pub fn pp_rows(
+    n: &mut Netlist,
+    a: &Bus,
+    sa: Signedness,
+    b: &Bus,
+    sb: Signedness,
+    shift: usize,
+) -> (Vec<Term>, Vec<(NodeId, usize)>) {
+    assert!(!a.is_empty() && !b.is_empty(), "multiplier operands must be non-empty");
+    let ext = sa.extension(n, a.msb());
+    let a_ext = a.ext_with(ext, a.width() + 1);
+    let neg = sb.negate(n);
+
+    let mut terms = Vec::with_capacity(b.width());
+    let mut bits = Vec::new();
+    for j in 0..b.width() {
+        let bj = b.bit(j);
+        let row = a_ext.and_bit(n, bj);
+        if j + 1 == b.width() {
+            // MSB row: conditionally negated (negative digit weight).
+            let row = row.xor_bit(n, neg);
+            terms.push(Term::signed(row, shift + j));
+            bits.push((neg, shift + j));
+        } else {
+            terms.push(Term::signed(row, shift + j));
+        }
+    }
+    (terms, bits)
+}
+
+/// A complete array multiplier: generates rows with [`pp_rows`] and reduces
+/// them with a carry-save tree into a `width`-bit product.
+///
+/// `width` must be large enough for the exact product
+/// (`a.width() + b.width()` suffices for all signedness combinations except
+/// unsigned×unsigned at exactly that width, which also fits because the
+/// result is read modulo `2^width`; use one extra bit if the product feeds a
+/// signed datapath and both operands can be unsigned).
+pub fn multiply(
+    n: &mut Netlist,
+    a: &Bus,
+    sa: Signedness,
+    b: &Bus,
+    sb: Signedness,
+    width: usize,
+) -> Bus {
+    let (terms, bits) = pp_rows(n, a, sa, b, sb, 0);
+    csa::sum_terms(n, &terms, &bits, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    fn check_all(sa_signed: bool, sb_signed: bool) {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 4);
+        let b = n.input_bus("b", 4);
+        let sa = if sa_signed { Signedness::Signed } else { Signedness::Unsigned };
+        let sb = if sb_signed { Signedness::Signed } else { Signedness::Unsigned };
+        let p = multiply(&mut n, &a, sa, &b, sb, 9);
+        n.mark_output_bus("p", &p);
+        let mut sim = Simulator::new(&n).unwrap();
+        let ar = if sa_signed { -8..8i64 } else { 0..16i64 };
+        for x in ar {
+            let br = if sb_signed { -8..8i64 } else { 0..16i64 };
+            for y in br {
+                sim.write_bus_lane(&a, 0, x);
+                sim.write_bus_lane(&b, 0, y);
+                sim.eval();
+                assert_eq!(
+                    sim.read_bus_signed_lane(&p, 0),
+                    x * y,
+                    "{x}*{y} (sa={sa_signed}, sb={sb_signed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_times_signed() {
+        check_all(true, true);
+    }
+
+    #[test]
+    fn signed_times_unsigned() {
+        check_all(true, false);
+    }
+
+    #[test]
+    fn unsigned_times_signed() {
+        check_all(false, true);
+    }
+
+    #[test]
+    fn unsigned_times_unsigned() {
+        check_all(false, false);
+    }
+
+    #[test]
+    fn dynamic_signedness_switches_at_runtime() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 4);
+        let b = n.input_bus("b", 4);
+        let sa = n.input("sa");
+        let sb = n.input("sb");
+        let p = multiply(
+            &mut n,
+            &a,
+            Signedness::Dynamic(sa),
+            &b,
+            Signedness::Dynamic(sb),
+            9,
+        );
+        n.mark_output_bus("p", &p);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (sav, sbv) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            sim.write(sa, if sav == 1 { u64::MAX } else { 0 });
+            sim.write(sb, if sbv == 1 { u64::MAX } else { 0 });
+            for raw_x in 0..16i64 {
+                for raw_y in 0..16i64 {
+                    let x = if sav == 1 && raw_x >= 8 { raw_x - 16 } else { raw_x };
+                    let y = if sbv == 1 && raw_y >= 8 { raw_y - 16 } else { raw_y };
+                    sim.write_bus_lane(&a, 0, raw_x);
+                    sim.write_bus_lane(&b, 0, raw_y);
+                    sim.eval();
+                    assert_eq!(
+                        sim.read_bus_signed_lane(&p, 0),
+                        x * y,
+                        "{x}*{y} (sa={sav}, sb={sbv})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_shift_offsets_rows() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 3);
+        let b = n.input_bus("b", 3);
+        let (terms, bits) = pp_rows(&mut n, &a, Signedness::Signed, &b, Signedness::Signed, 2);
+        let p = crate::components::csa::sum_terms(&mut n, &terms, &bits, 10);
+        n.mark_output_bus("p", &p);
+        let mut sim = Simulator::new(&n).unwrap();
+        for x in -4..4i64 {
+            for y in -4..4i64 {
+                sim.write_bus_lane(&a, 0, x);
+                sim.write_bus_lane(&b, 0, y);
+                sim.eval();
+                assert_eq!(sim.read_bus_signed_lane(&p, 0), 4 * x * y);
+            }
+        }
+    }
+}

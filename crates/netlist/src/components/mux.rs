@@ -1,0 +1,100 @@
+//! Bus multiplexers.
+
+use crate::{Bus, Netlist, NodeId};
+
+/// 2:1 bus multiplexer: `sel == 0` selects `a`, `sel == 1` selects `b`.
+///
+/// Narrower inputs are zero-extended to the wider width.
+pub fn mux_bus(n: &mut Netlist, sel: NodeId, a: &Bus, b: &Bus) -> Bus {
+    let w = a.width().max(b.width());
+    let ax = a.zext(n, w);
+    let bx = b.zext(n, w);
+    ax.bits()
+        .iter()
+        .zip(bx.bits())
+        .map(|(&x, &y)| n.mux(sel, x, y))
+        .collect()
+}
+
+/// 2:1 bus multiplexer with *sign* extension of narrower inputs.
+pub fn mux_bus_signed(n: &mut Netlist, sel: NodeId, a: &Bus, b: &Bus) -> Bus {
+    let w = a.width().max(b.width());
+    let ax = a.sext(n, w);
+    let bx = b.sext(n, w);
+    ax.bits()
+        .iter()
+        .zip(bx.bits())
+        .map(|(&x, &y)| n.mux(sel, x, y))
+        .collect()
+}
+
+/// 3:1 one-hot-free mux over a 2-bit binary select:
+/// `sel = 0 → a`, `1 → b`, `2 or 3 → c`.
+pub fn mux3_bus(n: &mut Netlist, sel: (NodeId, NodeId), a: &Bus, b: &Bus, c: &Bus) -> Bus {
+    let (s0, s1) = sel;
+    let ab = mux_bus(n, s0, a, b);
+    mux_bus(n, s1, &ab, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn mux_bus_selects_correct_operand() {
+        let mut n = Netlist::new();
+        let s = n.input("s");
+        let a = n.input_bus("a", 4);
+        let b = n.input_bus("b", 4);
+        let m = mux_bus(&mut n, s, &a, &b);
+        n.mark_output_bus("m", &m);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, 5);
+        sim.write_bus_lane(&b, 0, 11);
+        sim.write(s, 0);
+        sim.eval();
+        assert_eq!(sim.read_bus_unsigned_lane(&m, 0), 5);
+        sim.write(s, 1);
+        sim.eval();
+        assert_eq!(sim.read_bus_unsigned_lane(&m, 0), 11);
+    }
+
+    #[test]
+    fn mux3_covers_three_ways() {
+        let mut n = Netlist::new();
+        let s0 = n.input("s0");
+        let s1 = n.input("s1");
+        let a = n.input_bus("a", 3);
+        let b = n.input_bus("b", 3);
+        let c = n.input_bus("c", 3);
+        let m = mux3_bus(&mut n, (s0, s1), &a, &b, &c);
+        n.mark_output_bus("m", &m);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, 1);
+        sim.write_bus_lane(&b, 0, 2);
+        sim.write_bus_lane(&c, 0, 3);
+        for (s0v, s1v, want) in [(0, 0, 1), (1, 0, 2), (0, 1, 3), (1, 1, 3)] {
+            sim.write(s0, s0v);
+            sim.write(s1, s1v);
+            sim.eval();
+            assert_eq!(sim.read_bus_unsigned_lane(&m, 0), want);
+        }
+    }
+
+    #[test]
+    fn signed_mux_extends_with_sign() {
+        let mut n = Netlist::new();
+        let s = n.input("s");
+        let a = n.input_bus("a", 3);
+        let b = n.input_bus("b", 5);
+        let m = mux_bus_signed(&mut n, s, &a, &b);
+        n.mark_output_bus("m", &m);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, -2);
+        sim.write_bus_lane(&b, 0, 9);
+        sim.write(s, 0);
+        sim.eval();
+        assert_eq!(sim.read_bus_signed_lane(&m, 0), -2);
+    }
+}

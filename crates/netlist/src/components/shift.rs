@@ -1,0 +1,81 @@
+//! Configurable left shifters.
+//!
+//! Fixed shifts are pure wiring ([`crate::Bus::shl`]); the functions here
+//! generate the *mux-based configurable* shifters whose silicon cost is the
+//! crux of the LPC-vs-BSC comparison: LPC needs them on every partial-sum
+//! path, BSC only between whole bit-split lanes.
+
+use crate::components::mux::{mux_bus_signed, mux3_bus};
+use crate::{Bus, Netlist, NodeId};
+
+/// Selects between two fixed left-shift amounts of a signed bus:
+/// `sel == 0 → value << k0`, `sel == 1 → value << k1`.
+///
+/// Returns a bus of width `bus.width() + max(k0, k1)`.
+pub fn shl_select2(n: &mut Netlist, sel: NodeId, bus: &Bus, k0: usize, k1: usize) -> Bus {
+    let w = bus.width() + k0.max(k1);
+    let a = bus.shl(n, k0).sext(n, w);
+    let b = bus.shl(n, k1).sext(n, w);
+    mux_bus_signed(n, sel, &a, &b)
+}
+
+/// Selects between three fixed left-shift amounts with a 2-bit binary
+/// select: `0 → k0`, `1 → k1`, `2/3 → k2`.
+pub fn shl_select3(
+    n: &mut Netlist,
+    sel: (NodeId, NodeId),
+    bus: &Bus,
+    k0: usize,
+    k1: usize,
+    k2: usize,
+) -> Bus {
+    let w = bus.width() + k0.max(k1).max(k2);
+    let a = bus.shl(n, k0).sext(n, w);
+    let b = bus.shl(n, k1).sext(n, w);
+    let c = bus.shl(n, k2).sext(n, w);
+    mux3_bus(n, sel, &a, &b, &c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn select2_shifts_signed_values() {
+        let mut n = Netlist::new();
+        let s = n.input("s");
+        let a = n.input_bus("a", 4);
+        let out = shl_select2(&mut n, s, &a, 0, 3);
+        n.mark_output_bus("out", &out);
+        assert_eq!(out.width(), 7);
+        let mut sim = Simulator::new(&n).unwrap();
+        for v in -8..8i64 {
+            sim.write_bus_lane(&a, 0, v);
+            sim.write(s, 0);
+            sim.eval();
+            assert_eq!(sim.read_bus_signed_lane(&out, 0), v);
+            sim.write(s, u64::MAX);
+            sim.eval();
+            assert_eq!(sim.read_bus_signed_lane(&out, 0), v * 8);
+        }
+    }
+
+    #[test]
+    fn select3_covers_all_amounts() {
+        let mut n = Netlist::new();
+        let s0 = n.input("s0");
+        let s1 = n.input("s1");
+        let a = n.input_bus("a", 3);
+        let out = shl_select3(&mut n, (s0, s1), &a, 0, 2, 4);
+        n.mark_output_bus("out", &out);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, -3);
+        for (s0v, s1v, factor) in [(0u64, 0u64, 1i64), (u64::MAX, 0, 4), (0, u64::MAX, 16)] {
+            sim.write(s0, s0v);
+            sim.write(s1, s1v);
+            sim.eval();
+            assert_eq!(sim.read_bus_signed_lane(&out, 0), -3 * factor);
+        }
+    }
+}

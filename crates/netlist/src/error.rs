@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a netlist.
+///
+/// # Example
+///
+/// ```
+/// use bsc_netlist::NetlistError;
+///
+/// let err = NetlistError::WidthMismatch { left: 4, right: 8 };
+/// assert!(err.to_string().contains("width"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two buses that must have equal widths did not.
+    WidthMismatch {
+        /// Width of the first operand.
+        left: usize,
+        /// Width of the second operand.
+        right: usize,
+    },
+    /// A bus of zero width was passed where at least one bit is required.
+    EmptyBus,
+    /// The netlist contains a combinational cycle through the given node.
+    CombinationalCycle(crate::NodeId),
+    /// An output name was not found in the netlist.
+    UnknownOutput(String),
+    /// An input name was not found in the netlist.
+    UnknownInput(String),
+    /// A simulation lane index was out of the `0..64` range.
+    LaneOutOfRange(usize),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::WidthMismatch { left, right } => {
+                write!(f, "bus width mismatch: {left} vs {right}")
+            }
+            NetlistError::EmptyBus => write!(f, "bus must contain at least one bit"),
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through node {id}")
+            }
+            NetlistError::UnknownOutput(name) => write!(f, "unknown output `{name}`"),
+            NetlistError::UnknownInput(name) => write!(f, "unknown input `{name}`"),
+            NetlistError::LaneOutOfRange(lane) => {
+                write!(f, "simulation lane {lane} outside 0..64")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,122 @@
+//! Testbench utilities: random stimulus driving and activity
+//! characterization runs.
+//!
+//! These helpers play the role of the paper's VCS testbenches: they drive
+//! randomized operand streams (with the mode pins held at a chosen
+//! configuration) and collect the toggle statistics that the synthesis
+//! crate's power model consumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Activity, Bus, Netlist, NetlistError, NodeId, Simulator};
+
+/// Writes an independent uniformly random word to every bit of `bus`
+/// (all 64 lanes randomized at once).
+pub fn drive_random(sim: &mut Simulator<'_>, bus: &Bus, rng: &mut StdRng) {
+    for &bit in bus.bits() {
+        sim.write(bit, rng.gen());
+    }
+}
+
+/// Holds control nets at constant values across all lanes.
+pub fn hold(sim: &mut Simulator<'_>, pins: &[(NodeId, bool)]) {
+    for &(pin, v) in pins {
+        sim.write(pin, if v { u64::MAX } else { 0 });
+    }
+}
+
+/// Runs a randomized switching-activity characterization.
+///
+/// `held` pins are fixed for the whole run (the precision-mode
+/// configuration); every bus in `random` receives fresh uniform random data
+/// on each of the `steps` evaluations.  Returns the accumulated activity;
+/// average toggles per cycle follow from
+/// [`Activity::toggles_per_cycle`].
+///
+/// # Errors
+///
+/// Returns an error when the netlist contains a combinational cycle.
+pub fn run_random_activity(
+    netlist: &Netlist,
+    held: &[(NodeId, bool)],
+    random: &[&Bus],
+    steps: usize,
+    seed: u64,
+) -> Result<Activity, NetlistError> {
+    let mut sim = Simulator::new(netlist)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    hold(&mut sim, held);
+    for bus in random {
+        drive_random(&mut sim, bus, &mut rng);
+    }
+    sim.eval();
+    let mut act = Activity::new(&sim);
+    for _ in 0..steps {
+        for bus in random {
+            drive_random(&mut sim, bus, &mut rng);
+        }
+        sim.eval();
+        act.record(&sim);
+    }
+    Ok(act)
+}
+
+/// Uniformly random signed value fitting in `bits` bits of two's complement.
+pub fn random_signed(rng: &mut StdRng, bits: u32) -> i64 {
+    let lo = -(1i64 << (bits - 1));
+    let hi = 1i64 << (bits - 1);
+    rng.gen_range(lo..hi)
+}
+
+/// A vector of uniformly random signed values fitting in `bits` bits.
+pub fn random_signed_vec(rng: &mut StdRng, bits: u32, len: usize) -> Vec<i64> {
+    (0..len).map(|_| random_signed(rng, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_signed_respects_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = random_signed(&mut rng, 4);
+            assert!((-8..8).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = random_signed(&mut rng, 2);
+            assert!((-2..2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn activity_run_toggles_logic() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let x: Bus = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&p, &q)| n.xor(p, q))
+            .collect();
+        n.mark_output_bus("x", &x);
+        let act = run_random_activity(&n, &[], &[&a, &b], 16, 42).unwrap();
+        assert!(act.toggles(crate::GateKind::Xor) > 0);
+        assert_eq!(act.observed_cycles(), 16 * 64);
+    }
+
+    #[test]
+    fn held_pins_do_not_toggle() {
+        let mut n = Netlist::new();
+        let mode = n.input("mode");
+        let a = n.input_bus("a", 4);
+        let g = a.and_bit(&mut n, mode);
+        n.mark_output_bus("g", &g);
+        let act = run_random_activity(&n, &[(mode, false)], &[&a], 16, 7).unwrap();
+        // Gated to zero: AND outputs never toggle.
+        assert_eq!(act.toggles(crate::GateKind::And), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based verification of the arithmetic component generators
+//! against wide-integer reference semantics.
+
+use bsc_netlist::components::csa::{self, Term};
+use bsc_netlist::components::mul::{multiply, Signedness};
+use bsc_netlist::components::{adder, shift};
+use bsc_netlist::{Bus, Netlist, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sum_terms_matches_i128_reference(
+        term_specs in proptest::collection::vec(
+            (1usize..6, 0usize..4, any::<bool>(), -1000i64..1000),
+            1..6
+        ),
+    ) {
+        let mut n = Netlist::new();
+        let mut buses = Vec::new();
+        let mut expected: i128 = 0;
+        for &(width, sh, signed, raw) in &term_specs {
+            let bus = n.input_bus(&format!("t{}", buses.len()), width);
+            // Interpret raw within the bus's value range.
+            let value = if signed {
+                let m = 1i64 << (width - 1);
+                ((raw % m) + m) % m - if raw < 0 { m } else { 0 }
+            } else {
+                raw.rem_euclid(1i64 << width)
+            };
+            expected += (value as i128) << sh;
+            buses.push((bus, sh, signed, value));
+        }
+        let width = 16;
+        let terms: Vec<Term> = buses
+            .iter()
+            .map(|(b, sh, signed, _)| Term { bus: b.clone(), shift: *sh, signed: *signed })
+            .collect();
+        let sum = csa::sum_terms(&mut n, &terms, &[], width);
+        n.mark_output_bus("sum", &sum);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (bus, _, _, value) in &buses {
+            sim.write_bus_lane(bus, 0, *value);
+        }
+        sim.eval();
+        let got = sim.read_bus_signed_lane(&sum, 0);
+        let modulus = 1i128 << width;
+        let want = expected.rem_euclid(modulus);
+        let want = if want >= modulus / 2 { want - modulus } else { want };
+        prop_assert_eq!(got as i128, want);
+    }
+
+    #[test]
+    fn multiply_matches_reference_for_all_signedness(
+        aw in 2usize..6,
+        bw in 2usize..6,
+        araw in any::<i64>(),
+        braw in any::<i64>(),
+        sa in any::<bool>(),
+        sb in any::<bool>(),
+    ) {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", aw);
+        let b = n.input_bus("b", bw);
+        let sam = if sa { Signedness::Signed } else { Signedness::Unsigned };
+        let sbm = if sb { Signedness::Signed } else { Signedness::Unsigned };
+        let p = multiply(&mut n, &a, sam, &b, sbm, aw + bw + 1);
+        n.mark_output_bus("p", &p);
+        let av = if sa {
+            let m = 1i64 << (aw - 1);
+            araw.rem_euclid(2 * m) - m
+        } else {
+            araw.rem_euclid(1i64 << aw)
+        };
+        let bv = if sb {
+            let m = 1i64 << (bw - 1);
+            braw.rem_euclid(2 * m) - m
+        } else {
+            braw.rem_euclid(1i64 << bw)
+        };
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, av);
+        sim.write_bus_lane(&b, 0, bv);
+        sim.eval();
+        prop_assert_eq!(sim.read_bus_signed_lane(&p, 0), av * bv);
+    }
+
+    #[test]
+    fn kogge_stone_equals_ripple(
+        w in 2usize..20,
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (x, y) = (x & mask, y & mask);
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", w);
+        let b = n.input_bus("b", w);
+        let ks = adder::kogge_stone(&mut n, &a, &b);
+        let (rc, _) = adder::ripple_carry(&mut n, &a, &b, None);
+        n.mark_output_bus("ks", &ks);
+        n.mark_output_bus("rc", &rc);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, x as i64);
+        sim.write_bus_lane(&b, 0, y as i64);
+        sim.eval();
+        prop_assert_eq!(
+            sim.read_bus_unsigned_lane(&ks, 0),
+            sim.read_bus_unsigned_lane(&rc, 0)
+        );
+        prop_assert_eq!(sim.read_bus_unsigned_lane(&ks, 0), x.wrapping_add(y) & mask);
+    }
+
+    #[test]
+    fn shift_select_weights_values(
+        w in 2usize..6,
+        k0 in 0usize..5,
+        k1 in 0usize..5,
+        raw in any::<i64>(),
+        sel in any::<bool>(),
+    ) {
+        let m = 1i64 << (w - 1);
+        let v = raw.rem_euclid(2 * m) - m;
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", w);
+        let s = n.input("s");
+        let out = shift::shl_select2(&mut n, s, &a, k0, k1);
+        n.mark_output_bus("out", &out);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write_bus_lane(&a, 0, v);
+        sim.write(s, if sel { u64::MAX } else { 0 });
+        sim.eval();
+        let k = if sel { k1 } else { k0 };
+        prop_assert_eq!(sim.read_bus_signed_lane(&out, 0), v << k);
+    }
+
+    #[test]
+    fn constant_folding_preserves_semantics(
+        ops in proptest::collection::vec((0u8..6, any::<bool>(), any::<bool>()), 1..20),
+        a_val in any::<bool>(),
+        b_val in any::<bool>(),
+    ) {
+        // Build a random tree mixing constants and inputs; evaluate both
+        // through the simulator and through direct boolean math.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let mut node = a;
+        let mut model = a_val;
+        for &(op, use_const, cv) in &ops {
+            let (rhs, rhs_val) = if use_const {
+                (n.constant(cv), cv)
+            } else {
+                (b, b_val)
+            };
+            let (nn, nv) = match op {
+                0 => (n.and(node, rhs), model & rhs_val),
+                1 => (n.or(node, rhs), model | rhs_val),
+                2 => (n.xor(node, rhs), model ^ rhs_val),
+                3 => (n.nand(node, rhs), !(model & rhs_val)),
+                4 => (n.nor(node, rhs), !(model | rhs_val)),
+                _ => (n.xnor(node, rhs), !(model ^ rhs_val)),
+            };
+            node = nn;
+            model = nv;
+        }
+        n.mark_output(node, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.write(a, if a_val { u64::MAX } else { 0 });
+        sim.write(b, if b_val { u64::MAX } else { 0 });
+        sim.eval();
+        prop_assert_eq!(sim.read(node) & 1 == 1, model);
+    }
+
+    #[test]
+    fn bus_literal_roundtrips(v in -(1i64 << 20)..(1i64 << 20), w in 21usize..40) {
+        let mut n = Netlist::new();
+        let b = Bus::literal(&mut n, v, w);
+        n.mark_output_bus("b", &b);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval();
+        prop_assert_eq!(sim.read_bus_signed_lane(&b, 0), v);
+    }
+}

@@ -1,0 +1,228 @@
+//! Quantization-accuracy measurement on a synthetic float network —
+//! validation for the NAS search's accuracy proxy.
+//!
+//! The paper's NAS flow trains real networks to pick per-layer bit widths;
+//! our [`crate::nas`] substitute ranks assignments with a sensitivity
+//! proxy.  This module grounds that proxy: a small float MLP with seeded
+//! Gaussian-ish weights is quantized layer by layer under an assignment,
+//! inference runs in exact integer arithmetic (the accelerator's
+//! semantics) with per-layer rescaling, and the output error against the
+//! float reference is measured.  Tests check that measured error grows as
+//! precision falls and that the proxy ranks assignments consistently with
+//! the measurement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quant::Quantizer;
+use crate::{NnError, Precision};
+
+/// A synthetic fully connected float network (ReLU between layers).
+#[derive(Debug, Clone)]
+pub struct SyntheticMlp {
+    /// Per-layer weight matrices, row-major `[fan_out][fan_in]`.
+    weights: Vec<Vec<f64>>,
+    dims: Vec<usize>,
+}
+
+impl SyntheticMlp {
+    /// A network with the given layer dimensions (e.g. `[16, 32, 10]` is a
+    /// 2-layer MLP) and seeded weights in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two dimensions.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = dims
+            .windows(2)
+            .map(|w| (0..w[0] * w[1]).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        SyntheticMlp { weights, dims: dims.to_vec() }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Float (reference) inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != dims[0]`.
+    pub fn infer_float(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.dims[0], "input width mismatch");
+        let mut act = input.to_vec();
+        for (l, w) in self.weights.iter().enumerate() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let mut next = vec![0.0; fan_out];
+            for (o, slot) in next.iter_mut().enumerate() {
+                *slot = (0..fan_in).map(|i| w[o * fan_in + i] * act[i]).sum();
+            }
+            if l + 1 < self.weights.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            act = next;
+        }
+        act
+    }
+
+    /// Quantized inference under a per-layer precision assignment:
+    /// weights and activations are symmetric-quantized per layer, the
+    /// matrix arithmetic runs in exact integers, and the result is
+    /// rescaled back to float.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] for degenerate (all-zero) layers
+    /// and [`NnError::WeightCountMismatch`] when the assignment length
+    /// differs from the layer count.
+    pub fn infer_quantized(
+        &self,
+        input: &[f64],
+        assignment: &[Precision],
+    ) -> Result<Vec<f64>, NnError> {
+        if assignment.len() != self.weights.len() {
+            return Err(NnError::WeightCountMismatch {
+                expected: self.weights.len(),
+                got: assignment.len(),
+            });
+        }
+        let mut act = input.to_vec();
+        for (l, (w, &p)) in self.weights.iter().zip(assignment).enumerate() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let wq = Quantizer::calibrate(w, p)?;
+            let aq = Quantizer::calibrate(&act, p)?;
+            let wi = wq.quantize_all(w);
+            let ai = aq.quantize_all(&act);
+            let mut next = vec![0.0; fan_out];
+            for (o, slot) in next.iter_mut().enumerate() {
+                let acc: i64 = (0..fan_in).map(|i| wi[o * fan_in + i] * ai[i]).sum();
+                // Dequantize the integer accumulator.
+                *slot = acc as f64 * wq.scale() * aq.scale();
+            }
+            if l + 1 < self.weights.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            act = next;
+        }
+        Ok(act)
+    }
+}
+
+/// Mean squared error between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse needs equal lengths");
+    assert!(!a.is_empty(), "mse needs data");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// Average output MSE of an assignment over `trials` random inputs.
+///
+/// # Errors
+///
+/// Propagates quantization errors.
+pub fn assignment_mse(
+    mlp: &SyntheticMlp,
+    assignment: &[Precision],
+    trials: usize,
+    seed: u64,
+) -> Result<f64, NnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let input: Vec<f64> = (0..mlp.dims[0]).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let float = mlp.infer_float(&input);
+        let quant = mlp.infer_quantized(&input, assignment)?;
+        total += mse(&float, &quant);
+    }
+    Ok(total / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp() -> SyntheticMlp {
+        SyntheticMlp::new(&[16, 24, 10], 7)
+    }
+
+    #[test]
+    fn uniform_precision_error_is_monotone_in_bits() {
+        let m = mlp();
+        let e = |p: Precision| {
+            assignment_mse(&m, &vec![p; m.layers()], 20, 1).unwrap()
+        };
+        let (e2, e4, e8) = (e(Precision::Int2), e(Precision::Int4), e(Precision::Int8));
+        assert!(e8 < e4 && e4 < e2, "e2={e2:.4} e4={e4:.4} e8={e8:.4}");
+        // Each 2 extra bits buys at least 4x lower MSE on this smooth net.
+        assert!(e4 / e8 > 4.0);
+    }
+
+    #[test]
+    fn eight_bit_inference_is_nearly_exact() {
+        let m = mlp();
+        let e8 = assignment_mse(&m, &vec![Precision::Int8; m.layers()], 20, 2).unwrap();
+        // Output magnitudes are O(1); 8-bit error should be tiny.
+        assert!(e8 < 1e-1, "{e8}");
+    }
+
+    #[test]
+    fn nas_proxy_ranks_assignments_consistently_with_measurement() {
+        use Precision::{Int2, Int4, Int8};
+        let m = mlp();
+        // Three assignments with clearly ordered aggressiveness.
+        let gentle = vec![Int8, Int8];
+        let medium = vec![Int8, Int4];
+        let harsh = vec![Int2, Int2];
+        let measure = |a: &[Precision]| assignment_mse(&m, a, 30, 3).unwrap();
+        let (mg, mm, mh) = (measure(&gentle), measure(&medium), measure(&harsh));
+        assert!(mg < mm && mm < mh, "measured {mg:.4} {mm:.4} {mh:.4}");
+
+        // The proxy must produce the same ordering.
+        let proxy = |a: &[Precision]| {
+            let layers: Vec<crate::Layer> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    crate::Layer::new(
+                        format!("l{i}"),
+                        crate::LayerKind::Fc { fan_in: 16, fan_out: 24 },
+                        p,
+                    )
+                })
+                .collect();
+            let net = crate::Network {
+                name: "mlp".into(),
+                dataset: "synthetic".into(),
+                layers,
+            };
+            crate::nas::proxy_accuracy_loss(&net)
+        };
+        let (pg, pm, ph) = (proxy(&gentle), proxy(&medium), proxy(&harsh));
+        assert!(pg < pm && pm < ph, "proxy {pg:.3} {pm:.3} {ph:.3}");
+    }
+
+    #[test]
+    fn assignment_length_is_validated() {
+        let m = mlp();
+        let err = m.infer_quantized(&vec![0.5; 16], &[Precision::Int8]);
+        assert!(matches!(err, Err(NnError::WeightCountMismatch { .. })));
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

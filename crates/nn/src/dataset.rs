@@ -1,0 +1,171 @@
+//! Synthetic classification task — the stand-in for MNIST/CIFAR-10 (see
+//! DESIGN.md §2: energy depends on shapes and bit widths, not pixels, but
+//! *accuracy-versus-precision* needs labelled data, which this module
+//! synthesizes).
+//!
+//! Each class is a random prototype pattern; samples are prototypes plus
+//! uniform noise, saturated to the 8-bit activation range.  A
+//! matched-filter classifier (one integer dot product per class — exactly
+//! the accelerator's FC semantics) then gives a measurable accuracy that
+//! degrades gracefully as weight precision falls, mirroring how real
+//! quantized networks behave.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quant::Quantizer;
+use crate::{NnError, Precision, Tensor};
+
+/// A synthetic labelled task: `classes` prototype patterns of shape
+/// `(channels, height, width)`.
+#[derive(Debug, Clone)]
+pub struct SyntheticTask {
+    prototypes: Vec<Tensor>,
+    noise_amplitude: i64,
+    shape: (usize, usize, usize),
+}
+
+impl SyntheticTask {
+    /// Builds a task with seeded prototypes (values span the 8-bit range)
+    /// and the given additive-noise amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero or the shape is degenerate.
+    pub fn new(
+        classes: usize,
+        channels: usize,
+        height: usize,
+        width: usize,
+        noise_amplitude: i64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes > 0, "need at least one class");
+        assert!(channels * height * width > 0, "degenerate sample shape");
+        let prototypes = (0..classes)
+            .map(|c| Tensor::random(channels, height, width, -100..100, seed ^ (c as u64) << 8))
+            .collect();
+        SyntheticTask { prototypes, noise_amplitude, shape: (channels, height, width) }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// The class prototypes.
+    pub fn prototypes(&self) -> &[Tensor] {
+        &self.prototypes
+    }
+
+    /// Draws one `(sample, label)` pair: a prototype plus uniform noise,
+    /// saturated into the signed 8-bit activation range.
+    pub fn sample(&self, rng: &mut StdRng) -> (Tensor, usize) {
+        let label = rng.gen_range(0..self.prototypes.len());
+        let (c, h, w) = self.shape;
+        let proto = &self.prototypes[label];
+        let amp = self.noise_amplitude;
+        let sample = Tensor::from_fn(c, h, w, |ch, y, x| {
+            (proto.get(ch, y, x) + rng.gen_range(-amp..=amp)).clamp(-128, 127)
+        });
+        (sample, label)
+    }
+
+    /// The matched-filter weights at a given precision: each class's
+    /// filter is its prototype, symmetric-quantized into the weight range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] for an all-zero prototype.
+    pub fn quantized_filters(&self, p: Precision) -> Result<Vec<Vec<i64>>, NnError> {
+        self.prototypes
+            .iter()
+            .map(|proto| {
+                let floats: Vec<f64> = proto.as_slice().iter().map(|&v| v as f64).collect();
+                let q = Quantizer::calibrate(&floats, p)?;
+                Ok(q.quantize_all(&floats))
+            })
+            .collect()
+    }
+
+    /// Classifies one sample with integer matched filters: `argmax_c
+    /// Σ_i w_c[i] · x[i]` — the exact computation an FC layer performs on
+    /// the accelerator.
+    pub fn classify(&self, filters: &[Vec<i64>], sample: &Tensor) -> usize {
+        let x = sample.as_slice();
+        let mut best = (0usize, i64::MIN);
+        for (c, w) in filters.iter().enumerate() {
+            let score: i64 = w.iter().zip(x).map(|(&wv, &xv)| wv * xv).sum();
+            if score > best.1 {
+                best = (c, score);
+            }
+        }
+        best.0
+    }
+
+    /// Classification accuracy of the matched filters at precision `p`
+    /// over `trials` random samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn accuracy(&self, p: Precision, trials: usize, seed: u64) -> Result<f64, NnError> {
+        let filters = self.quantized_filters(p)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut correct = 0usize;
+        for _ in 0..trials {
+            let (sample, label) = self.sample(&mut rng);
+            if self.classify(&filters, &sample) == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / trials as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> SyntheticTask {
+        SyntheticTask::new(10, 1, 8, 8, 60, 42)
+    }
+
+    #[test]
+    fn eight_bit_filters_classify_nearly_perfectly() {
+        let acc = task().accuracy(Precision::Int8, 200, 1).unwrap();
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_precision() {
+        let t = SyntheticTask::new(10, 1, 6, 6, 90, 7);
+        let a2 = t.accuracy(Precision::Int2, 300, 2).unwrap();
+        let a4 = t.accuracy(Precision::Int4, 300, 2).unwrap();
+        let a8 = t.accuracy(Precision::Int8, 300, 2).unwrap();
+        assert!(a8 >= a4 && a4 >= a2, "a2={a2} a4={a4} a8={a8}");
+        // Even 2-bit matched filters beat chance by a wide margin.
+        assert!(a2 > 0.5, "{a2}");
+    }
+
+    #[test]
+    fn samples_stay_in_activation_range() {
+        let t = task();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let (s, label) = t.sample(&mut rng);
+            assert!(label < 10);
+            assert!(s.as_slice().iter().all(|&v| (-128..128).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn filters_fit_the_weight_range() {
+        let t = task();
+        for p in Precision::ALL {
+            for f in t.quantized_filters(p).unwrap() {
+                assert!(f.iter().all(|&v| p.contains(v)), "{p}");
+            }
+        }
+    }
+}

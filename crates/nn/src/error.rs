@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from tensor operators and quantization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shape does not match what the operator requires.
+    ShapeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The offending shape, as `(channels, height, width)`.
+        got: (usize, usize, usize),
+    },
+    /// Weight tensor element count does not match the layer shape.
+    WeightCountMismatch {
+        /// Elements the layer needs.
+        expected: usize,
+        /// Elements supplied.
+        got: usize,
+    },
+    /// A quantization scale was zero or non-finite.
+    InvalidScale(f64),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got:?}")
+            }
+            NnError::WeightCountMismatch { expected, got } => {
+                write!(f, "weight count mismatch: expected {expected}, got {got}")
+            }
+            NnError::InvalidScale(s) => write!(f, "invalid quantization scale {s}"),
+        }
+    }
+}
+
+impl Error for NnError {}

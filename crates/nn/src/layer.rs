@@ -1,0 +1,234 @@
+//! Layer and network descriptors for the multi-precision benchmarks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Precision;
+
+/// The compute shape of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// A 2-D convolution over a `(in_c, in_h, in_w)` feature map.
+    Conv {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Input feature-map width.
+        in_w: usize,
+        /// Input feature-map height.
+        in_h: usize,
+    },
+    /// A fully connected layer.
+    Fc {
+        /// Fan-in (flattened input features).
+        fan_in: usize,
+        /// Fan-out (output features).
+        fan_out: usize,
+    },
+}
+
+impl LayerKind {
+    /// Number of weights.
+    pub fn weight_count(&self) -> u64 {
+        match *self {
+            LayerKind::Conv { in_c, out_c, kernel, .. } => {
+                (in_c * out_c * kernel * kernel) as u64
+            }
+            LayerKind::Fc { fan_in, fan_out } => (fan_in * fan_out) as u64,
+        }
+    }
+
+    /// Output spatial width (1 for FC).
+    pub fn out_w(&self) -> usize {
+        match *self {
+            LayerKind::Conv { kernel, stride, padding, in_w, .. } => {
+                (in_w + 2 * padding - kernel) / stride + 1
+            }
+            LayerKind::Fc { .. } => 1,
+        }
+    }
+
+    /// Output spatial height (1 for FC).
+    pub fn out_h(&self) -> usize {
+        match *self {
+            LayerKind::Conv { kernel, stride, padding, in_h, .. } => {
+                (in_h + 2 * padding - kernel) / stride + 1
+            }
+            LayerKind::Fc { .. } => 1,
+        }
+    }
+
+    /// Exact MAC count (per input image).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerKind::Conv { in_c, out_c, kernel, .. } => {
+                (out_c * kernel * kernel * in_c) as u64 * (self.out_w() * self.out_h()) as u64
+            }
+            LayerKind::Fc { fan_in, fan_out } => (fan_in * fan_out) as u64,
+        }
+    }
+}
+
+/// One layer of a multi-precision network: a shape plus the weight
+/// precision the NAS flow assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name (e.g. `conv3_2`).
+    pub name: String,
+    /// Compute shape.
+    pub kind: LayerKind,
+    /// Weight (and activation) precision of this layer.
+    pub precision: Precision,
+}
+
+impl Layer {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: LayerKind, precision: Precision) -> Self {
+        Layer { name: name.into(), kind, precision }
+    }
+
+    /// Number of weights.
+    pub fn weight_count(&self) -> u64 {
+        self.kind.weight_count()
+    }
+
+    /// Exact MAC count.
+    pub fn macs(&self) -> u64 {
+        self.kind.macs()
+    }
+
+    /// Weight storage in bits at this layer's precision.
+    pub fn weight_bits(&self) -> u64 {
+        self.weight_count() * u64::from(self.precision.bits())
+    }
+}
+
+/// A named multi-precision network (one Table-I row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Model name (e.g. `VGG-16`).
+    pub name: String,
+    /// Evaluation dataset named by the paper.
+    pub dataset: String,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Total weight count.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Model size in megabytes at one byte per weight (the convention the
+    /// paper's Table I uses for its *Model Weights* column).
+    pub fn model_mbytes(&self) -> f64 {
+        self.total_weights() as f64 / 1.0e6
+    }
+
+    /// Weight-count distribution over precisions.
+    pub fn precision_distribution(&self) -> PrecisionDistribution {
+        let mut weights = BTreeMap::new();
+        for layer in &self.layers {
+            *weights.entry(layer.precision).or_insert(0u64) += layer.weight_count();
+        }
+        PrecisionDistribution { weights, total: self.total_weights() }
+    }
+
+    /// MAC-count distribution over precisions (drives Fig. 9).
+    pub fn mac_distribution(&self) -> PrecisionDistribution {
+        let mut weights = BTreeMap::new();
+        for layer in &self.layers {
+            *weights.entry(layer.precision).or_insert(0u64) += layer.macs();
+        }
+        PrecisionDistribution { weights, total: self.total_macs() }
+    }
+}
+
+/// A share of weights (or MACs) per precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionDistribution {
+    weights: BTreeMap<Precision, u64>,
+    total: u64,
+}
+
+impl PrecisionDistribution {
+    /// Absolute count at one precision.
+    pub fn count(&self, p: Precision) -> u64 {
+        self.weights.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Fraction (0..1) at one precision.
+    pub fn fraction(&self, p: Precision) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(p) as f64 / self.total as f64
+        }
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl fmt::Display for PrecisionDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "8b {:.1}% / 4b {:.1}% / 2b {:.1}%",
+            100.0 * self.fraction(Precision::Int8),
+            100.0 * self.fraction(Precision::Int4),
+            100.0 * self.fraction(Precision::Int2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_and_weights() {
+        let k = LayerKind::Conv { in_c: 3, out_c: 8, kernel: 3, stride: 1, padding: 1, in_w: 8, in_h: 8 };
+        assert_eq!(k.weight_count(), 3 * 8 * 9);
+        assert_eq!(k.out_w(), 8);
+        assert_eq!(k.macs(), 8 * 9 * 3 * 64);
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let net = Network {
+            name: "toy".into(),
+            dataset: "synthetic".into(),
+            layers: vec![
+                Layer::new("a", LayerKind::Fc { fan_in: 10, fan_out: 10 }, Precision::Int8),
+                Layer::new("b", LayerKind::Fc { fan_in: 10, fan_out: 30 }, Precision::Int4),
+            ],
+        };
+        let d = net.precision_distribution();
+        assert!((d.fraction(Precision::Int8) - 0.25).abs() < 1e-12);
+        assert!((d.fraction(Precision::Int4) - 0.75).abs() < 1e-12);
+        assert_eq!(d.fraction(Precision::Int2), 0.0);
+    }
+
+    #[test]
+    fn fc_stride_fields_are_trivial() {
+        let k = LayerKind::Fc { fan_in: 128, fan_out: 10 };
+        assert_eq!((k.out_w(), k.out_h()), (1, 1));
+        assert_eq!(k.macs(), 1280);
+    }
+}

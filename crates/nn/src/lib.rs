@@ -1,0 +1,48 @@
+//! Multi-precision CNN workloads for the BSC accelerator reproduction.
+//!
+//! This crate is the substrate standing in for the paper's NAS training
+//! flow and benchmark datasets (Table I):
+//!
+//! * [`tensor`] / [`ops`] — integer tensors and *golden* reference
+//!   operators (convolution, fully connected, pooling, ReLU) used to verify
+//!   the systolic computation path end to end;
+//! * [`quant`] — symmetric quantization to the 2/4/8-bit operand ranges;
+//! * [`layer`] / [`models`] — layer tables for the Table-I benchmarks
+//!   (VGG-16, LeNet-5, ResNet-18 and the NAS-based mixed-precision VGG)
+//!   with per-layer weight precisions whose proportions reproduce the
+//!   paper's table;
+//! * [`nas`] — a hardware-aware precision search (hill climbing over
+//!   per-layer bit widths against an accuracy-sensitivity proxy and a
+//!   pluggable hardware cost) standing in for NAS training, which needs
+//!   GPUs and datasets we do not have;
+//! * [`report`] — regenerates Table I from the models.
+//!
+//! # Example
+//!
+//! ```
+//! use bsc_nn::models;
+//!
+//! let vgg = models::vgg16();
+//! let dist = vgg.precision_distribution();
+//! // Table I: 10.2% 8-bit, 89.8% 4-bit.
+//! assert!((dist.fraction(bsc_nn::Precision::Int4) - 0.898).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod dataset;
+mod error;
+pub mod layer;
+pub mod models;
+pub mod nas;
+pub mod ops;
+pub mod quant;
+pub mod report;
+pub mod tensor;
+
+pub use bsc_mac::Precision;
+pub use error::NnError;
+pub use layer::{Layer, LayerKind, Network, PrecisionDistribution};
+pub use tensor::Tensor;

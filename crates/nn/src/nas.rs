@@ -1,0 +1,290 @@
+//! Hardware-aware precision search — the stand-in for NAS training.
+//!
+//! The paper's Fig. 1 flow trains candidate networks with NAS and selects
+//! per-layer bit widths.  Training needs datasets and GPUs, so this module
+//! reproduces the *decision problem* instead: starting from an all-8-bit
+//! assignment, a seeded hill-climbing search mutates per-layer precisions
+//! to minimize a hardware cost (supplied by the caller, typically the
+//! accelerator energy model) subject to a proxy accuracy budget.
+//!
+//! The accuracy proxy charges each layer a quantization penalty scaled by
+//! a sensitivity factor; first/last layers and parameter-poor layers are
+//! more sensitive, matching the empirical behaviour HAQ-style searches
+//! recover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Layer, Network, Precision};
+
+/// Configuration of the precision search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Maximum tolerated proxy accuracy loss (in points, e.g. 1.0).
+    pub accuracy_budget: f64,
+    /// Hill-climbing iterations.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { accuracy_budget: 1.0, iterations: 4000, seed: 42 }
+    }
+}
+
+/// Result of a search: the mutated network plus its proxy metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The network with the selected per-layer precisions.
+    pub network: Network,
+    /// Proxy accuracy loss of the final assignment.
+    pub accuracy_loss: f64,
+    /// Hardware cost of the final assignment (units of the cost function).
+    pub cost: f64,
+    /// Number of accepted mutations.
+    pub accepted: usize,
+}
+
+/// Per-layer quantization penalty of one precision choice, before
+/// sensitivity scaling.
+fn quant_penalty(p: Precision) -> f64 {
+    match p {
+        Precision::Int8 => 0.0,
+        Precision::Int4 => 0.08,
+        Precision::Int2 => 0.55,
+    }
+}
+
+/// Sensitivity of one layer: first and last layers and parameter-poor
+/// layers hurt more when quantized.
+pub fn layer_sensitivity(index: usize, count: usize, layer: &Layer) -> f64 {
+    let positional = if index == 0 || index + 1 == count { 4.0 } else { 1.0 };
+    // Small layers have little redundancy to absorb quantization noise.
+    let size_factor = 1.0 + 1.0e5 / (layer.weight_count() as f64 + 1.0e4);
+    positional * size_factor
+}
+
+/// Proxy accuracy loss of a full assignment.
+pub fn proxy_accuracy_loss(net: &Network) -> f64 {
+    let n = net.layers.len();
+    net.layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_sensitivity(i, n, l) * quant_penalty(l.precision))
+        .sum()
+}
+
+/// Runs the hardware-aware precision search.
+///
+/// `cost` maps a layer (with its candidate precision already set) to a
+/// hardware cost; the search minimizes the summed cost subject to
+/// `config.accuracy_budget`.
+///
+/// Two phases: a greedy knapsack pass over layers in descending cost order
+/// (quantize the most expensive layers first while the budget allows),
+/// followed by stochastic local search with both single-layer moves and
+/// paired swap moves (lower one layer's precision while raising another's)
+/// so early greedy choices can be unwound.
+pub fn search(
+    base: &Network,
+    config: &SearchConfig,
+    mut cost: impl FnMut(&Layer) -> f64,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut net = base.clone();
+    // Start from all-8-bit (the most accurate, most expensive point).
+    for l in &mut net.layers {
+        l.precision = Precision::Int8;
+    }
+    let mut total_cost = {
+        let mut f = move |net: &Network| -> f64 { net.layers.iter().map(&mut cost).sum() };
+        move |net: &Network| f(net)
+    };
+
+    // Phase 1: greedy knapsack in descending 8-bit cost order.
+    let mut order: Vec<usize> = (0..net.layers.len()).collect();
+    let base_costs: Vec<f64> = {
+        let mut v = Vec::with_capacity(net.layers.len());
+        for i in 0..net.layers.len() {
+            let mut probe = net.clone();
+            probe.layers.truncate(0);
+            probe.layers.push(net.layers[i].clone());
+            v.push(total_cost(&probe));
+        }
+        v
+    };
+    order.sort_by(|&a, &b| base_costs[b].total_cmp(&base_costs[a]));
+    let mut accepted = 0;
+    for &idx in &order {
+        for candidate in [Precision::Int2, Precision::Int4] {
+            let old = net.layers[idx].precision;
+            net.layers[idx].precision = candidate;
+            if proxy_accuracy_loss(&net) <= config.accuracy_budget {
+                accepted += 1;
+                break;
+            }
+            net.layers[idx].precision = old;
+        }
+    }
+
+    let mut cur_cost = total_cost(&net);
+    let mut cur_loss = proxy_accuracy_loss(&net);
+
+    // Phase 2: stochastic local search with single and paired moves.
+    let precisions = [Precision::Int2, Precision::Int4, Precision::Int8];
+    for step in 0..config.iterations {
+        let n = net.layers.len();
+        let saved: Vec<Precision> = net.layers.iter().map(|l| l.precision).collect();
+        if step % 3 == 0 && n > 1 {
+            // Paired move: lower one layer, raise another.
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            net.layers[i].precision = precisions[rng.gen_range(0..3)];
+            net.layers[j].precision = precisions[rng.gen_range(0..3)];
+        } else {
+            let i = rng.gen_range(0..n);
+            net.layers[i].precision = precisions[rng.gen_range(0..3)];
+        }
+        let loss = proxy_accuracy_loss(&net);
+        let c = total_cost(&net);
+        let improves = (loss <= config.accuracy_budget && c < cur_cost)
+            || (cur_loss > config.accuracy_budget && loss < cur_loss);
+        if improves {
+            cur_cost = c;
+            cur_loss = loss;
+            accepted += 1;
+        } else {
+            for (l, p) in net.layers.iter_mut().zip(&saved) {
+                l.precision = *p;
+            }
+        }
+    }
+
+    SearchResult { network: net, accuracy_loss: cur_loss, cost: cur_cost, accepted }
+}
+
+/// A simple model-size cost (bits of weight storage) for examples/tests.
+pub fn weight_bits_cost(layer: &Layer) -> f64 {
+    layer.weight_bits() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn search_reduces_cost_within_budget() {
+        let base = models::vgg16();
+        let all8: f64 = {
+            let mut n = base.clone();
+            for l in &mut n.layers {
+                l.precision = Precision::Int8;
+            }
+            n.layers.iter().map(weight_bits_cost).sum()
+        };
+        let result = search(&base, &SearchConfig::default(), weight_bits_cost);
+        assert!(result.cost < 0.7 * all8, "cost {} vs all-8 {all8}", result.cost);
+        assert!(result.accuracy_loss <= SearchConfig::default().accuracy_budget + 1e-9);
+        assert!(result.accepted > 0);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let base = models::lenet5();
+        let a = search(&base, &SearchConfig::default(), weight_bits_cost);
+        let b = search(&base, &SearchConfig::default(), weight_bits_cost);
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn tighter_budget_keeps_more_precision() {
+        let base = models::resnet18();
+        let tight = search(
+            &base,
+            &SearchConfig { accuracy_budget: 0.2, ..Default::default() },
+            weight_bits_cost,
+        );
+        let loose = search(
+            &base,
+            &SearchConfig { accuracy_budget: 5.0, ..Default::default() },
+            weight_bits_cost,
+        );
+        assert!(loose.cost <= tight.cost);
+        let low_bits = |n: &Network| {
+            n.layers.iter().filter(|l| l.precision == Precision::Int2).count()
+        };
+        assert!(low_bits(&loose.network) >= low_bits(&tight.network));
+    }
+
+    #[test]
+    fn sensitive_layers_resist_quantization() {
+        let base = models::vgg16();
+        let result = search(&base, &SearchConfig::default(), weight_bits_cost);
+        // The first layer is 4x as sensitive; it should rarely land at 2-bit.
+        assert_ne!(result.network.layers[0].precision, Precision::Int2);
+    }
+
+    #[test]
+    fn proxy_loss_is_zero_for_all_8bit() {
+        let mut n = models::lenet5();
+        for l in &mut n.layers {
+            l.precision = Precision::Int8;
+        }
+        assert_eq!(proxy_accuracy_loss(&n), 0.0);
+    }
+}
+
+/// Summarizes several NAS runs into one averaged precision distribution —
+/// Table I's note says the "NAS-Based" row "summarized several VGG-16
+/// models trained by NAS"; this is that aggregation.
+///
+/// Runs [`search`] once per seed and returns the per-precision weight
+/// fractions averaged over the resulting networks, together with the
+/// individual results.
+pub fn ensemble_summary(
+    base: &Network,
+    seeds: &[u64],
+    config: &SearchConfig,
+    mut cost: impl FnMut(&Layer) -> f64,
+) -> (Vec<(Precision, f64)>, Vec<SearchResult>) {
+    let mut results = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let cfg = SearchConfig { seed, ..config.clone() };
+        results.push(search(base, &cfg, &mut cost));
+    }
+    let mut fractions = Vec::new();
+    for p in [Precision::Int8, Precision::Int4, Precision::Int2] {
+        let avg = results
+            .iter()
+            .map(|r| r.network.precision_distribution().fraction(p))
+            .sum::<f64>()
+            / results.len().max(1) as f64;
+        fractions.push((p, avg));
+    }
+    (fractions, results)
+}
+
+#[cfg(test)]
+mod ensemble_tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn ensemble_averages_distributions() {
+        let base = models::lenet5();
+        let seeds = [1, 2, 3];
+        let cfg = SearchConfig { iterations: 500, ..Default::default() };
+        let (fractions, results) = ensemble_summary(&base, &seeds, &cfg, weight_bits_cost);
+        assert_eq!(results.len(), 3);
+        let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {total}");
+        // Different seeds may yield different assignments, but each must
+        // respect the budget.
+        for r in &results {
+            assert!(r.accuracy_loss <= cfg.accuracy_budget + 1e-9);
+        }
+    }
+}

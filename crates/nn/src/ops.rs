@@ -1,0 +1,382 @@
+//! Golden (reference) integer operators.
+//!
+//! These are the semantics the accelerator must reproduce; the integration
+//! tests drive the same layers through the systolic matrix engine (via
+//! [`im2col`]) and compare exactly.
+
+use crate::{NnError, Tensor};
+
+/// Weights of one convolution layer: `(out_c, in_c, kh, kw)` flattened
+/// row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvWeights {
+    /// Output channels.
+    pub out_c: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Flattened weight values.
+    pub data: Vec<i64>,
+}
+
+impl ConvWeights {
+    /// Builds weights by evaluating `f(out_c, in_c, ky, kx)`.
+    pub fn from_fn(
+        out_c: usize,
+        in_c: usize,
+        kh: usize,
+        kw: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> i64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(out_c * in_c * kh * kw);
+        for o in 0..out_c {
+            for i in 0..in_c {
+                for y in 0..kh {
+                    for x in 0..kw {
+                        data.push(f(o, i, y, x));
+                    }
+                }
+            }
+        }
+        ConvWeights { out_c, in_c, kh, kw, data }
+    }
+
+    /// Weight value at `(out_c, in_c, ky, kx)`.
+    pub fn get(&self, o: usize, i: usize, ky: usize, kx: usize) -> i64 {
+        self.data[((o * self.in_c + i) * self.kh + ky) * self.kw + kx]
+    }
+}
+
+/// Exact integer 2-D convolution with zero padding.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when the input channel count differs
+/// from the weights', or [`NnError::WeightCountMismatch`] for malformed
+/// weights.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &ConvWeights,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, NnError> {
+    if input.channels() != weights.in_c {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} input channels", weights.in_c),
+            got: input.shape(),
+        });
+    }
+    let expected = weights.out_c * weights.in_c * weights.kh * weights.kw;
+    if weights.data.len() != expected {
+        return Err(NnError::WeightCountMismatch { expected, got: weights.data.len() });
+    }
+    let out_h = (input.height() + 2 * padding - weights.kh) / stride + 1;
+    let out_w = (input.width() + 2 * padding - weights.kw) / stride + 1;
+    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    for o in 0..weights.out_c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = 0i64;
+                for i in 0..weights.in_c {
+                    for ky in 0..weights.kh {
+                        for kx in 0..weights.kw {
+                            let y = (oy * stride + ky) as isize - padding as isize;
+                            let x = (ox * stride + kx) as isize - padding as isize;
+                            acc += weights.get(o, i, ky, kx) * input.get_padded(i, y, x);
+                        }
+                    }
+                }
+                out.set(o, oy, ox, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Exact fully connected layer: `out[o] = Σ_i w[o][i] · x[i]` over the
+/// flattened input.
+///
+/// # Errors
+///
+/// Returns [`NnError::WeightCountMismatch`] when `weights.len() != out_features × input.len()`.
+pub fn fully_connected(
+    input: &Tensor,
+    weights: &[i64],
+    out_features: usize,
+) -> Result<Tensor, NnError> {
+    let fan_in = input.len();
+    if weights.len() != out_features * fan_in {
+        return Err(NnError::WeightCountMismatch {
+            expected: out_features * fan_in,
+            got: weights.len(),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(out_features, 1, 1);
+    for o in 0..out_features {
+        let row = &weights[o * fan_in..(o + 1) * fan_in];
+        let acc: i64 = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
+        out.set(o, 0, 0, acc);
+    }
+    Ok(out)
+}
+
+/// Element-wise addition (the residual connection of ResNet blocks).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, NnError> {
+    if a.shape() != b.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{:?}", a.shape()),
+            got: b.shape(),
+        });
+    }
+    let (c, h, w) = a.shape();
+    Ok(Tensor::from_fn(c, h, w, |ch, y, x| a.get(ch, y, x) + b.get(ch, y, x)))
+}
+
+/// ReLU activation.
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    out.map_inplace(|v| v.max(0));
+    out
+}
+
+/// 2×2 max pooling with stride 2 (truncating odd borders).
+pub fn maxpool2(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    let (oh, ow) = (h / 2, w / 2);
+    Tensor::from_fn(c, oh, ow, |ch, y, x| {
+        let mut m = i64::MIN;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                m = m.max(input.get(ch, 2 * y + dy, 2 * x + dx));
+            }
+        }
+        m
+    })
+}
+
+/// 2×2 average pooling with stride 2 (integer division, truncating odd
+/// borders).
+pub fn avgpool2(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    Tensor::from_fn(c, h / 2, w / 2, |ch, y, x| {
+        let mut s = 0i64;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                s += input.get(ch, 2 * y + dy, 2 * x + dx);
+            }
+        }
+        s / 4
+    })
+}
+
+/// Flattens a tensor into a `(len, 1, 1)` feature vector (channel-major,
+/// the layout [`fully_connected`] consumes).
+pub fn flatten(input: &Tensor) -> Tensor {
+    let data = input.as_slice();
+    Tensor::from_fn(data.len(), 1, 1, |i, _, _| data[i])
+}
+
+/// Concatenates two tensors along the channel axis (the join of a split
+/// layer such as LeNet-5's `fc1a`/`fc1b` groups).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when spatial shapes differ.
+pub fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor, NnError> {
+    let (ca, ha, wa) = a.shape();
+    let (cb, hb, wb) = b.shape();
+    if (ha, wa) != (hb, wb) {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("spatial {ha}x{wa}"),
+            got: b.shape(),
+        });
+    }
+    Ok(Tensor::from_fn(ca + cb, ha, wa, |c, y, x| {
+        if c < ca {
+            a.get(c, y, x)
+        } else {
+            b.get(c - ca, y, x)
+        }
+    }))
+}
+
+/// Global average pooling (integer division, rounding toward zero).
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    let n = (h * w) as i64;
+    Tensor::from_fn(c, 1, 1, |ch, _, _| {
+        let mut s = 0i64;
+        for y in 0..h {
+            for x in 0..w {
+                s += input.get(ch, y, x);
+            }
+        }
+        s / n
+    })
+}
+
+/// Lowers a convolution into the matrix form the systolic array consumes
+/// (Fig. 6): returns `(features, weights)` where `features[m][k]` is the
+/// input patch for output pixel `m` (row-major over `oy, ox`, `W` before
+/// `H`), `weights[n][k]` the kernel of output channel `n`, and
+/// `k` runs over `(in_c, ky, kx)`.
+///
+/// The matrix product `out[m][n] = Σ_k features[m][k] · weights[n][k]`
+/// equals [`conv2d`] exactly.
+pub fn im2col(
+    input: &Tensor,
+    weights: &ConvWeights,
+    stride: usize,
+    padding: usize,
+) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let out_h = (input.height() + 2 * padding - weights.kh) / stride + 1;
+    let out_w = (input.width() + 2 * padding - weights.kw) / stride + 1;
+    let k = weights.in_c * weights.kh * weights.kw;
+    let mut features = Vec::with_capacity(out_h * out_w);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let mut row = Vec::with_capacity(k);
+            for i in 0..weights.in_c {
+                for ky in 0..weights.kh {
+                    for kx in 0..weights.kw {
+                        let y = (oy * stride + ky) as isize - padding as isize;
+                        let x = (ox * stride + kx) as isize - padding as isize;
+                        row.push(input.get_padded(i, y, x));
+                    }
+                }
+            }
+            features.push(row);
+        }
+    }
+    let mut wmat = Vec::with_capacity(weights.out_c);
+    for o in 0..weights.out_c {
+        let mut row = Vec::with_capacity(k);
+        for i in 0..weights.in_c {
+            for ky in 0..weights.kh {
+                for kx in 0..weights.kw {
+                    row.push(weights.get(o, i, ky, kx));
+                }
+            }
+        }
+        wmat.push(row);
+    }
+    (features, wmat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let input = Tensor::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as i64);
+        let w = ConvWeights::from_fn(1, 1, 1, 1, |_, _, _, _| 1);
+        let out = conv2d(&input, &w, 1, 0).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_3x3_sum_kernel_with_padding() {
+        let input = Tensor::from_fn(1, 3, 3, |_, _, _| 1);
+        let w = ConvWeights::from_fn(1, 1, 3, 3, |_, _, _, _| 1);
+        let out = conv2d(&input, &w, 1, 1).unwrap();
+        assert_eq!(out.shape(), (1, 3, 3));
+        assert_eq!(out.get(0, 1, 1), 9); // centre sees the full window
+        assert_eq!(out.get(0, 0, 0), 4); // corner sees a 2×2 window
+    }
+
+    #[test]
+    fn conv2d_stride_downsamples() {
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as i64);
+        let w = ConvWeights::from_fn(1, 1, 1, 1, |_, _, _, _| 1);
+        let out = conv2d(&input, &w, 2, 0).unwrap();
+        assert_eq!(out.shape(), (1, 2, 2));
+        assert_eq!(out.get(0, 1, 1), 10);
+    }
+
+    #[test]
+    fn im2col_matmul_equals_conv2d() {
+        let input = Tensor::random(3, 5, 5, -8..8, 1);
+        let w = ConvWeights::from_fn(4, 3, 3, 3, |o, i, y, x| ((o + i + y + x) % 5) as i64 - 2);
+        let direct = conv2d(&input, &w, 1, 1).unwrap();
+        let (feat, wmat) = im2col(&input, &w, 1, 1);
+        for (m, row) in feat.iter().enumerate() {
+            for (n, wrow) in wmat.iter().enumerate() {
+                let dot: i64 = row.iter().zip(wrow).map(|(&a, &b)| a * b).sum();
+                let (oy, ox) = (m / direct.width(), m % direct.width());
+                assert_eq!(dot, direct.get(n, oy, ox), "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_connected_matches_manual() {
+        let input = Tensor::from_fn(4, 1, 1, |c, _, _| c as i64 + 1); // [1,2,3,4]
+        let weights = vec![1, 0, 0, 0, /* row0 */ 1, 1, 1, 1 /* row1 */];
+        let out = fully_connected(&input, &weights, 2).unwrap();
+        assert_eq!(out.get(0, 0, 0), 1);
+        assert_eq!(out.get(1, 0, 0), 10);
+    }
+
+    #[test]
+    fn pooling_and_relu() {
+        let input = Tensor::from_fn(1, 2, 2, |_, y, x| (y as i64 * 2 + x as i64) - 1);
+        assert_eq!(relu(&input).as_slice(), &[0, 0, 1, 2]);
+        assert_eq!(maxpool2(&input).get(0, 0, 0), 2);
+        let avg = global_avgpool(&Tensor::from_fn(1, 2, 2, |_, _, _| 6));
+        assert_eq!(avg.get(0, 0, 0), 6);
+    }
+
+    #[test]
+    fn residual_add_is_elementwise() {
+        let a = Tensor::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as i64);
+        let b = Tensor::from_fn(1, 2, 2, |_, _, _| 10);
+        let s = add(&a, &b).unwrap();
+        assert_eq!(s.as_slice(), &[10, 11, 12, 13]);
+        let c = Tensor::zeros(2, 2, 2);
+        assert!(matches!(add(&a, &c), Err(NnError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn avgpool2_averages_windows() {
+        let t = Tensor::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as i64 * 4);
+        assert_eq!(avgpool2(&t).get(0, 0, 0), (0 + 4 + 8 + 12) / 4);
+    }
+
+    #[test]
+    fn flatten_preserves_channel_major_order() {
+        let t = Tensor::from_fn(2, 1, 2, |c, _, x| (c * 10 + x) as i64);
+        let f = flatten(&t);
+        assert_eq!(f.shape(), (4, 1, 1));
+        assert_eq!(f.as_slice(), &[0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn concat_channels_joins_split_groups() {
+        let a = Tensor::from_fn(2, 1, 1, |c, _, _| c as i64);
+        let b = Tensor::from_fn(3, 1, 1, |c, _, _| 10 + c as i64);
+        let j = concat_channels(&a, &b).unwrap();
+        assert_eq!(j.as_slice(), &[0, 1, 10, 11, 12]);
+        let bad = Tensor::zeros(1, 2, 2);
+        assert!(concat_channels(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let input = Tensor::zeros(2, 3, 3);
+        let w = ConvWeights::from_fn(1, 3, 1, 1, |_, _, _, _| 0);
+        assert!(matches!(conv2d(&input, &w, 1, 0), Err(NnError::ShapeMismatch { .. })));
+        assert!(matches!(
+            fully_connected(&input, &[0; 5], 2),
+            Err(NnError::WeightCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Symmetric linear quantization into the accelerator's operand ranges.
+
+use crate::{NnError, Precision};
+
+/// A symmetric (zero-point-free) linear quantizer for one tensor.
+///
+/// Values quantize as `q = clamp(round(v / scale))` into the
+/// two's-complement range of the precision — the quantization scheme the
+/// multi-precision benchmarks of Table I use for weights.
+///
+/// # Example
+///
+/// ```
+/// use bsc_nn::quant::Quantizer;
+/// use bsc_nn::Precision;
+///
+/// # fn main() -> Result<(), bsc_nn::NnError> {
+/// let q = Quantizer::from_max_abs(1.0, Precision::Int4)?;
+/// assert_eq!(q.quantize(1.0), 7);
+/// assert_eq!(q.quantize(-1.0), -7);
+/// assert!((q.dequantize(7) - 1.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    scale: f64,
+    precision: Precision,
+}
+
+impl Quantizer {
+    /// A quantizer with an explicit scale (`v ≈ q × scale`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] for zero or non-finite scales.
+    pub fn new(scale: f64, precision: Precision) -> Result<Self, NnError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(NnError::InvalidScale(scale));
+        }
+        Ok(Quantizer { scale, precision })
+    }
+
+    /// Chooses the scale so that `max_abs` maps to the largest positive
+    /// code (symmetric calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] when `max_abs` is zero or
+    /// non-finite.
+    pub fn from_max_abs(max_abs: f64, precision: Precision) -> Result<Self, NnError> {
+        let qmax = (precision.value_range().end - 1) as f64;
+        Quantizer::new(max_abs / qmax, precision)
+    }
+
+    /// Calibrates from the data itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] when the data is empty or all zero.
+    pub fn calibrate(data: &[f64], precision: Precision) -> Result<Self, NnError> {
+        let max_abs = data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        Quantizer::from_max_abs(max_abs, precision)
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantizes one value with saturation.
+    pub fn quantize(&self, v: f64) -> i64 {
+        let r = self.precision.value_range();
+        let q = (v / self.scale).round() as i64;
+        q.clamp(r.start, r.end - 1)
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_all(&self, values: &[f64]) -> Vec<i64> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Root-mean-square quantization error over a slice.
+    pub fn rms_error(&self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = values
+            .iter()
+            .map(|&v| {
+                let e = v - self.dequantize(self.quantize(v));
+                e * e
+            })
+            .sum();
+        (se / values.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_range_edges() {
+        let q = Quantizer::from_max_abs(1.0, Precision::Int2).unwrap();
+        assert_eq!(q.quantize(10.0), 1);
+        assert_eq!(q.quantize(-10.0), -2);
+    }
+
+    #[test]
+    fn roundtrip_error_shrinks_with_precision() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i as f64) * 0.618).sin()).collect();
+        let e2 = Quantizer::calibrate(&data, Precision::Int2).unwrap().rms_error(&data);
+        let e4 = Quantizer::calibrate(&data, Precision::Int4).unwrap().rms_error(&data);
+        let e8 = Quantizer::calibrate(&data, Precision::Int8).unwrap().rms_error(&data);
+        assert!(e8 < e4 && e4 < e2, "e2={e2} e4={e4} e8={e8}");
+        // Each extra 2 bits buys roughly 4x lower RMS error.
+        assert!(e4 / e8 > 2.0);
+    }
+
+    #[test]
+    fn invalid_scales_are_rejected() {
+        assert!(Quantizer::new(0.0, Precision::Int8).is_err());
+        assert!(Quantizer::new(f64::NAN, Precision::Int8).is_err());
+        assert!(Quantizer::calibrate(&[], Precision::Int8).is_err());
+    }
+
+    #[test]
+    fn quantized_codes_fit_operand_range() {
+        let q = Quantizer::from_max_abs(3.3, Precision::Int4).unwrap();
+        for i in -100..100 {
+            let code = q.quantize(i as f64 * 0.07);
+            assert!(Precision::Int4.contains(code));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates Table I of the paper from the benchmark models.
+
+use std::fmt::Write as _;
+
+use crate::{models, Network, Precision};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Model name.
+    pub cnn: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Model size in MBytes (one byte per weight, the table's convention).
+    pub model_mbytes: f64,
+    /// Weight fraction at 8-bit.
+    pub frac8: f64,
+    /// Weight fraction at 4-bit.
+    pub frac4: f64,
+    /// Weight fraction at 2-bit.
+    pub frac2: f64,
+}
+
+impl Table1Row {
+    /// Builds the row for one network.
+    pub fn from_network(net: &Network) -> Self {
+        let d = net.precision_distribution();
+        Table1Row {
+            cnn: net.name.clone(),
+            dataset: net.dataset.clone(),
+            model_mbytes: net.model_mbytes(),
+            frac8: d.fraction(Precision::Int8),
+            frac4: d.fraction(Precision::Int4),
+            frac2: d.fraction(Precision::Int2),
+        }
+    }
+}
+
+/// All rows of Table I in paper order.
+pub fn table1() -> Vec<Table1Row> {
+    models::table1_benchmarks().iter().map(Table1Row::from_network).collect()
+}
+
+/// Renders Table I as aligned text, next to the paper's published values.
+pub fn render_table1() -> String {
+    let paper: &[(&str, f64, f64, f64)] = &[
+        ("VGG-16", 10.2, 89.8, 0.0),
+        ("LeNet-5", 0.0, 55.0, 45.0),
+        ("ResNet-18", 5.5, 94.5, 0.0),
+        ("NAS-Based", 21.8, 58.6, 19.6),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<9} {:>9}   {:>22}   {:>22}",
+        "CNN", "Dataset", "MBytes", "measured 8b/4b/2b (%)", "paper 8b/4b/2b (%)"
+    );
+    for (row, &(_, p8, p4, p2)) in table1().iter().zip(paper) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:>9.1}   {:>6.1} {:>6.1} {:>6.1}    {:>6.1} {:>6.1} {:>6.1}",
+            row.cnn,
+            row.dataset,
+            row.model_mbytes,
+            100.0 * row.frac8,
+            100.0 * row.frac4,
+            100.0 * row.frac2,
+            p8,
+            p4,
+            p2,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_rows_in_paper_order() {
+        let t = table1();
+        let names: Vec<&str> = t.iter().map(|r| r.cnn.as_str()).collect();
+        assert_eq!(names, ["VGG-16", "LeNet-5", "ResNet-18", "NAS-Based"]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_per_row() {
+        for row in table1() {
+            let sum = row.frac8 + row.frac4 + row.frac2;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", row.cnn);
+        }
+    }
+
+    #[test]
+    fn rendered_table_mentions_every_model() {
+        let s = render_table1();
+        for name in ["VGG-16", "LeNet-5", "ResNet-18", "NAS-Based"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

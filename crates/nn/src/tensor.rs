@@ -1,0 +1,166 @@
+//! Integer feature-map tensors in channel-major (C, H, W) layout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 3-D integer tensor `(channels, height, width)`, the working type of
+/// the golden operators and of the accelerator mapping.
+///
+/// # Example
+///
+/// ```
+/// use bsc_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(2, 3, 3);
+/// t.set(1, 2, 0, -5);
+/// assert_eq!(t.get(1, 2, 0), -5);
+/// assert_eq!(t.shape(), (2, 3, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<i64>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Tensor { channels, height, width, data: vec![0; channels * height * width] }
+    }
+
+    /// Builds a tensor by evaluating `f(channel, y, x)`.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> i64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(channels * height * width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Tensor { channels, height, width, data }
+    }
+
+    /// A tensor of uniformly random values in `range` (synthetic data
+    /// standing in for dataset inputs; see DESIGN.md §2).
+    pub fn random(
+        channels: usize,
+        height: usize,
+        width: usize,
+        range: std::ops::Range<i64>,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(channels, height, width, |_, _, _| rng.gen_range(range.clone()))
+    }
+
+    /// Shape as `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> i64 {
+        assert!(c < self.channels && y < self.height && x < self.width, "tensor index out of bounds");
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Element at `(channel, y, x)` with zero padding outside the map.
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> i64 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Sets the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: i64) {
+        assert!(c < self.channels && y < self.height && x < self.width, "tensor index out of bounds");
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// Flat view of the data (channel-major).
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(i64) -> i64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_is_channel_major() {
+        let t = Tensor::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as i64);
+        assert_eq!(t.as_slice(), &[0, 1, 10, 11, 100, 101, 110, 111]);
+    }
+
+    #[test]
+    fn padding_returns_zero_outside() {
+        let t = Tensor::from_fn(1, 2, 2, |_, _, _| 7);
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 2), 0);
+        assert_eq!(t.get_padded(0, 1, 1), 7);
+    }
+
+    #[test]
+    fn random_respects_range() {
+        let t = Tensor::random(2, 4, 4, -8..8, 9);
+        assert!(t.as_slice().iter().all(|&v| (-8..8).contains(&v)));
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut t = Tensor::from_fn(1, 2, 2, |_, _, _| -3);
+        t.map_inplace(|v| v.max(0));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+    }
+}

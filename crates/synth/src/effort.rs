@@ -1,0 +1,160 @@
+//! Synthesis effort model: how the target clock period shapes area and
+//! energy.
+//!
+//! Design Compiler meets a tight clock constraint by upsizing cells,
+//! restructuring trees and inserting buffers — all of which cost area and
+//! switching energy — and meets a loose constraint with smaller, leakier-
+//! per-performance but lower-energy cells.  This model captures that trade
+//! with a smooth multiplier curve anchored at the nominal (unconstrained)
+//! synthesis point, which is what the raw library numbers describe.
+
+use crate::SynthError;
+
+/// Maps a target clock period to feasibility and to area/energy multipliers
+/// relative to nominal synthesis.
+///
+/// # Example
+///
+/// ```
+/// use bsc_synth::EffortModel;
+///
+/// let m = EffortModel::default();
+/// // Demanding 25% more speed than nominal costs area and energy.
+/// let tight = m.multipliers(0.8).unwrap();
+/// assert!(tight.area > 1.0 && tight.energy > 1.0);
+/// // Relaxed constraints allow modest downsizing.
+/// let loose = m.multipliers(1.5).unwrap();
+/// assert!(loose.energy < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffortModel {
+    /// Maximum speed-up over nominal achievable by upsizing (DC typically
+    /// buys 30–45% on arithmetic datapaths).
+    pub max_speedup: f64,
+    /// Area-vs-speed superlinearity coefficient.
+    pub area_coeff: f64,
+    /// Energy-vs-speed superlinearity coefficient.
+    pub energy_coeff: f64,
+    /// Shape exponent of the upsizing cost curve.
+    pub exponent: f64,
+    /// Floor of the relaxed-synthesis energy multiplier.
+    pub relaxed_energy_floor: f64,
+    /// Floor of the relaxed-synthesis area multiplier.
+    pub relaxed_area_floor: f64,
+}
+
+impl Default for EffortModel {
+    fn default() -> Self {
+        EffortModel {
+            max_speedup: 1.4,
+            area_coeff: 0.9,
+            energy_coeff: 1.2,
+            exponent: 1.5,
+            relaxed_energy_floor: 0.92,
+            relaxed_area_floor: 0.90,
+        }
+    }
+}
+
+/// Area and energy multipliers returned by [`EffortModel::multipliers`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffortMultipliers {
+    /// Multiplier on every cell area (and hence leakage).
+    pub area: f64,
+    /// Multiplier on every cell switching energy.
+    pub energy: f64,
+    /// Demanded speed ratio `nominal_period / target_period`.
+    pub speed_ratio: f64,
+}
+
+impl EffortModel {
+    /// Multipliers for a target period expressed as a *fraction of the
+    /// nominal minimum period* (`speed_ratio = nominal / target`).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::TimingInfeasible`] when the demanded speed-up exceeds
+    /// [`EffortModel::max_speedup`].
+    pub fn multipliers(&self, target_over_nominal: f64) -> Result<EffortMultipliers, SynthError> {
+        if !(target_over_nominal.is_finite()) || target_over_nominal <= 0.0 {
+            return Err(SynthError::InvalidPeriod(target_over_nominal));
+        }
+        let s = 1.0 / target_over_nominal;
+        if s > self.max_speedup {
+            return Err(SynthError::TimingInfeasible {
+                demanded_speedup: s,
+                max_speedup: self.max_speedup,
+            });
+        }
+        if s >= 1.0 {
+            let x = (s - 1.0).powf(self.exponent);
+            Ok(EffortMultipliers {
+                area: 1.0 + self.area_coeff * x,
+                energy: 1.0 + self.energy_coeff * x,
+                speed_ratio: s,
+            })
+        } else {
+            // Relaxed constraint: gentle downsizing with a floor.
+            let relax = 1.0 - s; // in (0, 1)
+            Ok(EffortMultipliers {
+                area: (1.0 - 0.10 * relax).max(self.relaxed_area_floor),
+                energy: (1.0 - 0.08 * relax).max(self.relaxed_energy_floor),
+                speed_ratio: s,
+            })
+        }
+    }
+
+    /// Whether a target period (as a fraction of nominal) is reachable.
+    pub fn is_feasible(&self, target_over_nominal: f64) -> bool {
+        self.multipliers(target_over_nominal).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_is_identity() {
+        let m = EffortModel::default();
+        let mult = m.multipliers(1.0).unwrap();
+        assert!((mult.area - 1.0).abs() < 1e-12);
+        assert!((mult.energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overly_tight_period_is_infeasible() {
+        let m = EffortModel::default();
+        assert!(matches!(
+            m.multipliers(0.5),
+            Err(SynthError::TimingInfeasible { .. })
+        ));
+        assert!(!m.is_feasible(0.5));
+    }
+
+    #[test]
+    fn energy_cost_is_monotone_in_speed() {
+        let m = EffortModel::default();
+        let mut last = 0.0;
+        for t in [1.4, 1.2, 1.0, 0.9, 0.8, 0.75] {
+            let e = m.multipliers(t).unwrap().energy;
+            assert!(e >= last, "energy multiplier must grow as period tightens");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn relaxed_floor_is_respected() {
+        let m = EffortModel::default();
+        let mult = m.multipliers(100.0).unwrap();
+        assert!(mult.energy >= m.relaxed_energy_floor);
+        assert!(mult.area >= m.relaxed_area_floor);
+    }
+
+    #[test]
+    fn invalid_period_is_rejected() {
+        let m = EffortModel::default();
+        assert!(matches!(m.multipliers(0.0), Err(SynthError::InvalidPeriod(_))));
+        assert!(matches!(m.multipliers(-1.0), Err(SynthError::InvalidPeriod(_))));
+    }
+}

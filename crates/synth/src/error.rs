@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from timing, effort or power analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The target clock period demands more speed-up than upsizing can buy.
+    TimingInfeasible {
+        /// Speed-up the constraint demands over nominal synthesis.
+        demanded_speedup: f64,
+        /// Maximum speed-up the effort model allows.
+        max_speedup: f64,
+    },
+    /// A non-positive or non-finite clock period was supplied.
+    InvalidPeriod(f64),
+    /// A supply voltage at/below near-threshold (or non-finite) was
+    /// supplied to the voltage-scaling model.
+    InvalidVoltage(f64),
+    /// The activity trace observed no cycles, so power is undefined.
+    NoActivity,
+    /// An underlying netlist problem (e.g. a combinational cycle).
+    Netlist(bsc_netlist::NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::TimingInfeasible { demanded_speedup, max_speedup } => write!(
+                f,
+                "timing infeasible: constraint demands {demanded_speedup:.2}x speed-up, \
+                 upsizing provides at most {max_speedup:.2}x"
+            ),
+            SynthError::InvalidPeriod(p) => write!(f, "invalid clock period {p}"),
+            SynthError::InvalidVoltage(v) => write!(f, "invalid supply voltage {v}"),
+            SynthError::NoActivity => write!(f, "activity trace observed no cycles"),
+            SynthError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bsc_netlist::NetlistError> for SynthError {
+    fn from(e: bsc_netlist::NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}

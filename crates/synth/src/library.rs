@@ -1,0 +1,158 @@
+use bsc_netlist::GateKind;
+
+/// Per-cell physical parameters of one standard cell.
+///
+/// Units: area in µm², delay in ps, switching energy in fJ per output
+/// toggle, leakage in nW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Placed cell area in µm².
+    pub area_um2: f64,
+    /// Pin-to-pin propagation delay in ps (worst arc, nominal load).
+    pub delay_ps: f64,
+    /// Dynamic energy per output toggle in fJ (internal + average load).
+    pub energy_fj: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+impl CellParams {
+    const ZERO: CellParams = CellParams {
+        area_um2: 0.0,
+        delay_ps: 0.0,
+        energy_fj: 0.0,
+        leakage_nw: 0.0,
+    };
+}
+
+/// A 28nm-class standard-cell library model.
+///
+/// One instance is shared by every design under comparison; the defaults in
+/// [`CellLibrary::smic28_like`] are typical published 28nm HPC values at
+/// nominal voltage and are **never tuned per experiment** (see DESIGN.md §6).
+///
+/// # Example
+///
+/// ```
+/// use bsc_netlist::GateKind;
+/// use bsc_synth::CellLibrary;
+///
+/// let lib = CellLibrary::smic28_like();
+/// assert!(lib.cell(GateKind::Xor).area_um2 > lib.cell(GateKind::Nand).area_um2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    inv: CellParams,
+    and2: CellParams,
+    or2: CellParams,
+    nand2: CellParams,
+    nor2: CellParams,
+    xor2: CellParams,
+    xnor2: CellParams,
+    mux2: CellParams,
+    dff: CellParams,
+    /// Flip-flop clock-to-Q delay in ps.
+    pub dff_clk_to_q_ps: f64,
+    /// Flip-flop setup time in ps.
+    pub dff_setup_ps: f64,
+    /// Clock-pin energy per flop per clock cycle in fJ (paid every cycle
+    /// whether or not the data toggles).
+    pub dff_clock_energy_fj: f64,
+}
+
+impl CellLibrary {
+    /// Library constants representative of a 28nm high-performance process
+    /// at nominal voltage (0.9 V), room temperature, typical corner.
+    ///
+    /// Sources of magnitude: published 28nm standard-cell datasheets and
+    /// energy surveys (INV ≈ 0.4 fJ/toggle, NAND2 ≈ 0.5 fJ, DFF ≈ 2 fJ;
+    /// gate delays 12–30 ps; leakage a few nW per cell).
+    pub fn smic28_like() -> Self {
+        CellLibrary {
+            inv: CellParams { area_um2: 0.49, delay_ps: 7.0, energy_fj: 0.40, leakage_nw: 1.5 },
+            nand2: CellParams { area_um2: 0.64, delay_ps: 9.0, energy_fj: 0.50, leakage_nw: 2.0 },
+            nor2: CellParams { area_um2: 0.64, delay_ps: 10.0, energy_fj: 0.50, leakage_nw: 2.0 },
+            and2: CellParams { area_um2: 0.81, delay_ps: 12.0, energy_fj: 0.70, leakage_nw: 2.5 },
+            or2: CellParams { area_um2: 0.81, delay_ps: 13.0, energy_fj: 0.70, leakage_nw: 2.5 },
+            xor2: CellParams { area_um2: 1.47, delay_ps: 17.0, energy_fj: 1.10, leakage_nw: 3.5 },
+            xnor2: CellParams { area_um2: 1.47, delay_ps: 17.0, energy_fj: 1.10, leakage_nw: 3.5 },
+            mux2: CellParams { area_um2: 1.30, delay_ps: 15.0, energy_fj: 0.90, leakage_nw: 3.0 },
+            dff: CellParams { area_um2: 3.43, delay_ps: 0.0, energy_fj: 1.80, leakage_nw: 8.0 },
+            dff_clk_to_q_ps: 70.0,
+            dff_setup_ps: 30.0,
+            dff_clock_energy_fj: 0.25,
+        }
+    }
+
+    /// Replaces the parameters of one cell kind (used by the voltage
+    /// scaling model; constants and inputs are not settable).
+    pub fn set_cell(&mut self, kind: GateKind, params: CellParams) {
+        match kind {
+            GateKind::Const | GateKind::Input => {}
+            GateKind::Not => self.inv = params,
+            GateKind::And => self.and2 = params,
+            GateKind::Or => self.or2 = params,
+            GateKind::Nand => self.nand2 = params,
+            GateKind::Nor => self.nor2 = params,
+            GateKind::Xor => self.xor2 = params,
+            GateKind::Xnor => self.xnor2 = params,
+            GateKind::Mux => self.mux2 = params,
+            GateKind::Dff => self.dff = params,
+        }
+    }
+
+    /// Parameters of one cell kind.  Constants and inputs have zero cost.
+    pub fn cell(&self, kind: GateKind) -> CellParams {
+        match kind {
+            GateKind::Const | GateKind::Input => CellParams::ZERO,
+            GateKind::Not => self.inv,
+            GateKind::And => self.and2,
+            GateKind::Or => self.or2,
+            GateKind::Nand => self.nand2,
+            GateKind::Nor => self.nor2,
+            GateKind::Xor => self.xor2,
+            GateKind::Xnor => self.xnor2,
+            GateKind::Mux => self.mux2,
+            GateKind::Dff => self.dff,
+        }
+    }
+
+    /// Sequential timing overhead added to every register-to-register path
+    /// (clock-to-Q plus setup), in ps.
+    pub fn sequential_overhead_ps(&self) -> f64 {
+        self.dff_clk_to_q_ps + self.dff_setup_ps
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::smic28_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_free() {
+        let lib = CellLibrary::smic28_like();
+        assert_eq!(lib.cell(GateKind::Const).area_um2, 0.0);
+        assert_eq!(lib.cell(GateKind::Input).energy_fj, 0.0);
+    }
+
+    #[test]
+    fn relative_cell_costs_are_sane() {
+        let lib = CellLibrary::smic28_like();
+        // XOR is the most expensive combinational cell; NAND the cheapest
+        // 2-input cell; the flop dwarfs both.
+        assert!(lib.cell(GateKind::Xor).energy_fj > lib.cell(GateKind::Nand).energy_fj);
+        assert!(lib.cell(GateKind::Dff).area_um2 > lib.cell(GateKind::Xor).area_um2);
+        assert!(lib.cell(GateKind::Not).delay_ps < lib.cell(GateKind::Mux).delay_ps);
+    }
+
+    #[test]
+    fn default_is_smic28_like() {
+        assert_eq!(CellLibrary::default(), CellLibrary::smic28_like());
+    }
+}

@@ -1,0 +1,231 @@
+//! Static timing analysis over a gate-level netlist.
+
+use bsc_netlist::{Netlist, NetlistError};
+
+use crate::CellLibrary;
+
+/// Longest combinational path delay in ps.
+///
+/// Arrival times propagate from sources (inputs, constants, flop outputs)
+/// through per-cell delays from the library; the critical path is the
+/// maximum arrival at any primary output or flip-flop data pin.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic combinational
+/// logic.
+pub fn critical_path_ps(netlist: &Netlist, lib: &CellLibrary) -> Result<f64, NetlistError> {
+    let order = netlist.levelize()?;
+    let mut arrival = vec![0.0f64; netlist.len()];
+    let mut max_path = 0.0f64;
+    for id in order {
+        let gate = netlist.gate(id);
+        if gate.is_source() {
+            continue;
+        }
+        let input_arrival = gate
+            .operands()
+            .map(|op| arrival[op.index()])
+            .fold(0.0f64, f64::max);
+        let t = input_arrival + lib.cell(gate.kind()).delay_ps;
+        arrival[id.index()] = t;
+        max_path = max_path.max(t);
+    }
+    // Flip-flop data pins also terminate paths; they are covered because the
+    // data-pin driver's arrival is already included in `max_path` above.
+    Ok(max_path)
+}
+
+/// Minimum register-to-register clock period in ps: critical path plus the
+/// flop clock-to-Q and setup overhead (applied even to purely combinational
+/// designs, which are assumed to live between pipeline registers, as the
+/// paper's vector units do inside a PE).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the path search.
+pub fn min_period_ps(netlist: &Netlist, lib: &CellLibrary) -> Result<f64, NetlistError> {
+    Ok(critical_path_ps(netlist, lib)? + lib.sequential_overhead_ps())
+}
+
+/// One stage of a timing path: the gate, its cell kind and the arrival
+/// time at its output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStage {
+    /// Net/gate on the path.
+    pub node: bsc_netlist::NodeId,
+    /// Cell kind of the gate.
+    pub kind: bsc_netlist::GateKind,
+    /// Arrival time at the gate output, ps.
+    pub arrival_ps: f64,
+}
+
+/// Extracts the critical path, returned startpoint → endpoint like
+/// `report_timing` (the first stage is the launching source net).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the path search.
+pub fn critical_path(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+) -> Result<Vec<PathStage>, NetlistError> {
+    let order = netlist.levelize()?;
+    let mut arrival = vec![0.0f64; netlist.len()];
+    let mut pred: Vec<Option<bsc_netlist::NodeId>> = vec![None; netlist.len()];
+    let mut worst: Option<bsc_netlist::NodeId> = None;
+    let mut worst_t = -1.0f64;
+    for id in order {
+        let gate = netlist.gate(id);
+        if gate.is_source() {
+            continue;
+        }
+        let (in_arrival, in_node) = gate
+            .operands()
+            .map(|op| (arrival[op.index()], op))
+            .fold((0.0f64, None), |(best_t, best_n), (t, node)| {
+                if best_n.is_none() || t > best_t {
+                    (t, Some(node))
+                } else {
+                    (best_t, best_n)
+                }
+            });
+        let t = in_arrival + lib.cell(gate.kind()).delay_ps;
+        arrival[id.index()] = t;
+        pred[id.index()] = in_node;
+        if t > worst_t {
+            worst_t = t;
+            worst = Some(id);
+        }
+    }
+    let mut stages = Vec::new();
+    let mut cur = worst;
+    while let Some(id) = cur {
+        stages.push(PathStage {
+            node: id,
+            kind: netlist.gate(id).kind(),
+            arrival_ps: arrival[id.index()],
+        });
+        cur = pred[id.index()];
+    }
+    stages.reverse();
+    Ok(stages)
+}
+
+/// Renders the critical path as a `report_timing`-style text block.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the path search.
+pub fn render_timing_report(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+) -> Result<String, NetlistError> {
+    use std::fmt::Write as _;
+    let path = critical_path(netlist, lib)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "critical path ({} stages):", path.len());
+    let _ = writeln!(out, "  {:<10} {:<8} {:>12}", "net", "cell", "arrival ps");
+    for s in &path {
+        let _ = writeln!(out, "  {:<10} {:<8} {:>12.1}", s.node.to_string(), s.kind.to_string(), s.arrival_ps);
+    }
+    let cp = path.last().map_or(0.0, |s| s.arrival_ps);
+    let _ = writeln!(
+        out,
+        "  data path {:.1} ps + clk-q/setup {:.1} ps = min period {:.1} ps",
+        cp,
+        lib.sequential_overhead_ps(),
+        cp + lib.sequential_overhead_ps()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = CellLibrary::smic28_like();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.nand(a, b);
+        let y = n.nand(x, b);
+        let z = n.nand(y, a);
+        n.mark_output(z, "z");
+        let cp = critical_path_ps(&n, &lib).unwrap();
+        assert!((cp - 3.0 * lib.cell(bsc_netlist::GateKind::Nand).delay_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_break_paths() {
+        let lib = CellLibrary::smic28_like();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.nand(a, b);
+        let q = n.dff(x, false);
+        let y = n.nand(q, b);
+        n.mark_output(y, "y");
+        let cp = critical_path_ps(&n, &lib).unwrap();
+        // Two single-NAND stages, not one two-NAND path.
+        assert!((cp - lib.cell(bsc_netlist::GateKind::Nand).delay_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_period_adds_sequential_overhead() {
+        let lib = CellLibrary::smic28_like();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.not(a);
+        n.mark_output(y, "y");
+        let p = min_period_ps(&n, &lib).unwrap();
+        let inv = lib.cell(bsc_netlist::GateKind::Not).delay_ps;
+        assert!((p - (inv + lib.sequential_overhead_ps())).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_walks_the_deepest_chain() {
+        let lib = CellLibrary::smic28_like();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        // Deep chain of 4 NANDs vs a shallow XOR branch.
+        let mut x = n.nand(a, b);
+        for _ in 0..3 {
+            x = n.nand(x, b);
+        }
+        let shallow = n.xor(a, b);
+        let y = n.or(x, shallow);
+        n.mark_output(y, "y");
+        let path = critical_path(&n, &lib).unwrap();
+        // Startpoint input + 4 nands + final or.
+        assert_eq!(path.len(), 6, "startpoint + 4 nands + final or");
+        // Arrival times increase monotonically along the path.
+        for w in path.windows(2) {
+            assert!(w[1].arrival_ps > w[0].arrival_ps);
+        }
+        let report = render_timing_report(&n, &lib).unwrap();
+        assert!(report.contains("critical path (6 stages)"));
+        assert!(report.contains("min period"));
+    }
+
+    #[test]
+    fn path_arrival_matches_critical_path_ps() {
+        let lib = CellLibrary::smic28_like();
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let (sum, _) = bsc_netlist::components::adder::ripple_carry(&mut n, &a, &b, None);
+        n.mark_output_bus("sum", &sum);
+        let cp = critical_path_ps(&n, &lib).unwrap();
+        let path = critical_path(&n, &lib).unwrap();
+        assert!((path.last().unwrap().arrival_ps - cp).abs() < 1e-9);
+    }
+}

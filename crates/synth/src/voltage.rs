@@ -1,0 +1,195 @@
+//! Supply-voltage scaling (DVFS) — an extension beyond the paper's fixed
+//! nominal-voltage evaluation.
+//!
+//! Edge accelerators routinely trade clock speed for supply voltage; this
+//! module models the standard alpha-power-law behaviour at 28nm so any
+//! characterized design can be re-evaluated at a scaled operating point:
+//!
+//! * gate delay  `∝ V / (V - V_t)^α` (α ≈ 1.3 for short-channel devices);
+//! * switching energy `∝ V²`;
+//! * leakage power grows roughly exponentially with `V` (DIBL), modelled
+//!   with a fitted exponential around nominal.
+//!
+//! [`scaled_library`] produces a [`CellLibrary`] with every cell's
+//! delay/energy/leakage re-scaled, so the whole STA + effort + power flow
+//! runs unchanged at the new voltage.
+
+use crate::{CellLibrary, CellParams, SynthError};
+
+/// Alpha-power-law voltage model with 28nm-class constants.
+///
+/// # Example
+///
+/// ```
+/// use bsc_synth::voltage::VoltageModel;
+///
+/// let vm = VoltageModel::smic28_like();
+/// // Undervolting to 0.7 V: slower but much lower switching energy.
+/// assert!(vm.delay_scale(0.7).unwrap() > 1.3);
+/// assert!(vm.energy_scale(0.7).unwrap() < 0.65);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageModel {
+    /// Nominal supply voltage (the library's characterization point), V.
+    pub nominal_v: f64,
+    /// Effective threshold voltage, V.
+    pub threshold_v: f64,
+    /// Velocity-saturation exponent α.
+    pub alpha: f64,
+    /// Exponential leakage sensitivity per volt around nominal.
+    pub leakage_per_volt: f64,
+}
+
+impl VoltageModel {
+    /// Constants representative of a 28nm high-performance process:
+    /// 0.9 V nominal, 0.35 V effective threshold, α = 1.3.
+    pub fn smic28_like() -> Self {
+        VoltageModel {
+            nominal_v: 0.9,
+            threshold_v: 0.35,
+            alpha: 1.3,
+            leakage_per_volt: 3.0,
+        }
+    }
+
+    fn check(&self, v: f64) -> Result<(), SynthError> {
+        if !v.is_finite() || v <= self.threshold_v + 0.05 {
+            return Err(SynthError::InvalidVoltage(v));
+        }
+        Ok(())
+    }
+
+    /// Gate-delay multiplier relative to nominal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidVoltage`] at or below near-threshold.
+    pub fn delay_scale(&self, v: f64) -> Result<f64, SynthError> {
+        self.check(v)?;
+        let f = |vv: f64| vv / (vv - self.threshold_v).powf(self.alpha);
+        Ok(f(v) / f(self.nominal_v))
+    }
+
+    /// Switching-energy multiplier relative to nominal (`(V/Vn)²`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidVoltage`] at or below near-threshold.
+    pub fn energy_scale(&self, v: f64) -> Result<f64, SynthError> {
+        self.check(v)?;
+        Ok((v / self.nominal_v).powi(2))
+    }
+
+    /// Leakage-power multiplier relative to nominal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidVoltage`] at or below near-threshold.
+    pub fn leakage_scale(&self, v: f64) -> Result<f64, SynthError> {
+        self.check(v)?;
+        Ok((self.leakage_per_volt * (v - self.nominal_v)).exp() * (v / self.nominal_v))
+    }
+}
+
+impl Default for VoltageModel {
+    fn default() -> Self {
+        VoltageModel::smic28_like()
+    }
+}
+
+fn scale_params(p: CellParams, d: f64, e: f64, l: f64) -> CellParams {
+    CellParams {
+        area_um2: p.area_um2,
+        delay_ps: p.delay_ps * d,
+        energy_fj: p.energy_fj * e,
+        leakage_nw: p.leakage_nw * l,
+    }
+}
+
+/// Re-characterizes a library at supply voltage `v`: every cell's delay,
+/// switching energy and leakage are scaled by the model (area unchanged).
+///
+/// # Errors
+///
+/// Returns [`SynthError::InvalidVoltage`] at or below near-threshold.
+pub fn scaled_library(
+    lib: &CellLibrary,
+    vm: &VoltageModel,
+    v: f64,
+) -> Result<CellLibrary, SynthError> {
+    let d = vm.delay_scale(v)?;
+    let e = vm.energy_scale(v)?;
+    let l = vm.leakage_scale(v)?;
+    let mut out = lib.clone();
+    for kind in bsc_netlist::GateKind::CELLS {
+        out.set_cell(kind, scale_params(lib.cell(kind), d, e, l));
+    }
+    out.dff_clk_to_q_ps = lib.dff_clk_to_q_ps * d;
+    out.dff_setup_ps = lib.dff_setup_ps * d;
+    out.dff_clock_energy_fj = lib.dff_clock_energy_fj * e;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_voltage_is_identity() {
+        let vm = VoltageModel::smic28_like();
+        assert!((vm.delay_scale(0.9).unwrap() - 1.0).abs() < 1e-12);
+        assert!((vm.energy_scale(0.9).unwrap() - 1.0).abs() < 1e-12);
+        assert!((vm.leakage_scale(0.9).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undervolting_trades_speed_for_energy() {
+        let vm = VoltageModel::smic28_like();
+        let mut last_delay = 0.0;
+        let mut last_energy = f64::INFINITY;
+        for v in [0.9, 0.8, 0.7, 0.6, 0.5] {
+            let d = vm.delay_scale(v).unwrap();
+            let e = vm.energy_scale(v).unwrap();
+            assert!(d > last_delay, "delay grows as V falls");
+            assert!(e < last_energy, "energy falls as V falls");
+            last_delay = d;
+            last_energy = e;
+        }
+    }
+
+    #[test]
+    fn near_threshold_is_rejected() {
+        let vm = VoltageModel::smic28_like();
+        assert!(matches!(vm.delay_scale(0.35), Err(SynthError::InvalidVoltage(_))));
+        assert!(matches!(vm.energy_scale(f64::NAN), Err(SynthError::InvalidVoltage(_))));
+    }
+
+    #[test]
+    fn scaled_library_flows_through_analysis() {
+        use bsc_netlist::{components::adder, tb, Netlist};
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let (sum, _) = adder::ripple_carry(&mut n, &a, &b, None);
+        n.mark_output_bus("sum", &sum);
+        let act = tb::run_random_activity(&n, &[], &[&a, &b], 32, 4).unwrap();
+
+        let nominal = CellLibrary::smic28_like();
+        let vm = VoltageModel::smic28_like();
+        let low_v = scaled_library(&nominal, &vm, 0.65).unwrap();
+        let effort = crate::EffortModel::default();
+        // Evaluate each library at a relaxed clock that both can meet.
+        let t_nom = crate::timing::min_period_ps(&n, &nominal).unwrap() * 2.0;
+        let t_low = crate::timing::min_period_ps(&n, &low_v).unwrap() * 2.0;
+        let r_nom = crate::analyze(&n, &act, &nominal, &effort, t_nom, 1.0).unwrap();
+        let r_low = crate::analyze(&n, &act, &low_v, &effort, t_low, 1.0).unwrap();
+        assert!(t_low > t_nom, "low voltage needs a slower clock");
+        assert!(
+            r_low.energy_per_mac_fj < r_nom.energy_per_mac_fj,
+            "low voltage must save energy per op: {} vs {}",
+            r_low.energy_per_mac_fj,
+            r_nom.energy_per_mac_fj
+        );
+        assert_eq!(r_low.cells, r_nom.cells, "area is voltage-independent");
+    }
+}

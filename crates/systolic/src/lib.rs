@@ -1,0 +1,51 @@
+//! Precision-scalable vector systolic PE array (paper §IV, Figs. 5 and 6).
+//!
+//! A weight-stationary array of 32 processing elements, each wrapping one
+//! precision-scalable vector MAC of length 32 (BSC, LPC or HPS).  The crate
+//! provides:
+//!
+//! * [`ProcessingElement`] and [`SystolicArray`] — a cycle-accurate
+//!   simulation of the Fig. 5 dataflow: features stream through the PE
+//!   chain, weights are broadcast with a 0..31-cycle skew and then held,
+//!   and one output-row diagonal retires per cycle;
+//! * [`mapping`] — the Fig. 6 convolution-to-matrix mapping: channel
+//!   splitting to the mode's vector length (32/128/256), output-channel
+//!   splitting across the 32 PEs, `W`-before-`H` loop order, and the
+//!   resulting cycle/utilization schedule;
+//! * [`energy`] — the array-level energy model combining the gate-level
+//!   per-MAC characterization of `bsc-mac` (with weight-stationary
+//!   activity) with the dataflow statistics of the simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use bsc_mac::{MacKind, Precision};
+//! use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
+//!
+//! # fn main() -> Result<(), bsc_systolic::SystolicError> {
+//! let config = ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc };
+//! let array = SystolicArray::new(config);
+//! let features = Matrix::from_rows(&[vec![1, 2, 3, 4], vec![-1, 0, 1, 0]]);
+//! let weights = Matrix::from_rows(&[vec![1, 0, 0, 0], vec![0, 1, 0, 0]]);
+//! let run = array.matmul(Precision::Int8, &features, &weights)?;
+//! assert_eq!(run.output.get(0, 0), 1);
+//! assert_eq!(run.output.get(1, 1), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+pub mod energy;
+mod error;
+pub mod mapping;
+mod matrix;
+pub mod netlist;
+mod pe;
+
+pub use array::{ArrayConfig, Dataflow, DataflowStats, MatmulRun, SystolicArray};
+pub use error::SystolicError;
+pub use matrix::Matrix;
+pub use pe::ProcessingElement;

@@ -1,0 +1,287 @@
+//! Convolution-to-matrix mapping and tile scheduling (paper Fig. 6).
+//!
+//! The channel dimensions `K_C`/`I_C` are split to the mode's dot length
+//! (32/128/256 for the BSC array), the output-channel dimension `K_N` to
+//! the 32 PEs, and the spatial loops run `W` before `H`.  One *pass* holds
+//! one (kernel-offset, channel-tile, PE-tile) triple of weights stationary
+//! while all output pixels stream through; partial sums accumulate in the
+//! output buffer across passes.
+
+use bsc_mac::Precision;
+
+use crate::{ArrayConfig, SystolicError};
+
+/// Shape of one convolution (or fully connected) layer.
+///
+/// A fully connected layer is the special case `kernel = 1×1`,
+/// `spatial = 1×1`, `in_channels = fan-in`.
+///
+/// # Example
+///
+/// ```
+/// use bsc_systolic::mapping::ConvShape;
+///
+/// let conv3x3 = ConvShape::conv(64, 128, 32, 32, 3, 1, 1);
+/// assert_eq!(conv3x3.out_w(), 32);
+/// assert_eq!(conv3x3.macs(), 128 * 32 * 32 * 9 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels `I_C`.
+    pub in_channels: usize,
+    /// Output channels `K_N`.
+    pub out_channels: usize,
+    /// Input feature-map width `I_W`.
+    pub in_w: usize,
+    /// Input feature-map height `I_H`.
+    pub in_h: usize,
+    /// Kernel width `K_W`.
+    pub kernel_w: usize,
+    /// Kernel height `K_H`.
+    pub kernel_h: usize,
+    /// Spatial stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvShape {
+    /// A square-kernel convolution layer.
+    pub fn conv(
+        in_channels: usize,
+        out_channels: usize,
+        in_w: usize,
+        in_h: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        ConvShape {
+            in_channels,
+            out_channels,
+            in_w,
+            in_h,
+            kernel_w: kernel,
+            kernel_h: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// A fully connected layer as a degenerate 1×1 convolution.
+    pub fn fully_connected(fan_in: usize, fan_out: usize) -> Self {
+        ConvShape {
+            in_channels: fan_in,
+            out_channels: fan_out,
+            in_w: 1,
+            in_h: 1,
+            kernel_w: 1,
+            kernel_h: 1,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Exact multiply-accumulate count of the layer (per input image).
+    pub fn macs(&self) -> u64 {
+        self.out_channels as u64
+            * self.out_w() as u64
+            * self.out_h() as u64
+            * self.kernel_w as u64
+            * self.kernel_h as u64
+            * self.in_channels as u64
+    }
+
+    /// Number of weight values in the layer.
+    pub fn weight_count(&self) -> u64 {
+        self.out_channels as u64
+            * self.in_channels as u64
+            * self.kernel_w as u64
+            * self.kernel_h as u64
+    }
+
+    fn validate(&self) -> Result<(), SystolicError> {
+        for (name, v) in [
+            ("in_channels", self.in_channels),
+            ("out_channels", self.out_channels),
+            ("in_w", self.in_w),
+            ("in_h", self.in_h),
+            ("kernel_w", self.kernel_w),
+            ("kernel_h", self.kernel_h),
+            ("stride", self.stride),
+        ] {
+            if v == 0 {
+                return Err(SystolicError::EmptyShape(name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The cycle/energy-relevant schedule of one layer on the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSchedule {
+    /// Stationary-weight passes (kernel offsets × channel tiles × PE tiles).
+    pub passes: u64,
+    /// Total clock cycles including pipeline fill per pass.
+    pub cycles: u64,
+    /// Useful MACs (equals the layer's exact MAC count).
+    pub useful_macs: u64,
+    /// Lane-slots that fire in partially filled vectors without carrying a
+    /// useful channel (gated lanes).
+    pub gated_lane_macs: u64,
+    /// PE-cycles spent computing.
+    pub busy_pe_cycles: u64,
+    /// PE-cycles spent idle (fill/drain bubbles and unused PEs).
+    pub idle_pe_cycles: u64,
+    /// Useful MACs over peak MACs (array utilization).
+    pub utilization: f64,
+    /// Weight vectors fetched from the weight buffer (one per PE per pass).
+    pub weight_load_vectors: u64,
+    /// Feature vectors fetched from the feature buffer (one per output
+    /// pixel per pass; re-read across PE tiles).
+    pub feature_read_vectors: u64,
+}
+
+/// Schedules one layer on the array in mode `p` per the Fig. 6 mapping.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::EmptyShape`] when any shape field is zero.
+pub fn schedule_conv(
+    config: &ArrayConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Result<LayerSchedule, SystolicError> {
+    shape.validate()?;
+    let split = config.dot_length(p);
+    let pes = config.pes;
+    let spatial = (shape.out_w() * shape.out_h()) as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+
+    let channel_tiles = shape.in_channels.div_ceil(split);
+    let pe_tiles = shape.out_channels.div_ceil(pes);
+
+    let mut cycles = 0u64;
+    let mut busy = 0u64;
+    let mut useful = 0u64;
+    let mut gated = 0u64;
+    let mut weight_vectors = 0u64;
+    let mut feature_vectors = 0u64;
+    for nt in 0..pe_tiles {
+        let used_pes = if nt + 1 == pe_tiles {
+            shape.out_channels - nt * pes
+        } else {
+            pes
+        };
+        for ct in 0..channel_tiles {
+            let tile_channels = if ct + 1 == channel_tiles {
+                shape.in_channels - ct * split
+            } else {
+                split
+            };
+            // One pass per kernel offset: weights stay stationary while
+            // every output pixel's feature vector streams through.
+            cycles += kernel * (spatial + used_pes as u64 - 1);
+            busy += kernel * spatial * used_pes as u64;
+            useful += kernel * spatial * used_pes as u64 * tile_channels as u64;
+            gated += kernel * spatial * used_pes as u64 * (split - tile_channels) as u64;
+            weight_vectors += kernel * used_pes as u64;
+            feature_vectors += kernel * spatial;
+        }
+    }
+    debug_assert_eq!(useful, shape.macs());
+
+    let passes = kernel * channel_tiles as u64 * pe_tiles as u64;
+    let pe_cycles = cycles * pes as u64;
+    let peak = pe_cycles * split as u64;
+    Ok(LayerSchedule {
+        passes,
+        cycles,
+        useful_macs: useful,
+        gated_lane_macs: gated,
+        busy_pe_cycles: busy,
+        idle_pe_cycles: pe_cycles - busy,
+        utilization: if peak > 0 { useful as f64 / peak as f64 } else { 0.0 },
+        weight_load_vectors: weight_vectors,
+        feature_read_vectors: feature_vectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_mac::MacKind;
+
+    fn paper_bsc() -> ArrayConfig {
+        ArrayConfig::paper(MacKind::Bsc)
+    }
+
+    #[test]
+    fn perfectly_tiled_layer_has_high_utilization() {
+        // 128 in-channels in 4-bit mode exactly fill the BSC vector.
+        let shape = ConvShape::conv(128, 32, 32, 32, 3, 1, 1);
+        let s = schedule_conv(&paper_bsc(), Precision::Int4, &shape).unwrap();
+        assert_eq!(s.gated_lane_macs, 0);
+        assert!(s.utilization > 0.95, "{}", s.utilization);
+        assert_eq!(s.useful_macs, shape.macs());
+    }
+
+    #[test]
+    fn small_channel_counts_waste_lanes() {
+        // A 3-channel first layer fills 3 of 128 lanes in 4-bit mode.
+        let shape = ConvShape::conv(3, 32, 32, 32, 3, 1, 1);
+        let s = schedule_conv(&paper_bsc(), Precision::Int4, &shape).unwrap();
+        assert!(s.utilization < 0.05);
+        assert!(s.gated_lane_macs > s.useful_macs);
+    }
+
+    #[test]
+    fn channel_split_matches_paper_fig6() {
+        // Vector length 32/128/256 in 8/4/2-bit operation for the BSC array.
+        let c = paper_bsc();
+        assert_eq!(c.dot_length(Precision::Int8), 32);
+        assert_eq!(c.dot_length(Precision::Int4), 128);
+        assert_eq!(c.dot_length(Precision::Int2), 256);
+    }
+
+    #[test]
+    fn fc_layer_is_a_1x1_conv() {
+        let fc = ConvShape::fully_connected(512, 10);
+        assert_eq!(fc.out_w(), 1);
+        assert_eq!(fc.out_h(), 1);
+        assert_eq!(fc.macs(), 5120);
+        let s = schedule_conv(&paper_bsc(), Precision::Int8, &fc).unwrap();
+        assert_eq!(s.useful_macs, 5120);
+    }
+
+    #[test]
+    fn cycles_count_fill_overhead_per_pass() {
+        let shape = ConvShape::conv(32, 32, 4, 4, 1, 1, 0);
+        let s = schedule_conv(&paper_bsc(), Precision::Int8, &shape).unwrap();
+        // One channel tile, one PE tile, 1 kernel offset:
+        // 16 spatial rows + 31 fill cycles.
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.cycles, 16 + 32 - 1);
+    }
+
+    #[test]
+    fn zero_shape_fields_are_rejected() {
+        let mut shape = ConvShape::conv(1, 1, 1, 1, 1, 1, 0);
+        shape.in_channels = 0;
+        assert!(matches!(
+            schedule_conv(&paper_bsc(), Precision::Int8, &shape),
+            Err(SystolicError::EmptyShape("in_channels"))
+        ));
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// A dense row-major integer matrix used for the systolic matrix engine.
+///
+/// # Example
+///
+/// ```
+/// use bsc_systolic::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+/// assert_eq!(m.get(1, 0), 3);
+/// assert_eq!(m.row(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows are not a matrix");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Builds an `rows × cols` matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, v: i64) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[i64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The exact product `self × other.transpose()`-free reference:
+    /// `out[m][n] = Σ_k self[m][k] · rhs[n][k]` (both operands row-major
+    /// with the contraction along columns, matching the systolic layout
+    /// where each PE holds one weight row).
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "contraction lengths must match");
+        Matrix::from_fn(self.rows, rhs.rows, |m, n| {
+            self.row(m).iter().zip(rhs.row(n)).map(|(&a, &b)| a * b).sum()
+        })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            writeln!(f, "{:?}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_nt_reference() {
+        let a = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let b = Matrix::from_rows(&[vec![5, 6], vec![7, 8]]);
+        let c = a.matmul_nt(&b);
+        // c[m][n] = Σ a[m][k] b[n][k]
+        assert_eq!(c.get(0, 0), 1 * 5 + 2 * 6);
+        assert_eq!(c.get(0, 1), 1 * 7 + 2 * 8);
+        assert_eq!(c.get(1, 0), 3 * 5 + 4 * 6);
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as i64);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        Matrix::zeros(1, 1).get(1, 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Gate-level netlist of the *whole* vector systolic PE array — the design
+//! the paper synthesizes for its Fig. 8(b) array numbers.
+//!
+//! Structure per Fig. 5:
+//!
+//! * a shared **feature port** (one vector per cycle) feeding PE 0's input
+//!   registers; each PE's registered features feed the next PE — the
+//!   feature pipeline *is* the chain of PE input buffers;
+//! * a shared **weight port** with one load-enable per PE: weight buffers
+//!   are enable registers (`q <= en ? d : q`) that hold their vector for
+//!   the whole tile once loaded with the 0..N-1 cycle skew;
+//! * one vector-MAC **datapath** per PE (BSC, LPC or HPS, instantiated via
+//!   [`bsc_mac::build_datapath`]) and a registered accumulator per PE.
+//!
+//! [`ArrayNetlist::run_matmul`] drives the netlist cycle by cycle exactly
+//! like [`crate::SystolicArray::matmul`] drives the behavioural model, so
+//! the two can be cross-checked output for output.
+
+use bsc_mac::{build_datapath, MacError, MacKind, OperandSide, Precision};
+use bsc_netlist::{Bus, Netlist, NodeId, Simulator};
+
+use crate::{Matrix, SystolicError};
+
+/// The gate-level systolic array with its port descriptors.
+#[derive(Debug)]
+pub struct ArrayNetlist {
+    netlist: Netlist,
+    kind: MacKind,
+    pes: usize,
+    vector_length: usize,
+    mode2: NodeId,
+    mode8: NodeId,
+    feature_port: Vec<Bus>,
+    weight_port: Vec<Bus>,
+    weight_load: Vec<NodeId>,
+    pe_outputs: Vec<Bus>,
+}
+
+/// Builds the gate-level array: `pes` processing elements, each with a
+/// vector MAC of `vector_length` element slots.
+///
+/// # Panics
+///
+/// Panics if `pes` or `vector_length` is zero.
+pub fn build_array(kind: MacKind, pes: usize, vector_length: usize) -> ArrayNetlist {
+    assert!(pes > 0, "array needs at least one PE");
+    assert!(vector_length > 0, "vector length must be positive");
+    let bits = kind.element_bits();
+    let mut n = Netlist::new();
+    let mode2 = n.input("mode2");
+    let mode8 = n.input("mode8");
+    let feature_port: Vec<Bus> =
+        (0..vector_length).map(|e| n.input_bus(&format!("f{e}"), bits)).collect();
+    let weight_port: Vec<Bus> =
+        (0..vector_length).map(|e| n.input_bus(&format!("w{e}"), bits)).collect();
+    let weight_load: Vec<NodeId> = (0..pes).map(|p| n.input(format!("wload{p}"))).collect();
+
+    let mut upstream: Vec<Bus> = feature_port.clone();
+    let mut pe_outputs = Vec::with_capacity(pes);
+    #[allow(clippy::needless_range_loop)]
+    for pe in 0..pes {
+        // Feature input buffer: plain pipeline registers.
+        let f_reg: Vec<Bus> = upstream.iter().map(|b| b.register(&mut n, false)).collect();
+        // Weight buffer: enable registers loaded from the shared port.
+        let w_reg: Vec<Bus> = weight_port
+            .iter()
+            .map(|b| {
+                b.bits()
+                    .iter()
+                    .map(|&d| n.dff_en(d, weight_load[pe], false))
+                    .collect::<Bus>()
+            })
+            .collect();
+        let out_comb = build_datapath(kind, &mut n, mode2, mode8, &w_reg, &f_reg);
+        let out_reg = out_comb.register(&mut n, false);
+        n.mark_output_bus(&format!("pe{pe}_acc"), &out_reg);
+        pe_outputs.push(out_reg);
+        upstream = f_reg;
+    }
+
+    ArrayNetlist {
+        netlist: n,
+        kind,
+        pes,
+        vector_length,
+        mode2,
+        mode8,
+        feature_port,
+        weight_port,
+        weight_load,
+        pe_outputs,
+    }
+}
+
+impl ArrayNetlist {
+    /// The underlying gate-level netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Architecture of the PEs.
+    pub fn kind(&self) -> MacKind {
+        self.kind
+    }
+
+    /// Number of PEs.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Vector length of each PE.
+    pub fn vector_length(&self) -> usize {
+        self.vector_length
+    }
+
+    /// Dot length in mode `p`.
+    pub fn dot_length(&self, p: Precision) -> usize {
+        self.vector_length * self.kind.fields_per_element(p)
+    }
+
+    fn write_vector(
+        &self,
+        sim: &mut Simulator<'_>,
+        port: &[Bus],
+        side: OperandSide,
+        p: Precision,
+        values: &[i64],
+    ) {
+        let fields = self.kind.fields_per_element(p);
+        for (e, bus) in port.iter().enumerate() {
+            let word = bsc_mac::pack_element_for_side(
+                self.kind,
+                p,
+                side,
+                &values[e * fields..(e + 1) * fields],
+            );
+            sim.write_bus_lane(bus, 0, word);
+        }
+    }
+
+    /// Runs one tile `O[m][n] = Σ_k features[m][k] · weights[n][k]` through
+    /// the gate-level array, cycle by cycle with the Fig. 5 weight skew,
+    /// and returns the output matrix (lane 0 of the simulator).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::SystolicArray::matmul`]'s shape errors and
+    /// propagates netlist failures.
+    pub fn run_matmul(
+        &self,
+        p: Precision,
+        features: &Matrix,
+        weights: &Matrix,
+    ) -> Result<Matrix, SystolicError> {
+        let k = self.dot_length(p);
+        if features.cols() != k {
+            return Err(SystolicError::FeatureWidthMismatch {
+                precision: p,
+                expected: k,
+                got: features.cols(),
+            });
+        }
+        if weights.cols() != k {
+            return Err(SystolicError::WeightWidthMismatch {
+                features: features.cols(),
+                weights: weights.cols(),
+            });
+        }
+        let n_rows = weights.rows();
+        if n_rows > self.pes {
+            return Err(SystolicError::TooManyWeightRows { pes: self.pes, got: n_rows });
+        }
+        for m in 0..features.rows() {
+            for &v in features.row(m) {
+                if !p.contains(v) {
+                    return Err(MacError::ValueOutOfRange { precision: p, value: v }.into());
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(&self.netlist).map_err(MacError::from)?;
+        sim.write(self.mode2, if p == Precision::Int2 { u64::MAX } else { 0 });
+        sim.write(self.mode8, if p == Precision::Int8 { u64::MAX } else { 0 });
+
+        let m_rows = features.rows();
+        let mut out = Matrix::zeros(m_rows, n_rows);
+        // PE n computes feature row m at cycle m + n (operands latch at the
+        // end of that cycle); its registered accumulator shows the value at
+        // cycle m + n + 2 (input regs + output reg).  Total drain:
+        // (m-1) + (n-1) + 2 cycles after the first.
+        let total = m_rows + n_rows;
+        for t in 0..total + 1 {
+            // Weight skew: assert wload[t] while presenting weight row t.
+            for (i, &en) in self.weight_load.iter().enumerate() {
+                sim.write(en, if i == t && t < n_rows { u64::MAX } else { 0 });
+            }
+            if t < n_rows {
+                self.write_vector(&mut sim, &self.weight_port, OperandSide::Weight, p, weights.row(t));
+            }
+            if t < m_rows {
+                self.write_vector(
+                    &mut sim,
+                    &self.feature_port,
+                    OperandSide::Activation,
+                    p,
+                    features.row(t),
+                );
+            } else {
+                // Park the feature port at zero during drain.
+                for bus in &self.feature_port {
+                    sim.write_bus_lane(bus, 0, 0);
+                }
+            }
+            sim.step();
+            sim.eval();
+            // Harvest accumulators: PE n shows row m = t - n - 1 after its
+            // output register (operands latched at cycle m + n, output
+            // registered one cycle later).
+            for (n_idx, acc) in self.pe_outputs.iter().enumerate() {
+                if t > n_idx {
+                    let m_idx = t - n_idx - 1;
+                    if m_idx < m_rows && n_idx < n_rows {
+                        out.set(m_idx, n_idx, sim.read_bus_signed_lane(acc, 0));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl ArrayNetlist {
+    /// Weight-stationary switching-activity characterization of the whole
+    /// array netlist: weights loaded once with the Fig. 5 skew, then
+    /// `steps` cycles of fresh random feature vectors — the ground truth
+    /// the analytic [`crate::energy::ArrayEnergyModel`] approximates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation failures.
+    pub fn characterize_weight_stationary(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+    ) -> Result<bsc_netlist::Activity, MacError> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut sim = Simulator::new(&self.netlist)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.write(self.mode2, if p == Precision::Int2 { u64::MAX } else { 0 });
+        sim.write(self.mode8, if p == Precision::Int8 { u64::MAX } else { 0 });
+        let fields = self.kind.fields_per_element(p);
+        let half = 1i64 << (p.bits() - 1);
+
+        // Load phase: one weight vector per PE with the skewed enables
+        // (all 64 simulation lanes get independent random weights).
+        for pe in 0..self.weight_load.len() {
+            for (j, &other) in self.weight_load.iter().enumerate() {
+                sim.write(other, if j == pe { u64::MAX } else { 0 });
+            }
+            for bus in &self.weight_port {
+                let vals: Vec<i64> = (0..bsc_netlist::SIM_LANES)
+                    .map(|_| {
+                        let f: Vec<i64> =
+                            (0..fields).map(|_| rng.gen_range(-half..half)).collect();
+                        crate::netlist::pack(self.kind, p, OperandSide::Weight, &f)
+                    })
+                    .collect();
+                sim.write_bus_packed(bus, &vals);
+            }
+            sim.step();
+        }
+        for &en in &self.weight_load {
+            sim.write(en, 0);
+        }
+
+        // Streaming phase: record activity with fresh features per cycle.
+        sim.eval();
+        let mut act = bsc_netlist::Activity::new(&sim);
+        for _ in 0..steps {
+            for bus in &self.feature_port {
+                // Randomize all 64 lanes of the feature port.
+                let vals: Vec<i64> = (0..bsc_netlist::SIM_LANES)
+                    .map(|_| {
+                        let f: Vec<i64> =
+                            (0..fields).map(|_| rng.gen_range(-half..half)).collect();
+                        crate::netlist::pack(self.kind, p, OperandSide::Activation, &f)
+                    })
+                    .collect();
+                sim.write_bus_packed(bus, &vals);
+            }
+            sim.step();
+            sim.eval();
+            act.record(&sim);
+        }
+        Ok(act)
+    }
+}
+
+fn pack(kind: MacKind, p: Precision, side: OperandSide, fields: &[i64]) -> i64 {
+    bsc_mac::pack_element(kind, p, side, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, SystolicArray};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, bits: u32) -> Matrix {
+        let half = 1i64 << (bits - 1);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-half..half))
+    }
+
+    #[test]
+    fn gate_level_array_matches_behavioural_model() {
+        let mut rng = StdRng::seed_from_u64(0xA44A7);
+        for kind in MacKind::ALL {
+            let (pes, length) = (3, 2);
+            let array = build_array(kind, pes, length);
+            let behavioural =
+                SystolicArray::new(ArrayConfig { pes, vector_length: length, kind });
+            for p in Precision::ALL {
+                let k = array.dot_length(p);
+                let features = random_matrix(&mut rng, 5, k, p.bits());
+                let weights = random_matrix(&mut rng, pes, k, p.bits());
+                let gate = array.run_matmul(p, &features, &weights).unwrap();
+                let beh = behavioural.matmul(p, &features, &weights).unwrap();
+                assert_eq!(gate, beh.output, "{kind} {p}");
+                assert_eq!(gate, features.matmul_nt(&weights), "{kind} {p} vs golden");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_buffers_hold_across_the_whole_tile() {
+        // A tall feature stream (many cycles after the load phase) still
+        // produces correct results: weights must persist in the enable
+        // registers.
+        let array = build_array(MacKind::Bsc, 2, 2);
+        let p = Precision::Int4;
+        let k = array.dot_length(p);
+        let mut rng = StdRng::seed_from_u64(3);
+        let features = random_matrix(&mut rng, 12, k, p.bits());
+        let weights = random_matrix(&mut rng, 2, k, p.bits());
+        let gate = array.run_matmul(p, &features, &weights).unwrap();
+        assert_eq!(gate, features.matmul_nt(&weights));
+    }
+
+    #[test]
+    fn array_netlist_scales_with_pe_count() {
+        let one = build_array(MacKind::Hps, 1, 2).netlist().stats().total_cells();
+        let four = build_array(MacKind::Hps, 4, 2).netlist().stats().total_cells();
+        assert!(four > 3 * one && four < 5 * one, "one {one}, four {four}");
+    }
+
+    #[test]
+    fn shape_errors_mirror_the_behavioural_api() {
+        let array = build_array(MacKind::Bsc, 2, 2);
+        let bad = array.run_matmul(Precision::Int8, &Matrix::zeros(1, 3), &Matrix::zeros(1, 3));
+        assert!(matches!(bad, Err(SystolicError::FeatureWidthMismatch { .. })));
+        let bad = array.run_matmul(Precision::Int8, &Matrix::zeros(1, 2), &Matrix::zeros(5, 2));
+        assert!(matches!(bad, Err(SystolicError::TooManyWeightRows { .. })));
+    }
+}
+
+#[cfg(test)]
+mod energy_validation {
+    use super::*;
+    use crate::energy::ArrayEnergyModel;
+    use crate::ArrayConfig;
+    use bsc_mac::ppa::CharacterizeConfig;
+    use bsc_synth::{analyze, CellLibrary, EffortModel};
+
+    /// The analytic array model (per-unit report × PEs + wire overhead)
+    /// must track a direct gate-level characterization of the full array
+    /// netlist: per-MAC energies within ~25%.
+    #[test]
+    fn analytic_array_model_tracks_gate_level_array() {
+        let (pes, length) = (3, 2);
+        let kind = MacKind::Bsc;
+        let p = Precision::Int4;
+        let lib = CellLibrary::smic28_like();
+        let effort = EffortModel::default();
+        let period = 2400.0;
+
+        // Gate-level: whole-array activity and PPA.
+        let array = build_array(kind, pes, length);
+        let act = array.characterize_weight_stationary(p, 48, 9).unwrap();
+        let macs_per_cycle = (pes * array.dot_length(p)) as f64;
+        let gate = analyze(array.netlist(), &act, &lib, &effort, period, macs_per_cycle)
+            .unwrap();
+
+        // Analytic: per-unit weight-stationary report scaled by the model.
+        let cfg = CharacterizeConfig { length, steps: 48, ..Default::default() };
+        let unit = bsc_mac::ppa::DesignCharacterization::new(kind, &cfg).unwrap();
+        let report = unit.at_period_weight_stationary(p, period).unwrap();
+        let model = ArrayEnergyModel::new(report, ArrayConfig { pes, vector_length: length, kind });
+        let analytic_e_mac = 2.0e3 / model.steady_state_tops_per_w();
+        let gate_e_mac = gate.energy_per_mac_fj;
+        let ratio = analytic_e_mac / gate_e_mac;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "analytic {analytic_e_mac:.1} fJ vs gate-level {gate_e_mac:.1} fJ (ratio {ratio:.2})"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! One processing element of the vector systolic array.
+
+use bsc_mac::{MacError, MacKind, Precision, VectorMac};
+
+/// A weight-stationary PE: an input buffer for the streaming feature
+/// vector, a held weight vector, one precision-scalable vector MAC, and an
+/// output buffer (paper Fig. 5).
+///
+/// # Example
+///
+/// ```
+/// use bsc_mac::{MacKind, Precision};
+/// use bsc_systolic::ProcessingElement;
+///
+/// # fn main() -> Result<(), bsc_mac::MacError> {
+/// let mut pe = ProcessingElement::new(MacKind::Bsc, 4);
+/// pe.load_weights(Precision::Int8, vec![1, 2, 3, 4])?;
+/// pe.latch_features(vec![1, 1, 1, 1]);
+/// let out = pe.fire(Precision::Int8)?;
+/// assert_eq!(out, Some(10));
+/// # Ok(())
+/// # }
+/// ```
+pub struct ProcessingElement {
+    mac: Box<dyn VectorMac>,
+    weights: Option<Vec<i64>>,
+    features: Option<Vec<i64>>,
+    output: Option<i64>,
+    busy_cycles: u64,
+}
+
+impl std::fmt::Debug for ProcessingElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessingElement")
+            .field("kind", &self.mac.kind())
+            .field("has_weights", &self.weights.is_some())
+            .field("has_features", &self.features.is_some())
+            .field("busy_cycles", &self.busy_cycles)
+            .finish()
+    }
+}
+
+impl ProcessingElement {
+    /// A PE wrapping a fresh vector MAC of the given architecture and
+    /// vector length.
+    pub fn new(kind: MacKind, vector_length: usize) -> Self {
+        ProcessingElement {
+            mac: bsc_mac::vector_mac(kind, vector_length),
+            weights: None,
+            features: None,
+            output: None,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Loads (and holds) the stationary weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length/range error when the vector does not fit the mode.
+    pub fn load_weights(&mut self, p: Precision, weights: Vec<i64>) -> Result<(), MacError> {
+        let n = self.mac.macs_per_cycle(p);
+        bsc_mac::golden::validate(p, n, &weights)?;
+        self.weights = Some(weights);
+        Ok(())
+    }
+
+    /// Latches the feature vector arriving from the previous PE this cycle,
+    /// returning the vector it replaces (which travels on to the next PE).
+    pub fn latch_features(&mut self, features: Vec<i64>) -> Option<Vec<i64>> {
+        self.features.replace(features)
+    }
+
+    /// Takes the outgoing feature vector without latching a new one (drain).
+    pub fn drain_features(&mut self) -> Option<Vec<i64>> {
+        self.features.take()
+    }
+
+    /// Computes one dot product from the held weights and latched features,
+    /// storing it in the output buffer.  Returns the result, or `None` when
+    /// either operand is missing (fill/drain bubbles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation errors from the MAC model.
+    pub fn fire(&mut self, p: Precision) -> Result<Option<i64>, MacError> {
+        let (Some(w), Some(x)) = (&self.weights, &self.features) else {
+            return Ok(None);
+        };
+        let out = self.mac.dot(p, w, x)?;
+        self.output = Some(out);
+        self.busy_cycles += 1;
+        Ok(Some(out))
+    }
+
+    /// The output buffer contents.
+    pub fn output(&self) -> Option<i64> {
+        self.output
+    }
+
+    /// Number of cycles this PE actually computed (for utilization).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Whether a weight vector is currently held.
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Clears weights, features and output for a new tile.
+    pub fn reset(&mut self) {
+        self.weights = None;
+        self.features = None;
+        self.output = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_without_weights_is_a_bubble() {
+        let mut pe = ProcessingElement::new(MacKind::Hps, 2);
+        pe.latch_features(vec![1, 1]);
+        assert_eq!(pe.fire(Precision::Int8).unwrap(), None);
+        assert_eq!(pe.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn latch_forwards_previous_vector() {
+        let mut pe = ProcessingElement::new(MacKind::Bsc, 2);
+        assert_eq!(pe.latch_features(vec![1, 2]), None);
+        assert_eq!(pe.latch_features(vec![3, 4]), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pe = ProcessingElement::new(MacKind::Lpc, 2);
+        pe.load_weights(Precision::Int8, vec![1, 1]).unwrap();
+        pe.latch_features(vec![2, 2]);
+        pe.fire(Precision::Int8).unwrap();
+        pe.reset();
+        assert!(!pe.has_weights());
+        assert_eq!(pe.output(), None);
+    }
+
+    #[test]
+    fn weight_validation_is_mode_aware() {
+        let mut pe = ProcessingElement::new(MacKind::Bsc, 2);
+        // 2-bit mode needs 16 operands for a length-2 BSC vector.
+        assert!(pe.load_weights(Precision::Int2, vec![1; 15]).is_err());
+        assert!(pe.load_weights(Precision::Int2, vec![1; 16]).is_ok());
+    }
+}

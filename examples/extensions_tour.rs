@@ -1,0 +1,89 @@
+//! Tour of the reproduction's extensions *beyond* the paper's scope:
+//!
+//! 1. **Asymmetric precision modes** (2b×4b, 4b×8b) — the BitFusion
+//!    feature the paper removed from its baselines, with exact functional
+//!    semantics and a brick-count energy estimate fitted to the symmetric
+//!    gate-level characterizations.
+//! 2. **SRAM memory hierarchy** — what the paper's datapath-only TOPS/W
+//!    leaves out: weight/feature buffer reads and partial-sum
+//!    read-modify-write traffic per layer.
+//! 3. **Dataflow ablation** — weight-stationary versus no-reuse weight
+//!    traffic on the same workload.
+//!
+//! ```sh
+//! cargo run --release --example extensions_tour
+//! ```
+
+use bsc_accel::{Accelerator, AcceleratorConfig};
+use bsc_mac::asym::{estimate_energy_per_mac_fj, lpc_dot, AsymMode};
+use bsc_mac::{MacKind, Precision};
+use bsc_systolic::energy::SramModel;
+use bsc_systolic::{Dataflow, Matrix, SystolicArray};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. asymmetric LPC modes -------------------------------------------
+    println!("== asymmetric precision (LPC extension) ==");
+    let weights = vec![1, -2, 1, 0, -1, 1, -2, 1]; // 2-bit codes
+    let acts = vec![7, -8, 3, 2, -5, 6, 1, -4]; // 4-bit codes
+    let dot = lpc_dot(AsymMode::W2A4, 1, &weights, &acts)?;
+    println!("W2A4 dot over 8 products: {dot}");
+
+    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Lpc))?;
+    let charac = accel.characterization();
+    let period = accel.config().period_ps;
+    let e2 = charac.at_period(Precision::Int2, period)?.energy_per_mac_fj;
+    let e4 = charac.at_period(Precision::Int4, period)?.energy_per_mac_fj;
+    let e8 = charac.at_period(Precision::Int8, period)?.energy_per_mac_fj;
+    for mode in AsymMode::ALL {
+        let est = estimate_energy_per_mac_fj(e2, e4, e8, mode)
+            .expect("symmetric characterizations are finite");
+        println!(
+            "{mode}: {} products/unit/cycle, estimated {est:.1} fJ/MAC \
+             (symmetric anchors: 2b {e2:.1}, 4b {e4:.1}, 8b {e8:.1})",
+            mode.products_per_lpc_unit()
+        );
+    }
+
+    // --- 2. SRAM hierarchy ---------------------------------------------------
+    println!("\n== SRAM hierarchy (energy the paper's scope excludes) ==");
+    let bsc = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc))?;
+    let net = bsc_nn::models::lenet5();
+    let rows = bsc.memory_report(&net, &SramModel::smic28_like())?;
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>8}",
+        "layer", "compute fJ", "weights fJ", "features fJ", "psum fJ", "mem %"
+    );
+    for (name, b) in &rows {
+        println!(
+            "{:<8} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>7.1}%",
+            name,
+            b.compute_fj,
+            b.weight_read_fj,
+            b.feature_read_fj,
+            b.psum_rw_fj,
+            100.0 * b.memory_fraction()
+        );
+    }
+
+    // --- 3. dataflow ablation -------------------------------------------------
+    println!("\n== dataflow ablation: weight-stationary vs no-reuse ==");
+    let config = bsc.config().array;
+    let array = SystolicArray::new(config);
+    let p = Precision::Int4;
+    let k = config.dot_length(p);
+    let f = Matrix::from_fn(64, k, |r, c| ((r + c) % 13) as i64 - 6);
+    let w = Matrix::from_fn(config.pes, k, |r, c| ((r * c) % 11) as i64 - 5);
+    let model = bsc.energy_model(p)?;
+    for (name, flow) in [
+        ("weight-stationary", Dataflow::WeightStationary),
+        ("no-reuse", Dataflow::NoReuse),
+    ] {
+        let run = array.matmul_with_dataflow(p, &f, &w, flow)?;
+        println!(
+            "{name:<18} weight loads {:>5}, energy {:>10.1} fJ",
+            run.stats.weight_loads,
+            model.run_energy_fj(&run.stats)
+        );
+    }
+    Ok(())
+}

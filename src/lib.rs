@@ -1,0 +1,12 @@
+//! Workspace-root helper crate: re-exports the reproduction's facade for
+//! the runnable examples under `examples/` and the integration tests under
+//! `tests/`.
+//!
+//! The actual library surface lives in [`bsc_accel`] and the crates it
+//! re-exports; see the repository README for the architecture overview.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bsc_accel as accel;
+pub use bsc_accel::{Accelerator, AcceleratorConfig};

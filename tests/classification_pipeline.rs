@@ -1,0 +1,79 @@
+//! End-to-end accuracy/energy trade-off: the synthetic classification task
+//! executed *on the systolic array*, across precisions — Fig. 1's promise
+//! (NAS picks the precision, the array delivers the efficiency) made
+//! measurable.
+
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::dataset::SyntheticTask;
+use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Classifies a batch on the array: samples as feature rows, per-class
+/// matched filters as weight rows, argmax over the output row.
+fn classify_on_array(
+    array: &SystolicArray,
+    p: Precision,
+    task: &SyntheticTask,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let filters = task.quantized_filters(p).expect("filters");
+    let wmat = Matrix::from_rows(&filters);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0usize;
+    let mut samples = Vec::with_capacity(trials);
+    let mut labels = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let (s, label) = task.sample(&mut rng);
+        // The task synthesizes 8-bit activations; requantize for narrower
+        // activation modes by dropping LSBs.
+        let shift = 8 - p.bits();
+        let row: Vec<i64> = s.as_slice().iter().map(|&v| v >> shift).collect();
+        samples.push(row);
+        labels.push(label);
+    }
+    let fmat = Matrix::from_rows(&samples);
+    let run = array.matmul_tiled(p, &fmat, &wmat).expect("array matmul");
+    for (m, &label) in labels.iter().enumerate() {
+        let predicted = (0..task.classes())
+            .max_by_key(|&c| run.output.get(m, c))
+            .expect("non-empty classes");
+        if predicted == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / trials as f64
+}
+
+#[test]
+fn array_classification_accuracy_is_monotone_in_precision() {
+    // Note the activations are also requantized per mode here, so this is
+    // a joint weight+activation precision study (harsher than the
+    // weight-only Table-I setting).
+    let task = SyntheticTask::new(8, 1, 8, 8, 50, 11);
+    let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc });
+    let a8 = classify_on_array(&array, Precision::Int8, &task, 120, 5);
+    let a4 = classify_on_array(&array, Precision::Int4, &task, 120, 5);
+    let a2 = classify_on_array(&array, Precision::Int2, &task, 120, 5);
+    assert!(a8 > 0.95, "8-bit should be near-perfect: {a8}");
+    assert!(a8 >= a4, "a8={a8} a4={a4}");
+    assert!(a4 >= a2, "a4={a4} a2={a2}");
+    assert!(a2 > 1.0 / 8.0, "2-bit still beats chance: {a2}");
+}
+
+#[test]
+fn all_designs_agree_on_classifications() {
+    // The three architectures compute the same dot products, so their
+    // classifications are identical sample for sample.
+    let task = SyntheticTask::new(6, 1, 6, 6, 40, 23);
+    let p = Precision::Int4;
+    let accs: Vec<f64> = MacKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let array =
+                SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind });
+            classify_on_array(&array, p, &task, 60, 9)
+        })
+        .collect();
+    assert!(accs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12), "{accs:?}");
+}

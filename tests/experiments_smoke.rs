@@ -1,0 +1,111 @@
+//! Smoke tests of the full experiment harness on the quick workbench:
+//! every figure driver must produce data with the paper's orderings.
+
+use bsc_bench::{experiments, Workbench};
+use bsc_mac::{MacKind, Precision};
+
+fn workbench() -> Workbench {
+    Workbench::quick().expect("characterization")
+}
+
+#[test]
+fn fig7_sweep_covers_designs_and_shows_monotone_power() {
+    let wb = workbench();
+    let pts = experiments::fig7_sweep(&wb);
+    for kind in MacKind::ALL {
+        for p in Precision::ALL {
+            let series: Vec<&experiments::SweepPoint> = pts
+                .iter()
+                .filter(|x| x.kind == kind && x.precision == p)
+                .collect();
+            assert!(series.len() >= 6, "{kind} {p}: {}", series.len());
+            // Power must fall monotonically as the clock relaxes.
+            for w in series.windows(2) {
+                assert!(
+                    w[1].total_power_mw < w[0].total_power_mw,
+                    "{kind} {p} at {} ps",
+                    w[1].period_ps
+                );
+            }
+        }
+    }
+    let text = experiments::render_fig7a(&pts);
+    assert!(text.contains("BSC") && text.contains("500 MHz"));
+    assert!(experiments::render_fig7b(&pts).contains("TOPS/mm2"));
+}
+
+#[test]
+fn fig8a_orderings_match_paper() {
+    let wb = workbench();
+    let rows = experiments::fig8a(&wb).expect("fig8a");
+    let get = |k: MacKind, p: Precision| {
+        rows.iter()
+            .find(|r| r.kind == k && r.precision == p)
+            .unwrap()
+            .tops_per_w
+    };
+    for p in Precision::ALL {
+        // BSC wins every mode.
+        assert!(get(MacKind::Bsc, p) > get(MacKind::Lpc, p), "{p}");
+        assert!(get(MacKind::Bsc, p) > get(MacKind::Hps, p), "{p}");
+    }
+    // LPC beats HPS at 2-bit; HPS beats LPC at 4- and 8-bit (Fig. 8a).
+    assert!(get(MacKind::Lpc, Precision::Int2) > get(MacKind::Hps, Precision::Int2));
+    assert!(get(MacKind::Hps, Precision::Int4) > get(MacKind::Lpc, Precision::Int4));
+    assert!(get(MacKind::Hps, Precision::Int8) > get(MacKind::Lpc, Precision::Int8));
+    assert!(experiments::render_fig8a(&rows).contains("BSC/LPC"));
+}
+
+#[test]
+fn fig8b_array_keeps_vector_orderings() {
+    let wb = workbench();
+    let rows = experiments::fig8b(&wb).expect("fig8b");
+    assert_eq!(rows.len(), 9);
+    for p in Precision::ALL {
+        let get = |k: MacKind| {
+            rows.iter()
+                .find(|r| r.kind == k && r.precision == p)
+                .unwrap()
+                .tops_per_w
+        };
+        assert!(get(MacKind::Bsc) > get(MacKind::Lpc), "{p}");
+        assert!(get(MacKind::Bsc) > get(MacKind::Hps), "{p}");
+    }
+    assert!(experiments::render_fig8b(&rows).contains("paper BSC array"));
+}
+
+#[test]
+fn fig9_bsc_wins_every_benchmark_and_lenet_has_smallest_lpc_ratio() {
+    let wb = workbench();
+    let rows = experiments::fig9(&wb).expect("fig9");
+    assert_eq!(rows.len(), 12);
+    let get = |name: &str, k: MacKind| {
+        rows.iter()
+            .find(|r| r.network == name && r.kind == k)
+            .unwrap()
+            .tops_per_w
+    };
+    let mut lpc_ratios = Vec::new();
+    for name in ["VGG-16", "LeNet-5", "ResNet-18", "NAS-Based"] {
+        let b = get(name, MacKind::Bsc);
+        assert!(b > get(name, MacKind::Lpc), "{name}");
+        assert!(b > get(name, MacKind::Hps), "{name}");
+        lpc_ratios.push((name, b / get(name, MacKind::Lpc)));
+    }
+    // Paper Fig. 9 ordering: LeNet-5 (2-bit heavy, where LPC is strongest)
+    // has the smallest BSC/LPC ratio of the four benchmarks.
+    let lenet = lpc_ratios.iter().find(|(n, _)| *n == "LeNet-5").unwrap().1;
+    for &(name, r) in &lpc_ratios {
+        if name != "LeNet-5" {
+            assert!(lenet <= r, "LeNet ratio {lenet:.2} vs {name} {r:.2}");
+        }
+    }
+    assert!(experiments::render_fig9(&rows).contains("paper BSC"));
+}
+
+#[test]
+fn table1_renders_with_paper_reference() {
+    let text = experiments::render_table1();
+    assert!(text.contains("VGG-16"));
+    assert!(text.contains("paper"));
+}

@@ -1,0 +1,96 @@
+//! The EDA artifact exports (Verilog, testbench, VCD, SAIF) for every
+//! design: structural completeness checks on the real MAC netlists.
+
+use bsc_mac::{build_netlist, tb_gen, MacKind, Precision};
+use bsc_netlist::{saif, vcd::VcdRecorder, verilog, Activity, Simulator};
+
+#[test]
+fn verilog_export_declares_every_port_for_every_design() {
+    for kind in MacKind::ALL {
+        let mac = build_netlist(kind, 2);
+        let module = format!("{}_l2", kind.to_string().to_lowercase());
+        let v = verilog::to_verilog(mac.netlist(), &module);
+        assert!(v.contains(&format!("module {module}")), "{kind}");
+        assert!(v.contains("input mode2;"), "{kind}");
+        assert!(v.contains("input clk;"), "{kind}: registered design needs a clock");
+        let bits = kind.element_bits();
+        for e in 0..2 {
+            for b in [0, bits - 1] {
+                assert!(v.contains(&format!("input w{e}_{b}_;")), "{kind} w{e}[{b}]");
+                assert!(v.contains(&format!("input a{e}_{b}_;")), "{kind} a{e}[{b}]");
+            }
+        }
+        for b in [0, 23] {
+            assert!(v.contains(&format!("output acc_{b}_;")), "{kind} acc[{b}]");
+        }
+        // Cell counts in the export match the live netlist.
+        let stats = mac.netlist().stats();
+        let always_blocks = v.matches("<=").count();
+        // Each flop appears twice in the always block (reset + data).
+        assert_eq!(always_blocks, 2 * stats.flops(), "{kind}");
+    }
+}
+
+#[test]
+fn testbench_pairs_with_export_for_every_design() {
+    for kind in MacKind::ALL {
+        let mac = build_netlist(kind, 2);
+        let module = format!("{}_l2", kind.to_string().to_lowercase());
+        let vectors = tb_gen::generate_vectors(&mac, 2, 3);
+        let tb = tb_gen::to_verilog_testbench(&mac, &module, &vectors);
+        assert!(tb.contains(&format!("{module} dut (")), "{kind}");
+        assert!(tb.contains("ALL 6 VECTORS PASSED"), "{kind}");
+    }
+}
+
+#[test]
+fn vcd_and_saif_capture_a_real_mac_run() {
+    let mac = build_netlist(MacKind::Bsc, 2);
+    let mut sim = Simulator::new(mac.netlist()).unwrap();
+    mac.set_mode(&mut sim, Precision::Int4);
+
+    let mut rec = VcdRecorder::new("bsc_l2");
+    rec.watch_bus(mac.weights().first().unwrap(), "w0");
+    sim.eval();
+    let mut act = Activity::new(&sim);
+    rec.sample(&sim, 0);
+
+    let n = mac.macs_per_cycle(Precision::Int4);
+    for step in 0..4 {
+        let w: Vec<i64> = (0..n).map(|i| ((i as i64 + step) % 8) - 4).collect();
+        let a: Vec<i64> = (0..n).map(|i| ((i as i64 * 3 + step) % 8) - 4).collect();
+        mac.write_vector_lane(&mut sim, 0, Precision::Int4, &w, &a).unwrap();
+        sim.step();
+        sim.eval();
+        act.record(&sim);
+        rec.sample(&sim, 0);
+    }
+
+    let vcd_doc = rec.render(2000);
+    assert!(vcd_doc.contains("$var wire 1"));
+    assert!(vcd_doc.contains("#8000"), "five samples at 2 ns steps");
+
+    let saif_doc = saif::to_saif(mac.netlist(), &act, "bsc_l2", 2000);
+    assert!(saif_doc.contains("(SAIFILE"));
+    assert!(saif_doc.contains("(DURATION 512000)")); // 4 records × 64 lanes × 2000 ps
+    // Hotspots exist: something toggled.
+    let hot = act.hottest_nets(5);
+    assert!(!hot.is_empty() && hot[0].1 > 0);
+}
+
+#[test]
+fn lec_proves_exported_designs_against_rebuilds() {
+    // Building the same design twice produces structurally identical
+    // netlists; the equivalence checker agrees (sequential-aware compare).
+    for kind in MacKind::ALL {
+        let a = build_netlist(kind, 2);
+        let b = build_netlist(kind, 2);
+        let report = bsc_netlist::lec::check(
+            a.netlist(),
+            b.netlist(),
+            &bsc_netlist::lec::LecConfig { random_vectors: 512, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.equivalent, "{kind}");
+    }
+}

@@ -1,0 +1,100 @@
+//! A full ResNet basic block (conv–relu–conv + residual add) computed both
+//! with the golden operators and through the systolic matrix engine.
+
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::ops::{self, ConvWeights};
+use bsc_nn::Tensor;
+use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn conv_on_array(
+    array: &SystolicArray,
+    p: Precision,
+    input: &Tensor,
+    weights: &ConvWeights,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let (feat, wmat) = ops::im2col(input, weights, stride, padding);
+    let run = array
+        .matmul_tiled(p, &Matrix::from_rows(&feat), &Matrix::from_rows(&wmat))
+        .expect("tiled matmul");
+    let out_h = (input.height() + 2 * padding - weights.kh) / stride + 1;
+    let out_w = (input.width() + 2 * padding - weights.kw) / stride + 1;
+    Tensor::from_fn(weights.out_c, out_h, out_w, |o, y, x| {
+        run.output.get(y * out_w + x, o)
+    })
+}
+
+fn requant(t: &Tensor, shift: u32, p: Precision) -> Tensor {
+    let r = p.value_range();
+    let mut out = ops::relu(t);
+    out.map_inplace(|v| (v >> shift).clamp(r.start, r.end - 1));
+    out
+}
+
+#[test]
+fn resnet_basic_block_matches_golden_path() {
+    let p = Precision::Int4;
+    let mut rng = StdRng::seed_from_u64(1234);
+    let r = p.value_range();
+    let mut w = |out_c: usize, in_c: usize, k: usize| ConvWeights {
+        out_c,
+        in_c,
+        kh: k,
+        kw: k,
+        data: (0..out_c * in_c * k * k).map(|_| rng.gen_range(r.clone())).collect(),
+    };
+
+    let input = Tensor::random(4, 8, 8, p.value_range(), 9);
+    let w1 = w(4, 4, 3);
+    let w2 = w(4, 4, 3);
+
+    // Golden: y = conv2(requant(conv1(x))) + x  (identity shortcut).
+    let c1 = ops::conv2d(&input, &w1, 1, 1).unwrap();
+    let a1 = requant(&c1, 3, p);
+    let c2 = ops::conv2d(&a1, &w2, 1, 1).unwrap();
+    let golden = ops::add(&c2, &input).unwrap();
+
+    // Systolic path with the same arithmetic.
+    let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc });
+    let s1 = conv_on_array(&array, p, &input, &w1, 1, 1);
+    assert_eq!(s1, c1, "conv1 must match");
+    let sa1 = requant(&s1, 3, p);
+    let s2 = conv_on_array(&array, p, &sa1, &w2, 1, 1);
+    let systolic = ops::add(&s2, &input).unwrap();
+
+    assert_eq!(systolic, golden, "whole residual block must match");
+}
+
+#[test]
+fn strided_downsample_block_matches() {
+    let p = Precision::Int8;
+    let mut rng = StdRng::seed_from_u64(77);
+    let r = p.value_range();
+    let input = Tensor::random(2, 8, 8, p.value_range(), 3);
+    let main_w = ConvWeights {
+        out_c: 4,
+        in_c: 2,
+        kh: 3,
+        kw: 3,
+        data: (0..4 * 2 * 9).map(|_| rng.gen_range(r.clone())).collect(),
+    };
+    let ds_w = ConvWeights {
+        out_c: 4,
+        in_c: 2,
+        kh: 1,
+        kw: 1,
+        data: (0..4 * 2).map(|_| rng.gen_range(r.clone())).collect(),
+    };
+    let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Hps });
+
+    let main_g = ops::conv2d(&input, &main_w, 2, 1).unwrap();
+    let ds_g = ops::conv2d(&input, &ds_w, 2, 0).unwrap();
+    let golden = ops::add(&main_g, &ds_g).unwrap();
+
+    let main_s = conv_on_array(&array, p, &input, &main_w, 2, 1);
+    let ds_s = conv_on_array(&array, p, &input, &ds_w, 2, 0);
+    let systolic = ops::add(&main_s, &ds_s).unwrap();
+    assert_eq!(systolic, golden);
+}

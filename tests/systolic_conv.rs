@@ -1,0 +1,120 @@
+//! Integration of the convolution mapping (Fig. 6): golden `conv2d`
+//! against im2col + the cycle-accurate tiled systolic matrix engine, for
+//! every design and precision mode.
+
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::ops::{self, ConvWeights};
+use bsc_nn::Tensor;
+use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_conv(
+    rng: &mut StdRng,
+    p: Precision,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+) -> ConvWeights {
+    let r = p.value_range();
+    ConvWeights {
+        out_c,
+        in_c,
+        kh: k,
+        kw: k,
+        data: (0..out_c * in_c * k * k).map(|_| rng.gen_range(r.clone())).collect(),
+    }
+}
+
+fn check_conv(
+    kind: MacKind,
+    p: Precision,
+    in_c: usize,
+    out_c: usize,
+    hw: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = Tensor::random(in_c, hw, hw, p.value_range(), seed ^ 1);
+    let weights = random_conv(&mut rng, p, in_c, out_c, k);
+    let golden = ops::conv2d(&input, &weights, stride, padding).unwrap();
+
+    let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind });
+    let (feat, wmat) = ops::im2col(&input, &weights, stride, padding);
+    let run = array
+        .matmul_tiled(p, &Matrix::from_rows(&feat), &Matrix::from_rows(&wmat))
+        .unwrap();
+
+    for (m, _) in feat.iter().enumerate() {
+        let (oy, ox) = (m / golden.width(), m % golden.width());
+        for o in 0..out_c {
+            assert_eq!(
+                run.output.get(m, o),
+                golden.get(o, oy, ox),
+                "{kind} {p} pixel ({oy},{ox}) channel {o}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv3x3_padded_matches_on_all_designs_and_modes() {
+    for kind in MacKind::ALL {
+        for p in Precision::ALL {
+            check_conv(kind, p, 3, 5, 6, 3, 1, 1, 42);
+        }
+    }
+}
+
+#[test]
+fn strided_conv_matches() {
+    for kind in MacKind::ALL {
+        check_conv(kind, Precision::Int4, 4, 6, 8, 3, 2, 1, 43);
+    }
+}
+
+#[test]
+fn conv1x1_pointwise_matches() {
+    for kind in MacKind::ALL {
+        check_conv(kind, Precision::Int8, 8, 3, 5, 1, 1, 0, 44);
+    }
+}
+
+#[test]
+fn conv5x5_unpadded_matches() {
+    check_conv(MacKind::Bsc, Precision::Int2, 2, 4, 9, 5, 1, 0, 45);
+}
+
+#[test]
+fn pipeline_conv_pool_fc_matches_reference() {
+    // A miniature two-layer pipeline entirely on the array vs the golden
+    // operators, with requantization between layers.
+    let p = Precision::Int4;
+    let mut rng = StdRng::seed_from_u64(46);
+    let input = Tensor::random(2, 8, 8, p.value_range(), 47);
+    let w1 = random_conv(&mut rng, p, 2, 4, 3);
+    let golden1 = ops::conv2d(&input, &w1, 1, 1).unwrap();
+    let mut act = ops::relu(&golden1);
+    let r = p.value_range();
+    act.map_inplace(|v| (v >> 3).clamp(r.start, r.end - 1));
+    let act = ops::maxpool2(&act);
+
+    let fan_in = act.len();
+    let w_fc: Vec<i64> = (0..10 * fan_in).map(|_| rng.gen_range(r.clone())).collect();
+    let golden_fc = ops::fully_connected(&act, &w_fc, 10).unwrap();
+
+    let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Hps });
+    let w_rows: Vec<Vec<i64>> = w_fc.chunks(fan_in).map(<[i64]>::to_vec).collect();
+    let run = array
+        .matmul_tiled(
+            p,
+            &Matrix::from_rows(&[act.as_slice().to_vec()]),
+            &Matrix::from_rows(&w_rows),
+        )
+        .unwrap();
+    for o in 0..10 {
+        assert_eq!(run.output.get(0, o), golden_fc.get(o, 0, 0));
+    }
+}

@@ -1,0 +1,78 @@
+//! DVFS extension across the full flow: the BSC-versus-baseline orderings
+//! must survive supply-voltage scaling (an edge deployment knob the paper
+//! does not explore).
+
+use bsc_mac::ppa::CharacterizeConfig;
+use bsc_mac::{build_netlist, MacKind, Precision};
+use bsc_synth::voltage::{scaled_library, VoltageModel};
+use bsc_synth::{analyze, CellLibrary, EffortModel};
+
+#[test]
+fn design_orderings_hold_across_voltages() {
+    let cfg = CharacterizeConfig::quick(4);
+    let nominal = CellLibrary::smic28_like();
+    let vm = VoltageModel::smic28_like();
+    let effort = EffortModel::default();
+    let p = Precision::Int4;
+
+    for v in [0.9, 0.7, 0.6] {
+        let lib = scaled_library(&nominal, &vm, v).unwrap();
+        let mut effs = Vec::new();
+        for kind in MacKind::ALL {
+            let mac = build_netlist(kind, cfg.length);
+            let act = mac.characterize(p, cfg.steps, cfg.seed).unwrap();
+            let min_ps = bsc_synth::timing::min_period_ps(mac.netlist(), &lib).unwrap();
+            let r = analyze(
+                mac.netlist(),
+                &act,
+                &lib,
+                &effort,
+                min_ps * 1.5,
+                mac.macs_per_cycle(p) as f64,
+            )
+            .unwrap();
+            effs.push((kind, r.tops_per_w));
+        }
+        let get = |k: MacKind| effs.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert!(
+            get(MacKind::Bsc) > get(MacKind::Lpc) && get(MacKind::Bsc) > get(MacKind::Hps),
+            "at {v} V: {effs:?}"
+        );
+    }
+}
+
+#[test]
+fn undervolting_improves_efficiency_for_every_design() {
+    let cfg = CharacterizeConfig::quick(4);
+    let nominal = CellLibrary::smic28_like();
+    let vm = VoltageModel::smic28_like();
+    let effort = EffortModel::default();
+    let p = Precision::Int8;
+
+    for kind in MacKind::ALL {
+        let mac = build_netlist(kind, cfg.length);
+        let act = mac.characterize(p, cfg.steps, cfg.seed).unwrap();
+        let eff_at = |v: f64| {
+            let lib = scaled_library(&nominal, &vm, v).unwrap();
+            let min_ps = bsc_synth::timing::min_period_ps(mac.netlist(), &lib).unwrap();
+            analyze(
+                mac.netlist(),
+                &act,
+                &lib,
+                &effort,
+                min_ps * 1.5,
+                mac.macs_per_cycle(p) as f64,
+            )
+            .unwrap()
+        };
+        let nominal_r = eff_at(0.9);
+        let low_r = eff_at(0.65);
+        assert!(
+            low_r.tops_per_w > nominal_r.tops_per_w,
+            "{kind}: {:.2} vs {:.2} TOPS/W",
+            low_r.tops_per_w,
+            nominal_r.tops_per_w
+        );
+        assert!(low_r.tops < nominal_r.tops, "{kind}: throughput must drop");
+    }
+}
