@@ -10,12 +10,11 @@
 //! 3. **2-bit gating in the bit-split unit** — switching energy in 2-bit
 //!    mode versus 4-bit mode on the same hardware.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bsc_bench::timing::Group;
 use bsc_mac::bsc::BscVector;
 use bsc_mac::Precision;
 
-fn bench_same_shift_ablation(c: &mut Criterion) {
+fn bench_same_shift_ablation() {
     let v = BscVector::new(8);
     let shared = v.build_netlist();
     let per_element = v.build_netlist_per_element();
@@ -23,49 +22,34 @@ fn bench_same_shift_ablation(c: &mut Criterion) {
     let mux = |m: &bsc_mac::MacNetlist| m.netlist().stats().count(bsc_netlist::GateKind::Mux);
     assert!(mux(&per_element) > mux(&shared));
 
-    let mut group = c.benchmark_group("ablation_same_shift");
-    group.sample_size(10);
-    group.bench_function("same_shift", |b| {
-        b.iter(|| shared.characterize(Precision::Int4, 4, 3).unwrap())
-    });
-    group.bench_function("per_element", |b| {
-        b.iter(|| per_element.characterize(Precision::Int4, 4, 3).unwrap())
-    });
-    group.finish();
+    let mut group = Group::new("ablation_same_shift");
+    group.sample_size(5);
+    group.bench("same_shift", || shared.characterize(Precision::Int4, 4, 3).unwrap());
+    group.bench("per_element", || per_element.characterize(Precision::Int4, 4, 3).unwrap());
 }
 
-fn bench_weight_stationary_ablation(c: &mut Criterion) {
+fn bench_weight_stationary_ablation() {
     let v = BscVector::new(8);
     let mac = v.build_netlist();
-    let mut group = c.benchmark_group("ablation_weight_stationary");
-    group.sample_size(10);
-    group.bench_function("weights_held", |b| {
-        b.iter(|| mac.characterize_weight_stationary(Precision::Int4, 4, 3).unwrap())
+    let mut group = Group::new("ablation_weight_stationary");
+    group.sample_size(5);
+    group.bench("weights_held", || {
+        mac.characterize_weight_stationary(Precision::Int4, 4, 3).unwrap()
     });
-    group.bench_function("weights_streaming", |b| {
-        b.iter(|| mac.characterize(Precision::Int4, 4, 3).unwrap())
-    });
-    group.finish();
+    group.bench("weights_streaming", || mac.characterize(Precision::Int4, 4, 3).unwrap());
 }
 
-fn bench_gating_ablation(c: &mut Criterion) {
+fn bench_gating_ablation() {
     let v = BscVector::new(8);
     let mac = v.build_netlist();
-    let mut group = c.benchmark_group("ablation_2bit_gating");
-    group.sample_size(10);
-    group.bench_function("mode_2bit_gated", |b| {
-        b.iter(|| mac.characterize(Precision::Int2, 4, 3).unwrap())
-    });
-    group.bench_function("mode_4bit_full", |b| {
-        b.iter(|| mac.characterize(Precision::Int4, 4, 3).unwrap())
-    });
-    group.finish();
+    let mut group = Group::new("ablation_2bit_gating");
+    group.sample_size(5);
+    group.bench("mode_2bit_gated", || mac.characterize(Precision::Int2, 4, 3).unwrap());
+    group.bench("mode_4bit_full", || mac.characterize(Precision::Int4, 4, 3).unwrap());
 }
 
-criterion_group!(
-    benches,
-    bench_same_shift_ablation,
-    bench_weight_stationary_ablation,
-    bench_gating_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_same_shift_ablation();
+    bench_weight_stationary_ablation();
+    bench_gating_ablation();
+}

@@ -5,33 +5,20 @@
 //! the measured body is the PPA evaluation across the sweep, which is what
 //! the harness re-runs per figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bsc_bench::timing::Group;
 use bsc_bench::{experiments, Workbench};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     let wb = Workbench::quick().expect("characterization");
-    c.bench_function("fig7/sweep_eval", |b| {
-        b.iter(|| {
-            let pts = experiments::fig7_sweep(&wb);
-            assert!(!pts.is_empty());
-            pts
-        })
-    });
-    c.bench_function("fig7/render", |b| {
+    let mut group = Group::new("fig7");
+    group.sample_size(10);
+    group.bench("sweep_eval", || {
         let pts = experiments::fig7_sweep(&wb);
-        b.iter(|| {
-            (
-                experiments::render_fig7a(&pts),
-                experiments::render_fig7b(&pts),
-            )
-        })
+        assert!(!pts.is_empty());
+        pts
+    });
+    let pts = experiments::fig7_sweep(&wb);
+    group.bench("render", || {
+        (experiments::render_fig7a(&pts), experiments::render_fig7b(&pts))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fig7
-}
-criterion_main!(benches);

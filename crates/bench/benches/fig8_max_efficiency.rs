@@ -1,23 +1,13 @@
 //! Bench regenerating Fig. 8 (a and b): maximum vector-level and
 //! array-level energy efficiencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bsc_bench::timing::Group;
 use bsc_bench::{experiments, Workbench};
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let wb = Workbench::quick().expect("characterization");
-    c.bench_function("fig8a/max_vector_efficiency", |b| {
-        b.iter(|| experiments::fig8a(&wb).expect("fig8a"))
-    });
-    c.bench_function("fig8b/array_efficiency", |b| {
-        b.iter(|| experiments::fig8b(&wb).expect("fig8b"))
-    });
+    let mut group = Group::new("fig8");
+    group.sample_size(10);
+    group.bench("fig8a_max_vector_efficiency", || experiments::fig8a(&wb).expect("fig8a"));
+    group.bench("fig8b_array_efficiency", || experiments::fig8b(&wb).expect("fig8b"));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fig8
-}
-criterion_main!(benches);

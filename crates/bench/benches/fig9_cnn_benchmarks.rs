@@ -2,24 +2,16 @@
 //! multi-precision CNN benchmarks on all three arrays, including the full
 //! Fig. 6 layer mapping.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bsc_bench::timing::Group;
 use bsc_bench::{experiments, Workbench};
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let wb = Workbench::quick().expect("characterization");
-    c.bench_function("fig9/all_benchmarks_all_designs", |b| {
-        b.iter(|| {
-            let rows = experiments::fig9(&wb).expect("fig9");
-            assert_eq!(rows.len(), 12);
-            rows
-        })
+    let mut group = Group::new("fig9");
+    group.sample_size(5);
+    group.bench("all_benchmarks_all_designs", || {
+        let rows = experiments::fig9(&wb).expect("fig9");
+        assert_eq!(rows.len(), 12);
+        rows
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig9
-}
-criterion_main!(benches);

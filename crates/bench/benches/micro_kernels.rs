@@ -1,83 +1,66 @@
 //! Micro-benchmarks of the core kernels: functional vector-MAC dot
 //! products, gate-level simulation throughput, and the cycle-accurate
-//! systolic matmul.
+//! systolic matmul.  Self-timed via [`bsc_bench::timing`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::StdRng, Rng, SeedableRng};
-
-use bsc_mac::{vector_mac, MacKind, Precision};
+use bsc_bench::timing::Group;
+use bsc_mac::{vector_mac, MacKind, Precision, Rng64};
 use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
 
-fn random_ops(rng: &mut StdRng, bits: u32, len: usize) -> Vec<i64> {
+fn random_ops(rng: &mut Rng64, bits: u32, len: usize) -> Vec<i64> {
     let half = 1i64 << (bits - 1);
     (0..len).map(|_| rng.gen_range(-half..half)).collect()
 }
 
-fn bench_functional_dot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_dot_L32");
-    let mut rng = StdRng::seed_from_u64(1);
+fn bench_functional_dot() {
+    let mut group = Group::new("functional_dot_L32");
+    group.sample_size(50);
+    let mut rng = Rng64::seed_from_u64(1);
     for kind in MacKind::ALL {
         let mac = vector_mac(kind, 32);
         for p in Precision::ALL {
             let n = mac.macs_per_cycle(p);
             let w = random_ops(&mut rng, p.bits(), n);
             let a = random_ops(&mut rng, p.bits(), n);
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), p.to_string()),
-                &(w, a),
-                |b, (w, a)| b.iter(|| mac.dot(p, w, a).unwrap()),
-            );
+            group.bench(&format!("{kind}/{p}"), || mac.dot(p, &w, &a).unwrap());
         }
     }
-    group.finish();
 }
 
-fn bench_gate_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_sim_eval_L8");
-    group.sample_size(20);
+fn bench_gate_sim() {
+    let mut group = Group::new("gate_sim_eval_L8");
+    group.sample_size(10);
     for kind in MacKind::ALL {
         let mac = bsc_mac::build_netlist(kind, 8);
-        group.bench_function(kind.to_string(), |b| {
-            b.iter(|| mac.characterize(Precision::Int4, 4, 7).unwrap())
-        });
+        group.bench(&kind.to_string(), || mac.characterize(Precision::Int4, 4, 7).unwrap());
     }
-    group.finish();
 }
 
-fn bench_systolic_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("systolic_matmul_32x32");
-    group.sample_size(20);
-    let mut rng = StdRng::seed_from_u64(5);
+fn bench_systolic_matmul() {
+    let mut group = Group::new("systolic_matmul_32x32");
+    group.sample_size(10);
+    let mut rng = Rng64::seed_from_u64(5);
     for kind in MacKind::ALL {
         let config = ArrayConfig::paper(kind);
         let array = SystolicArray::new(config);
         let k = config.dot_length(Precision::Int8);
-        let f = Matrix::from_fn(32, k, |_, _| rng.gen_range(-128..128));
-        let w = Matrix::from_fn(32, k, |_, _| rng.gen_range(-128..128));
-        group.bench_function(kind.to_string(), |b| {
-            b.iter(|| array.matmul(Precision::Int8, &f, &w).unwrap())
-        });
+        let f = Matrix::from_fn(32, k, |_, _| rng.gen_range(-128i64..128));
+        let w = Matrix::from_fn(32, k, |_, _| rng.gen_range(-128i64..128));
+        group.bench(&kind.to_string(), || array.matmul(Precision::Int8, &f, &w).unwrap());
     }
-    group.finish();
 }
 
-fn bench_array_netlist(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_level_array");
-    group.sample_size(10);
-    group.bench_function("build_bsc_4x8", |b| {
-        b.iter(|| bsc_systolic::netlist::build_array(MacKind::Bsc, 4, 8))
-    });
+fn bench_array_netlist() {
+    let mut group = Group::new("gate_level_array");
+    group.sample_size(5);
+    group.bench("build_bsc_4x8", || bsc_systolic::netlist::build_array(MacKind::Bsc, 4, 8));
     let array = bsc_systolic::netlist::build_array(MacKind::Bsc, 2, 2);
     let k = array.dot_length(Precision::Int4);
     let f = Matrix::from_fn(6, k, |r, c| ((r + c) % 13) as i64 - 6);
     let w = Matrix::from_fn(2, k, |r, c| ((r * c) % 11) as i64 - 5);
-    group.bench_function("run_matmul_bsc_2x2", |b| {
-        b.iter(|| array.run_matmul(Precision::Int4, &f, &w).unwrap())
-    });
-    group.finish();
+    group.bench("run_matmul_bsc_2x2", || array.run_matmul(Precision::Int4, &f, &w).unwrap());
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     use bsc_accel::compiler::{compile_conv, execute};
     use bsc_systolic::mapping::ConvShape;
     let config = ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc };
@@ -85,7 +68,7 @@ fn bench_compiler(c: &mut Criterion) {
     let shape = ConvShape::conv(8, 6, 8, 8, 3, 1, 1);
     let p = Precision::Int4;
     let input = bsc_nn::Tensor::random(8, 8, 8, p.value_range(), 4);
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Rng64::seed_from_u64(4);
     let r = p.value_range();
     let weights = bsc_nn::ops::ConvWeights {
         out_c: 6,
@@ -94,40 +77,31 @@ fn bench_compiler(c: &mut Criterion) {
         kw: 3,
         data: (0..6 * 8 * 9).map(|_| rng.gen_range(r.clone())).collect(),
     };
-    let mut group = c.benchmark_group("tile_compiler");
-    group.sample_size(20);
-    group.bench_function("compile", |b| {
-        b.iter(|| compile_conv(&config, p, &shape).unwrap())
-    });
+    let mut group = Group::new("tile_compiler");
+    group.sample_size(10);
+    group.bench("compile", || compile_conv(&config, p, &shape).unwrap());
     let program = compile_conv(&config, p, &shape).unwrap();
-    group.bench_function("execute_conv_8c_8x8", |b| {
-        b.iter(|| execute(&program, &array, &input, &weights).unwrap())
-    });
-    group.finish();
+    group.bench("execute_conv_8c_8x8", || execute(&program, &array, &input, &weights).unwrap());
 }
 
-fn bench_asym_dot(c: &mut Criterion) {
+fn bench_asym_dot() {
     use bsc_mac::asym::{lpc_dot, AsymMode};
-    let mut group = c.benchmark_group("asym_lpc_dot_L32");
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = Group::new("asym_lpc_dot_L32");
+    group.sample_size(50);
+    let mut rng = Rng64::seed_from_u64(6);
     for mode in AsymMode::ALL {
         let n = 32 * mode.products_per_lpc_unit();
         let w = random_ops(&mut rng, mode.weight.bits(), n);
         let a = random_ops(&mut rng, mode.act.bits(), n);
-        group.bench_function(mode.to_string(), |b| {
-            b.iter(|| lpc_dot(mode, 32, &w, &a).unwrap())
-        });
+        group.bench(&mode.to_string(), || lpc_dot(mode, 32, &w, &a).unwrap());
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_functional_dot,
-    bench_gate_sim,
-    bench_systolic_matmul,
-    bench_array_netlist,
-    bench_compiler,
-    bench_asym_dot
-);
-criterion_main!(benches);
+fn main() {
+    bench_functional_dot();
+    bench_gate_sim();
+    bench_systolic_matmul();
+    bench_array_netlist();
+    bench_compiler();
+    bench_asym_dot();
+}

@@ -1,29 +1,23 @@
 //! Bench regenerating Table I: building the benchmark models and their
 //! precision distributions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bsc_bench::timing::Group;
 use bsc_mac::Precision;
 use bsc_nn::{models, report};
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/build_models", |b| {
-        b.iter(|| {
-            let nets = models::table1_benchmarks();
-            assert_eq!(nets.len(), 4);
-            nets
-        })
-    });
-    c.bench_function("table1/precision_distributions", |b| {
+fn main() {
+    let mut group = Group::new("table1");
+    group.sample_size(10);
+    group.bench("build_models", || {
         let nets = models::table1_benchmarks();
-        b.iter(|| {
-            nets.iter()
-                .map(|n| n.precision_distribution().fraction(Precision::Int4))
-                .sum::<f64>()
-        })
+        assert_eq!(nets.len(), 4);
+        nets
     });
-    c.bench_function("table1/render", |b| b.iter(report::render_table1));
+    let nets = models::table1_benchmarks();
+    group.bench("precision_distributions", || {
+        nets.iter()
+            .map(|n| n.precision_distribution().fraction(Precision::Int4))
+            .sum::<f64>()
+    });
+    group.bench("render", report::render_table1);
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

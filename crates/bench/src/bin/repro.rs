@@ -1,7 +1,8 @@
 //! Reproduction harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|all]
+//! repro [--quick] [--csv DIR] [--metrics-out FILE] [--trace-out FILE]
+//!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|all]
 //! ```
 //!
 //! * `--quick` uses a reduced vector length (8) and short activity runs —
@@ -9,21 +10,34 @@
 //!   paper-faithful configuration (vector length 32).
 //! * `--csv DIR` additionally writes each experiment's raw data as CSV
 //!   files into `DIR` (created if missing), ready for plotting.
+//! * `--metrics-out FILE` writes the telemetry experiment's full JSON
+//!   report (per-layer per-PE utilization, stall cycles, netlist toggle
+//!   counts, metrics snapshot) to `FILE`.
+//! * `--trace-out FILE` writes the telemetry experiment's captured
+//!   cycle-event trace as JSON to `FILE`.
+//!
+//! Passing `--metrics-out` / `--trace-out` without naming an experiment
+//! runs just `telemetry` (which needs no characterization pass).
 
 use std::path::PathBuf;
 
-use bsc_bench::{experiments, Workbench};
+use bsc_bench::{experiments, telemetry_probe, Workbench};
+use bsc_mac::MacKind;
 
 struct Options {
     quick: bool,
     csv_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     which: String,
 }
 
 fn parse_args() -> Options {
     let mut quick = false;
     let mut csv_dir = None;
-    let mut which = "all".to_owned();
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut which = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,11 +48,32 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--csv requires a directory argument"));
                 csv_dir = Some(PathBuf::from(dir));
             }
-            other if !other.starts_with("--") => which = other.to_owned(),
+            "--metrics-out" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-out requires a file argument"));
+                metrics_out = Some(PathBuf::from(path));
+            }
+            "--trace-out" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| die("--trace-out requires a file argument"));
+                trace_out = Some(PathBuf::from(path));
+            }
+            other if !other.starts_with("--") => which = Some(other.to_owned()),
             other => die(&format!("unknown flag `{other}`")),
         }
     }
-    Options { quick, csv_dir, which }
+    // Telemetry outputs without an explicit experiment mean "run the
+    // telemetry probe": it is self-contained and skips characterization.
+    let default = if metrics_out.is_some() || trace_out.is_some() { "telemetry" } else { "all" };
+    Options {
+        quick,
+        csv_dir,
+        metrics_out,
+        trace_out,
+        which: which.unwrap_or_else(|| default.to_owned()),
+    }
 }
 
 fn main() {
@@ -50,7 +85,7 @@ fn main() {
     }
 
     let needs_workbench =
-        !matches!(opts.which.as_str(), "table1" | "fig8b-gate" | "extensions");
+        !matches!(opts.which.as_str(), "table1" | "fig8b-gate" | "extensions" | "telemetry");
     let wb = if needs_workbench {
         eprintln!(
             "characterizing BSC/LPC/HPS netlists ({} mode)...",
@@ -111,6 +146,25 @@ fn main() {
         }
         Err(e) => die(&format!("fig9 failed: {e}")),
     };
+    let run_telemetry = || {
+        let report = telemetry_probe::telemetry_report(MacKind::Bsc)
+            .unwrap_or_else(|e| die(&format!("telemetry probe failed: {e}")));
+        print!("{}", telemetry_probe::render_telemetry(&report));
+        if let Some(path) = &opts.metrics_out {
+            let json = telemetry_probe::telemetry_json(&report);
+            if let Err(e) = std::fs::write(path, json) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(path) = &opts.trace_out {
+            let json = telemetry_probe::telemetry_trace_json(&report);
+            if let Err(e) = std::fs::write(path, json) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
 
     match opts.which.as_str() {
         "table1" => run_table1(),
@@ -133,6 +187,7 @@ fn main() {
         "fig8a" => run_fig8a(wb.expect("workbench")),
         "fig8b" => run_fig8b(wb.expect("workbench")),
         "fig9" => run_fig9(wb.expect("workbench")),
+        "telemetry" => run_telemetry(),
         "all" => {
             let wb = wb.expect("workbench");
             run_table1();
@@ -144,9 +199,11 @@ fn main() {
             run_fig8b(wb);
             println!();
             run_fig9(wb);
+            println!();
+            run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|extensions|all)"
         )),
     }
 }

@@ -1,5 +1,5 @@
 //! Shared experiment drivers for the `repro` harness binary and the
-//! criterion benches.
+//! self-timed benches (see [`timing`]).
 //!
 //! Each `figN`/`table1` function regenerates the data behind one table or
 //! figure of the paper and returns it as plain structs; `render_*`
@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod telemetry_probe;
+pub mod timing;
 pub mod workbench;
 
 pub use workbench::Workbench;

@@ -1,0 +1,416 @@
+//! The `repro telemetry` experiment: an instrumented end-to-end run of
+//! the accelerator stack that exercises every probe layer at once —
+//! dataflow counters against the closed-form model (all three precision
+//! modes), per-layer / per-PE utilization through the tile compiler, and
+//! gate-level switching activity through the simulator's toggle probe —
+//! and serializes the lot through the `bsc-telemetry` sinks.
+//!
+//! Unlike the figure experiments this one needs no characterized
+//! workbench: it measures cycles and toggles, not energy.
+
+use bsc_accel::compiler::{compile_conv, execute};
+use bsc_mac::{MacKind, Precision};
+use bsc_netlist::rng::Rng64;
+use bsc_netlist::{Simulator, SIM_LANES};
+use bsc_nn::ops::ConvWeights;
+use bsc_nn::Tensor;
+use bsc_systolic::mapping::ConvShape;
+use bsc_systolic::{ArrayConfig, Dataflow, Matrix, SystolicArray};
+use bsc_telemetry::{sink, JsonBuilder, Telemetry, TraceSnapshot};
+
+/// One single-tile matmul per precision mode, cross-checking the
+/// counter-derived utilization against the analytic dataflow model.
+#[derive(Debug, Clone)]
+pub struct PrecisionCheck {
+    /// Precision mode of the run.
+    pub precision: Precision,
+    /// Total cycles counted.
+    pub cycles: u64,
+    /// PE fire events counted.
+    pub pe_fired: u64,
+    /// Drain-tail stall cycles counted.
+    pub stall_cycles: u64,
+    /// Utilization derived from the counters: `pe_fired / (cycles × PEs)`.
+    pub counted_utilization: f64,
+    /// Utilization the closed-form dataflow model predicts.
+    pub analytic_utilization: f64,
+}
+
+impl PrecisionCheck {
+    /// Absolute error between counted and analytic utilization.
+    pub fn abs_error(&self) -> f64 {
+        (self.counted_utilization - self.analytic_utilization).abs()
+    }
+}
+
+/// Telemetry of one layer executed through the tile compiler.
+#[derive(Debug, Clone)]
+pub struct LayerTelemetry {
+    /// Layer name.
+    pub name: String,
+    /// Precision mode.
+    pub precision: Precision,
+    /// Total cycles over all stationary passes.
+    pub cycles: u64,
+    /// Stationary passes executed.
+    pub passes: u64,
+    /// PE fire events counted.
+    pub pe_fired: u64,
+    /// Drain-tail stall cycles counted.
+    pub stall_cycles: u64,
+    /// Whole-array utilization from the counters.
+    pub utilization: f64,
+    /// Busy cycles of each PE.
+    pub pe_busy: Vec<u64>,
+    /// Per-PE utilization (busy cycles / total cycles).
+    pub pe_utilization: Vec<f64>,
+}
+
+/// Switching activity of one gate kind in the probed MAC netlist.
+#[derive(Debug, Clone)]
+pub struct ToggleRow {
+    /// Cell name (library naming, e.g. `XOR2`).
+    pub gate: String,
+    /// Total bit flips recorded by the simulator probe.
+    pub toggles: u64,
+}
+
+/// The full telemetry experiment result.
+#[derive(Debug)]
+pub struct TelemetryReport {
+    /// MAC architecture probed.
+    pub kind: MacKind,
+    /// PEs in the probe array.
+    pub pes: usize,
+    /// Vector length of the probe array.
+    pub vector_length: usize,
+    /// Counter-vs-analytic checks, one per precision mode.
+    pub checks: Vec<PrecisionCheck>,
+    /// Per-layer rows of the compiled three-layer probe network.
+    pub layers: Vec<LayerTelemetry>,
+    /// Gate-level toggle counts of the MAC netlist testbench.
+    pub toggles: Vec<ToggleRow>,
+    /// Simulator evaluations behind the toggle counts.
+    pub toggle_evals: u64,
+    /// Full metrics snapshot of the shared experiment hub.
+    pub metrics: bsc_telemetry::MetricsSnapshot,
+    /// Trace snapshot of the shared experiment hub.
+    pub trace: TraceSnapshot,
+}
+
+/// Tolerance for the counter-vs-analytic utilization comparison.
+pub const UTILIZATION_TOLERANCE: f64 = 1e-9;
+
+fn layer_shapes() -> [(&'static str, Precision, ConvShape); 3] {
+    [
+        ("conv8", Precision::Int8, ConvShape::conv(5, 6, 6, 6, 3, 1, 1)),
+        ("conv4", Precision::Int4, ConvShape::conv(8, 4, 5, 5, 3, 1, 1)),
+        ("fc2", Precision::Int2, ConvShape::fully_connected(30, 7)),
+    ]
+}
+
+/// Runs the instrumented probe for one MAC architecture.
+///
+/// # Errors
+///
+/// Returns array/simulation errors, or a telemetry-divergence error when
+/// counted and analytic utilization disagree beyond
+/// [`UTILIZATION_TOLERANCE`] (which the array's own in-run
+/// cross-validation should already have caught).
+pub fn telemetry_report(kind: MacKind) -> Result<TelemetryReport, Box<dyn std::error::Error>> {
+    let config = ArrayConfig { pes: 4, vector_length: 8, kind };
+    let hub = Telemetry::new(1 << 16);
+    let _elapsed = hub.metrics.timer("repro.telemetry_ns");
+
+    // --- counter-vs-analytic utilization, one run per precision mode ---
+    let mut checks = Vec::new();
+    for p in Precision::ALL {
+        let tel = Telemetry::new(0); // count-only: no event storage needed
+        let array = SystolicArray::with_telemetry(config, tel.clone());
+        let k = config.dot_length(p);
+        let f = Matrix::from_fn(6, k, |r, c| ((r + 2 * c) % 3) as i64 - 1);
+        let w = Matrix::from_fn(4, k, |r, c| ((2 * r + c) % 3) as i64 - 1);
+        array.matmul(p, &f, &w)?;
+        let analytic = array.analytic_stats(p, 6, 4, Dataflow::WeightStationary);
+        let snap = tel.metrics.snapshot();
+        let cycles = snap.counter("systolic.cycles");
+        let pe_fired = snap.counter("systolic.pe_fired");
+        let check = PrecisionCheck {
+            precision: p,
+            cycles,
+            pe_fired,
+            stall_cycles: snap.counter("systolic.stall_cycles"),
+            counted_utilization: pe_fired as f64 / (cycles * config.pes as u64) as f64,
+            analytic_utilization: analytic.utilization,
+        };
+        if check.abs_error() > UTILIZATION_TOLERANCE {
+            return Err(format!(
+                "{p}: counted utilization {} diverges from analytic {}",
+                check.counted_utilization, check.analytic_utilization
+            )
+            .into());
+        }
+        hub.metrics
+            .counter(&format!("repro.check.{}.pe_fired", p.bits()))
+            .add(pe_fired);
+        checks.push(check);
+    }
+
+    // --- per-layer / per-PE utilization through the tile compiler ---
+    let mut layers = Vec::new();
+    for (i, (name, p, shape)) in layer_shapes().into_iter().enumerate() {
+        let tel = Telemetry::new(1 << 16);
+        let mut array = SystolicArray::new(config);
+        array.set_telemetry(tel.clone());
+        let mut rng = Rng64::seed_from_u64(0xBE7A ^ i as u64);
+        let r = p.value_range();
+        let input =
+            Tensor::random(shape.in_channels, shape.in_h, shape.in_w, r.clone(), 7 + i as u64);
+        let weights = ConvWeights {
+            out_c: shape.out_channels,
+            in_c: shape.in_channels,
+            kh: shape.kernel_h,
+            kw: shape.kernel_w,
+            data: (0..shape.weight_count() as usize).map(|_| rng.gen_range(r.clone())).collect(),
+        };
+        let program = compile_conv(&config, p, &shape)?.with_layer(i as u32);
+        let (_, stats) = execute(&program, &array, &input, &weights)?;
+
+        let snap = tel.metrics.snapshot();
+        let cycles = snap.counter("systolic.cycles");
+        let pe_fired = snap.counter("systolic.pe_fired");
+        let pe_busy: Vec<u64> = (0..config.pes)
+            .map(|pe| snap.counter(&format!("systolic.pe{pe:02}.busy_cycles")))
+            .collect();
+        debug_assert_eq!(pe_busy.iter().sum::<u64>(), pe_fired);
+        layers.push(LayerTelemetry {
+            name: name.to_string(),
+            precision: p,
+            cycles,
+            passes: stats.passes,
+            pe_fired,
+            stall_cycles: snap.counter("systolic.stall_cycles"),
+            utilization: pe_fired as f64 / (cycles * config.pes as u64) as f64,
+            pe_busy: pe_busy.clone(),
+            pe_utilization: pe_busy.iter().map(|&b| b as f64 / cycles as f64).collect(),
+        });
+        // Mirror the layer into the shared hub so the metrics dump carries
+        // the per-layer numbers too.
+        let prefix = format!("repro.layer.{name}");
+        hub.metrics.counter(&format!("{prefix}.cycles")).add(cycles);
+        hub.metrics.counter(&format!("{prefix}.pe_fired")).add(pe_fired);
+        hub.metrics
+            .counter(&format!("{prefix}.stall_cycles"))
+            .add(snap.counter("systolic.stall_cycles"));
+        for ev in tel.trace.snapshot().events {
+            hub.trace.push(ev);
+        }
+    }
+
+    // --- gate-level switching activity through the simulator probe ---
+    let mac = bsc_mac::build_netlist(kind, 4);
+    let mut sim = Simulator::new(mac.netlist())?;
+    sim.enable_toggle_probe();
+    let mut rng = Rng64::seed_from_u64(0x70661E);
+    for p in Precision::ALL {
+        mac.set_mode(&mut sim, p);
+        let n = mac.macs_per_cycle(p);
+        for _ in 0..24 {
+            for lane in 0..SIM_LANES {
+                let w = bsc_netlist::tb::random_signed_vec(&mut rng, p.bits(), n);
+                let a = bsc_netlist::tb::random_signed_vec(&mut rng, p.bits(), n);
+                mac.write_vector_lane(&mut sim, lane, p, &w, &a)?;
+            }
+            sim.step();
+            sim.eval();
+        }
+    }
+    let probe = sim.take_toggle_stats().expect("probe enabled");
+    let toggle_evals = probe.evals();
+    let toggles: Vec<ToggleRow> = probe
+        .iter()
+        .map(|(kind, flips)| ToggleRow { gate: kind.to_string(), toggles: flips })
+        .collect();
+    for row in &toggles {
+        hub.metrics
+            .counter(&format!("repro.netlist.toggles.{}", row.gate))
+            .add(row.toggles);
+    }
+    hub.metrics.counter("repro.netlist.toggle_evals").add(toggle_evals);
+
+    drop(_elapsed); // record the experiment duration before snapshotting
+    Ok(TelemetryReport {
+        kind,
+        pes: config.pes,
+        vector_length: config.vector_length,
+        checks,
+        layers,
+        toggles,
+        toggle_evals,
+        metrics: hub.metrics.snapshot(),
+        trace: hub.trace.snapshot(),
+    })
+}
+
+/// Renders the utilization / stall summary table the harness prints.
+pub fn render_telemetry(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Telemetry probe — {} array, {} PEs x L={}\n",
+        report.kind, report.pes, report.vector_length
+    ));
+    out.push_str("\ncounter vs analytic utilization (single tile, 6x4):\n");
+    out.push_str("  mode   cycles  fired  stalls  counted    analytic   |err|\n");
+    for c in &report.checks {
+        out.push_str(&format!(
+            "  {:<5} {:>7} {:>6} {:>7} {:>9.6} {:>10.6} {:>9.2e}\n",
+            c.precision.to_string(),
+            c.cycles,
+            c.pe_fired,
+            c.stall_cycles,
+            c.counted_utilization,
+            c.analytic_utilization,
+            c.abs_error(),
+        ));
+    }
+    out.push_str("\nper-layer utilization (tile compiler, cycle-accurate):\n");
+    out.push_str("  layer  mode   passes   cycles   fired  stalls   util  per-PE util\n");
+    for l in &report.layers {
+        let per_pe = l
+            .pe_utilization
+            .iter()
+            .map(|u| format!("{u:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "  {:<6} {:<5} {:>7} {:>8} {:>7} {:>7} {:>5.1}%  [{per_pe}]\n",
+            l.name,
+            l.precision.to_string(),
+            l.passes,
+            l.cycles,
+            l.pe_fired,
+            l.stall_cycles,
+            l.utilization * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "\nnetlist switching activity ({} evals, vector MAC L=4):\n",
+        report.toggle_evals
+    ));
+    for row in &report.toggles {
+        out.push_str(&format!("  {:<6} {:>9} toggles\n", row.gate, row.toggles));
+    }
+    let dropped = report.trace.dropped;
+    out.push_str(&format!(
+        "\ntrace: {} events captured, {} dropped\n",
+        report.trace.events.len(),
+        dropped
+    ));
+    out
+}
+
+/// Serializes the full report as a JSON document (the `--metrics-out`
+/// payload): per-layer per-PE utilization, stall cycles, netlist toggle
+/// counts and the complete metrics snapshot.
+pub fn telemetry_json(report: &TelemetryReport) -> String {
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("design").string(&report.kind.to_string());
+    j.key("pes").u64(report.pes as u64);
+    j.key("vector_length").u64(report.vector_length as u64);
+
+    j.key("precision_checks").begin_array();
+    for c in &report.checks {
+        j.begin_object();
+        j.key("precision").string(&c.precision.to_string());
+        j.key("cycles").u64(c.cycles);
+        j.key("pe_fired").u64(c.pe_fired);
+        j.key("stall_cycles").u64(c.stall_cycles);
+        j.key("counted_utilization").f64(c.counted_utilization);
+        j.key("analytic_utilization").f64(c.analytic_utilization);
+        j.key("abs_error").f64(c.abs_error());
+        j.end_object();
+    }
+    j.end_array();
+
+    j.key("layers").begin_array();
+    for l in &report.layers {
+        j.begin_object();
+        j.key("name").string(&l.name);
+        j.key("precision").string(&l.precision.to_string());
+        j.key("cycles").u64(l.cycles);
+        j.key("passes").u64(l.passes);
+        j.key("pe_fired").u64(l.pe_fired);
+        j.key("stall_cycles").u64(l.stall_cycles);
+        j.key("utilization").f64(l.utilization);
+        j.key("pe_busy").begin_array();
+        for &b in &l.pe_busy {
+            j.u64(b);
+        }
+        j.end_array();
+        j.key("pe_utilization").begin_array();
+        for &u in &l.pe_utilization {
+            j.f64(u);
+        }
+        j.end_array();
+        j.end_object();
+    }
+    j.end_array();
+
+    j.key("netlist_toggles").begin_object();
+    j.key("evals").u64(report.toggle_evals);
+    j.key("per_gate").begin_object();
+    for row in &report.toggles {
+        j.key(&row.gate).u64(row.toggles);
+    }
+    j.end_object();
+    j.end_object();
+
+    j.key("metrics");
+    sink::write_metrics_object(&mut j, &report.metrics);
+    j.end_object();
+    j.finish()
+}
+
+/// Serializes the captured trace as JSON (the `--trace-out` payload).
+pub fn telemetry_trace_json(report: &TelemetryReport) -> String {
+    sink::trace_to_json(&report.trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_consistent_and_serializable() {
+        let report = telemetry_report(MacKind::Bsc).unwrap();
+        assert_eq!(report.checks.len(), 3);
+        for c in &report.checks {
+            assert!(c.abs_error() <= UTILIZATION_TOLERANCE, "{c:?}");
+        }
+        assert_eq!(report.layers.len(), 3);
+        for l in &report.layers {
+            assert_eq!(l.pe_busy.iter().sum::<u64>(), l.pe_fired);
+            assert!(l.utilization > 0.0 && l.utilization <= 1.0);
+        }
+        assert!(report.toggles.iter().map(|t| t.toggles).sum::<u64>() > 0);
+
+        let json = telemetry_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pe_utilization\""));
+        assert!(json.contains("\"netlist_toggles\""));
+        let text = render_telemetry(&report);
+        assert!(text.contains("per-layer utilization"));
+    }
+
+    #[test]
+    fn toggle_counts_are_deterministic_across_runs() {
+        let a = telemetry_report(MacKind::Lpc).unwrap();
+        let b = telemetry_report(MacKind::Lpc).unwrap();
+        let flat = |r: &TelemetryReport| {
+            r.toggles.iter().map(|t| (t.gate.clone(), t.toggles)).collect::<Vec<_>>()
+        };
+        assert_eq!(flat(&a), flat(&b));
+        assert_eq!(a.toggle_evals, b.toggle_evals);
+    }
+}

@@ -44,9 +44,22 @@ pub struct TileProgram {
     pub shape: ConvShape,
     /// Precision mode.
     pub precision: Precision,
+    /// Network layer index stamped into emitted trace events.
+    pub layer: u32,
     /// Spatial stride (duplicated from the shape for the executor).
     stride: usize,
     padding: usize,
+}
+
+impl TileProgram {
+    /// Tags the program with a network layer index; [`execute`] stamps it
+    /// into every `TileStart` trace event so multi-layer traces stay
+    /// attributable.
+    #[must_use]
+    pub fn with_layer(mut self, layer: u32) -> Self {
+        self.layer = layer;
+        self
+    }
 }
 
 /// Execution statistics of a tile program.
@@ -92,6 +105,7 @@ pub fn compile_conv(
         ops,
         shape: *shape,
         precision: p,
+        layer: 0,
         stride: shape.stride,
         padding: shape.padding,
     })
@@ -149,6 +163,19 @@ pub fn execute(
                 weights.get(n_lo + r, c, ky, kx)
             }
         });
+        if let Some(tel) = array.telemetry() {
+            tel.trace.push(bsc_telemetry::TraceEvent::TileStart {
+                layer: program.layer,
+                pass: stats.passes as u32,
+                rows: (out_h * out_w) as u32,
+                cols: (n_hi - n_lo) as u32,
+                inner: (c_hi - c_lo) as u32,
+            });
+            tel.metrics.counter("accel.passes").inc();
+            tel.metrics
+                .counter("accel.useful_macs")
+                .add((out_h * out_w) as u64 * (n_hi - n_lo) as u64 * (c_hi - c_lo) as u64);
+        }
         let run = array.matmul(p, &features, &wmat)?;
         for m in 0..out_h * out_w {
             let (oy, ox) = (m / out_w, m % out_w);
@@ -169,7 +196,7 @@ pub fn execute(
 mod tests {
     use super::*;
     use bsc_mac::MacKind;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     fn setup(
         kind: MacKind,
@@ -177,7 +204,7 @@ mod tests {
         shape: ConvShape,
         seed: u64,
     ) -> (SystolicArray, Tensor, ConvWeights) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let array = SystolicArray::new(ArrayConfig { pes: 4, vector_length: 4, kind });
         let input = Tensor::random(
             shape.in_channels,
@@ -237,6 +264,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn execute_emits_one_tile_start_per_pass() {
+        use bsc_telemetry::{Telemetry, TraceEvent};
+        let shape = ConvShape::conv(5, 6, 4, 4, 3, 1, 1);
+        let p = Precision::Int8;
+        let (array, input, weights) = setup(MacKind::Bsc, p, shape, 9);
+        let tel = Telemetry::new(4096);
+        let mut array = array;
+        array.set_telemetry(tel.clone());
+        let program = compile_conv(&array.config(), p, &shape).unwrap().with_layer(3);
+        let (_, stats) = execute(&program, &array, &input, &weights).unwrap();
+
+        let trace = tel.trace.snapshot();
+        let starts: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TileStart { .. }))
+            .collect();
+        assert_eq!(starts.len() as u64, stats.passes);
+        // Every event carries the stamped layer index and the streaming
+        // row count of this shape (4x4 output pixels).
+        for e in &starts {
+            let TraceEvent::TileStart { layer, rows, .. } = e else { unreachable!() };
+            assert_eq!(*layer, 3);
+            assert_eq!(*rows, 16);
+        }
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("accel.passes"), stats.passes);
+        assert_eq!(snap.counter("accel.useful_macs"), stats.useful_macs);
     }
 
     #[test]

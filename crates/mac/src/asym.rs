@@ -154,7 +154,7 @@ pub fn estimate_energy_per_mac_fj(
 mod tests {
     use super::*;
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn brick_product_is_exact_for_all_asym_operands() {
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn lpc_dot_matches_golden() {
-        let mut rng = StdRng::seed_from_u64(88);
+        let mut rng = Rng64::seed_from_u64(88);
         for mode in AsymMode::ALL {
             let n = 4 * mode.products_per_lpc_unit();
             for _ in 0..50 {

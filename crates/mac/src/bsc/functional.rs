@@ -119,12 +119,12 @@ mod tests {
     use super::*;
     use crate::golden;
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn matches_golden_dot_in_all_modes() {
         let v = BscVector::new(8);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         for p in Precision::ALL {
             let n = v.macs_per_cycle(p);
             for _ in 0..100 {

@@ -272,14 +272,14 @@ mod tests {
     use crate::bsc::BscVector;
     use crate::{MacKind, Precision, VectorMac};
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn netlist_matches_functional_model_in_all_modes() {
         let v = BscVector::new(3);
         let mac = v.build_netlist();
         assert_eq!(mac.kind(), MacKind::Bsc);
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Rng64::seed_from_u64(23);
         for p in Precision::ALL {
             let len = v.macs_per_cycle(p);
             for _ in 0..20 {
@@ -326,16 +326,16 @@ mod tests {
 
 #[cfg(test)]
 mod ablation_tests {
+    use bsc_netlist::rng::Rng64;
     use crate::bsc::BscVector;
     use crate::{Precision, VectorMac};
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn per_element_variant_is_functionally_identical() {
         let v = BscVector::new(3);
         let mac = v.build_netlist_per_element();
-        let mut rng = StdRng::seed_from_u64(61);
+        let mut rng = Rng64::seed_from_u64(61);
         for p in Precision::ALL {
             let len = v.macs_per_cycle(p);
             for _ in 0..15 {

@@ -88,7 +88,7 @@ mod tests {
     use super::*;
     use crate::golden;
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn mul8_quadrants_reconstruct_product() {
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn matches_golden_dot_in_all_modes() {
         let v = HpsVector::new(6);
-        let mut rng = StdRng::seed_from_u64(41);
+        let mut rng = Rng64::seed_from_u64(41);
         for p in Precision::ALL {
             let n = v.macs_per_cycle(p);
             for _ in 0..60 {

@@ -147,14 +147,14 @@ mod tests {
     use crate::hps::HpsVector;
     use crate::{MacKind, Precision, VectorMac};
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn netlist_matches_functional_model_in_all_modes() {
         let v = HpsVector::new(3);
         let mac = v.build_netlist();
         assert_eq!(mac.kind(), MacKind::Hps);
-        let mut rng = StdRng::seed_from_u64(37);
+        let mut rng = Rng64::seed_from_u64(37);
         for p in Precision::ALL {
             let len = v.macs_per_cycle(p);
             for _ in 0..20 {

@@ -47,6 +47,7 @@ pub mod tb_gen;
 
 pub use design::{MacKind, VectorMac};
 pub use error::MacError;
+pub use bsc_netlist::Rng64;
 pub use netlist_if::{pack_element, MacNetlist, OperandSide};
 
 /// Alias of [`pack_element`] emphasizing the operand side in array-level

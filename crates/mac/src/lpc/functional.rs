@@ -126,7 +126,7 @@ mod tests {
     use super::*;
     use crate::golden;
     use bsc_netlist::tb::random_signed_vec;
-    use rand::{rngs::StdRng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
     #[test]
     fn group_mul4_is_exact_for_all_signed_nibbles() {
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn matches_golden_dot_in_all_modes() {
         let v = LpcVector::new(5);
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Rng64::seed_from_u64(31);
         for p in Precision::ALL {
             let n = v.macs_per_cycle(p);
             for _ in 0..60 {

@@ -2,8 +2,7 @@
 //! mode configuration, simulation driving and activity characterization.
 
 use bsc_netlist::{Activity, Bus, Netlist, NodeId, Simulator, SIM_LANES};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bsc_netlist::rng::Rng64;
 
 use crate::golden::validate;
 use crate::{MacError, MacKind, Precision};
@@ -240,10 +239,10 @@ impl MacNetlist {
         seed: u64,
     ) -> Result<Activity, MacError> {
         let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         self.set_asym_mode(&mut sim, mode)?;
         let fields = mode.products_per_lpc_unit();
-        let drive = |sim: &mut Simulator<'_>, rng: &mut StdRng| {
+        let drive = |sim: &mut Simulator<'_>, rng: &mut Rng64| {
             let mut w_lane = vec![0i64; SIM_LANES];
             let mut a_lane = vec![0i64; SIM_LANES];
             for e in 0..self.length {
@@ -304,7 +303,7 @@ impl MacNetlist {
         seed: u64,
     ) -> Result<Activity, MacError> {
         let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         self.set_mode(&mut sim, p);
         self.drive_random(&mut sim, p, &mut rng);
         sim.step();
@@ -335,7 +334,7 @@ impl MacNetlist {
         seed: u64,
     ) -> Result<Activity, MacError> {
         let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         self.set_mode(&mut sim, p);
         self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Weight);
         self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Activation);
@@ -355,7 +354,7 @@ impl MacNetlist {
         &self,
         sim: &mut Simulator<'_>,
         p: Precision,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
         side: OperandSide,
     ) {
         let fields = self.kind.fields_per_element(p);
@@ -374,7 +373,7 @@ impl MacNetlist {
         }
     }
 
-    fn drive_random(&self, sim: &mut Simulator<'_>, p: Precision, rng: &mut StdRng) {
+    fn drive_random(&self, sim: &mut Simulator<'_>, p: Precision, rng: &mut Rng64) {
         let fields = self.kind.fields_per_element(p);
         let mut w_lane = vec![0i64; SIM_LANES];
         let mut a_lane = vec![0i64; SIM_LANES];

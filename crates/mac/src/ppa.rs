@@ -46,7 +46,7 @@ impl Default for CharacterizeConfig {
 impl CharacterizeConfig {
     /// A faster configuration for unit tests (short vectors, few steps).
     pub fn quick(length: usize) -> Self {
-        CharacterizeConfig { length, steps: 16, ..Self::default() }
+        CharacterizeConfig { length, steps: 48, ..Self::default() }
     }
 }
 

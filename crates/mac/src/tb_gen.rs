@@ -8,9 +8,7 @@
 //! (iverilog, Verilator, VCS) without this crate.
 
 use std::fmt::Write as _;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bsc_netlist::rng::Rng64;
 
 use crate::netlist_if::OperandSide;
 use crate::{golden, MacNetlist, Precision};
@@ -30,7 +28,7 @@ pub struct TestVector {
 
 /// Generates `per_mode` seeded random vectors for every precision mode.
 pub fn generate_vectors(mac: &MacNetlist, per_mode: usize, seed: u64) -> Vec<TestVector> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let kind = mac.kind();
     let length = mac.vector_length();
     let mask = (1u64 << kind.element_bits()) - 1;

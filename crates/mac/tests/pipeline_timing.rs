@@ -6,11 +6,11 @@
 use bsc_mac::{build_netlist, golden, MacKind, Precision};
 use bsc_netlist::tb::random_signed_vec;
 use bsc_netlist::Simulator;
-use rand::{rngs::StdRng, SeedableRng};
+use bsc_netlist::rng::Rng64;
 
 #[test]
 fn back_to_back_dots_pipeline_correctly() {
-    let mut rng = StdRng::seed_from_u64(4242);
+    let mut rng = Rng64::seed_from_u64(4242);
     for kind in MacKind::ALL {
         let mac = build_netlist(kind, 2);
         let p = Precision::Int4;
@@ -43,7 +43,7 @@ fn back_to_back_dots_pipeline_correctly() {
 
 #[test]
 fn held_weights_reproduce_results_cycle_after_cycle() {
-    let mut rng = StdRng::seed_from_u64(5151);
+    let mut rng = Rng64::seed_from_u64(5151);
     for kind in MacKind::ALL {
         let mac = build_netlist(kind, 2);
         let p = Precision::Int2;
@@ -69,7 +69,7 @@ fn held_weights_reproduce_results_cycle_after_cycle() {
 fn mode_pins_reconfigure_without_residue() {
     // Interleave modes on the same simulator instance; every result must be
     // correct immediately after reconfiguration.
-    let mut rng = StdRng::seed_from_u64(6161);
+    let mut rng = Rng64::seed_from_u64(6161);
     for kind in MacKind::ALL {
         let mac = build_netlist(kind, 2);
         let mut sim = Simulator::new(mac.netlist()).unwrap();

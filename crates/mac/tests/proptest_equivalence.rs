@@ -1,13 +1,16 @@
-//! Property-based gate-level equivalence: arbitrary operand vectors through
-//! the structural netlists must match the golden dot product.  Netlists are
-//! built once per design (they are pure functions of the vector length).
+//! Randomized gate-level equivalence (seeded, hermetic): arbitrary operand
+//! vectors through the structural netlists must match the golden dot
+//! product.  Netlists are built once per design (they are pure functions
+//! of the vector length).  Formerly a `proptest` suite; now driven by the
+//! in-repo [`Rng64`] so the workspace builds offline — seeds are fixed,
+//! so every run exercises the same vectors.
 
 use std::sync::OnceLock;
 
-use bsc_mac::{golden, MacKind, MacNetlist, Precision};
-use proptest::prelude::*;
+use bsc_mac::{golden, MacKind, MacNetlist, Precision, Rng64};
 
 const LENGTH: usize = 2;
+const CASES: usize = 40;
 
 fn netlist(kind: MacKind) -> &'static MacNetlist {
     static BSC: OnceLock<MacNetlist> = OnceLock::new();
@@ -25,68 +28,75 @@ fn clamp_into(p: Precision, v: i64) -> i64 {
     (v - r.start).rem_euclid(r.end - r.start) + r.start
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn netlists_match_golden_for_arbitrary_operands(
-        kind_idx in 0usize..3,
-        mode_idx in 0usize..3,
-        raw in proptest::collection::vec(any::<i64>(), 64),
-    ) {
-        let kind = MacKind::ALL[kind_idx];
-        let p = Precision::ALL[mode_idx];
+#[test]
+fn netlists_match_golden_for_arbitrary_operands() {
+    let mut rng = Rng64::seed_from_u64(0x45AB);
+    for case in 0..CASES {
+        let kind = MacKind::ALL[case % 3];
+        let p = Precision::ALL[rng.gen_range(0usize..3)];
+        let raw: Vec<i64> = (0..64).map(|_| rng.next_u64() as i64).collect();
         let mac = netlist(kind);
         let n = mac.macs_per_cycle(p);
         let w: Vec<i64> = raw.iter().cycle().take(n).map(|&v| clamp_into(p, v)).collect();
-        let a: Vec<i64> = raw.iter().rev().cycle().take(n).map(|&v| clamp_into(p, v ^ 0x55)).collect();
-        prop_assert_eq!(mac.eval_dot(p, &w, &a).unwrap(), golden::dot(&w, &a));
+        let a: Vec<i64> =
+            raw.iter().rev().cycle().take(n).map(|&v| clamp_into(p, v ^ 0x55)).collect();
+        assert_eq!(
+            mac.eval_dot(p, &w, &a).unwrap(),
+            golden::dot(&w, &a),
+            "{kind:?} {p:?} case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sparse_one_hot_operands_isolate_each_field(
-        kind_idx in 0usize..3,
-        mode_idx in 0usize..3,
-        hot in 0usize..64,
-        wv in any::<i64>(),
-        av in any::<i64>(),
-    ) {
-        // Exactly one nonzero (w, a) pair: the dot product must equal that
-        // single product, proving no cross-field leakage anywhere in the
-        // datapath.
-        let kind = MacKind::ALL[kind_idx];
-        let p = Precision::ALL[mode_idx];
+#[test]
+fn sparse_one_hot_operands_isolate_each_field() {
+    // Exactly one nonzero (w, a) pair: the dot product must equal that
+    // single product, proving no cross-field leakage anywhere in the
+    // datapath.
+    let mut rng = Rng64::seed_from_u64(0x1507);
+    for case in 0..CASES {
+        let kind = MacKind::ALL[case % 3];
+        let p = Precision::ALL[rng.gen_range(0usize..3)];
         let mac = netlist(kind);
         let n = mac.macs_per_cycle(p);
-        let hot = hot % n;
+        let hot = rng.gen_range(0usize..64) % n;
         let mut w = vec![0i64; n];
         let mut a = vec![0i64; n];
-        w[hot] = clamp_into(p, wv);
-        a[hot] = clamp_into(p, av);
-        prop_assert_eq!(mac.eval_dot(p, &w, &a).unwrap(), w[hot] * a[hot]);
+        w[hot] = clamp_into(p, rng.next_u64() as i64);
+        a[hot] = clamp_into(p, rng.next_u64() as i64);
+        assert_eq!(
+            mac.eval_dot(p, &w, &a).unwrap(),
+            w[hot] * a[hot],
+            "{kind:?} {p:?} hot={hot}"
+        );
     }
+}
 
-    #[test]
-    fn dot_is_linear_in_weights(
-        kind_idx in 0usize..3,
-        raw in proptest::collection::vec(-8i64..8, 32),
-    ) {
-        // dot(w1 + w2, a) == dot(w1, a) + dot(w2, a) when the sum stays in
-        // range — use disjoint supports so it always does.
-        let kind = MacKind::ALL[kind_idx];
+#[test]
+fn dot_is_linear_in_weights() {
+    // dot(w1 + w2, a) == dot(w1, a) + dot(w2, a) when the sum stays in
+    // range — use disjoint supports so it always does.
+    let mut rng = Rng64::seed_from_u64(0x11EA);
+    for case in 0..CASES {
+        let kind = MacKind::ALL[case % 3];
         let p = Precision::Int4;
+        let raw: Vec<i64> = (0..32).map(|_| rng.gen_range(-8i64..8)).collect();
         let mac = netlist(kind);
         let n = mac.macs_per_cycle(p);
         let a: Vec<i64> = raw.iter().cycle().take(n).cloned().collect();
         let mut w1 = vec![0i64; n];
         let mut w2 = vec![0i64; n];
         for (i, &v) in raw.iter().cycle().take(n).enumerate() {
-            if i % 2 == 0 { w1[i] = v } else { w2[i] = v }
+            if i % 2 == 0 {
+                w1[i] = v
+            } else {
+                w2[i] = v
+            }
         }
         let sum: Vec<i64> = w1.iter().zip(&w2).map(|(&x, &y)| x + y).collect();
         let d1 = mac.eval_dot(p, &w1, &a).unwrap();
         let d2 = mac.eval_dot(p, &w2, &a).unwrap();
         let ds = mac.eval_dot(p, &sum, &a).unwrap();
-        prop_assert_eq!(ds, d1 + d2);
+        assert_eq!(ds, d1 + d2, "{kind:?} case {case}");
     }
 }

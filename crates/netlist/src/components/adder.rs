@@ -154,7 +154,7 @@ mod tests {
 mod kogge_stone_tests {
     use super::*;
     use crate::Simulator;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     #[test]
     fn kogge_stone_matches_ripple_randomized() {
@@ -164,7 +164,7 @@ mod kogge_stone_tests {
         let ks = kogge_stone(&mut n, &a, &b);
         n.mark_output_bus("ks", &ks);
         let mut sim = Simulator::new(&n).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         for _ in 0..500 {
             let x: u64 = rng.gen_range(0..1 << 16);
             let y: u64 = rng.gen_range(0..1 << 16);

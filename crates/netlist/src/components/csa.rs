@@ -176,7 +176,7 @@ fn reduce_columns(n: &mut Netlist, mut columns: Vec<Vec<NodeId>>, width: usize) 
 mod tests {
     use super::*;
     use crate::Simulator;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     #[test]
     fn sums_many_signed_terms() {
@@ -186,7 +186,7 @@ mod tests {
         let sum = sum_terms(&mut n, &terms, &[], 9);
         n.mark_output_bus("sum", &sum);
         let mut sim = Simulator::new(&n).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         for _ in 0..200 {
             let vals: Vec<i64> = (0..7).map(|_| rng.gen_range(-16..16)).collect();
             for (b, &v) in buses.iter().zip(&vals) {

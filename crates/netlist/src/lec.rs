@@ -29,9 +29,7 @@
 //! # Ok(())
 //! # }
 //! ```
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 use crate::{Netlist, NetlistError, Simulator};
 
@@ -101,7 +99,7 @@ pub fn check(
     let exhaustive = n_inputs <= config.exhaustive_inputs.min(63);
     let mut sim_g = Simulator::new(golden)?;
     let mut sim_r = Simulator::new(revised)?;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::seed_from_u64(config.seed);
 
     let total: u64 = if exhaustive { 1u64 << n_inputs } else { config.random_vectors as u64 };
     let mut compared = 0u64;
@@ -123,7 +121,7 @@ pub fn check(
             }
         } else {
             for w in &mut input_words {
-                *w = rng.gen();
+                *w = rng.next_u64();
             }
         }
         for ((&gi, &ri), &w) in golden.inputs().iter().zip(revised.inputs()).zip(&input_words) {

@@ -49,6 +49,7 @@ mod error;
 mod gate;
 pub mod lec;
 mod netlist;
+pub mod rng;
 pub mod saif;
 mod sim;
 mod stats;
@@ -61,8 +62,9 @@ pub use bus::Bus;
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 pub use netlist::{Netlist, NodeId};
+pub use rng::Rng64;
 pub use sim::Simulator;
-pub use stats::GateStats;
+pub use stats::{GateStats, ToggleStats};
 
 /// Number of independent stimulus lanes evaluated in one packed simulation
 /// pass (one bit of a `u64` word per lane).

@@ -1,0 +1,224 @@
+//! Hermetic in-repo pseudo-random number generation.
+//!
+//! The workspace builds fully offline, so instead of the external `rand`
+//! crate every randomized testbench, characterization run and synthetic
+//! dataset draws from this module: a [xoshiro256\*\*] generator seeded via
+//! SplitMix64 (the seeding procedure its authors recommend).  The API
+//! mirrors the small slice of `rand` the repo actually used — seeded
+//! construction plus uniform range sampling — so call sites stay
+//! one-for-one.
+//!
+//! [xoshiro256\*\*]: https://prng.di.unimi.it/
+//!
+//! # Example
+//!
+//! ```
+//! use bsc_netlist::rng::Rng64;
+//!
+//! let mut rng = Rng64::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let x: f64 = rng.gen_range(-1.0..1.0);
+//! assert!((-1.0..1.0).contains(&x));
+//! ```
+
+use std::ops::{Bound, RangeBounds};
+
+/// One step of the SplitMix64 sequence (also used to seed [`Rng64`]).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256\*\* generator: 256 bits of state, period 2^256 − 1,
+/// passes BigCrush — far more than the repo's testbenches need, at a cost
+/// of a handful of ALU ops per draw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// A generator seeded deterministically from one `u64` (SplitMix64
+    /// expansion, as the xoshiro reference implementation recommends).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit word of the sequence.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform boolean.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        // The low bits of xoshiro** are full quality; use the top anyway.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `[0, span)`; `span == 0` means the full 2^64
+    /// range.  Uses the widening-multiply reduction (Lemire), which is
+    /// bias-free to within 2^-64 — indistinguishable for simulation use.
+    #[inline]
+    fn bounded_u64(&mut self, span: u64) -> u64 {
+        if span == 0 {
+            return self.next_u64();
+        }
+        (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or unbounded ranges.
+    pub fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(_) => panic!("excluded start bounds are not supported"),
+            Bound::Unbounded => panic!("unbounded ranges are not supported"),
+        };
+        let (hi, inclusive) = match range.end_bound() {
+            Bound::Included(&v) => (v, true),
+            Bound::Excluded(&v) => (v, false),
+            Bound::Unbounded => panic!("unbounded ranges are not supported"),
+        };
+        T::sample(self, lo, hi, inclusive)
+    }
+}
+
+/// Types that can be drawn uniformly from a range by [`Rng64::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draws a uniform value in `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng64, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                } else {
+                    assert!(lo < hi, "empty range");
+                }
+                let span = ((hi as $u).wrapping_sub(lo as $u) as u64)
+                    .wrapping_add(inclusive as u64);
+                lo.wrapping_add(rng.bounded_u64(span) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    i8 => u8, u8 => u8,
+    i16 => u16, u16 => u16,
+    i32 => u32, u32 => u32,
+    i64 => u64, u64 => u64,
+    isize => usize, usize => usize,
+);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + (hi - lo) * rng.gen_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        let mut c = Rng64::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-8i64..8);
+            assert!((-8..8).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value_of_a_small_range() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            let v = rng.gen_range(-8i64..8);
+            seen[(v + 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn full_u64_range_is_supported() {
+        let mut rng = Rng64::seed_from_u64(9);
+        // span wraps to 0 -> full-width draw; just verify it doesn't panic
+        // and produces variety.
+        let a = rng.gen_range(0u64..=u64::MAX);
+        let b = rng.gen_range(0u64..=u64::MAX);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_near_half() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut rng = Rng64::seed_from_u64(13);
+        let ones = (0..10_000).filter(|_| rng.gen_bool()).count();
+        assert!((4_500..5_500).contains(&ones), "{ones}");
+    }
+}

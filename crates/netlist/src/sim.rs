@@ -1,3 +1,4 @@
+use crate::stats::ToggleStats;
 use crate::{Bus, Gate, Netlist, NetlistError, NodeId, SIM_LANES};
 
 /// A levelized, 64-lane bit-parallel netlist simulator.
@@ -36,6 +37,7 @@ pub struct Simulator<'n> {
     order: Vec<NodeId>,
     flops: Vec<(NodeId, NodeId, bool)>,
     values: Vec<u64>,
+    probe: Option<ToggleStats>,
 }
 
 impl<'n> Simulator<'n> {
@@ -53,6 +55,7 @@ impl<'n> Simulator<'n> {
             order,
             flops,
             values: vec![0; netlist.len()],
+            probe: None,
         };
         sim.reset();
         Ok(sim)
@@ -156,8 +159,34 @@ impl<'n> Simulator<'n> {
         }
     }
 
+    /// Enables the switching-activity probe: subsequent
+    /// [`Simulator::eval`] passes count bit flips on every combinational
+    /// net, grouped by [`crate::GateKind`].  The first probed `eval` counts
+    /// transitions away from the current net values, so enable the probe
+    /// after settling the design into a representative state when only
+    /// steady-state activity is wanted.
+    pub fn enable_toggle_probe(&mut self) {
+        if self.probe.is_none() {
+            self.probe = Some(ToggleStats::new());
+        }
+    }
+
+    /// The accumulated toggle statistics, when the probe is enabled.
+    pub fn toggle_stats(&self) -> Option<&ToggleStats> {
+        self.probe.as_ref()
+    }
+
+    /// Takes the accumulated toggle statistics, leaving the probe enabled
+    /// and empty.  Returns `None` when the probe was never enabled.
+    pub fn take_toggle_stats(&mut self) -> Option<ToggleStats> {
+        self.probe.replace(ToggleStats::new())
+    }
+
     /// Evaluates all combinational logic for the current input words.
     pub fn eval(&mut self) {
+        if let Some(p) = &mut self.probe {
+            p.record_eval();
+        }
         for &id in &self.order {
             let idx = id.index();
             let v = match self.netlist.gate(id) {
@@ -181,6 +210,14 @@ impl<'n> Simulator<'n> {
                     (!s & self.values[a.index()]) | (s & self.values[b.index()])
                 }
             };
+            if let Some(p) = &mut self.probe {
+                // Constants never switch in hardware; everything else
+                // contributes one toggle per flipped bit per lane.
+                let flips = u64::from((self.values[idx] ^ v).count_ones());
+                if flips != 0 && !matches!(self.netlist.gate(id), Gate::Const(_)) {
+                    p.record(self.netlist.gate(id).kind(), flips);
+                }
+            }
             self.values[idx] = v;
         }
     }
@@ -260,6 +297,69 @@ mod tests {
         assert_eq!(sim.read(q2) & 1, 0);
         sim.step();
         assert_eq!(sim.read(q2) & 1, 1);
+    }
+
+    #[test]
+    fn toggle_probe_counts_exact_bit_flips() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.xor(a, b);
+        n.mark_output(y, "y");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval(); // settle at all-zero
+        sim.enable_toggle_probe();
+        sim.write(a, 0b101);
+        sim.eval(); // y: 0 -> 0b101, lanes 0 and 2 flip
+        sim.write(b, 0b001);
+        sim.eval(); // y: 0b101 -> 0b100, one lane flips
+        let stats = sim.toggle_stats().unwrap();
+        assert_eq!(stats.toggles(crate::GateKind::Xor), 3);
+        assert_eq!(stats.total_toggles(), 3);
+        assert_eq!(stats.evals(), 2);
+        assert!((stats.toggles_per_eval() - 1.5).abs() < 1e-12);
+        let taken = sim.take_toggle_stats().unwrap();
+        assert_eq!(taken.total_toggles(), 3);
+        assert_eq!(sim.toggle_stats().unwrap().total_toggles(), 0);
+    }
+
+    #[test]
+    fn toggle_probe_agrees_with_external_activity_recorder() {
+        use crate::Activity;
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let x = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&p, &q)| n.xor(p, q))
+            .collect::<Bus>();
+        n.mark_output_bus("x", &x);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.eval();
+        sim.enable_toggle_probe();
+        let mut act = Activity::new(&sim);
+        let mut state = 0xD1CEu64;
+        for _ in 0..32 {
+            let va = crate::rng::splitmix64(&mut state);
+            let vb = crate::rng::splitmix64(&mut state);
+            for (k, &bit) in a.bits().iter().enumerate() {
+                sim.write(bit, va.rotate_left(k as u32));
+            }
+            for (k, &bit) in b.bits().iter().enumerate() {
+                sim.write(bit, vb.rotate_left(k as u32));
+            }
+            sim.eval();
+            act.record(&sim);
+        }
+        let probe = sim.toggle_stats().unwrap();
+        assert!(probe.toggles(crate::GateKind::Xor) > 0);
+        assert_eq!(
+            probe.toggles(crate::GateKind::Xor),
+            act.toggles(crate::GateKind::Xor),
+            "probe and Activity must count the same switching activity"
+        );
     }
 
     #[test]

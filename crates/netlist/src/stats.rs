@@ -53,6 +53,80 @@ impl GateStats {
     }
 }
 
+/// Switching-activity totals recorded by the [`crate::Simulator`]'s
+/// toggle probe: bit flips per gate kind, accumulated over every
+/// [`crate::Simulator::eval`] pass while the probe is enabled.
+///
+/// Each toggle is one bit transition on one net in one packed stimulus
+/// lane, so totals are directly comparable with [`crate::Activity`]
+/// (which records the same quantity from outside the simulator) and feed
+/// the synthesis crate's switching-power estimate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ToggleStats {
+    counts: BTreeMap<GateKind, u64>,
+    evals: u64,
+}
+
+impl ToggleStats {
+    /// Creates an empty toggle table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&mut self, kind: GateKind, flips: u64) {
+        *self.counts.entry(kind).or_insert(0) += flips;
+    }
+
+    pub(crate) fn record_eval(&mut self) {
+        self.evals += 1;
+    }
+
+    /// Toggles observed on nets driven by gates of `kind`.
+    pub fn toggles(&self, kind: GateKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Toggles observed across all gate kinds.
+    pub fn total_toggles(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of `eval` passes the probe has observed.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Mean toggles per `eval` pass (over all 64 packed lanes), or 0 when
+    /// no pass has run.
+    pub fn toggles_per_eval(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.total_toggles() as f64 / self.evals as f64
+        }
+    }
+
+    /// Iterates over `(kind, toggles)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+impl fmt::Display for ToggleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} toggles over {} evals (", self.total_toggles(), self.evals)?;
+        let mut first = true;
+        for (kind, count) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kind}:{count}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
 impl fmt::Display for GateStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} cells (", self.total_cells())?;

@@ -5,17 +5,15 @@
 //! randomized operand streams (with the mode pins held at a chosen
 //! configuration) and collect the toggle statistics that the synthesis
 //! crate's power model consumes.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 use crate::{Activity, Bus, Netlist, NetlistError, NodeId, Simulator};
 
 /// Writes an independent uniformly random word to every bit of `bus`
 /// (all 64 lanes randomized at once).
-pub fn drive_random(sim: &mut Simulator<'_>, bus: &Bus, rng: &mut StdRng) {
+pub fn drive_random(sim: &mut Simulator<'_>, bus: &Bus, rng: &mut Rng64) {
     for &bit in bus.bits() {
-        sim.write(bit, rng.gen());
+        sim.write(bit, rng.next_u64());
     }
 }
 
@@ -45,7 +43,7 @@ pub fn run_random_activity(
     seed: u64,
 ) -> Result<Activity, NetlistError> {
     let mut sim = Simulator::new(netlist)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     hold(&mut sim, held);
     for bus in random {
         drive_random(&mut sim, bus, &mut rng);
@@ -63,14 +61,14 @@ pub fn run_random_activity(
 }
 
 /// Uniformly random signed value fitting in `bits` bits of two's complement.
-pub fn random_signed(rng: &mut StdRng, bits: u32) -> i64 {
+pub fn random_signed(rng: &mut Rng64, bits: u32) -> i64 {
     let lo = -(1i64 << (bits - 1));
     let hi = 1i64 << (bits - 1);
     rng.gen_range(lo..hi)
 }
 
 /// A vector of uniformly random signed values fitting in `bits` bits.
-pub fn random_signed_vec(rng: &mut StdRng, bits: u32, len: usize) -> Vec<i64> {
+pub fn random_signed_vec(rng: &mut Rng64, bits: u32, len: usize) -> Vec<i64> {
     (0..len).map(|_| random_signed(rng, bits)).collect()
 }
 
@@ -80,7 +78,7 @@ mod tests {
 
     #[test]
     fn random_signed_respects_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..1000 {
             let v = random_signed(&mut rng, 4);
             assert!((-8..8).contains(&v));

@@ -1,27 +1,29 @@
-//! Property-based verification of the arithmetic component generators
-//! against wide-integer reference semantics.
+//! Randomized verification (seeded, hermetic) of the arithmetic component
+//! generators against wide-integer reference semantics.  Formerly a
+//! `proptest` suite; now driven by the in-repo [`Rng64`] so the workspace
+//! builds offline — seeds are fixed, so every run exercises the same cases.
 
 use bsc_netlist::components::csa::{self, Term};
 use bsc_netlist::components::mul::{multiply, Signedness};
 use bsc_netlist::components::{adder, shift};
-use bsc_netlist::{Bus, Netlist, Simulator};
-use proptest::prelude::*;
+use bsc_netlist::{Bus, Netlist, Rng64, Simulator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn sum_terms_matches_i128_reference(
-        term_specs in proptest::collection::vec(
-            (1usize..6, 0usize..4, any::<bool>(), -1000i64..1000),
-            1..6
-        ),
-    ) {
+#[test]
+fn sum_terms_matches_i128_reference() {
+    let mut rng = Rng64::seed_from_u64(0xC5A);
+    for case in 0..CASES {
+        let n_terms = rng.gen_range(1usize..6);
         let mut n = Netlist::new();
         let mut buses = Vec::new();
         let mut expected: i128 = 0;
-        for &(width, sh, signed, raw) in &term_specs {
-            let bus = n.input_bus(&format!("t{}", buses.len()), width);
+        for t in 0..n_terms {
+            let width = rng.gen_range(1usize..6);
+            let sh = rng.gen_range(0usize..4);
+            let signed = rng.gen_bool();
+            let raw = rng.gen_range(-1000i64..1000);
+            let bus = n.input_bus(&format!("t{t}"), width);
             // Interpret raw within the bus's value range.
             let value = if signed {
                 let m = 1i64 << (width - 1);
@@ -48,18 +50,20 @@ proptest! {
         let modulus = 1i128 << width;
         let want = expected.rem_euclid(modulus);
         let want = if want >= modulus / 2 { want - modulus } else { want };
-        prop_assert_eq!(got as i128, want);
+        assert_eq!(got as i128, want, "case {case}");
     }
+}
 
-    #[test]
-    fn multiply_matches_reference_for_all_signedness(
-        aw in 2usize..6,
-        bw in 2usize..6,
-        araw in any::<i64>(),
-        braw in any::<i64>(),
-        sa in any::<bool>(),
-        sb in any::<bool>(),
-    ) {
+#[test]
+fn multiply_matches_reference_for_all_signedness() {
+    let mut rng = Rng64::seed_from_u64(0x30D);
+    for case in 0..CASES {
+        let aw = rng.gen_range(2usize..6);
+        let bw = rng.gen_range(2usize..6);
+        let araw = rng.next_u64() as i64;
+        let braw = rng.next_u64() as i64;
+        let sa = rng.gen_bool();
+        let sb = rng.gen_bool();
         let mut n = Netlist::new();
         let a = n.input_bus("a", aw);
         let b = n.input_bus("b", bw);
@@ -83,17 +87,17 @@ proptest! {
         sim.write_bus_lane(&a, 0, av);
         sim.write_bus_lane(&b, 0, bv);
         sim.eval();
-        prop_assert_eq!(sim.read_bus_signed_lane(&p, 0), av * bv);
+        assert_eq!(sim.read_bus_signed_lane(&p, 0), av * bv, "case {case}");
     }
+}
 
-    #[test]
-    fn kogge_stone_equals_ripple(
-        w in 2usize..20,
-        x in any::<u64>(),
-        y in any::<u64>(),
-    ) {
+#[test]
+fn kogge_stone_equals_ripple() {
+    let mut rng = Rng64::seed_from_u64(0xADD);
+    for case in 0..CASES {
+        let w = rng.gen_range(2usize..20);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-        let (x, y) = (x & mask, y & mask);
+        let (x, y) = (rng.next_u64() & mask, rng.next_u64() & mask);
         let mut n = Netlist::new();
         let a = n.input_bus("a", w);
         let b = n.input_bus("b", w);
@@ -105,23 +109,25 @@ proptest! {
         sim.write_bus_lane(&a, 0, x as i64);
         sim.write_bus_lane(&b, 0, y as i64);
         sim.eval();
-        prop_assert_eq!(
+        assert_eq!(
             sim.read_bus_unsigned_lane(&ks, 0),
-            sim.read_bus_unsigned_lane(&rc, 0)
+            sim.read_bus_unsigned_lane(&rc, 0),
+            "case {case}"
         );
-        prop_assert_eq!(sim.read_bus_unsigned_lane(&ks, 0), x.wrapping_add(y) & mask);
+        assert_eq!(sim.read_bus_unsigned_lane(&ks, 0), x.wrapping_add(y) & mask);
     }
+}
 
-    #[test]
-    fn shift_select_weights_values(
-        w in 2usize..6,
-        k0 in 0usize..5,
-        k1 in 0usize..5,
-        raw in any::<i64>(),
-        sel in any::<bool>(),
-    ) {
+#[test]
+fn shift_select_weights_values() {
+    let mut rng = Rng64::seed_from_u64(0x5417);
+    for case in 0..CASES {
+        let w = rng.gen_range(2usize..6);
+        let k0 = rng.gen_range(0usize..5);
+        let k1 = rng.gen_range(0usize..5);
+        let sel = rng.gen_bool();
         let m = 1i64 << (w - 1);
-        let v = raw.rem_euclid(2 * m) - m;
+        let v = (rng.next_u64() as i64).rem_euclid(2 * m) - m;
         let mut n = Netlist::new();
         let a = n.input_bus("a", w);
         let s = n.input("s");
@@ -132,28 +138,29 @@ proptest! {
         sim.write(s, if sel { u64::MAX } else { 0 });
         sim.eval();
         let k = if sel { k1 } else { k0 };
-        prop_assert_eq!(sim.read_bus_signed_lane(&out, 0), v << k);
+        assert_eq!(sim.read_bus_signed_lane(&out, 0), v << k, "case {case}");
     }
+}
 
-    #[test]
-    fn constant_folding_preserves_semantics(
-        ops in proptest::collection::vec((0u8..6, any::<bool>(), any::<bool>()), 1..20),
-        a_val in any::<bool>(),
-        b_val in any::<bool>(),
-    ) {
-        // Build a random tree mixing constants and inputs; evaluate both
-        // through the simulator and through direct boolean math.
+#[test]
+fn constant_folding_preserves_semantics() {
+    // Build a random tree mixing constants and inputs; evaluate both
+    // through the simulator and through direct boolean math.
+    let mut rng = Rng64::seed_from_u64(0xF01D);
+    for case in 0..CASES {
+        let a_val = rng.gen_bool();
+        let b_val = rng.gen_bool();
+        let n_ops = rng.gen_range(1usize..20);
         let mut n = Netlist::new();
         let a = n.input("a");
         let b = n.input("b");
         let mut node = a;
         let mut model = a_val;
-        for &(op, use_const, cv) in &ops {
-            let (rhs, rhs_val) = if use_const {
-                (n.constant(cv), cv)
-            } else {
-                (b, b_val)
-            };
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..6);
+            let use_const = rng.gen_bool();
+            let cv = rng.gen_bool();
+            let (rhs, rhs_val) = if use_const { (n.constant(cv), cv) } else { (b, b_val) };
             let (nn, nv) = match op {
                 0 => (n.and(node, rhs), model & rhs_val),
                 1 => (n.or(node, rhs), model | rhs_val),
@@ -170,16 +177,21 @@ proptest! {
         sim.write(a, if a_val { u64::MAX } else { 0 });
         sim.write(b, if b_val { u64::MAX } else { 0 });
         sim.eval();
-        prop_assert_eq!(sim.read(node) & 1 == 1, model);
+        assert_eq!(sim.read(node) & 1 == 1, model, "case {case}");
     }
+}
 
-    #[test]
-    fn bus_literal_roundtrips(v in -(1i64 << 20)..(1i64 << 20), w in 21usize..40) {
+#[test]
+fn bus_literal_roundtrips() {
+    let mut rng = Rng64::seed_from_u64(0xB115);
+    for case in 0..CASES {
+        let v = rng.gen_range(-(1i64 << 20)..(1i64 << 20));
+        let w = rng.gen_range(21usize..40);
         let mut n = Netlist::new();
         let b = Bus::literal(&mut n, v, w);
         n.mark_output_bus("b", &b);
         let mut sim = Simulator::new(&n).unwrap();
         sim.eval();
-        prop_assert_eq!(sim.read_bus_signed_lane(&b, 0), v);
+        assert_eq!(sim.read_bus_signed_lane(&b, 0), v, "case {case}");
     }
 }

@@ -10,9 +10,7 @@
 //! float reference is measured.  Tests check that measured error grows as
 //! precision falls and that the proxy ranks assignments consistently with
 //! the measurement.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsc_mac::Rng64;
 
 use crate::quant::Quantizer;
 use crate::{NnError, Precision};
@@ -34,7 +32,7 @@ impl SyntheticMlp {
     /// Panics with fewer than two dimensions.
     pub fn new(dims: &[usize], seed: u64) -> Self {
         assert!(dims.len() >= 2, "an MLP needs at least one layer");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let weights = dims
             .windows(2)
             .map(|w| (0..w[0] * w[1]).map(|_| rng.gen_range(-1.0..1.0)).collect())
@@ -138,7 +136,7 @@ pub fn assignment_mse(
     trials: usize,
     seed: u64,
 ) -> Result<f64, NnError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut total = 0.0;
     for _ in 0..trials {
         let input: Vec<f64> = (0..mlp.dims[0]).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -216,7 +214,7 @@ mod tests {
     #[test]
     fn assignment_length_is_validated() {
         let m = mlp();
-        let err = m.infer_quantized(&vec![0.5; 16], &[Precision::Int8]);
+        let err = m.infer_quantized(&[0.5; 16], &[Precision::Int8]);
         assert!(matches!(err, Err(NnError::WeightCountMismatch { .. })));
     }
 

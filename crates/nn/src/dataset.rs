@@ -9,9 +9,7 @@
 //! the accelerator's FC semantics) then gives a measurable accuracy that
 //! degrades gracefully as weight precision falls, mirroring how real
 //! quantized networks behave.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsc_mac::Rng64;
 
 use crate::quant::Quantizer;
 use crate::{NnError, Precision, Tensor};
@@ -60,7 +58,7 @@ impl SyntheticTask {
 
     /// Draws one `(sample, label)` pair: a prototype plus uniform noise,
     /// saturated into the signed 8-bit activation range.
-    pub fn sample(&self, rng: &mut StdRng) -> (Tensor, usize) {
+    pub fn sample(&self, rng: &mut Rng64) -> (Tensor, usize) {
         let label = rng.gen_range(0..self.prototypes.len());
         let (c, h, w) = self.shape;
         let proto = &self.prototypes[label];
@@ -111,7 +109,7 @@ impl SyntheticTask {
     /// Propagates quantization failures.
     pub fn accuracy(&self, p: Precision, trials: usize, seed: u64) -> Result<f64, NnError> {
         let filters = self.quantized_filters(p)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut correct = 0usize;
         for _ in 0..trials {
             let (sample, label) = self.sample(&mut rng);
@@ -151,7 +149,7 @@ mod tests {
     #[test]
     fn samples_stay_in_activation_range() {
         let t = task();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..50 {
             let (s, label) = t.sample(&mut rng);
             assert!(label < 10);

@@ -11,9 +11,7 @@
 //! a sensitivity factor; first/last layers and parameter-poor layers are
 //! more sensitive, matching the empirical behaviour HAQ-style searches
 //! recover.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsc_mac::Rng64;
 
 use crate::{Layer, Network, Precision};
 
@@ -92,7 +90,7 @@ pub fn search(
     config: &SearchConfig,
     mut cost: impl FnMut(&Layer) -> f64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::seed_from_u64(config.seed);
     let mut net = base.clone();
     // Start from all-8-bit (the most accurate, most expensive point).
     for l in &mut net.layers {

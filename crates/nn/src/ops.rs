@@ -346,6 +346,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // written-out window sum reads better
     fn avgpool2_averages_windows() {
         let t = Tensor::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as i64 * 4);
         assert_eq!(avgpool2(&t).get(0, 0, 0), (0 + 4 + 8 + 12) / 4);

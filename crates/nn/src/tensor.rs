@@ -1,7 +1,5 @@
 //! Integer feature-map tensors in channel-major (C, H, W) layout.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsc_mac::Rng64;
 
 /// A 3-D integer tensor `(channels, height, width)`, the working type of
 /// the golden operators and of the accelerator mapping.
@@ -57,7 +55,7 @@ impl Tensor {
         range: std::ops::Range<i64>,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         Tensor::from_fn(channels, height, width, |_, _, _| rng.gen_range(range.clone()))
     }
 

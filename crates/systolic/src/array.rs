@@ -1,7 +1,17 @@
 //! Cycle-accurate simulation of the weight-stationary vector systolic
 //! array (paper Fig. 5).
+//!
+//! Every run keeps two independent sets of books: the cycle loop counts
+//! what actually happened (PE fires, stalls, hops, loads), and closed-form
+//! dataflow formulas predict what *should* happen.  The two are
+//! cross-validated on every call — a divergence is a bug in either the
+//! model or the formulas and surfaces as
+//! [`SystolicError::TelemetryDivergence`].  When a [`Telemetry`] bundle is
+//! attached, the same counts are also published as named counters and
+//! cycle-events for external observability.
 
 use bsc_mac::{MacKind, Precision};
+use bsc_telemetry::{Telemetry, TraceEvent};
 
 use crate::{Matrix, ProcessingElement, SystolicError};
 
@@ -50,8 +60,20 @@ pub struct DataflowStats {
     pub weight_loads: u64,
     /// Sum of busy cycles over all PEs.
     pub pe_busy_cycles: u64,
+    /// PE-cycles spent holding exactly one operand (the skew drain tail:
+    /// weights still stationed after the feature stream has passed).
+    pub stall_cycles: u64,
     /// Fraction of PE-cycles doing useful work.
     pub utilization: f64,
+}
+
+impl DataflowStats {
+    /// PE-cycles spent completely idle (neither operand present) on an
+    /// array with `pes` physical PEs: the skew fill overhead plus any
+    /// unused PEs.
+    pub fn idle_pe_cycles(&self, pes: usize) -> u64 {
+        (self.cycles * pes as u64).saturating_sub(self.pe_busy_cycles + self.stall_cycles)
+    }
 }
 
 /// Result of a systolic matrix multiplication.
@@ -86,9 +108,10 @@ pub enum Dataflow {
 /// * feature vector `m` enters PE 0 at cycle `m` and hops one PE per cycle;
 /// * PE `n` therefore computes output `O[m][n]` at cycle `m + n`, and the
 ///   output diagonals retire one per cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SystolicArray {
     config: ArrayConfig,
+    telemetry: Option<Telemetry>,
 }
 
 impl SystolicArray {
@@ -100,7 +123,25 @@ impl SystolicArray {
     pub fn new(config: ArrayConfig) -> Self {
         assert!(config.pes > 0, "array needs at least one PE");
         assert!(config.vector_length > 0, "vector length must be positive");
-        SystolicArray { config }
+        SystolicArray { config, telemetry: None }
+    }
+
+    /// An array that publishes counters and cycle-events into `telemetry`
+    /// on every run.
+    pub fn with_telemetry(config: ArrayConfig, telemetry: Telemetry) -> Self {
+        let mut array = SystolicArray::new(config);
+        array.telemetry = Some(telemetry);
+        array
+    }
+
+    /// Attaches (or replaces) the telemetry bundle on an existing array.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry bundle, when present.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The array configuration.
@@ -170,10 +211,15 @@ impl SystolicArray {
             .map(|_| ProcessingElement::new(self.config.kind, self.config.vector_length))
             .collect();
         let mut output = Matrix::zeros(m_rows, n_rows);
+        // The measured books: everything in `stats` below is counted by
+        // the cycle loop (or read back from the PEs' own busy counters),
+        // never computed from a formula.
         let mut stats = DataflowStats::default();
+        let tel = self.telemetry.as_ref();
 
         let total_cycles = if m_rows == 0 { 0 } else { m_rows + n_rows - 1 };
         for t in 0..total_cycles {
+            let cycle = t as u64;
             match dataflow {
                 Dataflow::WeightStationary => {
                     // Weight skew: PE t receives its stationary vector at
@@ -181,6 +227,13 @@ impl SystolicArray {
                     if t < n_rows {
                         pes[t].load_weights(p, weights.row(t).to_vec())?;
                         stats.weight_loads += 1;
+                        if let Some(tel) = tel {
+                            tel.trace.push(TraceEvent::WeightLoad {
+                                cycle,
+                                pe: t as u32,
+                                elems: k as u32,
+                            });
+                        }
                     }
                 }
                 Dataflow::NoReuse => {
@@ -190,6 +243,13 @@ impl SystolicArray {
                         if t >= n_idx && t - n_idx < m_rows {
                             pe.load_weights(p, weights.row(n_idx).to_vec())?;
                             stats.weight_loads += 1;
+                            if let Some(tel) = tel {
+                                tel.trace.push(TraceEvent::WeightLoad {
+                                    cycle,
+                                    pe: n_idx as u32,
+                                    elems: k as u32,
+                                });
+                            }
                         }
                     }
                 }
@@ -211,25 +271,71 @@ impl SystolicArray {
                 }
             }
             // Fire every PE that has both operands; PE n at cycle t holds
-            // feature row t - n.
+            // feature row t - n.  A PE holding exactly one operand is
+            // stalled (the drain tail of the skew).
             for (n_idx, pe) in pes.iter_mut().enumerate() {
                 if let Some(out) = pe.fire(p)? {
                     let m_idx = t - n_idx;
                     output.set(m_idx, n_idx, out);
                     stats.macs += k as u64;
-                    stats.pe_busy_cycles += 1;
+                    if let Some(tel) = tel {
+                        tel.trace.push(TraceEvent::PeFired {
+                            cycle,
+                            pe: n_idx as u32,
+                            row: m_idx as u32,
+                            macs: k as u32,
+                        });
+                    }
+                } else if pe.is_stalled() {
+                    stats.stall_cycles += 1;
+                    if let Some(tel) = tel {
+                        tel.trace.push(TraceEvent::VectorStall { cycle, pe: n_idx as u32 });
+                    }
                 }
             }
         }
 
         stats.cycles = total_cycles as u64;
+        // Busy time comes from the PEs' own hardware counters, not the
+        // loop above — so a PE miscounting its fires would be caught by
+        // the cross-validation below (macs are counted by the loop).
+        stats.pe_busy_cycles = pes.iter().map(ProcessingElement::busy_cycles).sum();
         let pe_cycles = stats.cycles * self.config.pes as u64;
         stats.utilization = if pe_cycles > 0 {
             stats.pe_busy_cycles as f64 / pe_cycles as f64
         } else {
             0.0
         };
+
+        if let Some(tel) = tel {
+            let m = &tel.metrics;
+            m.counter("systolic.runs").inc();
+            m.counter("systolic.cycles").add(stats.cycles);
+            m.counter("systolic.pe_fired").add(stats.pe_busy_cycles);
+            m.counter("systolic.stall_cycles").add(stats.stall_cycles);
+            m.counter("systolic.feature_hops").add(stats.feature_hops);
+            m.counter("systolic.weight_loads").add(stats.weight_loads);
+            m.counter(&format!("systolic.macs.int{}", p.bits())).add(stats.macs);
+            for (n_idx, pe) in pes.iter().enumerate() {
+                m.counter(&format!("systolic.pe{n_idx:02}.busy_cycles")).add(pe.busy_cycles());
+            }
+        }
+
+        let analytic = analytic_stats(self.config, k, m_rows, n_rows, dataflow);
+        cross_validate(&analytic, &stats)?;
         Ok(MatmulRun { output, stats })
+    }
+
+    /// The closed-form dataflow prediction for one tile — the quantity the
+    /// measured counters are checked against on every run.
+    pub fn analytic_stats(
+        &self,
+        p: Precision,
+        feature_rows: usize,
+        weight_rows: usize,
+        dataflow: Dataflow,
+    ) -> DataflowStats {
+        analytic_stats(self.config, self.config.dot_length(p), feature_rows, weight_rows, dataflow)
     }
 
     /// Multiplies matrices of *arbitrary* shape by tiling: the contraction
@@ -285,6 +391,7 @@ impl SystolicArray {
                 stats.feature_hops += run.stats.feature_hops;
                 stats.weight_loads += run.stats.weight_loads;
                 stats.pe_busy_cycles += run.stats.pe_busy_cycles;
+                stats.stall_cycles += run.stats.stall_cycles;
                 n0 = n1;
             }
             k0 = k1.max(k0 + 1);
@@ -299,19 +406,85 @@ impl SystolicArray {
     }
 }
 
+/// Closed-form [`DataflowStats`] for one `m × n` tile with dot length `k`
+/// on `config` (see the module docs for the derivation):
+///
+/// * `cycles = m + n − 1` (skew fill + stream + drain);
+/// * every `(m, n)` pair fires exactly once ⇒ `pe_busy = macs/k = m·n`;
+/// * each feature row hops through all `n` engaged PEs ⇒ `hops = m·n`;
+/// * weight loads: `n` (weight-stationary) or `m·n` (no-reuse ablation);
+/// * drain-tail stalls: PE `j` holds only its weights for `n − 1 − j`
+///   trailing cycles ⇒ `Σ = n(n−1)/2`.
+fn analytic_stats(
+    config: ArrayConfig,
+    k: usize,
+    m: usize,
+    n: usize,
+    dataflow: Dataflow,
+) -> DataflowStats {
+    if m == 0 {
+        return DataflowStats::default();
+    }
+    let cycles = (m + n - 1) as u64;
+    let pe_busy = (m * n) as u64;
+    let pe_cycles = cycles * config.pes as u64;
+    DataflowStats {
+        cycles,
+        macs: pe_busy * k as u64,
+        feature_hops: pe_busy,
+        weight_loads: match dataflow {
+            Dataflow::WeightStationary => n as u64,
+            Dataflow::NoReuse => pe_busy,
+        },
+        pe_busy_cycles: pe_busy,
+        stall_cycles: (n * (n - 1) / 2) as u64,
+        utilization: if pe_cycles > 0 { pe_busy as f64 / pe_cycles as f64 } else { 0.0 },
+    }
+}
+
+/// Compares the analytic prediction against the measured counters field by
+/// field; integers must match exactly, utilization to within 1e-9.
+fn cross_validate(analytic: &DataflowStats, counted: &DataflowStats) -> Result<(), SystolicError> {
+    let fields: [(&'static str, u64, u64); 6] = [
+        ("cycles", analytic.cycles, counted.cycles),
+        ("macs", analytic.macs, counted.macs),
+        ("feature_hops", analytic.feature_hops, counted.feature_hops),
+        ("weight_loads", analytic.weight_loads, counted.weight_loads),
+        ("pe_busy_cycles", analytic.pe_busy_cycles, counted.pe_busy_cycles),
+        ("stall_cycles", analytic.stall_cycles, counted.stall_cycles),
+    ];
+    for (field, a, c) in fields {
+        if a != c {
+            return Err(SystolicError::TelemetryDivergence {
+                field,
+                analytic: a as f64,
+                counted: c as f64,
+            });
+        }
+    }
+    if (analytic.utilization - counted.utilization).abs() > 1e-9 {
+        return Err(SystolicError::TelemetryDivergence {
+            field: "utilization",
+            analytic: analytic.utilization,
+            counted: counted.utilization,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use bsc_netlist::rng::Rng64;
 
-    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, bits: u32) -> Matrix {
+    fn random_matrix(rng: &mut Rng64, rows: usize, cols: usize, bits: u32) -> Matrix {
         let half = 1i64 << (bits - 1);
         Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-half..half))
     }
 
     #[test]
     fn matmul_matches_reference_for_all_kinds_and_modes() {
-        let mut rng = StdRng::seed_from_u64(55);
+        let mut rng = Rng64::seed_from_u64(55);
         for kind in MacKind::ALL {
             let config = ArrayConfig { pes: 4, vector_length: 4, kind };
             let array = SystolicArray::new(config);
@@ -373,6 +546,62 @@ mod tests {
     }
 
     #[test]
+    fn stall_cycles_count_the_drain_tail() {
+        let config = ArrayConfig { pes: 4, vector_length: 2, kind: MacKind::Bsc };
+        let array = SystolicArray::new(config);
+        let k = config.dot_length(Precision::Int8);
+        let run = array.matmul(Precision::Int8, &Matrix::zeros(5, k), &Matrix::zeros(4, k)).unwrap();
+        // PE j holds only its stationary weights for n-1-j trailing
+        // cycles: 3+2+1+0 = 6.
+        assert_eq!(run.stats.stall_cycles, 6);
+        // idle = fill tail, symmetric with the drain: also 6.
+        assert_eq!(run.stats.idle_pe_cycles(config.pes), 6);
+    }
+
+    #[test]
+    fn attached_telemetry_mirrors_the_run_stats() {
+        use bsc_telemetry::Telemetry;
+        let config = ArrayConfig { pes: 3, vector_length: 2, kind: MacKind::Lpc };
+        let tel = Telemetry::new(4096);
+        let array = SystolicArray::with_telemetry(config, tel.clone());
+        let k = config.dot_length(Precision::Int4);
+        let f = Matrix::from_fn(4, k, |r, c| ((r + c) % 5) as i64 - 2);
+        let w = Matrix::from_fn(3, k, |r, c| ((r * c) % 5) as i64 - 2);
+        let run = array.matmul(Precision::Int4, &f, &w).unwrap();
+
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("systolic.runs"), 1);
+        assert_eq!(snap.counter("systolic.cycles"), run.stats.cycles);
+        assert_eq!(snap.counter("systolic.pe_fired"), run.stats.pe_busy_cycles);
+        assert_eq!(snap.counter("systolic.stall_cycles"), run.stats.stall_cycles);
+        assert_eq!(snap.counter("systolic.weight_loads"), run.stats.weight_loads);
+        assert_eq!(snap.counter("systolic.feature_hops"), run.stats.feature_hops);
+        assert_eq!(snap.counter("systolic.macs.int4"), run.stats.macs);
+        // Per-PE utilization: every PE fires once per feature row.
+        for pe in 0..3 {
+            assert_eq!(snap.counter(&format!("systolic.pe{pe:02}.busy_cycles")), 4);
+        }
+        // The trace ring saw one event per fire, stall and load.
+        let trace = tel.trace.snapshot();
+        let fired = trace.events.iter().filter(|e| e.kind() == "pe_fired").count() as u64;
+        let stalls = trace.events.iter().filter(|e| e.kind() == "vector_stall").count() as u64;
+        let loads = trace.events.iter().filter(|e| e.kind() == "weight_load").count() as u64;
+        assert_eq!(fired, run.stats.pe_busy_cycles);
+        assert_eq!(stalls, run.stats.stall_cycles);
+        assert_eq!(loads, run.stats.weight_loads);
+    }
+
+    #[test]
+    fn analytic_stats_accessor_matches_a_measured_run() {
+        let config = ArrayConfig { pes: 4, vector_length: 2, kind: MacKind::Hps };
+        let array = SystolicArray::new(config);
+        let k = config.dot_length(Precision::Int2);
+        let run = array.matmul(Precision::Int2, &Matrix::zeros(7, k), &Matrix::zeros(3, k)).unwrap();
+        let predicted = array.analytic_stats(Precision::Int2, 7, 3, Dataflow::WeightStationary);
+        assert_eq!(run.stats, predicted);
+    }
+
+    #[test]
     fn paper_array_peak_throughput() {
         let c = ArrayConfig::paper(MacKind::Bsc);
         assert_eq!(c.peak_macs_per_cycle(Precision::Int8), 1024);
@@ -383,17 +612,17 @@ mod tests {
 
 #[cfg(test)]
 mod tiled_tests {
+    use bsc_netlist::rng::Rng64;
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
 
-    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, bits: u32) -> Matrix {
+    fn random_matrix(rng: &mut Rng64, rows: usize, cols: usize, bits: u32) -> Matrix {
         let half = 1i64 << (bits - 1);
         Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-half..half))
     }
 
     #[test]
     fn tiled_matmul_is_exact_for_awkward_shapes() {
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Rng64::seed_from_u64(77);
         let config = ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc };
         let array = SystolicArray::new(config);
         for p in Precision::ALL {

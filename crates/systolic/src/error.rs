@@ -35,6 +35,16 @@ pub enum SystolicError {
     Mac(bsc_mac::MacError),
     /// A convolution shape field was zero.
     EmptyShape(&'static str),
+    /// The measured dataflow counters of a run disagreed with the
+    /// closed-form prediction — a bug in the cycle model or the formulas.
+    TelemetryDivergence {
+        /// Name of the diverging statistic.
+        field: &'static str,
+        /// Value the closed-form dataflow model predicts.
+        analytic: f64,
+        /// Value the cycle loop actually counted.
+        counted: f64,
+    },
 }
 
 impl fmt::Display for SystolicError {
@@ -53,6 +63,10 @@ impl fmt::Display for SystolicError {
             ),
             SystolicError::Mac(e) => write!(f, "vector MAC error: {e}"),
             SystolicError::EmptyShape(field) => write!(f, "convolution shape field `{field}` is zero"),
+            SystolicError::TelemetryDivergence { field, analytic, counted } => write!(
+                f,
+                "dataflow telemetry divergence on `{field}`: analytic {analytic} vs counted {counted}"
+            ),
         }
     }
 }

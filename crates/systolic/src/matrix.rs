@@ -115,6 +115,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // written-out dot products read better
     fn matmul_nt_reference() {
         let a = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
         let b = Matrix::from_rows(&[vec![5, 6], vec![7, 8]]);

@@ -244,9 +244,29 @@ impl ArrayNetlist {
         steps: usize,
         seed: u64,
     ) -> Result<bsc_netlist::Activity, MacError> {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        Ok(self.characterize_weight_stationary_probed(p, steps, seed)?.0)
+    }
+
+    /// [`Self::characterize_weight_stationary`] with the simulator's
+    /// in-eval toggle probe enabled alongside the [`bsc_netlist::Activity`]
+    /// recorder, returning both.  The two count the same physical flips
+    /// through independent code paths — the probe per evaluation pass, the
+    /// recorder per settled cycle — so the probe totals bound the
+    /// recorder's from above, a cross-check on the switching activity that
+    /// feeds [`crate::energy::ArrayEnergyModel`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation failures.
+    pub fn characterize_weight_stationary_probed(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+    ) -> Result<(bsc_netlist::Activity, bsc_netlist::ToggleStats), MacError> {
+        use bsc_netlist::rng::Rng64;
         let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         sim.write(self.mode2, if p == Precision::Int2 { u64::MAX } else { 0 });
         sim.write(self.mode8, if p == Precision::Int8 { u64::MAX } else { 0 });
         let fields = self.kind.fields_per_element(p);
@@ -274,8 +294,10 @@ impl ArrayNetlist {
             sim.write(en, 0);
         }
 
-        // Streaming phase: record activity with fresh features per cycle.
+        // Streaming phase: record activity with fresh features per cycle,
+        // with the in-eval toggle probe counting the same flips.
         sim.eval();
+        sim.enable_toggle_probe();
         let mut act = bsc_netlist::Activity::new(&sim);
         for _ in 0..steps {
             for bus in &self.feature_port {
@@ -293,7 +315,8 @@ impl ArrayNetlist {
             sim.eval();
             act.record(&sim);
         }
-        Ok(act)
+        let probe = sim.take_toggle_stats().expect("probe enabled above");
+        Ok((act, probe))
     }
 }
 
@@ -303,18 +326,18 @@ fn pack(kind: MacKind, p: Precision, side: OperandSide, fields: &[i64]) -> i64 {
 
 #[cfg(test)]
 mod tests {
+    use bsc_netlist::rng::Rng64;
     use super::*;
     use crate::{ArrayConfig, SystolicArray};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
 
-    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, bits: u32) -> Matrix {
+    fn random_matrix(rng: &mut Rng64, rows: usize, cols: usize, bits: u32) -> Matrix {
         let half = 1i64 << (bits - 1);
         Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-half..half))
     }
 
     #[test]
     fn gate_level_array_matches_behavioural_model() {
-        let mut rng = StdRng::seed_from_u64(0xA44A7);
+        let mut rng = Rng64::seed_from_u64(0xA44A7);
         for kind in MacKind::ALL {
             let (pes, length) = (3, 2);
             let array = build_array(kind, pes, length);
@@ -340,7 +363,7 @@ mod tests {
         let array = build_array(MacKind::Bsc, 2, 2);
         let p = Precision::Int4;
         let k = array.dot_length(p);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let features = random_matrix(&mut rng, 12, k, p.bits());
         let weights = random_matrix(&mut rng, 2, k, p.bits());
         let gate = array.run_matmul(p, &features, &weights).unwrap();
@@ -403,5 +426,36 @@ mod energy_validation {
             (0.75..1.35).contains(&ratio),
             "analytic {analytic_e_mac:.1} fJ vs gate-level {gate_e_mac:.1} fJ (ratio {ratio:.2})"
         );
+    }
+
+    /// The in-eval toggle probe and the `Activity` recorder feeding the
+    /// energy model count the same physical flips through independent code
+    /// paths: per gate kind, the settled-cycle count (recorder) can never
+    /// exceed the per-evaluation count (probe), and any kind the energy
+    /// flow sees switching must also switch under the probe.
+    #[test]
+    fn toggle_probe_bounds_the_energy_models_activity() {
+        use bsc_netlist::GateKind;
+        for kind in MacKind::ALL {
+            let array = build_array(kind, 2, 2);
+            let (act, probe) = array
+                .characterize_weight_stationary_probed(Precision::Int4, 32, 5)
+                .unwrap();
+            assert!(probe.total_toggles() > 0, "{kind}: probe saw nothing");
+            // Flops switch in `step()`, outside the probe's eval pass —
+            // only combinational kinds are comparable.
+            for gk in GateKind::CELLS.into_iter().filter(|&gk| gk != GateKind::Dff) {
+                let recorded = act.toggles(gk);
+                let probed = probe.toggles(gk);
+                assert!(
+                    recorded <= probed,
+                    "{kind} {gk}: activity recorder counted {recorded} but probe only {probed}"
+                );
+                assert!(
+                    recorded == 0 || probed > 0,
+                    "{kind} {gk}: energy flow sees switching the probe missed"
+                );
+            }
+        }
     }
 }

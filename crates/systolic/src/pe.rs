@@ -108,6 +108,18 @@ impl ProcessingElement {
         self.weights.is_some()
     }
 
+    /// Whether a feature vector is currently latched.
+    pub fn has_features(&self) -> bool {
+        self.features.is_some()
+    }
+
+    /// Whether the PE holds exactly one operand — the stall condition
+    /// counted by the array's dataflow telemetry (typically the drain
+    /// tail: weights still held after the feature stream has passed).
+    pub fn is_stalled(&self) -> bool {
+        self.weights.is_some() != self.features.is_some()
+    }
+
     /// Clears weights, features and output for a new tile.
     pub fn reset(&mut self) {
         self.weights = None;

@@ -1,0 +1,89 @@
+//! Zero-dependency observability layer for the BSC accelerator stack.
+//!
+//! Three pieces, designed to be threaded through the simulator → MAC →
+//! systolic-array → compiler → report pipeline:
+//!
+//! * [`metrics`] — a [`Registry`] of named monotonic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s behind cheap atomic
+//!   handles, plus [`ScopedTimer`] for wall-clock phase timing;
+//! * [`trace`] — a bounded, droppable [`TraceRing`] of typed
+//!   cycle-events ([`TraceEvent::PeFired`], [`TraceEvent::VectorStall`],
+//!   [`TraceEvent::TileStart`], [`TraceEvent::WeightLoad`]);
+//! * [`sink`] — hand-rolled JSON and CSV serialization of snapshots
+//!   (no external crates; the workspace builds fully offline).
+//!
+//! # Example
+//!
+//! ```
+//! use bsc_telemetry::{Telemetry, TraceEvent};
+//!
+//! let tel = Telemetry::new(1024);
+//! let fired = tel.metrics.counter("pe.fired");
+//! fired.add(3);
+//! tel.trace.push(TraceEvent::PeFired { cycle: 0, pe: 0, row: 0, macs: 4 });
+//!
+//! let json = bsc_telemetry::sink::metrics_to_json(&tel.metrics.snapshot());
+//! assert!(json.contains("\"pe.fired\":3"));
+//! assert_eq!(tel.trace.snapshot().events.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, ScopedTimer,
+};
+pub use sink::JsonBuilder;
+pub use trace::{TraceEvent, TraceRing, TraceSnapshot};
+
+/// The standard bundle handed through the stack: one metrics registry and
+/// one trace ring.  Cloning shares both, so every layer records into the
+/// same store.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Named counters, gauges, histograms and timers.
+    pub metrics: Registry,
+    /// Bounded cycle-event trace.
+    pub trace: TraceRing,
+}
+
+impl Telemetry {
+    /// A bundle whose trace ring holds at most `trace_capacity` events.
+    pub fn new(trace_capacity: usize) -> Self {
+        Telemetry { metrics: Registry::new(), trace: TraceRing::new(trace_capacity) }
+    }
+
+    /// A bundle that accumulates metrics but stores no trace events
+    /// (events are still counted, see [`TraceRing::total`]).
+    pub fn metrics_only() -> Self {
+        Telemetry::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shares_state_across_clones() {
+        let tel = Telemetry::new(4);
+        let tel2 = tel.clone();
+        tel.metrics.counter("c").inc();
+        tel2.metrics.counter("c").inc();
+        tel2.trace.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        assert_eq!(tel.metrics.snapshot().counter("c"), 2);
+        assert_eq!(tel.trace.len(), 1);
+    }
+
+    #[test]
+    fn metrics_only_counts_trace_without_storing() {
+        let tel = Telemetry::metrics_only();
+        tel.trace.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        assert!(tel.trace.is_empty());
+        assert_eq!(tel.trace.total(), 1);
+    }
+}

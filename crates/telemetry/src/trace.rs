@@ -1,0 +1,223 @@
+//! Bounded cycle-event tracing.
+//!
+//! A [`TraceRing`] holds the most recent [`TraceEvent`]s up to a fixed
+//! capacity; older events are dropped (and counted) rather than growing
+//! memory without bound.  Tracing a million-cycle run therefore costs a
+//! constant-size buffer, and the `dropped` counter makes the truncation
+//! explicit instead of silent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One timestamped micro-architectural event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A processing element consumed a weight/feature pair and accumulated.
+    PeFired {
+        /// Array cycle index within the run.
+        cycle: u64,
+        /// PE index (column in the vector-systolic row).
+        pe: u32,
+        /// Feature-matrix row being accumulated.
+        row: u32,
+        /// Scalar multiply-accumulates performed this fire (vector length).
+        macs: u32,
+    },
+    /// A PE held exactly one operand this cycle and could not fire.
+    VectorStall {
+        /// Array cycle index within the run.
+        cycle: u64,
+        /// PE index.
+        pe: u32,
+    },
+    /// The tile compiler started one matmul pass of a layer.
+    TileStart {
+        /// Layer index within the network.
+        layer: u32,
+        /// Pass index within the layer's schedule.
+        pass: u32,
+        /// Feature rows in this tile.
+        rows: u32,
+        /// Output columns (PEs engaged) in this tile.
+        cols: u32,
+        /// Inner (reduction) dimension of this tile.
+        inner: u32,
+    },
+    /// A PE latched a weight vector.
+    WeightLoad {
+        /// Array cycle index within the run.
+        cycle: u64,
+        /// PE index.
+        pe: u32,
+        /// Weight elements latched.
+        elems: u32,
+    },
+}
+
+impl TraceEvent {
+    /// A stable lowercase tag naming the event variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PeFired { .. } => "pe_fired",
+            TraceEvent::VectorStall { .. } => "vector_stall",
+            TraceEvent::TileStart { .. } => "tile_start",
+            TraceEvent::WeightLoad { .. } => "weight_load",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    total: u64,
+    dropped: u64,
+}
+
+/// A bounded, shareable ring buffer of [`TraceEvent`]s.  Cloning shares
+/// the buffer.  A ring of capacity 0 counts events but stores none —
+/// the cheap "tracing off, accounting on" configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                capacity,
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                total: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, ev: TraceEvent) {
+        let mut g = self.inner.lock().expect("trace ring poisoned");
+        g.total += 1;
+        if g.capacity == 0 {
+            g.dropped += 1;
+            return;
+        }
+        if g.buf.len() == g.capacity {
+            g.buf.pop_front();
+            g.dropped += 1;
+        }
+        g.buf.push_back(ev);
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed (buffered + dropped).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").total
+    }
+
+    /// Events evicted or discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// A point-in-time copy of the buffered events plus the loss counters.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let g = self.inner.lock().expect("trace ring poisoned");
+        TraceSnapshot {
+            events: g.buf.iter().cloned().collect(),
+            total: g.total,
+            dropped: g.dropped,
+        }
+    }
+
+    /// Clears buffered events and counters.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock().expect("trace ring poisoned");
+        g.buf.clear();
+        g.total = 0;
+        g.dropped = 0;
+    }
+}
+
+/// Point-in-time copy of a [`TraceRing`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSnapshot {
+    /// Buffered events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Total events ever pushed.
+    pub total: u64,
+    /// Events lost to the capacity bound.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let ring = TraceRing::new(2);
+        for cycle in 0..5 {
+            ring.push(TraceEvent::VectorStall { cycle, pe: 0 });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.total, 5);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(
+            snap.events,
+            vec![
+                TraceEvent::VectorStall { cycle: 3, pe: 0 },
+                TraceEvent::VectorStall { cycle: 4, pe: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let ring = TraceRing::new(0);
+        ring.push(TraceEvent::PeFired { cycle: 1, pe: 2, row: 3, macs: 4 });
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let ring = TraceRing::new(8);
+        let other = ring.clone();
+        other.push(TraceEvent::WeightLoad { cycle: 0, pe: 1, elems: 4 });
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        assert_eq!(TraceEvent::PeFired { cycle: 0, pe: 0, row: 0, macs: 0 }.kind(), "pe_fired");
+        assert_eq!(TraceEvent::VectorStall { cycle: 0, pe: 0 }.kind(), "vector_stall");
+        assert_eq!(
+            TraceEvent::TileStart { layer: 0, pass: 0, rows: 0, cols: 0, inner: 0 }.kind(),
+            "tile_start"
+        );
+        assert_eq!(TraceEvent::WeightLoad { cycle: 0, pe: 0, elems: 0 }.kind(), "weight_load");
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let ring = TraceRing::new(1);
+        ring.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        ring.push(TraceEvent::VectorStall { cycle: 1, pe: 0 });
+        ring.clear();
+        assert_eq!(ring.total(), 0);
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.is_empty());
+    }
+}

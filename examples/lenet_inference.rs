@@ -16,12 +16,12 @@ use bsc_mac::{MacKind, Precision};
 use bsc_nn::ops::{self, ConvWeights};
 use bsc_nn::{models, Tensor};
 use bsc_systolic::Matrix;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use bsc_netlist::rng::Rng64;
 
 /// Deterministic synthetic weights, drawn from the *symmetric* code range
 /// `[-(2^(b-1)-1), 2^(b-1)-1]` (zero-mean, as symmetric weight
 /// quantization produces; the most negative code is unused).
-fn synth(rng: &mut StdRng, p: Precision, n: usize) -> Vec<i64> {
+fn synth(rng: &mut Rng64, p: Precision, n: usize) -> Vec<i64> {
     let hi = p.value_range().end; // 2^(b-1)
     (0..n).map(|_| rng.gen_range(-hi + 1..hi)).collect()
 }
@@ -36,7 +36,7 @@ fn requantize(t: &Tensor, shift: u32, p: Precision) -> Tensor {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(2022);
+    let mut rng = Rng64::seed_from_u64(2022);
     let net = models::lenet5();
     println!("network: {} ({})", net.name, net.dataset);
 

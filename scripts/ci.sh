@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace: everything must build, test and run
+# without registry access (see DESIGN.md §5, "offline-build policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+echo "==> telemetry smoke: repro --metrics-out"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    --metrics-out "$out/metrics.json" --trace-out "$out/trace.json" >/dev/null
+test -s "$out/metrics.json" && test -s "$out/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; [json.load(open(p)) for p in sys.argv[1:]]' \
+        "$out/metrics.json" "$out/trace.json"
+    echo "telemetry JSON valid"
+fi
+
+# Lints are best-effort: a toolchain without clippy must not fail the gate.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable, skipping lints"
+fi
+
+echo "CI OK"

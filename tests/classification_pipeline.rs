@@ -6,7 +6,7 @@
 use bsc_mac::{MacKind, Precision};
 use bsc_nn::dataset::SyntheticTask;
 use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
-use rand::{rngs::StdRng, SeedableRng};
+use bsc_netlist::rng::Rng64;
 
 /// Classifies a batch on the array: samples as feature rows, per-class
 /// matched filters as weight rows, argmax over the output row.
@@ -19,7 +19,7 @@ fn classify_on_array(
 ) -> f64 {
     let filters = task.quantized_filters(p).expect("filters");
     let wmat = Matrix::from_rows(&filters);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut correct = 0usize;
     let mut samples = Vec::with_capacity(trials);
     let mut labels = Vec::with_capacity(trials);

@@ -5,7 +5,7 @@ use bsc_mac::{MacKind, Precision};
 use bsc_nn::ops::{self, ConvWeights};
 use bsc_nn::Tensor;
 use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use bsc_netlist::rng::Rng64;
 
 fn conv_on_array(
     array: &SystolicArray,
@@ -36,7 +36,7 @@ fn requant(t: &Tensor, shift: u32, p: Precision) -> Tensor {
 #[test]
 fn resnet_basic_block_matches_golden_path() {
     let p = Precision::Int4;
-    let mut rng = StdRng::seed_from_u64(1234);
+    let mut rng = Rng64::seed_from_u64(1234);
     let r = p.value_range();
     let mut w = |out_c: usize, in_c: usize, k: usize| ConvWeights {
         out_c,
@@ -70,7 +70,7 @@ fn resnet_basic_block_matches_golden_path() {
 #[test]
 fn strided_downsample_block_matches() {
     let p = Precision::Int8;
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng64::seed_from_u64(77);
     let r = p.value_range();
     let input = Tensor::random(2, 8, 8, p.value_range(), 3);
     let main_w = ConvWeights {

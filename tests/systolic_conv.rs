@@ -6,10 +6,10 @@ use bsc_mac::{MacKind, Precision};
 use bsc_nn::ops::{self, ConvWeights};
 use bsc_nn::Tensor;
 use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use bsc_netlist::rng::Rng64;
 
 fn random_conv(
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     p: Precision,
     in_c: usize,
     out_c: usize,
@@ -25,6 +25,7 @@ fn random_conv(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_conv(
     kind: MacKind,
     p: Precision,
@@ -36,7 +37,7 @@ fn check_conv(
     padding: usize,
     seed: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let input = Tensor::random(in_c, hw, hw, p.value_range(), seed ^ 1);
     let weights = random_conv(&mut rng, p, in_c, out_c, k);
     let golden = ops::conv2d(&input, &weights, stride, padding).unwrap();
@@ -92,7 +93,7 @@ fn pipeline_conv_pool_fc_matches_reference() {
     // A miniature two-layer pipeline entirely on the array vs the golden
     // operators, with requantization between layers.
     let p = Precision::Int4;
-    let mut rng = StdRng::seed_from_u64(46);
+    let mut rng = Rng64::seed_from_u64(46);
     let input = Tensor::random(2, 8, 8, p.value_range(), 47);
     let w1 = random_conv(&mut rng, p, 2, 4, 3);
     let golden1 = ops::conv2d(&input, &w1, 1, 1).unwrap();
