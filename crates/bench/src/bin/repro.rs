@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--csv DIR] [--metrics-out FILE] [--trace-out FILE]
-//!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|all]
+//!       [--bench-out FILE]
+//!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|all]
 //! ```
 //!
 //! * `--quick` uses a reduced vector length (8) and short activity runs —
@@ -18,10 +19,15 @@
 //!
 //! Passing `--metrics-out` / `--trace-out` without naming an experiment
 //! runs just `telemetry` (which needs no characterization pass).
+//!
+//! * `simbench` benchmarks the netlist evaluator itself (full-sweep vs
+//!   event-driven incremental) and reports the characterization
+//!   wall-clock of a quick workbench; `--bench-out FILE` writes the
+//!   machine-readable `BENCH_sim.json` baseline.
 
 use std::path::PathBuf;
 
-use bsc_bench::{experiments, telemetry_probe, Workbench};
+use bsc_bench::{experiments, simbench, telemetry_probe, Workbench};
 use bsc_mac::MacKind;
 
 struct Options {
@@ -29,6 +35,7 @@ struct Options {
     csv_dir: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
     which: String,
 }
 
@@ -37,6 +44,7 @@ fn parse_args() -> Options {
     let mut csv_dir = None;
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut bench_out = None;
     let mut which = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,18 +68,32 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--trace-out requires a file argument"));
                 trace_out = Some(PathBuf::from(path));
             }
+            "--bench-out" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| die("--bench-out requires a file argument"));
+                bench_out = Some(PathBuf::from(path));
+            }
             other if !other.starts_with("--") => which = Some(other.to_owned()),
             other => die(&format!("unknown flag `{other}`")),
         }
     }
     // Telemetry outputs without an explicit experiment mean "run the
-    // telemetry probe": it is self-contained and skips characterization.
-    let default = if metrics_out.is_some() || trace_out.is_some() { "telemetry" } else { "all" };
+    // telemetry probe"; a bench output alone means "run simbench" — both
+    // are self-contained and skip characterization.
+    let default = if metrics_out.is_some() || trace_out.is_some() {
+        "telemetry"
+    } else if bench_out.is_some() {
+        "simbench"
+    } else {
+        "all"
+    };
     Options {
         quick,
         csv_dir,
         metrics_out,
         trace_out,
+        bench_out,
         which: which.unwrap_or_else(|| default.to_owned()),
     }
 }
@@ -84,17 +106,22 @@ fn main() {
         }
     }
 
-    let needs_workbench =
-        !matches!(opts.which.as_str(), "table1" | "fig8b-gate" | "extensions" | "telemetry");
+    let needs_workbench = !matches!(
+        opts.which.as_str(),
+        "table1" | "fig8b-gate" | "extensions" | "telemetry" | "simbench"
+    );
     let wb = if needs_workbench {
         eprintln!(
             "characterizing BSC/LPC/HPS netlists ({} mode)...",
             if opts.quick { "quick" } else { "paper" }
         );
-        let start = std::time::Instant::now();
         let wb = if opts.quick { Workbench::quick() } else { Workbench::paper() }
             .unwrap_or_else(|e| die(&format!("characterization failed: {e}")));
-        eprintln!("characterized in {:.1}s\n", start.elapsed().as_secs_f64());
+        // The workbench times itself through its bsc-telemetry registry.
+        eprintln!(
+            "characterized in {:.4}s (compiled-tape incremental evaluator, batch-sharded)\n",
+            wb.characterize_wall_ns() as f64 / 1e9
+        );
         Some(wb)
     } else {
         None
@@ -166,8 +193,41 @@ fn main() {
         }
     };
 
+    let run_simbench = || {
+        eprintln!("benchmarking the netlist evaluator (full sweep vs incremental)...");
+        let (cycles, length) = if opts.quick { (64, 4) } else { (256, 8) };
+        let reports: Vec<_> = MacKind::ALL
+            .into_iter()
+            .map(|kind| simbench::run(kind, length, cycles))
+            .collect();
+        print!("{}", simbench::render(&reports));
+        eprintln!("\ntiming a quick workbench characterization...");
+        let wb_ns = match Workbench::quick() {
+            Ok(wb) => {
+                let ns = wb.characterize_wall_ns();
+                println!(
+                    "Workbench::quick() characterization wall-clock: {}",
+                    bsc_bench::timing::fmt_ns(ns as f64)
+                );
+                Some(ns)
+            }
+            Err(e) => {
+                eprintln!("workbench timing skipped: {e}");
+                None
+            }
+        };
+        if let Some(path) = &opts.bench_out {
+            let json = simbench::to_json(&reports, wb_ns);
+            if let Err(e) = std::fs::write(path, json) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
     match opts.which.as_str() {
         "table1" => run_table1(),
+        "simbench" => run_simbench(),
         "extensions" => match experiments::render_extensions() {
             Ok(text) => print!("{text}"),
             Err(e) => die(&format!("extensions report failed: {e}")),
@@ -203,7 +263,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|extensions|all)"
         )),
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod simbench;
 pub mod telemetry_probe;
 pub mod timing;
 pub mod workbench;

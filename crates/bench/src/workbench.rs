@@ -4,12 +4,14 @@ use std::collections::BTreeMap;
 
 use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization, PpaError};
 use bsc_mac::MacKind;
+use bsc_telemetry::metrics::Registry;
 
 /// All three designs characterized once, ready for the figure drivers.
 #[derive(Debug)]
 pub struct Workbench {
     designs: BTreeMap<MacKind, DesignCharacterization>,
     config: CharacterizeConfig,
+    telemetry: Registry,
 }
 
 impl Workbench {
@@ -32,31 +34,45 @@ impl Workbench {
         Self::with_config(CharacterizeConfig::quick(8))
     }
 
-    /// Characterizes all designs with an explicit configuration, running
-    /// the three gate-level characterizations on parallel threads.
+    /// Characterizes all designs with an explicit configuration.  The
+    /// designs run one after another; parallelism comes from each
+    /// characterization sharding its stimulus batches across the worker
+    /// pool, which keeps the cores busy without oversubscribing them.
     ///
     /// # Errors
     ///
     /// Propagates gate-level simulation failures.
     pub fn with_config(config: CharacterizeConfig) -> Result<Self, PpaError> {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = MacKind::ALL
+        let telemetry = Registry::new();
+        let results = {
+            let _wall = telemetry.timer("bench.characterize_ns");
+            MacKind::ALL
                 .into_iter()
                 .map(|kind| {
-                    let cfg = &config;
-                    scope.spawn(move || (kind, DesignCharacterization::new(kind, cfg)))
+                    let _t = telemetry.timer(&format!("bench.characterize.{kind}_ns"));
+                    (kind, DesignCharacterization::new(kind, &config))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("characterization thread panicked"))
                 .collect::<Vec<_>>()
-        });
+        };
         let mut designs = BTreeMap::new();
         for (kind, result) in results {
             designs.insert(kind, result?);
         }
-        Ok(Workbench { designs, config })
+        Ok(Workbench { designs, config, telemetry })
+    }
+
+    /// Wall-clock nanoseconds the gate-level characterization took (all
+    /// three designs) — the quantity the compiled-tape /
+    /// incremental-eval rewrite is measured by.
+    pub fn characterize_wall_ns(&self) -> u64 {
+        self.telemetry
+            .histogram("bench.characterize_ns", bsc_telemetry::metrics::DEFAULT_TIME_BOUNDS_NS)
+            .sum()
+    }
+
+    /// The workbench's own telemetry registry (characterization timers).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The characterization of one design.

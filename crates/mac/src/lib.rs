@@ -48,7 +48,7 @@ pub mod tb_gen;
 pub use design::{MacKind, VectorMac};
 pub use error::MacError;
 pub use bsc_netlist::Rng64;
-pub use netlist_if::{pack_element, MacNetlist, OperandSide};
+pub use netlist_if::{pack_element, MacNetlist, OperandSide, BATCH_STEPS};
 
 /// Alias of [`pack_element`] emphasizing the operand side in array-level
 /// port encoding.

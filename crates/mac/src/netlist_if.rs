@@ -7,6 +7,33 @@ use bsc_netlist::rng::Rng64;
 use crate::golden::validate;
 use crate::{MacError, MacKind, Precision};
 
+/// Stimulus cycles per independent characterization batch.  Batches are
+/// the unit of work sharded across the thread pool; the batch size is
+/// fixed (not derived from the worker count) so characterization results
+/// are identical no matter how many workers run them.  Large enough to
+/// amortize the per-batch simulator construction and warmup, small enough
+/// that a default 96-step run still splits four ways.
+pub const BATCH_STEPS: usize = 24;
+
+/// Derives the RNG seed of stimulus batch `batch` from the caller's seed
+/// (splitmix64 over a golden-ratio stride, so neighbouring batches get
+/// decorrelated streams).
+fn batch_seed(seed: u64, batch: usize) -> u64 {
+    let mut s = seed.wrapping_add((batch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    bsc_netlist::rng::splitmix64(&mut s)
+}
+
+/// Stimulus profile of one characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StimulusProfile {
+    /// Both operand streams randomized every cycle (the paper's
+    /// vector-unit testbench).
+    Random,
+    /// Weights randomized once at warmup and then held, features
+    /// randomized every cycle (the systolic-array operating profile).
+    WeightStationary,
+}
+
 /// Which operand stream a field layout describes (the two sides differ only
 /// for HPS in 2-bit mode, where sub-word routing constraints pin each
 /// product's operands to different bit positions).
@@ -293,6 +320,12 @@ impl MacNetlist {
     /// `steps` cycles of fresh uniform operands across all 64 lanes, with
     /// the mode pins held.
     ///
+    /// The stimulus is split into independent fixed-size batches (see
+    /// [`BATCH_STEPS`]) sharded over a scoped thread pool; each worker owns
+    /// its own [`Simulator`] on the event-driven incremental path and the
+    /// per-batch recorders merge in batch order, so results are
+    /// deterministic and independent of the worker count.
+    ///
     /// # Errors
     ///
     /// Returns [`MacError::Netlist`] for combinational cycles.
@@ -302,27 +335,37 @@ impl MacNetlist {
         steps: usize,
         seed: u64,
     ) -> Result<Activity, MacError> {
-        let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = Rng64::seed_from_u64(seed);
-        self.set_mode(&mut sim, p);
-        self.drive_random(&mut sim, p, &mut rng);
-        sim.step();
-        sim.eval();
-        let mut act = Activity::new(&sim);
-        for _ in 0..steps {
-            self.drive_random(&mut sim, p, &mut rng);
-            sim.step();
-            sim.eval();
-            act.record(&sim);
-        }
-        Ok(act)
+        self.characterize_with_workers(p, steps, seed, None)
+    }
+
+    /// [`MacNetlist::characterize`] with an explicit worker-count override
+    /// (`None` → `min(batches, available_parallelism)`, `Some(1)` →
+    /// everything on the calling thread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::Netlist`] for combinational cycles.
+    pub fn characterize_with_workers(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Result<Activity, MacError> {
+        let mut acts =
+            self.characterize_suite(steps, &[(p, StimulusProfile::Random, seed)], workers)?;
+        Ok(acts.pop().expect("one run"))
     }
 
     /// Runs a *weight-stationary* switching-activity characterization in
-    /// mode `p`: the weight stream is randomized once and then held (as in
-    /// the systolic array, where each PE keeps its weight vector for a whole
-    /// tile) while the feature stream gets fresh uniform operands every
-    /// cycle.
+    /// mode `p`: within each stimulus batch the weight stream is randomized
+    /// once and then held (as in the systolic array, where each PE keeps
+    /// its weight vector for a whole tile) while the feature stream gets
+    /// fresh uniform operands every cycle.
+    ///
+    /// Because the weight cone is quiescent, the incremental evaluator
+    /// touches only the feature cone each cycle — this is the workload the
+    /// event-driven path exists for.
     ///
     /// # Errors
     ///
@@ -333,23 +376,126 @@ impl MacNetlist {
         steps: usize,
         seed: u64,
     ) -> Result<Activity, MacError> {
-        let mut sim = Simulator::new(&self.netlist)?;
-        let mut rng = Rng64::seed_from_u64(seed);
-        self.set_mode(&mut sim, p);
-        self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Weight);
-        self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Activation);
-        sim.step();
-        sim.eval();
-        let mut act = Activity::new(&sim);
-        for _ in 0..steps {
-            self.drive_random_side(&mut sim, p, &mut rng, OperandSide::Activation);
-            sim.step();
-            sim.eval();
-            act.record(&sim);
-        }
-        Ok(act)
+        self.characterize_weight_stationary_with_workers(p, steps, seed, None)
     }
 
+    /// [`MacNetlist::characterize_weight_stationary`] with an explicit
+    /// worker-count override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::Netlist`] for combinational cycles.
+    pub fn characterize_weight_stationary_with_workers(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Result<Activity, MacError> {
+        let mut acts = self.characterize_suite(
+            steps,
+            &[(p, StimulusProfile::WeightStationary, seed)],
+            workers,
+        )?;
+        Ok(acts.pop().expect("one run"))
+    }
+
+    /// Shared batch harness for one or more characterization runs (each a
+    /// `(mode, stimulus profile, seed)` triple over the same netlist).
+    ///
+    /// Every run is split into [`BATCH_STEPS`]-sized batches and the full
+    /// `runs × batches` job grid is sharded over one thread pool, so a
+    /// whole design's characterization (all modes, both profiles) shares
+    /// each worker's simulator (a full levelize + tape compile) and its
+    /// pristine [`Activity`] prototype instead of rebuilding them per
+    /// run.  The simulator resets between batches and every batch
+    /// reseeds its own RNG from `(run seed, batch index)`, so the merged
+    /// per-run recorders depend only on the batch structure — never on
+    /// the worker count or on which runs share a suite.
+    pub(crate) fn characterize_suite(
+        &self,
+        steps: usize,
+        runs: &[(Precision, StimulusProfile, u64)],
+        workers: Option<usize>,
+    ) -> Result<Vec<Activity>, MacError> {
+        let batches = steps.div_ceil(BATCH_STEPS).max(1);
+        let jobs = runs.len() * batches;
+        let results = bsc_netlist::par::run_indexed_with(
+            jobs,
+            workers,
+            || (Simulator::new(&self.netlist), None::<Activity>),
+            |(sim, proto), job| {
+                let sim = match sim {
+                    Ok(s) => s,
+                    Err(e) => return Err(MacError::from(e.clone())),
+                };
+                let (p, profile, seed) = runs[job / batches];
+                let batch = job % batches;
+                let batch_steps = BATCH_STEPS.min(steps - (batch * BATCH_STEPS).min(steps));
+                sim.reset();
+                let mut rng = Rng64::seed_from_u64(batch_seed(seed, batch));
+                // Warmup: hold the mode pins, randomize both operand
+                // streams once and settle, so the recorded baseline is a
+                // live state, not the reset state.
+                self.set_mode(sim, p);
+                self.drive_random(sim, p, &mut rng);
+                sim.step();
+                sim.eval();
+                // Cloning the prototype (plain memcpys) replaces
+                // re-deriving gate kinds and the live set per batch.
+                let mut act = match proto {
+                    Some(a) => {
+                        let mut a = a.clone();
+                        a.rebaseline(sim);
+                        a
+                    }
+                    None => {
+                        let a = Activity::new(sim);
+                        *proto = Some(a.clone());
+                        a
+                    }
+                };
+                for _ in 0..batch_steps {
+                    match profile {
+                        StimulusProfile::Random => self.drive_random(sim, p, &mut rng),
+                        StimulusProfile::WeightStationary => {
+                            self.drive_random_side(sim, p, &mut rng, OperandSide::Activation);
+                        }
+                    }
+                    sim.step_incremental();
+                    sim.eval_incremental();
+                    act.record(sim);
+                }
+                Ok::<Activity, MacError>(act)
+            },
+        );
+        let mut out = Vec::with_capacity(runs.len());
+        let mut iter = results.into_iter();
+        for _ in runs {
+            let mut merged: Option<Activity> = None;
+            for _ in 0..batches {
+                let act = iter.next().expect("one result per job")?;
+                match &mut merged {
+                    None => merged = Some(act),
+                    Some(m) => m.merge(&act),
+                }
+            }
+            out.push(merged.expect("at least one batch"));
+        }
+        Ok(out)
+    }
+
+    /// Drives one operand side with fresh uniform stimulus, one packed
+    /// 64-lane word per bit-plane.
+    ///
+    /// Every mode's field layout tiles exactly the low `fields × bits`
+    /// bits of the element (see [`field_lsb`]; the HPS 2-bit quadrant
+    /// permutation still covers the full byte), and each field is uniform
+    /// over its full two's-complement range — so the used bit-planes are
+    /// independent uniform bits, and one `next_u64` per plane yields the
+    /// same stimulus distribution as packing 64 per-lane field vectors at
+    /// 1/64th the RNG and transpose work.  Planes above the mode's used
+    /// width are held at zero, exactly as [`pack_element`] leaves them.
     fn drive_random_side(
         &self,
         sim: &mut Simulator<'_>,
@@ -357,38 +503,22 @@ impl MacNetlist {
         rng: &mut Rng64,
         side: OperandSide,
     ) {
-        let fields = self.kind.fields_per_element(p);
-        let mut lane_vals = vec![0i64; SIM_LANES];
+        let used = self.kind.fields_per_element(p) * p.bits() as usize;
         let buses = match side {
             OperandSide::Weight => &self.weights,
             OperandSide::Activation => &self.acts,
         };
-        for (e, bus) in buses.iter().enumerate().take(self.length) {
-            let _ = e;
-            for lane_val in lane_vals.iter_mut() {
-                let f: Vec<i64> = bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
-                *lane_val = pack_element(self.kind, p, side, &f);
+        for bus in buses.iter().take(self.length) {
+            for (k, &bit) in bus.bits().iter().enumerate() {
+                let word = if k < used { rng.next_u64() } else { 0 };
+                sim.write(bit, word);
             }
-            sim.write_bus_packed(bus, &lane_vals);
         }
     }
 
     fn drive_random(&self, sim: &mut Simulator<'_>, p: Precision, rng: &mut Rng64) {
-        let fields = self.kind.fields_per_element(p);
-        let mut w_lane = vec![0i64; SIM_LANES];
-        let mut a_lane = vec![0i64; SIM_LANES];
-        for e in 0..self.length {
-            for lane in 0..SIM_LANES {
-                let wf: Vec<i64> =
-                    bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
-                let af: Vec<i64> =
-                    bsc_netlist::tb::random_signed_vec(rng, p.bits(), fields);
-                w_lane[lane] = pack_element(self.kind, p, OperandSide::Weight, &wf);
-                a_lane[lane] = pack_element(self.kind, p, OperandSide::Activation, &af);
-            }
-            sim.write_bus_packed(&self.weights[e], &w_lane);
-            sim.write_bus_packed(&self.acts[e], &a_lane);
-        }
+        self.drive_random_side(sim, p, rng, OperandSide::Weight);
+        self.drive_random_side(sim, p, rng, OperandSide::Activation);
     }
 }
 

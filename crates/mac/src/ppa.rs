@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use bsc_synth::{analyze, CellLibrary, EffortModel, PpaReport, SynthError};
 
+use crate::netlist_if::StimulusProfile;
 use crate::{build_netlist, MacError, MacKind, MacNetlist, Precision};
 
 /// Default number of random stimulus cycles per characterization run
@@ -102,24 +103,60 @@ pub struct DesignCharacterization {
 
 impl DesignCharacterization {
     /// Builds the netlist for `kind` and records activity in all three
-    /// precision modes.
+    /// precision modes (random and weight-stationary profiles).
+    ///
+    /// Each characterization run shards its independent 64-lane stimulus
+    /// batches across a scoped thread pool — every worker owns a private
+    /// simulator on the event-driven incremental path and the per-batch
+    /// recorders merge in batch order, so the recorded activity is
+    /// deterministic and independent of the machine's core count.
     ///
     /// # Errors
     ///
     /// Propagates netlist simulation failures.
     pub fn new(kind: MacKind, config: &CharacterizeConfig) -> Result<Self, PpaError> {
+        Self::new_with_workers(kind, config, None)
+    }
+
+    /// [`DesignCharacterization::new`] with an explicit worker-count
+    /// override for the stimulus-batch pool (`None` → one worker per
+    /// available core, `Some(1)` → fully sequential; used by determinism
+    /// tests to show threaded and single-threaded runs merge to the same
+    /// totals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation failures.
+    pub fn new_with_workers(
+        kind: MacKind,
+        config: &CharacterizeConfig,
+        workers: Option<usize>,
+    ) -> Result<Self, PpaError> {
         let netlist = build_netlist(kind, config.length);
+        // One suite covers all six runs (three modes × two stimulus
+        // profiles), so every pool worker compiles the design's simulator
+        // once and reuses it across the whole grid.  The per-run seeds
+        // match what separate `characterize*` calls would use, so suite
+        // results are identical to run-at-a-time characterization.
+        let runs: Vec<(Precision, StimulusProfile, u64)> = Precision::ALL
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                let s = config.seed ^ ((i as u64) << 17);
+                [
+                    (p, StimulusProfile::Random, s),
+                    (p, StimulusProfile::WeightStationary, s ^ 0x5757),
+                ]
+            })
+            .collect();
+        let acts = netlist.characterize_suite(config.steps, &runs, workers)?;
         let mut activities = BTreeMap::new();
         let mut activities_ws = BTreeMap::new();
-        for (i, p) in Precision::ALL.into_iter().enumerate() {
-            let act = netlist.characterize(p, config.steps, config.seed ^ ((i as u64) << 17))?;
-            activities.insert(p, act);
-            let ws = netlist.characterize_weight_stationary(
-                p,
-                config.steps,
-                config.seed ^ ((i as u64) << 17) ^ 0x5757,
-            )?;
-            activities_ws.insert(p, ws);
+        for ((p, profile, _), act) in runs.into_iter().zip(acts) {
+            match profile {
+                StimulusProfile::Random => activities.insert(p, act),
+                StimulusProfile::WeightStationary => activities_ws.insert(p, act),
+            };
         }
         Ok(DesignCharacterization {
             kind,
@@ -128,6 +165,17 @@ impl DesignCharacterization {
             activities_ws,
             config: config.clone(),
         })
+    }
+
+    /// The recorded activity of one precision mode (random stimulus) —
+    /// exposed so determinism tests can compare runs directly.
+    pub fn activity(&self, p: Precision) -> &bsc_netlist::Activity {
+        &self.activities[&p]
+    }
+
+    /// The recorded weight-stationary activity of one precision mode.
+    pub fn activity_weight_stationary(&self, p: Precision) -> &bsc_netlist::Activity {
+        &self.activities_ws[&p]
     }
 
     /// The architecture characterized.
@@ -291,6 +339,29 @@ mod tests {
         let e2 = c.at_period(Precision::Int2, 2400.0).unwrap().tops_per_w;
         let e8 = c.at_period(Precision::Int8, 2400.0).unwrap().tops_per_w;
         assert!(e2 > e8, "2-bit ({e2}) should beat 8-bit ({e8}) within BSC");
+    }
+
+    #[test]
+    fn characterization_is_deterministic_across_worker_counts() {
+        use crate::Precision;
+        let cfg = CharacterizeConfig::quick(2);
+        let single = DesignCharacterization::new_with_workers(MacKind::Bsc, &cfg, Some(1)).unwrap();
+        let pooled = DesignCharacterization::new_with_workers(MacKind::Bsc, &cfg, Some(4)).unwrap();
+        for p in Precision::ALL {
+            for (a, b) in [
+                (single.activity(p), pooled.activity(p)),
+                (
+                    single.activity_weight_stationary(p),
+                    pooled.activity_weight_stationary(p),
+                ),
+            ] {
+                assert_eq!(a.observed_cycles(), b.observed_cycles(), "{p}");
+                assert!(a.observed_cycles() > 0, "{p}");
+                let av: Vec<_> = a.iter_nodes().collect();
+                let bv: Vec<_> = b.iter_nodes().collect();
+                assert_eq!(av, bv, "{p}: per-net toggle counts must not depend on workers");
+            }
+        }
     }
 
     #[test]

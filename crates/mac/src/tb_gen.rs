@@ -175,20 +175,34 @@ mod tests {
     fn expected_values_match_gate_level_simulation() {
         // The ultimate consistency check: the expected accumulator of each
         // generated vector equals what our own simulator computes when the
-        // same packed words are applied raw to the ports.
+        // same packed words are applied raw to the ports — on both the
+        // full-sweep and the event-driven incremental evaluation paths
+        // (one long-lived simulator stepped incrementally across vectors).
         use bsc_netlist::Simulator;
         let mac = crate::build_netlist(crate::MacKind::Lpc, 2);
         let vectors = generate_vectors(&mac, 2, 99);
+        let mut inc_sim = Simulator::new(mac.netlist()).unwrap();
         for tv in &vectors {
             let mut sim = Simulator::new(mac.netlist()).unwrap();
             mac.set_mode(&mut sim, tv.precision);
+            mac.set_mode(&mut inc_sim, tv.precision);
             for (e, (&w, &a)) in tv.weight_words.iter().zip(&tv.act_words).enumerate() {
                 sim.write_bus_lane(&mac.weights()[e], 0, w as i64);
                 sim.write_bus_lane(&mac.acts()[e], 0, a as i64);
+                inc_sim.write_bus_lane(&mac.weights()[e], 0, w as i64);
+                inc_sim.write_bus_lane(&mac.acts()[e], 0, a as i64);
             }
             sim.step();
             sim.eval();
+            inc_sim.step_incremental();
+            inc_sim.eval_incremental();
             assert_eq!(mac.read_dot_lane(&sim, 0), tv.expected, "{:?}", tv.precision);
+            assert_eq!(
+                mac.read_dot_lane(&inc_sim, 0),
+                tv.expected,
+                "incremental path diverged in {:?}",
+                tv.precision
+            );
         }
     }
 }

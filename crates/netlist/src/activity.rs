@@ -41,6 +41,10 @@ pub struct Activity {
     prev: Vec<u64>,
     kinds: Vec<GateKind>,
     live: Vec<bool>,
+    /// `u64::MAX` for live nets, `0` for dead ones: lets the per-cycle
+    /// [`Activity::record`] sweep run branch-free (and vectorizable) over
+    /// every net while still never counting dead-net transitions.
+    live_mask: Vec<u64>,
     node_toggles: Vec<u64>,
     observed_cycles: u64,
 }
@@ -52,26 +56,42 @@ impl Activity {
         let kinds = (0..netlist.len())
             .map(|i| netlist.gate(NodeId(i as u32)).kind())
             .collect();
+        let live = netlist.live_set();
+        let live_mask = live.iter().map(|&l| if l { u64::MAX } else { 0 }).collect();
         Activity {
             prev: sim.values().to_vec(),
             kinds,
-            live: netlist.live_set(),
+            live,
+            live_mask,
             node_toggles: vec![0; netlist.len()],
             observed_cycles: 0,
         }
     }
 
+    /// Rebaselines the snapshot to the simulator's current state without
+    /// counting anything — used when a reused simulator starts a fresh
+    /// stimulus batch whose transition from the previous batch's final
+    /// state must not be recorded.
+    pub fn rebaseline(&mut self, sim: &Simulator<'_>) {
+        self.prev.copy_from_slice(sim.values());
+    }
+
     /// Accumulates toggles between the stored snapshot and the simulator's
     /// current values, then updates the snapshot.
+    ///
+    /// This runs once per characterized cycle over every net, so it is
+    /// written branch-free: the live mask zeroes dead-net diffs instead of
+    /// testing liveness per net, letting the compiler vectorize the sweep.
     pub fn record(&mut self, sim: &Simulator<'_>) {
-        for (i, (&cur, prev)) in sim.values().iter().zip(self.prev.iter_mut()).enumerate() {
-            if !self.live[i] {
-                continue;
-            }
-            let diff = cur ^ *prev;
-            if diff != 0 {
-                self.node_toggles[i] += u64::from(diff.count_ones());
-            }
+        let values = sim.values();
+        for ((t, prev), (&cur, &mask)) in self
+            .node_toggles
+            .iter_mut()
+            .zip(&mut self.prev)
+            .zip(values.iter().zip(&self.live_mask))
+        {
+            let diff = (cur ^ *prev) & mask;
+            *t += u64::from(diff.count_ones());
             *prev = cur;
         }
         self.observed_cycles += SIM_LANES as u64;
@@ -123,6 +143,28 @@ impl Activity {
             .enumerate()
             .filter(|(i, _)| self.live[*i])
             .map(|(i, &t)| (NodeId(i as u32), t))
+    }
+
+    /// Folds another recorder's counts into this one — used to combine
+    /// per-worker recorders after sharded characterization.  Per-net
+    /// toggles and observed cycles both add; the snapshot (`prev`) keeps
+    /// this recorder's own baseline, which is meaningless after a merge,
+    /// so merged recorders should only be queried, not recorded into.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two recorders observe different netlists (net
+    /// counts differ).
+    pub fn merge(&mut self, other: &Activity) {
+        assert_eq!(
+            self.node_toggles.len(),
+            other.node_toggles.len(),
+            "cannot merge Activity recorders from different netlists"
+        );
+        for (t, &o) in self.node_toggles.iter_mut().zip(&other.node_toggles) {
+            *t += o;
+        }
+        self.observed_cycles += other.observed_cycles;
     }
 
     /// The `k` most active nets, highest toggle count first — the switching

@@ -49,6 +49,7 @@ mod error;
 mod gate;
 pub mod lec;
 mod netlist;
+pub mod par;
 pub mod rng;
 pub mod saif;
 mod sim;
@@ -63,7 +64,7 @@ pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 pub use netlist::{Netlist, NodeId};
 pub use rng::Rng64;
-pub use sim::Simulator;
+pub use sim::{EvalProfile, Simulator};
 pub use stats::{GateStats, ToggleStats};
 
 /// Number of independent stimulus lanes evaluated in one packed simulation

@@ -110,6 +110,16 @@ impl ToggleStats {
     pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
         self.counts.iter().map(|(&k, &c)| (k, c))
     }
+
+    /// Folds another probe's counts into this one — used to combine
+    /// per-worker statistics after sharded characterization.  Toggle
+    /// counts and eval-pass counts both add.
+    pub fn merge(&mut self, other: &ToggleStats) {
+        for (kind, flips) in other.iter() {
+            *self.counts.entry(kind).or_insert(0) += flips;
+        }
+        self.evals += other.evals;
+    }
 }
 
 impl fmt::Display for ToggleStats {

@@ -72,6 +72,16 @@ pub fn random_signed_vec(rng: &mut Rng64, bits: u32, len: usize) -> Vec<i64> {
     (0..len).map(|_| random_signed(rng, bits)).collect()
 }
 
+/// Fills `out` with uniformly random signed values fitting in `bits` bits —
+/// the allocation-free variant of [`random_signed_vec`] for per-cycle
+/// stimulus loops (draws values in the same order, so a caller switching
+/// to the fill variant sees the identical stream).
+pub fn random_signed_fill(rng: &mut Rng64, bits: u32, out: &mut [i64]) {
+    for v in out.iter_mut() {
+        *v = random_signed(rng, bits);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

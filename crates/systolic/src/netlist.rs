@@ -231,9 +231,16 @@ impl ArrayNetlist {
 
 impl ArrayNetlist {
     /// Weight-stationary switching-activity characterization of the whole
-    /// array netlist: weights loaded once with the Fig. 5 skew, then
-    /// `steps` cycles of fresh random feature vectors — the ground truth
-    /// the analytic [`crate::energy::ArrayEnergyModel`] approximates.
+    /// array netlist: weights loaded with the Fig. 5 skew and held, then
+    /// fresh random feature vectors every cycle — the ground truth the
+    /// analytic [`crate::energy::ArrayEnergyModel`] approximates.
+    ///
+    /// The stimulus is split into independent fixed-size batches
+    /// ([`bsc_mac::BATCH_STEPS`] recorded cycles each, every batch with its
+    /// own weight load phase) sharded over a scoped thread pool; each
+    /// worker owns a private [`Simulator`] on the event-driven incremental
+    /// path and the recorders merge in batch order, so the totals are
+    /// deterministic and worker-count independent.
     ///
     /// # Errors
     ///
@@ -250,10 +257,10 @@ impl ArrayNetlist {
     /// [`Self::characterize_weight_stationary`] with the simulator's
     /// in-eval toggle probe enabled alongside the [`bsc_netlist::Activity`]
     /// recorder, returning both.  The two count the same physical flips
-    /// through independent code paths — the probe per evaluation pass, the
-    /// recorder per settled cycle — so the probe totals bound the
-    /// recorder's from above, a cross-check on the switching activity that
-    /// feeds [`crate::energy::ArrayEnergyModel`].
+    /// through independent code paths — the probe per evaluation pass plus
+    /// the flop clock edge, the recorder per settled cycle — so the probe
+    /// totals bound the recorder's from above, a cross-check on the
+    /// switching activity that feeds [`crate::energy::ArrayEnergyModel`].
     ///
     /// # Errors
     ///
@@ -264,13 +271,84 @@ impl ArrayNetlist {
         steps: usize,
         seed: u64,
     ) -> Result<(bsc_netlist::Activity, bsc_netlist::ToggleStats), MacError> {
+        self.characterize_weight_stationary_probed_with_workers(p, steps, seed, None)
+    }
+
+    /// [`Self::characterize_weight_stationary_probed`] with an explicit
+    /// worker-count override (`None` → `min(batches,
+    /// available_parallelism)`, `Some(1)` → everything on the calling
+    /// thread — handy for determinism checks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation failures.
+    pub fn characterize_weight_stationary_probed_with_workers(
+        &self,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Result<(bsc_netlist::Activity, bsc_netlist::ToggleStats), MacError> {
+        let batch = bsc_mac::BATCH_STEPS;
+        let jobs = steps.div_ceil(batch).max(1);
+        // One simulator per worker, reset between batches (the tape
+        // compile dwarfs a batch, so rebuilding per batch would dominate).
+        let results = bsc_netlist::par::run_indexed_with(
+            jobs,
+            workers,
+            || Simulator::new(&self.netlist),
+            |sim, i| {
+                let sim = match sim {
+                    Ok(s) => s,
+                    Err(e) => return Err(MacError::from(e.clone())),
+                };
+                let batch_steps = batch.min(steps - (i * batch).min(steps));
+                self.ws_probe_batch(sim, p, batch_steps, ws_batch_seed(seed, i))
+            },
+        );
+        let mut merged: Option<(bsc_netlist::Activity, bsc_netlist::ToggleStats)> = None;
+        for r in results {
+            let (act, probe) = r?;
+            match &mut merged {
+                None => merged = Some((act, probe)),
+                Some((ma, mp)) => {
+                    ma.merge(&act);
+                    mp.merge(&probe);
+                }
+            }
+        }
+        Ok(merged.expect("at least one batch"))
+    }
+
+    /// One independent characterization batch: a private simulator, the
+    /// full skewed weight-load phase, then `steps` recorded streaming
+    /// cycles on the incremental evaluation path.
+    fn ws_probe_batch(
+        &self,
+        sim: &mut Simulator<'_>,
+        p: Precision,
+        steps: usize,
+        seed: u64,
+    ) -> Result<(bsc_netlist::Activity, bsc_netlist::ToggleStats), MacError> {
         use bsc_netlist::rng::Rng64;
-        let mut sim = Simulator::new(&self.netlist)?;
+        sim.reset();
         let mut rng = Rng64::seed_from_u64(seed);
         sim.write(self.mode2, if p == Precision::Int2 { u64::MAX } else { 0 });
         sim.write(self.mode8, if p == Precision::Int8 { u64::MAX } else { 0 });
         let fields = self.kind.fields_per_element(p);
         let half = 1i64 << (p.bits() - 1);
+
+        let mut vals = [0i64; bsc_netlist::SIM_LANES];
+        let mut f = vec![0i64; fields];
+        let mut randomize =
+            |vals: &mut [i64; bsc_netlist::SIM_LANES], rng: &mut Rng64, side| {
+                for v in vals.iter_mut() {
+                    for field in f.iter_mut() {
+                        *field = rng.gen_range(-half..half);
+                    }
+                    *v = crate::netlist::pack(self.kind, p, side, &f);
+                }
+            };
 
         // Load phase: one weight vector per PE with the skewed enables
         // (all 64 simulation lanes get independent random weights).
@@ -279,13 +357,7 @@ impl ArrayNetlist {
                 sim.write(other, if j == pe { u64::MAX } else { 0 });
             }
             for bus in &self.weight_port {
-                let vals: Vec<i64> = (0..bsc_netlist::SIM_LANES)
-                    .map(|_| {
-                        let f: Vec<i64> =
-                            (0..fields).map(|_| rng.gen_range(-half..half)).collect();
-                        crate::netlist::pack(self.kind, p, OperandSide::Weight, &f)
-                    })
-                    .collect();
+                randomize(&mut vals, &mut rng, OperandSide::Weight);
                 sim.write_bus_packed(bus, &vals);
             }
             sim.step();
@@ -295,29 +367,33 @@ impl ArrayNetlist {
         }
 
         // Streaming phase: record activity with fresh features per cycle,
-        // with the in-eval toggle probe counting the same flips.
-        sim.eval();
+        // with the in-eval toggle probe counting the same flips.  The
+        // probe settles the design internally, so the recorder's baseline
+        // (taken right after) starts from the same steady state.
         sim.enable_toggle_probe();
-        let mut act = bsc_netlist::Activity::new(&sim);
+        let mut act = bsc_netlist::Activity::new(sim);
         for _ in 0..steps {
             for bus in &self.feature_port {
                 // Randomize all 64 lanes of the feature port.
-                let vals: Vec<i64> = (0..bsc_netlist::SIM_LANES)
-                    .map(|_| {
-                        let f: Vec<i64> =
-                            (0..fields).map(|_| rng.gen_range(-half..half)).collect();
-                        crate::netlist::pack(self.kind, p, OperandSide::Activation, &f)
-                    })
-                    .collect();
+                randomize(&mut vals, &mut rng, OperandSide::Activation);
                 sim.write_bus_packed(bus, &vals);
             }
-            sim.step();
-            sim.eval();
-            act.record(&sim);
+            sim.step_incremental();
+            sim.eval_incremental();
+            act.record(sim);
         }
-        let probe = sim.take_toggle_stats().expect("probe enabled above");
+        // Disable (not just drain) the probe: the simulator is reused for
+        // the next batch, whose `enable_toggle_probe` must re-settle.
+        let probe = sim.disable_toggle_probe().expect("probe enabled above");
         Ok((act, probe))
     }
+}
+
+/// Derives the RNG seed of stimulus batch `batch` (same scheme as the
+/// MAC-level characterization batches).
+fn ws_batch_seed(seed: u64, batch: usize) -> u64 {
+    let mut s = seed.wrapping_add((batch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    bsc_netlist::rng::splitmix64(&mut s)
 }
 
 fn pack(kind: MacKind, p: Precision, side: OperandSide, fields: &[i64]) -> i64 {
@@ -432,7 +508,10 @@ mod energy_validation {
     /// energy model count the same physical flips through independent code
     /// paths: per gate kind, the settled-cycle count (recorder) can never
     /// exceed the per-evaluation count (probe), and any kind the energy
-    /// flow sees switching must also switch under the probe.
+    /// flow sees switching must also switch under the probe.  Flop Q-net
+    /// transitions — counted at the clock edge into the probe's `Dff`
+    /// bucket — must match the recorder exactly, since Q nets change only
+    /// once per recorded cycle.
     #[test]
     fn toggle_probe_bounds_the_energy_models_activity() {
         use bsc_netlist::GateKind;
@@ -442,9 +521,11 @@ mod energy_validation {
                 .characterize_weight_stationary_probed(Precision::Int4, 32, 5)
                 .unwrap();
             assert!(probe.total_toggles() > 0, "{kind}: probe saw nothing");
-            // Flops switch in `step()`, outside the probe's eval pass —
-            // only combinational kinds are comparable.
-            for gk in GateKind::CELLS.into_iter().filter(|&gk| gk != GateKind::Dff) {
+            assert!(
+                probe.toggles(GateKind::Dff) > 0,
+                "{kind}: sequential activity missing from the probe"
+            );
+            for gk in GateKind::CELLS {
                 let recorded = act.toggles(gk);
                 let probed = probe.toggles(gk);
                 assert!(
@@ -456,6 +537,11 @@ mod energy_validation {
                     "{kind} {gk}: energy flow sees switching the probe missed"
                 );
             }
+            assert_eq!(
+                act.toggles(GateKind::Dff),
+                probe.toggles(GateKind::Dff),
+                "{kind}: flop Q transitions must agree exactly between probe and recorder"
+            );
         }
     }
 }

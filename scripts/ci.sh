@@ -22,6 +22,15 @@ if command -v python3 >/dev/null 2>&1; then
     echo "telemetry JSON valid"
 fi
 
+echo "==> evaluator bench smoke: repro --quick simbench"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    --quick --bench-out "$out/BENCH_sim.json" simbench >/dev/null
+test -s "$out/BENCH_sim.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out/BENCH_sim.json"
+    echo "bench JSON valid"
+fi
+
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
