@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! repro [--quick] [--csv DIR] [--metrics-out FILE] [--trace-out FILE]
-//!       [--bench-out FILE]
+//!       [--bench-out FILE] [--no-timers]
 //!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|all]
+//! repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
+//! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
+//!            [--verbose]
 //! ```
 //!
 //! * `--quick` uses a reduced vector length (8) and short activity runs —
@@ -16,6 +19,8 @@
 //!   counts, metrics snapshot) to `FILE`.
 //! * `--trace-out FILE` writes the telemetry experiment's captured
 //!   cycle-event trace as JSON to `FILE`.
+//! * `--no-timers` excludes wall-clock histograms from `--metrics-out`,
+//!   making the document byte-identical across repeat runs.
 //!
 //! Passing `--metrics-out` / `--trace-out` without naming an experiment
 //! runs just `telemetry` (which needs no characterization pass).
@@ -24,10 +29,22 @@
 //!   event-driven incremental) and reports the characterization
 //!   wall-clock of a quick workbench; `--bench-out FILE` writes the
 //!   machine-readable `BENCH_sim.json` baseline.
+//! * `trace` runs the instrumented three-layer probe network on one
+//!   shared trace ring and reconstructs a per-PE timeline;
+//!   `--perfetto-out` writes Chrome trace-event JSON (open at
+//!   <https://ui.perfetto.dev>), `--svg-out` a self-contained
+//!   utilization heatmap, `--trace-cap` overrides the ring capacity.
+//! * `diff` compares two benchmark/metrics JSON files field-by-field and
+//!   exits nonzero when a deterministic field drifted beyond the
+//!   tolerance (`--tol 5` = ±5 %, the default).  Wall-clock fields
+//!   (`*_ns`, `*_per_sec`, speedups) are reported but never gated;
+//!   `--ignore PAT` adds more exempt patterns; `--verbose` also prints
+//!   bit-identical fields.
 
 use std::path::PathBuf;
 
-use bsc_bench::{experiments, simbench, telemetry_probe, Workbench};
+use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
+use bsc_bench::{experiments, observatory, simbench, telemetry_probe, Workbench};
 use bsc_mac::MacKind;
 
 struct Options {
@@ -36,7 +53,16 @@ struct Options {
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
+    perfetto_out: Option<PathBuf>,
+    svg_out: Option<PathBuf>,
+    trace_cap: usize,
+    no_timers: bool,
+    tol: f64,
+    ignore: Vec<String>,
+    verbose: bool,
     which: String,
+    /// Positional arguments after the experiment name (diff's two files).
+    files: Vec<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -45,46 +71,73 @@ fn parse_args() -> Options {
     let mut metrics_out = None;
     let mut trace_out = None;
     let mut bench_out = None;
+    let mut perfetto_out = None;
+    let mut svg_out = None;
+    let mut trace_cap = observatory::DEFAULT_TRACE_CAPACITY;
+    let mut no_timers = false;
+    let mut tol = 5.0;
+    let mut ignore = Vec::new();
+    let mut verbose = false;
     let mut which = None;
+    let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let path_arg = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            PathBuf::from(
+                args.next().unwrap_or_else(|| die(&format!("{flag} requires an argument"))),
+            )
+        };
         match arg.as_str() {
             "--quick" => quick = true,
-            "--csv" => {
-                let dir = args
+            "--no-timers" => no_timers = true,
+            "--verbose" => verbose = true,
+            "--csv" => csv_dir = Some(path_arg("--csv", &mut args)),
+            "--metrics-out" => metrics_out = Some(path_arg("--metrics-out", &mut args)),
+            "--trace-out" => trace_out = Some(path_arg("--trace-out", &mut args)),
+            "--bench-out" => bench_out = Some(path_arg("--bench-out", &mut args)),
+            "--perfetto-out" => perfetto_out = Some(path_arg("--perfetto-out", &mut args)),
+            "--svg-out" => svg_out = Some(path_arg("--svg-out", &mut args)),
+            "--trace-cap" => {
+                let n = args
                     .next()
-                    .unwrap_or_else(|| die("--csv requires a directory argument"));
-                csv_dir = Some(PathBuf::from(dir));
+                    .unwrap_or_else(|| die("--trace-cap requires a number argument"));
+                trace_cap = n
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--trace-cap: `{n}` is not a number")));
             }
-            "--metrics-out" => {
-                let path = args
+            "--tol" => {
+                let n = args
                     .next()
-                    .unwrap_or_else(|| die("--metrics-out requires a file argument"));
-                metrics_out = Some(PathBuf::from(path));
+                    .unwrap_or_else(|| die("--tol requires a percentage argument"));
+                tol = n
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--tol: `{n}` is not a number")));
             }
-            "--trace-out" => {
-                let path = args
-                    .next()
-                    .unwrap_or_else(|| die("--trace-out requires a file argument"));
-                trace_out = Some(PathBuf::from(path));
+            "--ignore" => {
+                ignore.push(
+                    args.next().unwrap_or_else(|| die("--ignore requires a pattern argument")),
+                );
             }
-            "--bench-out" => {
-                let path = args
-                    .next()
-                    .unwrap_or_else(|| die("--bench-out requires a file argument"));
-                bench_out = Some(PathBuf::from(path));
+            other if !other.starts_with("--") => {
+                if which.is_none() {
+                    which = Some(other.to_owned());
+                } else {
+                    files.push(PathBuf::from(other));
+                }
             }
-            other if !other.starts_with("--") => which = Some(other.to_owned()),
             other => die(&format!("unknown flag `{other}`")),
         }
     }
     // Telemetry outputs without an explicit experiment mean "run the
-    // telemetry probe"; a bench output alone means "run simbench" — both
-    // are self-contained and skip characterization.
+    // telemetry probe"; a bench output alone means "run simbench"; trace
+    // outputs alone mean "run the observatory" — all are self-contained
+    // and skip characterization.
     let default = if metrics_out.is_some() || trace_out.is_some() {
         "telemetry"
     } else if bench_out.is_some() {
         "simbench"
+    } else if perfetto_out.is_some() || svg_out.is_some() {
+        "trace"
     } else {
         "all"
     };
@@ -94,7 +147,15 @@ fn parse_args() -> Options {
         metrics_out,
         trace_out,
         bench_out,
+        perfetto_out,
+        svg_out,
+        trace_cap,
+        no_timers,
+        tol,
+        ignore,
+        verbose,
         which: which.unwrap_or_else(|| default.to_owned()),
+        files,
     }
 }
 
@@ -108,7 +169,7 @@ fn main() {
 
     let needs_workbench = !matches!(
         opts.which.as_str(),
-        "table1" | "fig8b-gate" | "extensions" | "telemetry" | "simbench"
+        "table1" | "fig8b-gate" | "extensions" | "telemetry" | "simbench" | "trace" | "diff"
     );
     let wb = if needs_workbench {
         eprintln!(
@@ -178,7 +239,7 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("telemetry probe failed: {e}")));
         print!("{}", telemetry_probe::render_telemetry(&report));
         if let Some(path) = &opts.metrics_out {
-            let json = telemetry_probe::telemetry_json(&report);
+            let json = telemetry_probe::telemetry_json(&report, opts.no_timers);
             if let Err(e) = std::fs::write(path, json) {
                 die(&format!("cannot write {}: {e}", path.display()));
             }
@@ -225,9 +286,53 @@ fn main() {
         }
     };
 
+    let run_trace = || {
+        eprintln!("running the instrumented probe network (trace observatory)...");
+        let run = observatory::observe(MacKind::Bsc, opts.trace_cap)
+            .unwrap_or_else(|e| die(&format!("trace observatory failed: {e}")));
+        print!("{}", observatory::render_observatory(&run));
+        if let Some(path) = &opts.perfetto_out {
+            let json = observatory::run_perfetto_json(&run);
+            if let Err(e) = std::fs::write(path, json) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {} (open at https://ui.perfetto.dev)", path.display());
+        }
+        if let Some(path) = &opts.svg_out {
+            let svg = observatory::run_svg(&run);
+            if let Err(e) = std::fs::write(path, svg) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    let run_diff = || {
+        let [baseline, current] = opts.files.as_slice() else {
+            die("diff requires exactly two file arguments: <baseline.json> <current.json>");
+        };
+        let read = |p: &std::path::Path| {
+            std::fs::read_to_string(p)
+                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", p.display())))
+        };
+        let mut diff_opts = DiffOptions { tolerance: opts.tol / 100.0, ..DiffOptions::default() };
+        diff_opts.ignore.extend(opts.ignore.iter().cloned());
+        let report = diff_documents(&read(baseline), &read(current), &diff_opts)
+            .unwrap_or_else(|e| die(&format!("malformed JSON: {e}")));
+        print!("{}", render_diff(&report, opts.verbose));
+        for row in report.missing() {
+            eprintln!("warning: field `{}` present on only one side", row.path);
+        }
+        if report.regressed() {
+            std::process::exit(2);
+        }
+    };
+
     match opts.which.as_str() {
         "table1" => run_table1(),
         "simbench" => run_simbench(),
+        "trace" => run_trace(),
+        "diff" => run_diff(),
         "extensions" => match experiments::render_extensions() {
             Ok(text) => print!("{text}"),
             Err(e) => die(&format!("extensions report failed: {e}")),
@@ -263,7 +368,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|trace|diff|extensions|all)"
         )),
     }
 }

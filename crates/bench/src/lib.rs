@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
+pub mod observatory;
 pub mod simbench;
 pub mod telemetry_probe;
 pub mod timing;

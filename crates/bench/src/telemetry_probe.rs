@@ -101,7 +101,7 @@ pub struct TelemetryReport {
 /// Tolerance for the counter-vs-analytic utilization comparison.
 pub const UTILIZATION_TOLERANCE: f64 = 1e-9;
 
-fn layer_shapes() -> [(&'static str, Precision, ConvShape); 3] {
+pub(crate) fn layer_shapes() -> [(&'static str, Precision, ConvShape); 3] {
     [
         ("conv8", Precision::Int8, ConvShape::conv(5, 6, 6, 6, 3, 1, 1)),
         ("conv4", Precision::Int4, ConvShape::conv(8, 4, 5, 5, 3, 1, 1)),
@@ -242,6 +242,7 @@ pub fn telemetry_report(kind: MacKind) -> Result<TelemetryReport, Box<dyn std::e
     hub.metrics.counter("repro.netlist.toggle_evals").add(toggle_evals);
 
     drop(_elapsed); // record the experiment duration before snapshotting
+    hub.publish_trace_stats();
     Ok(TelemetryReport {
         kind,
         pes: config.pes,
@@ -309,13 +310,26 @@ pub fn render_telemetry(report: &TelemetryReport) -> String {
         report.trace.events.len(),
         dropped
     ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            "WARNING: {dropped} trace events were dropped (ring full) — derived \
+             per-event views are incomplete\n"
+        ));
+    }
     out
 }
 
 /// Serializes the full report as a JSON document (the `--metrics-out`
 /// payload): per-layer per-PE utilization, stall cycles, netlist toggle
 /// counts and the complete metrics snapshot.
-pub fn telemetry_json(report: &TelemetryReport) -> String {
+///
+/// With `no_timers` set, wall-clock (`*_ns`) histograms are excluded
+/// from the embedded metrics snapshot, making the document byte-identical
+/// across repeat runs (everything else the probe records is
+/// deterministic).
+pub fn telemetry_json(report: &TelemetryReport, no_timers: bool) -> String {
+    let metrics =
+        if no_timers { report.metrics.without_timers() } else { report.metrics.clone() };
     let mut j = JsonBuilder::new();
     j.begin_object();
     j.key("design").string(&report.kind.to_string());
@@ -370,7 +384,7 @@ pub fn telemetry_json(report: &TelemetryReport) -> String {
     j.end_object();
 
     j.key("metrics");
-    sink::write_metrics_object(&mut j, &report.metrics);
+    sink::write_metrics_object(&mut j, &metrics);
     j.end_object();
     j.finish()
 }
@@ -398,12 +412,24 @@ mod tests {
         }
         assert!(report.toggles.iter().map(|t| t.toggles).sum::<u64>() > 0);
 
-        let json = telemetry_json(&report);
+        let json = telemetry_json(&report, false);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"pe_utilization\""));
         assert!(json.contains("\"netlist_toggles\""));
+        // The dropped-event accounting is published as counters.
+        assert!(json.contains("\"telemetry.trace.total\""), "{json}");
+        assert!(json.contains("\"telemetry.trace.dropped\""), "{json}");
         let text = render_telemetry(&report);
         assert!(text.contains("per-layer utilization"));
+    }
+
+    #[test]
+    fn no_timers_strips_wall_clock_histograms() {
+        let report = telemetry_report(MacKind::Bsc).unwrap();
+        let with = telemetry_json(&report, false);
+        let without = telemetry_json(&report, true);
+        assert!(with.contains("repro.telemetry_ns"));
+        assert!(!without.contains("repro.telemetry_ns"));
     }
 
     #[test]

@@ -4,14 +4,14 @@ use std::collections::BTreeMap;
 
 use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization, PpaError};
 use bsc_mac::MacKind;
-use bsc_telemetry::metrics::Registry;
+use bsc_telemetry::Telemetry;
 
 /// All three designs characterized once, ready for the figure drivers.
 #[derive(Debug)]
 pub struct Workbench {
     designs: BTreeMap<MacKind, DesignCharacterization>,
     config: CharacterizeConfig,
-    telemetry: Registry,
+    telemetry: Telemetry,
 }
 
 impl Workbench {
@@ -43,13 +43,16 @@ impl Workbench {
     ///
     /// Propagates gate-level simulation failures.
     pub fn with_config(config: CharacterizeConfig) -> Result<Self, PpaError> {
-        let telemetry = Registry::new();
+        let telemetry = Telemetry::metrics_only();
         let results = {
-            let _wall = telemetry.timer("bench.characterize_ns");
+            let _wall = telemetry.metrics.timer("bench.characterize_ns");
+            let root = telemetry.spans.begin("bench.characterize");
+            root.annotate("length", config.length);
             MacKind::ALL
                 .into_iter()
                 .map(|kind| {
-                    let _t = telemetry.timer(&format!("bench.characterize.{kind}_ns"));
+                    let _t = telemetry.metrics.timer(&format!("bench.characterize.{kind}_ns"));
+                    let _s = telemetry.spans.begin(&format!("characterize.{kind}"));
                     (kind, DesignCharacterization::new(kind, &config))
                 })
                 .collect::<Vec<_>>()
@@ -66,12 +69,14 @@ impl Workbench {
     /// incremental-eval rewrite is measured by.
     pub fn characterize_wall_ns(&self) -> u64 {
         self.telemetry
+            .metrics
             .histogram("bench.characterize_ns", bsc_telemetry::metrics::DEFAULT_TIME_BOUNDS_NS)
             .sum()
     }
 
-    /// The workbench's own telemetry registry (characterization timers).
-    pub fn telemetry(&self) -> &Registry {
+    /// The workbench's own telemetry bundle (characterization timers and
+    /// per-design spans).
+    pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
 

@@ -218,8 +218,20 @@ impl Accelerator {
         let _timer = self
             .telemetry()
             .map(|tel| tel.metrics.timer("accel.run_network_ns"));
+        let _net_span = self.telemetry().map(|tel| {
+            let g = tel.spans.begin("accel.run_network");
+            g.annotate("network", &net.name);
+            g.annotate("layers", net.layers.len());
+            g
+        });
         let mut layers = Vec::with_capacity(net.layers.len());
         for (i, layer) in net.layers.iter().enumerate() {
+            let _layer_span = self.telemetry().map(|tel| {
+                let g = tel.spans.begin(&format!("layer.{}", layer.name));
+                g.annotate("index", i);
+                g.annotate("precision", layer.precision);
+                g
+            });
             let shape = layer_to_conv_shape(&layer.kind);
             let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
             let model = self.energy_model(layer.precision)?;

@@ -132,9 +132,19 @@ pub fn execute(
     let (out_h, out_w) = (shape.out_h(), shape.out_w());
     let mut psum = Tensor::zeros(shape.out_channels, out_h, out_w);
     let mut stats = ExecStats::default();
+    let _exec_span = array.telemetry().map(|tel| {
+        let g = tel.spans.begin("compiler.execute");
+        g.annotate("layer", program.layer);
+        g.annotate("precision", p);
+        g.annotate("ops", program.ops.len());
+        g
+    });
 
     for op in &program.ops {
         let &TileOp::Pass { kernel: (ky, kx), channel_tile, pe_tile } = op else {
+            if let (&TileOp::SetMode(mode), Some(tel)) = (op, array.telemetry()) {
+                tel.trace.push(bsc_telemetry::TraceEvent::ModeSet { bits: mode.bits() });
+            }
             continue;
         };
         let c_lo = channel_tile * split;

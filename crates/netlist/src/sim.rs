@@ -132,6 +132,11 @@ pub struct Simulator<'n> {
     /// flop) so clocking allocates nothing per cycle.
     flop_scratch: Vec<u64>,
 
+    /// Monotonic clock-edge count since construction or the last
+    /// [`Simulator::reset`] — the timestamp domain for characterization
+    /// traces (no wall-clock reads on the hot path).
+    cycle: u64,
+
     /// Evaluation-path counters (see [`Simulator::eval_profile`]).
     profile: EvalProfile,
 }
@@ -273,6 +278,7 @@ impl<'n> Simulator<'n> {
             op_dirty: vec![0u64; tape_len.div_ceil(64)],
             needs_full: true,
             flop_scratch: vec![0; flop_count],
+            cycle: 0,
             profile: EvalProfile::default(),
         };
         sim.reset();
@@ -288,6 +294,7 @@ impl<'n> Simulator<'n> {
             self.values[idx as usize] = if c { u64::MAX } else { 0 };
         }
         self.reset_keep_inputs();
+        self.cycle = 0;
         // Everything combinational is stale until the next evaluation.
         self.needs_full = true;
     }
@@ -689,6 +696,13 @@ impl<'n> Simulator<'n> {
                 p.record(GateKind::Dff, dff_flips);
             }
         }
+        self.cycle += 1;
+    }
+
+    /// Clock edges applied since construction or the last
+    /// [`Simulator::reset`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
     }
 
     /// Evaluates combinational logic and then clocks every flip-flop once.
@@ -774,6 +788,21 @@ mod tests {
         assert_eq!(sim.read(q2) & 1, 0);
         sim.step();
         assert_eq!(sim.read(q2) & 1, 1);
+    }
+
+    #[test]
+    fn cycle_counter_tracks_clock_edges_and_reset() {
+        let mut n = Netlist::new();
+        let d = n.input("d");
+        let q = n.dff(d, false);
+        n.mark_output(q, "q");
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.cycle(), 0);
+        sim.step();
+        sim.step_incremental();
+        assert_eq!(sim.cycle(), 2);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
     }
 
     #[test]

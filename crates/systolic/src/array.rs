@@ -216,6 +216,15 @@ impl SystolicArray {
         // never computed from a formula.
         let mut stats = DataflowStats::default();
         let tel = self.telemetry.as_ref();
+        let _span = tel.map(|t| {
+            let g = t.spans.begin("array.matmul");
+            g.annotate("m", m_rows);
+            g.annotate("n", n_rows);
+            g.annotate("k", k);
+            g.annotate("precision", p);
+            g.annotate("dataflow", format!("{dataflow:?}"));
+            g
+        });
 
         let total_cycles = if m_rows == 0 { 0 } else { m_rows + n_rows - 1 };
         for t in 0..total_cycles {

@@ -1,6 +1,6 @@
 //! Zero-dependency observability layer for the BSC accelerator stack.
 //!
-//! Three pieces, designed to be threaded through the simulator → MAC →
+//! Pieces, designed to be threaded through the simulator → MAC →
 //! systolic-array → compiler → report pipeline:
 //!
 //! * [`metrics`] — a [`Registry`] of named monotonic [`Counter`]s,
@@ -8,9 +8,20 @@
 //!   handles, plus [`ScopedTimer`] for wall-clock phase timing;
 //! * [`trace`] — a bounded, droppable [`TraceRing`] of typed
 //!   cycle-events ([`TraceEvent::PeFired`], [`TraceEvent::VectorStall`],
-//!   [`TraceEvent::TileStart`], [`TraceEvent::WeightLoad`]);
-//! * [`sink`] — hand-rolled JSON and CSV serialization of snapshots
-//!   (no external crates; the workspace builds fully offline).
+//!   [`TraceEvent::TileStart`], [`TraceEvent::WeightLoad`],
+//!   [`TraceEvent::ModeSet`]);
+//! * [`span`] — hierarchical wall-clock [`SpanCollector`] whose
+//!   innermost-open-span cursor stamps every trace event with a
+//!   correlation ID;
+//! * [`timeline`] — reconstruction of per-PE busy/stall intervals and
+//!   per-layer/pass tracks from a trace snapshot, plus an SVG
+//!   utilization heatmap;
+//! * [`perfetto`] — Chrome trace-event JSON export of a timeline,
+//!   loadable in Perfetto or `chrome://tracing`;
+//! * [`sink`] — hand-rolled JSON and CSV serialization of snapshots;
+//! * [`json`] — a strict RFC 8259 parser so exported documents can be
+//!   validated and diffed without external crates (the workspace builds
+//!   fully offline).
 //!
 //! # Example
 //!
@@ -20,47 +31,88 @@
 //! let tel = Telemetry::new(1024);
 //! let fired = tel.metrics.counter("pe.fired");
 //! fired.add(3);
+//! let run = tel.spans.begin("matmul");
+//! // Pushed while `run` is open, so the event carries its span ID.
 //! tel.trace.push(TraceEvent::PeFired { cycle: 0, pe: 0, row: 0, macs: 4 });
+//! drop(run);
 //!
 //! let json = bsc_telemetry::sink::metrics_to_json(&tel.metrics.snapshot());
 //! assert!(json.contains("\"pe.fired\":3"));
-//! assert_eq!(tel.trace.snapshot().events.len(), 1);
+//! let snap = tel.trace.snapshot();
+//! assert_eq!(snap.events.len(), 1);
+//! assert_ne!(snap.span_of(0), bsc_telemetry::span::NO_SPAN);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod sink;
+pub mod span;
+pub mod timeline;
 pub mod trace;
 
+pub use json::{parse_json, JsonParseError, JsonValue};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, ScopedTimer,
 };
+pub use perfetto::perfetto_json;
 pub use sink::JsonBuilder;
+pub use span::{SpanCollector, SpanGuard, SpanRecord, SpanSnapshot, NO_SPAN};
+pub use timeline::{build_timeline, utilization_svg, PeTimeline, Timeline};
 pub use trace::{TraceEvent, TraceRing, TraceSnapshot};
 
-/// The standard bundle handed through the stack: one metrics registry and
-/// one trace ring.  Cloning shares both, so every layer records into the
-/// same store.
-#[derive(Debug, Clone, Default)]
+/// The standard bundle handed through the stack: one metrics registry,
+/// one trace ring and one span collector.  Cloning shares all three, so
+/// every layer records into the same store; the trace ring is wired to
+/// the span collector's cursor, so cycle events are stamped with the
+/// innermost open span's correlation ID.
+#[derive(Debug, Clone)]
 pub struct Telemetry {
     /// Named counters, gauges, histograms and timers.
     pub metrics: Registry,
     /// Bounded cycle-event trace.
     pub trace: TraceRing,
+    /// Hierarchical wall-clock spans.
+    pub spans: SpanCollector,
+}
+
+impl Default for Telemetry {
+    /// Equivalent to [`Telemetry::metrics_only`]; the cursor wiring is
+    /// preserved even with an event-less ring so accounting stays exact.
+    fn default() -> Self {
+        Telemetry::metrics_only()
+    }
 }
 
 impl Telemetry {
     /// A bundle whose trace ring holds at most `trace_capacity` events.
     pub fn new(trace_capacity: usize) -> Self {
-        Telemetry { metrics: Registry::new(), trace: TraceRing::new(trace_capacity) }
+        let spans = SpanCollector::new();
+        let trace = TraceRing::new(trace_capacity).with_span_cursor(spans.cursor());
+        Telemetry { metrics: Registry::new(), trace, spans }
     }
 
     /// A bundle that accumulates metrics but stores no trace events
     /// (events are still counted, see [`TraceRing::total`]).
     pub fn metrics_only() -> Self {
         Telemetry::new(0)
+    }
+
+    /// Publishes the trace ring's loss accounting into the metrics
+    /// registry as `telemetry.trace.total` / `telemetry.trace.dropped`
+    /// counters, so truncated traces are visible in every metrics
+    /// export.  Returns the number of dropped events.
+    pub fn publish_trace_stats(&self) -> u64 {
+        let total = self.trace.total();
+        let dropped = self.trace.dropped();
+        let tc = self.metrics.counter("telemetry.trace.total");
+        tc.add(total.saturating_sub(tc.get()));
+        let dc = self.metrics.counter("telemetry.trace.dropped");
+        dc.add(dropped.saturating_sub(dc.get()));
+        dropped
     }
 }
 
@@ -85,5 +137,32 @@ mod tests {
         tel.trace.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
         assert!(tel.trace.is_empty());
         assert_eq!(tel.trace.total(), 1);
+    }
+
+    #[test]
+    fn spans_stamp_trace_events_through_the_bundle() {
+        let tel = Telemetry::new(8);
+        tel.trace.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        let guard = tel.spans.begin("work");
+        let id = guard.id();
+        tel.trace.push(TraceEvent::VectorStall { cycle: 1, pe: 0 });
+        drop(guard);
+        tel.trace.push(TraceEvent::VectorStall { cycle: 2, pe: 0 });
+        let snap = tel.trace.snapshot();
+        assert_eq!(snap.span_of(0), NO_SPAN);
+        assert_eq!(snap.span_of(1), id);
+        assert_eq!(snap.span_of(2), NO_SPAN);
+    }
+
+    #[test]
+    fn publish_trace_stats_is_idempotent() {
+        let tel = Telemetry::new(1);
+        tel.trace.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        tel.trace.push(TraceEvent::VectorStall { cycle: 1, pe: 0 });
+        assert_eq!(tel.publish_trace_stats(), 1);
+        assert_eq!(tel.publish_trace_stats(), 1);
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("telemetry.trace.total"), 2);
+        assert_eq!(snap.counter("telemetry.trace.dropped"), 1);
     }
 }

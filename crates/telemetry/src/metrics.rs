@@ -160,6 +160,56 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated value of the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the bucket containing it.  The first bucket
+    /// interpolates from `min`, the overflow bucket toward `max`, so the
+    /// estimate is always inside `[min, max]`.  Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.buckets.iter().enumerate() {
+            let next = cumulative + bucket_count;
+            if (next as f64) >= rank && bucket_count > 0 {
+                // Bucket i spans (lower, upper]; interpolate the rank's
+                // position within it.
+                let lower = if i == 0 {
+                    self.min as f64
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let upper = if i < self.bounds.len() {
+                    (self.bounds[i] as f64).min(self.max as f64)
+                } else {
+                    self.max as f64
+                };
+                let lower = lower.max(self.min as f64).min(upper);
+                let frac = (rank - cumulative as f64) / bucket_count as f64;
+                return lower + (upper - lower) * frac.clamp(0.0, 1.0);
+            }
+            cumulative = next;
+        }
+        self.max as f64
+    }
+
+    /// The p50 (median) estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// The p95 estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// The p99 estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 /// Point-in-time copy of every metric in a [`Registry`], with names sorted.
@@ -195,6 +245,24 @@ impl MetricsSnapshot {
     /// The named histogram, when present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// A copy without the wall-clock timer histograms (names ending in
+    /// `_ns`) — the one intentionally non-deterministic signal.  Used by
+    /// the `repro --no-timers` determinism path so repeated runs
+    /// serialize to byte-identical JSON.
+    #[must_use]
+    pub fn without_timers(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| !n.ends_with("_ns"))
+                .cloned()
+                .collect(),
+        }
     }
 }
 
@@ -349,6 +417,46 @@ mod tests {
         assert_eq!(hs.min, 1);
         assert_eq!(hs.max, 5000);
         assert!((hs.mean() - hs.sum as f64 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        // 100 samples spread 1..=100: p50 ≈ 50, p99 ≈ 99.
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        let p50 = hs.p50();
+        let p99 = hs.p99();
+        assert!((40.0..=60.0).contains(&p50), "p50 = {p50}");
+        assert!((90.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(hs.p95() <= p99 + 1e-9);
+        // Bounded by the observed extremes even in the overflow bucket.
+        let hb = reg.histogram("big", &[10]);
+        hb.record(5000);
+        hb.record(7000);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("big").unwrap();
+        assert!(hs.p50() >= 5000.0 && hs.p99() <= 7000.0, "{hs:?}");
+        // Empty histogram: all zero.
+        let he = reg.histogram("empty", &[10]);
+        let _ = he;
+        assert_eq!(reg.snapshot().histogram("empty").unwrap().p99(), 0.0);
+    }
+
+    #[test]
+    fn without_timers_drops_ns_histograms_only() {
+        let reg = Registry::new();
+        reg.counter("kept").inc();
+        reg.histogram("phase.load_ns", &[10]).record(1);
+        reg.histogram("cycles", &[10]).record(1);
+        let snap = reg.snapshot().without_timers();
+        assert_eq!(snap.counter("kept"), 1);
+        assert!(snap.histogram("phase.load_ns").is_none());
+        assert!(snap.histogram("cycles").is_some());
     }
 
     #[test]

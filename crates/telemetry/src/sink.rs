@@ -194,6 +194,9 @@ pub fn write_metrics_object(j: &mut JsonBuilder, snap: &MetricsSnapshot) {
         j.key("min").u64(h.min);
         j.key("max").u64(h.max);
         j.key("mean").f64(h.mean());
+        j.key("p50").f64(h.p50());
+        j.key("p95").f64(h.p95());
+        j.key("p99").f64(h.p99());
         j.key("bounds").begin_array();
         for b in &h.bounds {
             j.u64(*b);
@@ -257,6 +260,9 @@ pub fn write_trace_event(j: &mut JsonBuilder, ev: &TraceEvent) {
             j.key("pe").u64(pe as u64);
             j.key("elems").u64(elems as u64);
         }
+        TraceEvent::ModeSet { bits } => {
+            j.key("bits").u64(bits as u64);
+        }
     }
     j.end_object();
 }
@@ -280,20 +286,23 @@ pub fn trace_to_json(snap: &TraceSnapshot) -> String {
 /// Encodes a trace snapshot as CSV with a fixed superset of columns;
 /// fields that do not apply to an event kind are left empty.
 pub fn trace_to_csv(snap: &TraceSnapshot) -> String {
-    let mut out = String::from("kind,cycle,pe,row,macs,layer,pass,rows,cols,inner,elems\n");
+    let mut out = String::from("kind,cycle,pe,row,macs,layer,pass,rows,cols,inner,elems,bits\n");
     for ev in &snap.events {
         let row = match *ev {
             TraceEvent::PeFired { cycle, pe, row, macs } => {
-                format!("pe_fired,{cycle},{pe},{row},{macs},,,,,,")
+                format!("pe_fired,{cycle},{pe},{row},{macs},,,,,,,")
             }
             TraceEvent::VectorStall { cycle, pe } => {
-                format!("vector_stall,{cycle},{pe},,,,,,,,")
+                format!("vector_stall,{cycle},{pe},,,,,,,,,")
             }
             TraceEvent::TileStart { layer, pass, rows, cols, inner } => {
-                format!("tile_start,,,,,{layer},{pass},{rows},{cols},{inner},")
+                format!("tile_start,,,,,{layer},{pass},{rows},{cols},{inner},,")
             }
             TraceEvent::WeightLoad { cycle, pe, elems } => {
-                format!("weight_load,{cycle},{pe},,,,,,,,{elems}")
+                format!("weight_load,{cycle},{pe},,,,,,,,{elems},")
+            }
+            TraceEvent::ModeSet { bits } => {
+                format!("mode_set,,,,,,,,,,,{bits}")
             }
         };
         out.push_str(&row);
@@ -355,15 +364,23 @@ mod tests {
         ring.push(TraceEvent::VectorStall { cycle: 5, pe: 6 });
         ring.push(TraceEvent::TileStart { layer: 0, pass: 1, rows: 2, cols: 3, inner: 4 });
         ring.push(TraceEvent::WeightLoad { cycle: 7, pe: 0, elems: 4 });
+        ring.push(TraceEvent::ModeSet { bits: 4 });
         let snap = ring.snapshot();
         let json = trace_to_json(&snap);
-        for kind in ["pe_fired", "vector_stall", "tile_start", "weight_load"] {
+        for kind in ["pe_fired", "vector_stall", "tile_start", "weight_load", "mode_set"] {
             assert!(json.contains(kind), "{json}");
         }
-        assert!(json.contains(r#""total":4"#));
+        assert!(json.contains(r#""total":5"#));
+        assert!(json.contains(r#""bits":4"#));
         let csv = trace_to_csv(&snap);
-        assert_eq!(csv.lines().count(), 5);
+        assert_eq!(csv.lines().count(), 6);
         assert!(csv.lines().nth(1).unwrap().starts_with("pe_fired,1,2,3,4"));
+        assert_eq!(csv.lines().nth(5).unwrap(), "mode_set,,,,,,,,,,,4");
+        // Every row carries the full fixed column set.
+        let cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
     }
 
     #[test]
@@ -371,5 +388,50 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn json_strings_escape_control_and_unicode() {
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.key("ctrl").string("a\u{1}b\u{1f}c");
+        j.key("quote\\path").string("C:\\x \"q\" \t end");
+        j.key("unicode").string("µs → 東");
+        j.end_object();
+        let out = j.finish();
+        assert!(out.contains(r#""ctrl":"a\u0001b\u001fc""#), "{out}");
+        assert!(out.contains(r#""quote\\path":"C:\\x \"q\" \t end""#), "{out}");
+        // Non-ASCII passes through raw (valid UTF-8 JSON).
+        assert!(out.contains("µs → 東"), "{out}");
+        assert!(crate::json::parse_json(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn metrics_json_includes_percentiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100]);
+        for v in [1, 2, 3, 4, 200] {
+            h.record(v);
+        }
+        let json = metrics_to_json(&reg.snapshot());
+        for key in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+            assert!(json.contains(key), "{json}");
+        }
+        assert!(crate::json::parse_json(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn trace_json_round_trips_through_the_parser() {
+        let ring = TraceRing::new(8);
+        ring.push(TraceEvent::PeFired { cycle: 1, pe: 2, row: 3, macs: 4 });
+        ring.push(TraceEvent::ModeSet { bits: 2 });
+        let json = trace_to_json(&ring.snapshot());
+        let doc = crate::json::parse_json(&json).expect("valid JSON");
+        let events = doc.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("pe_fired"));
+        assert_eq!(events[1].get("bits").unwrap().as_f64(), Some(2.0));
     }
 }

@@ -7,7 +7,10 @@
 //! explicit instead of silent.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::span::NO_SPAN;
 
 /// One timestamped micro-architectural event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +55,13 @@ pub enum TraceEvent {
         /// Weight elements latched.
         elems: u32,
     },
+    /// The precision mode was (re)configured — the tile compiler's
+    /// `SetMode` made visible, so timelines can attribute MAC throughput
+    /// to the active mode.
+    ModeSet {
+        /// Operand width in bits (8, 4 or 2).
+        bits: u32,
+    },
 }
 
 impl TraceEvent {
@@ -62,6 +72,7 @@ impl TraceEvent {
             TraceEvent::VectorStall { .. } => "vector_stall",
             TraceEvent::TileStart { .. } => "tile_start",
             TraceEvent::WeightLoad { .. } => "weight_load",
+            TraceEvent::ModeSet { .. } => "mode_set",
         }
     }
 }
@@ -70,6 +81,8 @@ impl TraceEvent {
 struct RingInner {
     capacity: usize,
     buf: VecDeque<TraceEvent>,
+    /// Correlation span IDs, in lockstep with `buf`.
+    spans: VecDeque<u64>,
     total: u64,
     dropped: u64,
 }
@@ -77,9 +90,19 @@ struct RingInner {
 /// A bounded, shareable ring buffer of [`TraceEvent`]s.  Cloning shares
 /// the buffer.  A ring of capacity 0 counts events but stores none —
 /// the cheap "tracing off, accounting on" configuration.
+///
+/// When built with [`TraceRing::with_span_cursor`] (which
+/// [`crate::Telemetry`] does automatically), every pushed event is
+/// stamped with the innermost open span's correlation ID, so timeline
+/// reconstruction can place cycle events inside their wall-clock parent
+/// spans.
 #[derive(Debug, Clone, Default)]
 pub struct TraceRing {
     inner: Arc<Mutex<RingInner>>,
+    /// Innermost-open-span cursor shared with a
+    /// [`SpanCollector`](crate::span::SpanCollector); a standalone ring
+    /// owns a private cursor stuck at [`NO_SPAN`].
+    span_cursor: Arc<AtomicU64>,
 }
 
 impl TraceRing {
@@ -89,14 +112,25 @@ impl TraceRing {
             inner: Arc::new(Mutex::new(RingInner {
                 capacity,
                 buf: VecDeque::with_capacity(capacity.min(4096)),
+                spans: VecDeque::with_capacity(capacity.min(4096)),
                 total: 0,
                 dropped: 0,
             })),
+            span_cursor: Arc::new(AtomicU64::new(NO_SPAN)),
         }
+    }
+
+    /// Wires this ring to a span collector's cursor so pushed events are
+    /// stamped with the currently open span's ID.
+    #[must_use]
+    pub fn with_span_cursor(mut self, cursor: Arc<AtomicU64>) -> Self {
+        self.span_cursor = cursor;
+        self
     }
 
     /// Appends an event, evicting the oldest when full.
     pub fn push(&self, ev: TraceEvent) {
+        let span = self.span_cursor.load(Ordering::Relaxed);
         let mut g = self.inner.lock().expect("trace ring poisoned");
         g.total += 1;
         if g.capacity == 0 {
@@ -105,9 +139,11 @@ impl TraceRing {
         }
         if g.buf.len() == g.capacity {
             g.buf.pop_front();
+            g.spans.pop_front();
             g.dropped += 1;
         }
         g.buf.push_back(ev);
+        g.spans.push_back(span);
     }
 
     /// Events currently buffered.
@@ -135,6 +171,7 @@ impl TraceRing {
         let g = self.inner.lock().expect("trace ring poisoned");
         TraceSnapshot {
             events: g.buf.iter().cloned().collect(),
+            event_spans: g.spans.iter().copied().collect(),
             total: g.total,
             dropped: g.dropped,
         }
@@ -144,6 +181,7 @@ impl TraceRing {
     pub fn clear(&self) {
         let mut g = self.inner.lock().expect("trace ring poisoned");
         g.buf.clear();
+        g.spans.clear();
         g.total = 0;
         g.dropped = 0;
     }
@@ -154,10 +192,20 @@ impl TraceRing {
 pub struct TraceSnapshot {
     /// Buffered events, oldest first.
     pub events: Vec<TraceEvent>,
+    /// Correlation span ID of each event, in lockstep with `events`
+    /// ([`NO_SPAN`] when no span was open at push time).
+    pub event_spans: Vec<u64>,
     /// Total events ever pushed.
     pub total: u64,
     /// Events lost to the capacity bound.
     pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// The correlation span of event `i` ([`NO_SPAN`] when unknown).
+    pub fn span_of(&self, i: usize) -> u64 {
+        self.event_spans.get(i).copied().unwrap_or(NO_SPAN)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +256,35 @@ mod tests {
             "tile_start"
         );
         assert_eq!(TraceEvent::WeightLoad { cycle: 0, pe: 0, elems: 0 }.kind(), "weight_load");
+        assert_eq!(TraceEvent::ModeSet { bits: 8 }.kind(), "mode_set");
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_cursor_span() {
+        use std::sync::atomic::Ordering;
+        let cursor = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(NO_SPAN));
+        let ring = TraceRing::new(8).with_span_cursor(cursor.clone());
+        ring.push(TraceEvent::VectorStall { cycle: 0, pe: 0 });
+        cursor.store(7, Ordering::Relaxed);
+        ring.push(TraceEvent::VectorStall { cycle: 1, pe: 0 });
+        let snap = ring.snapshot();
+        assert_eq!(snap.event_spans, vec![NO_SPAN, 7]);
+        assert_eq!(snap.span_of(1), 7);
+        assert_eq!(snap.span_of(99), NO_SPAN);
+    }
+
+    #[test]
+    fn eviction_keeps_spans_in_lockstep() {
+        use std::sync::atomic::Ordering;
+        let cursor = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(NO_SPAN));
+        let ring = TraceRing::new(2).with_span_cursor(cursor.clone());
+        for cycle in 0..4 {
+            cursor.store(cycle + 1, Ordering::Relaxed);
+            ring.push(TraceEvent::VectorStall { cycle, pe: 0 });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), snap.event_spans.len());
+        assert_eq!(snap.event_spans, vec![3, 4]);
     }
 
     #[test]

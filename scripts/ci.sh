@@ -22,6 +22,25 @@ if command -v python3 >/dev/null 2>&1; then
     echo "telemetry JSON valid"
 fi
 
+echo "==> trace observatory smoke: repro trace --perfetto-out"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    trace --perfetto-out "$out/perfetto.json" --svg-out "$out/util.svg" >/dev/null
+test -s "$out/perfetto.json" && test -s "$out/util.svg"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/perfetto.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+pes = {e["args"]["name"] for e in events
+       if e.get("name") == "thread_name" and e["args"]["name"].startswith("PE ")}
+assert len(pes) >= 1, "expected at least one PE track"
+assert any(e.get("ph") == "X" and e.get("name", "").startswith("layer ")
+           for e in events), "expected layer slices"
+assert doc["otherData"]["dropped"] == 0, "trace ring overflowed in CI run"
+print(f"perfetto JSON valid ({len(pes)} PE tracks, {len(events)} events)")
+PY
+fi
+
 echo "==> evaluator bench smoke: repro --quick simbench"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
     --quick --bench-out "$out/BENCH_sim.json" simbench >/dev/null
@@ -30,6 +49,10 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out/BENCH_sim.json"
     echo "bench JSON valid"
 fi
+
+echo "==> perf regression gate: repro diff BENCH_baseline.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_baseline.json "$out/BENCH_sim.json"
 
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then

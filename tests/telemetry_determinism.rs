@@ -77,6 +77,22 @@ fn counters_are_reproducible_across_runs() {
     assert_eq!(run_once(), run_once());
 }
 
+/// The full telemetry-probe JSON report is byte-identical across runs
+/// once wall-clock histograms are excluded (the `--no-timers` flag of
+/// `repro --metrics-out`) — every other quantity the probe records is
+/// deterministic.
+#[test]
+fn no_timers_report_is_byte_identical_across_runs() {
+    let run_once = || {
+        let report = bsc_bench::telemetry_probe::telemetry_report(MacKind::Bsc).unwrap();
+        bsc_bench::telemetry_probe::telemetry_json(&report, true)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert!(!a.contains("_ns\""), "timer histograms must be stripped");
+    assert_eq!(a, b, "--no-timers report must be byte-identical");
+}
+
 /// Gate-level toggle counts for a fixed stimulus are exact and identical
 /// across repeated simulations, for every MAC architecture.
 #[test]
