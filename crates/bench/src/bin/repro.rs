@@ -5,6 +5,7 @@
 //!       [--bench-out FILE] [--no-timers]
 //!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|all]
 //! repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
+//! repro serve <manifest.json> [--report-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
 //!            [--verbose]
 //! ```
@@ -34,6 +35,11 @@
 //!   `--perfetto-out` writes Chrome trace-event JSON (open at
 //!   <https://ui.perfetto.dev>), `--svg-out` a self-contained
 //!   utilization heatmap, `--trace-cap` overrides the ring capacity.
+//! * `serve` feeds a JSON job manifest to the multi-tenant batch
+//!   inference engine (bounded queue, deadline-aware admission, shared
+//!   characterization cache — see `docs/serving.md`) and prints per-job
+//!   and aggregate reports; `--report-out` writes the deterministic JSON
+//!   report the CI baseline gate diffs.
 //! * `diff` compares two benchmark/metrics JSON files field-by-field and
 //!   exits nonzero when a deterministic field drifted beyond the
 //!   tolerance (`--tol 5` = ±5 %, the default).  Wall-clock fields
@@ -44,7 +50,7 @@
 use std::path::PathBuf;
 
 use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
-use bsc_bench::{experiments, observatory, simbench, telemetry_probe, Workbench};
+use bsc_bench::{experiments, observatory, serve, simbench, telemetry_probe, Workbench};
 use bsc_mac::MacKind;
 
 struct Options {
@@ -53,6 +59,7 @@ struct Options {
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
     perfetto_out: Option<PathBuf>,
     svg_out: Option<PathBuf>,
     trace_cap: usize,
@@ -71,6 +78,7 @@ fn parse_args() -> Options {
     let mut metrics_out = None;
     let mut trace_out = None;
     let mut bench_out = None;
+    let mut report_out = None;
     let mut perfetto_out = None;
     let mut svg_out = None;
     let mut trace_cap = observatory::DEFAULT_TRACE_CAPACITY;
@@ -95,6 +103,7 @@ fn parse_args() -> Options {
             "--metrics-out" => metrics_out = Some(path_arg("--metrics-out", &mut args)),
             "--trace-out" => trace_out = Some(path_arg("--trace-out", &mut args)),
             "--bench-out" => bench_out = Some(path_arg("--bench-out", &mut args)),
+            "--report-out" => report_out = Some(path_arg("--report-out", &mut args)),
             "--perfetto-out" => perfetto_out = Some(path_arg("--perfetto-out", &mut args)),
             "--svg-out" => svg_out = Some(path_arg("--svg-out", &mut args)),
             "--trace-cap" => {
@@ -147,6 +156,7 @@ fn parse_args() -> Options {
         metrics_out,
         trace_out,
         bench_out,
+        report_out,
         perfetto_out,
         svg_out,
         trace_cap,
@@ -169,7 +179,14 @@ fn main() {
 
     let needs_workbench = !matches!(
         opts.which.as_str(),
-        "table1" | "fig8b-gate" | "extensions" | "telemetry" | "simbench" | "trace" | "diff"
+        "table1"
+            | "fig8b-gate"
+            | "extensions"
+            | "telemetry"
+            | "simbench"
+            | "trace"
+            | "serve"
+            | "diff"
     );
     let wb = if needs_workbench {
         eprintln!(
@@ -307,6 +324,22 @@ fn main() {
         }
     };
 
+    let run_serve = || {
+        let [manifest] = opts.files.as_slice() else {
+            die("serve requires exactly one file argument: <manifest.json>");
+        };
+        let text = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
+        let run = serve::serve(&text).unwrap_or_else(|e| die(&e));
+        print!("{}", serve::render(&run));
+        if let Some(path) = &opts.report_out {
+            if let Err(e) = std::fs::write(path, serve::report_json(&run)) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
     let run_diff = || {
         let [baseline, current] = opts.files.as_slice() else {
             die("diff requires exactly two file arguments: <baseline.json> <current.json>");
@@ -332,6 +365,7 @@ fn main() {
         "table1" => run_table1(),
         "simbench" => run_simbench(),
         "trace" => run_trace(),
+        "serve" => run_serve(),
         "diff" => run_diff(),
         "extensions" => match experiments::render_extensions() {
             Ok(text) => print!("{text}"),
@@ -368,7 +402,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|trace|diff|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|trace|serve|diff|extensions|all)"
         )),
     }
 }

@@ -12,6 +12,7 @@
 pub mod diff;
 pub mod experiments;
 pub mod observatory;
+pub mod serve;
 pub mod simbench;
 pub mod telemetry_probe;
 pub mod timing;

@@ -1,0 +1,362 @@
+//! `repro serve`: drive the batch inference engine from a JSON job
+//! manifest and report per-job / aggregate results.
+//!
+//! The manifest is the wire format a multi-tenant deployment would feed
+//! the engine (see `docs/serving.md`):
+//!
+//! ```json
+//! {
+//!   "engine": {
+//!     "kind": "bsc",
+//!     "quick": true,
+//!     "queue_capacity": 64,
+//!     "workers": 2,
+//!     "max_backlog_cycles": 500000
+//!   },
+//!   "jobs": [
+//!     {"name": "lenet-nas", "network": "lenet5", "precision": "nas"},
+//!     {"name": "vgg-8b", "network": "vgg16", "precision": "int8",
+//!      "deadline_cycles": 900000, "count": 4}
+//!   ]
+//! }
+//! ```
+//!
+//! `network` names a built-in benchmark (`lenet5`, `vgg16`, `resnet18`,
+//! `nas`); `precision` is a [`PrecisionPolicy`] spelling (`nas` keeps the
+//! NAS-assigned layer precisions); `count` repeats the spec N times with
+//! a `#i` suffix, sharing one `Arc`'d network.  The aggregate report is
+//! deterministic (wall-clock fields carry the `_ns` suffix the `repro
+//! diff` gate exempts), so a checked-in baseline catches queue-counter
+//! and numeric drift.
+
+use std::collections::BTreeMap;
+
+use bsc_accel::{BatchReport, Engine, EngineConfig, InferenceJob, JobOutcome, PrecisionPolicy};
+use bsc_mac::MacKind;
+use bsc_nn::{models, SharedNetwork};
+use bsc_telemetry::{JsonBuilder, MetricsSnapshot};
+
+/// A parsed manifest: engine parameters plus the job list.
+#[derive(Debug)]
+pub struct ServeManifest {
+    /// Engine configuration built from the `engine` object.
+    pub engine: EngineConfig,
+    /// Jobs in submission order (repeat specs already expanded).
+    pub jobs: Vec<InferenceJob>,
+}
+
+/// The result of one serve run: the batch outcome plus the engine's
+/// metrics snapshot.
+#[derive(Debug)]
+pub struct ServeRun {
+    /// MAC architecture served.
+    pub kind: MacKind,
+    /// Queue bound the engine ran with.
+    pub queue_capacity: usize,
+    /// Per-job outcomes and aggregates.
+    pub batch: BatchReport,
+    /// Engine telemetry (queue/admission counters, cache stats).
+    pub metrics: MetricsSnapshot,
+}
+
+fn err_at(context: &str, detail: impl std::fmt::Display) -> String {
+    format!("{context}: {detail}")
+}
+
+fn lookup_network(name: &str) -> Result<SharedNetwork, String> {
+    let net = match name.trim().to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "lenet5" | "lenet" => models::lenet5(),
+        "vgg16" | "vgg" => models::vgg16(),
+        "resnet18" | "resnet" => models::resnet18(),
+        "nas" | "nasbased" | "nasvgg" => models::nas_based(),
+        other => return Err(format!("unknown network `{other}` (expected lenet5|vgg16|resnet18|nas)")),
+    };
+    Ok(net.into_shared())
+}
+
+/// Parses a serve manifest.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON, unknown networks,
+/// unknown precisions, or out-of-range parameters.
+pub fn parse_manifest(text: &str) -> Result<ServeManifest, String> {
+    let doc = bsc_telemetry::parse_json(text).map_err(|e| err_at("manifest", e))?;
+    let eng = doc.get("engine").ok_or("manifest: missing `engine` object")?;
+    let kind = match eng
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .unwrap_or("bsc")
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "bsc" => MacKind::Bsc,
+        "lpc" => MacKind::Lpc,
+        "hps" => MacKind::Hps,
+        other => return Err(format!("engine.kind: unknown architecture `{other}`")),
+    };
+    let quick = matches!(eng.get("quick"), Some(bsc_telemetry::JsonValue::Bool(true)));
+    let mut config = if quick { EngineConfig::quick(kind) } else { EngineConfig::paper(kind) };
+    let usize_field = |key: &str| -> Result<Option<usize>, String> {
+        match eng.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let n = v.as_f64().ok_or_else(|| format!("engine.{key}: expected a number"))?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("engine.{key}: expected a non-negative integer"));
+                }
+                Ok(Some(n as usize))
+            }
+        }
+    };
+    if let Some(cap) = usize_field("queue_capacity")? {
+        if cap == 0 {
+            return Err("engine.queue_capacity: must be positive".into());
+        }
+        config.queue_capacity = cap;
+    }
+    if let Some(w) = usize_field("workers")? {
+        if w == 0 {
+            return Err("engine.workers: must be positive".into());
+        }
+        config.workers = Some(w);
+    }
+    if let Some(limit) = usize_field("max_backlog_cycles")? {
+        config.max_backlog_cycles = Some(limit as u64);
+    }
+
+    let specs = doc
+        .get("jobs")
+        .and_then(|v| v.as_array())
+        .ok_or("manifest: missing `jobs` array")?;
+    let mut networks: BTreeMap<String, SharedNetwork> = BTreeMap::new();
+    let mut jobs = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let ctx = format!("jobs[{i}]");
+        let net_name = spec
+            .get("network")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| err_at(&ctx, "missing `network`"))?;
+        let network = match networks.get(net_name) {
+            Some(n) => SharedNetwork::clone(n),
+            None => {
+                let n = lookup_network(net_name).map_err(|e| err_at(&ctx, e))?;
+                networks.insert(net_name.to_string(), SharedNetwork::clone(&n));
+                n
+            }
+        };
+        let name = spec
+            .get("name")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("job{i}"));
+        let policy = match spec.get("precision").and_then(|v| v.as_str()) {
+            None => PrecisionPolicy::AsTrained,
+            Some(s) => s
+                .parse::<PrecisionPolicy>()
+                .map_err(|e| err_at(&ctx, format!("precision: {e}")))?,
+        };
+        let deadline = match spec.get("deadline_cycles") {
+            None => None,
+            Some(v) => {
+                let n = v
+                    .as_f64()
+                    .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                    .ok_or_else(|| err_at(&ctx, "deadline_cycles: expected a non-negative integer"))?;
+                Some(n as u64)
+            }
+        };
+        let count = match spec.get("count") {
+            None => 1,
+            Some(v) => v
+                .as_f64()
+                .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+                .ok_or_else(|| err_at(&ctx, "count: expected a positive integer"))?
+                as usize,
+        };
+        for rep in 0..count {
+            let mut job = InferenceJob::new(
+                if count == 1 { name.clone() } else { format!("{name}#{rep}") },
+                SharedNetwork::clone(&network),
+            )
+            .with_policy(policy);
+            if let Some(d) = deadline {
+                job = job.with_deadline(d);
+            }
+            jobs.push(job);
+        }
+    }
+    Ok(ServeManifest { engine: config, jobs })
+}
+
+/// Runs a manifest through a fresh engine on the process-wide
+/// characterization cache.
+///
+/// # Errors
+///
+/// Returns a message on manifest, characterization or scheduling
+/// failures.
+pub fn serve(manifest_text: &str) -> Result<ServeRun, String> {
+    let manifest = parse_manifest(manifest_text)?;
+    let kind = manifest.engine.accel.kind;
+    let queue_capacity = manifest.engine.queue_capacity;
+    let mut engine =
+        Engine::new(manifest.engine).map_err(|e| err_at("characterization", e))?;
+    let batch = engine.run_jobs(manifest.jobs).map_err(|e| err_at("batch", e))?;
+    bsc_accel::CharacterizationCache::global().publish(engine.telemetry());
+    let metrics = engine.telemetry().metrics.snapshot();
+    Ok(ServeRun { kind, queue_capacity, batch, metrics })
+}
+
+/// Aligned-text view of one serve run.
+pub fn render(run: &ServeRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} engine, queue capacity {}, {} jobs",
+        run.kind,
+        run.queue_capacity,
+        run.batch.submitted()
+    );
+    let _ = write!(out, "{}", run.batch);
+    let _ = writeln!(
+        out,
+        "aggregate: {:.1} MACs/cycle over {} cycles, {:.1} pJ total, characterization runs {}",
+        run.batch.macs_per_cycle(),
+        run.batch.makespan_cycles(),
+        run.batch.total_energy_fj() / 1e3,
+        run.metrics.counter("telemetry.characterize.runs"),
+    );
+    out
+}
+
+/// Machine-readable aggregate report for the CI baseline gate.  Every
+/// deterministic field (outcome counts, cycles, MACs, energies, queue
+/// counters) is gated by `repro diff`; wall-clock fields end in `_ns`
+/// and are exempt.
+pub fn report_json(run: &ServeRun) -> String {
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("engine").begin_object();
+    j.key("kind").string(&run.kind.to_string());
+    j.key("queue_capacity").u64(run.queue_capacity as u64);
+    j.end_object();
+
+    j.key("jobs").begin_array();
+    for outcome in run.batch.outcomes() {
+        j.begin_object();
+        j.key("name").string(outcome.name());
+        j.key("outcome").string(outcome.label());
+        match outcome {
+            JobOutcome::Completed(r) => {
+                j.key("network").string(r.report.network());
+                j.key("cycles").u64(r.cycles());
+                j.key("macs").u64(r.macs());
+                j.key("macs_per_cycle").f64(r.macs_per_cycle());
+                j.key("energy_fj").f64(r.energy_fj());
+                j.key("queue_wait_cycles").u64(r.queue_wait_cycles);
+                j.key("completion_cycle").u64(r.completion_cycle);
+                if let Some(met) = r.deadline_met() {
+                    j.key("deadline_met").bool(met);
+                }
+            }
+            JobOutcome::Rejected { reason, .. } => {
+                j.key("reason").string(&reason.to_string());
+            }
+            JobOutcome::Shed { reason, .. } => {
+                j.key("reason").string(&reason.to_string());
+            }
+        }
+        j.end_object();
+    }
+    j.end_array();
+
+    j.key("aggregate").begin_object();
+    j.key("submitted").u64(run.batch.submitted() as u64);
+    j.key("completed").u64(run.batch.completed_count() as u64);
+    j.key("rejected").u64(run.batch.rejected_count() as u64);
+    j.key("shed").u64(run.batch.shed_count() as u64);
+    j.key("makespan_cycles").u64(run.batch.makespan_cycles());
+    j.key("total_macs").u64(run.batch.total_macs());
+    j.key("macs_per_cycle").f64(run.batch.macs_per_cycle());
+    j.key("total_energy_fj").f64(run.batch.total_energy_fj());
+    j.key("peak_queue_depth").u64(run.batch.peak_queue_depth as u64);
+    j.end_object();
+
+    j.key("counters").begin_object();
+    for name in [
+        "engine.jobs.submitted",
+        "engine.jobs.admitted",
+        "engine.jobs.rejected",
+        "engine.jobs.shed",
+        "engine.jobs.completed",
+        "engine.cache.hits",
+        "engine.cache.misses",
+        "telemetry.characterize.runs",
+    ] {
+        j.key(name).u64(run.metrics.counter(name));
+    }
+    j.key("engine.queue.peak_depth").i64(run.metrics.gauge("engine.queue.peak_depth"));
+    j.end_object();
+
+    // Wall clock, reported but never gated (the `_ns` suffix).
+    j.key("run_batch_ns")
+        .u64(run.metrics.histogram("engine.run_batch_ns").map_or(0, |h| h.sum));
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"{
+      "engine": {"kind": "bsc", "quick": true, "queue_capacity": 4, "workers": 2},
+      "jobs": [
+        {"name": "lenet-nas", "network": "lenet5"},
+        {"name": "lenet-8b", "network": "lenet5", "precision": "int8", "count": 2},
+        {"name": "dead", "network": "lenet5", "precision": "int2", "deadline_cycles": 1}
+      ]
+    }"#;
+
+    #[test]
+    fn manifest_parses_and_expands_counts() {
+        let m = parse_manifest(MANIFEST).unwrap();
+        assert_eq!(m.engine.queue_capacity, 4);
+        assert_eq!(m.engine.workers, Some(2));
+        assert_eq!(m.jobs.len(), 4);
+        assert_eq!(m.jobs[1].name, "lenet-8b#0");
+        assert_eq!(m.jobs[2].name, "lenet-8b#1");
+        // Repeats share the network allocation.
+        assert!(SharedNetwork::ptr_eq(&m.jobs[1].network, &m.jobs[2].network));
+        assert_eq!(m.jobs[3].deadline_cycles, Some(1));
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected_with_context() {
+        assert!(parse_manifest("{}").unwrap_err().contains("engine"));
+        let bad_net = MANIFEST.replace("lenet5", "alexnet");
+        assert!(parse_manifest(&bad_net).unwrap_err().contains("alexnet"));
+        let bad_precision = MANIFEST.replace("int8", "int3");
+        assert!(parse_manifest(&bad_precision).unwrap_err().contains("precision"));
+    }
+
+    #[test]
+    fn serve_runs_the_manifest_end_to_end() {
+        let run = serve(MANIFEST).unwrap();
+        assert_eq!(run.batch.submitted(), 4);
+        assert_eq!(run.batch.completed_count(), 3);
+        assert_eq!(run.batch.rejected_count(), 1, "1-cycle deadline must be rejected");
+        let json = report_json(&run);
+        let doc = bsc_telemetry::parse_json(&json).expect("report is valid JSON");
+        assert_eq!(
+            doc.get("aggregate").and_then(|a| a.get("submitted")).and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        let text = render(&run);
+        assert!(text.contains("BSC engine"), "{text}");
+    }
+}

@@ -1,15 +1,19 @@
 //! Characterization workbench shared by every experiment.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use bsc_accel::{Engine, EngineConfig};
 use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization, PpaError};
 use bsc_mac::MacKind;
 use bsc_telemetry::Telemetry;
 
 /// All three designs characterized once, ready for the figure drivers.
+/// Designs are held behind [`Arc`] so batch engines and per-worker
+/// accelerators can share them without re-characterizing.
 #[derive(Debug)]
 pub struct Workbench {
-    designs: BTreeMap<MacKind, DesignCharacterization>,
+    designs: BTreeMap<MacKind, Arc<DesignCharacterization>>,
     config: CharacterizeConfig,
     telemetry: Telemetry,
 }
@@ -59,7 +63,7 @@ impl Workbench {
         };
         let mut designs = BTreeMap::new();
         for (kind, result) in results {
-            designs.insert(kind, result?);
+            designs.insert(kind, Arc::new(result?));
         }
         Ok(Workbench { designs, config, telemetry })
     }
@@ -85,6 +89,28 @@ impl Workbench {
         &self.designs[&kind]
     }
 
+    /// A shared handle to one design's characterization, for engines and
+    /// accelerators that outlive this borrow.
+    pub fn design_shared(&self, kind: MacKind) -> Arc<DesignCharacterization> {
+        Arc::clone(&self.designs[&kind])
+    }
+
+    /// A batch inference engine on one of the workbench's designs —
+    /// zero additional characterization, so BENCH runs can report
+    /// batched throughput on the exact designs the figures used.  The
+    /// engine's array matches the workbench scale: the paper's 32-PE
+    /// array at vector length 32, the quick 4-PE array otherwise.
+    pub fn engine(&self, kind: MacKind) -> Engine {
+        let mut config = if self.config.length == 32 {
+            EngineConfig::paper(kind)
+        } else {
+            EngineConfig::quick(kind)
+        };
+        config.accel.array.vector_length = self.config.length;
+        config.accel.characterize = self.config.clone();
+        Engine::with_design(config, self.design_shared(kind))
+    }
+
     /// The characterization configuration in use.
     pub fn config(&self) -> &CharacterizeConfig {
         &self.config
@@ -93,5 +119,28 @@ impl Workbench {
     /// Vector length of the characterized designs.
     pub fn vector_length(&self) -> usize {
         self.config.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_accel::InferenceJob;
+    use bsc_nn::models;
+
+    #[test]
+    fn workbench_engine_shares_the_characterized_design() {
+        let wb = Workbench::with_config(CharacterizeConfig::quick(2)).unwrap();
+        let mut engine = wb.engine(MacKind::Bsc);
+        assert!(Arc::ptr_eq(engine.characterization(), &wb.design_shared(MacKind::Bsc)));
+        assert_eq!(engine.config().accel.array.vector_length, wb.vector_length());
+        // Batched throughput on the exact design the figures used.
+        let net = models::lenet5().into_shared();
+        let jobs = (0..3)
+            .map(|i| InferenceJob::new(format!("j{i}"), bsc_nn::SharedNetwork::clone(&net)))
+            .collect();
+        let batch = engine.run_jobs(jobs).unwrap();
+        assert_eq!(batch.completed_count(), 3);
+        assert!(batch.macs_per_cycle() > 0.0);
     }
 }

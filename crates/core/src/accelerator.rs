@@ -1,5 +1,7 @@
 //! The end-to-end accelerator API.
 
+use std::sync::Arc;
+
 use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization};
 use bsc_mac::{MacKind, Precision};
 use bsc_nn::Network;
@@ -59,12 +61,16 @@ impl AcceleratorConfig {
 #[derive(Debug)]
 pub struct Accelerator {
     config: AcceleratorConfig,
-    charac: DesignCharacterization,
+    charac: Arc<DesignCharacterization>,
     array: SystolicArray,
 }
 
 impl Accelerator {
     /// Characterizes the configured design and prepares the array.
+    ///
+    /// Prefer [`Accelerator::new_cached`] when several accelerators (or
+    /// several tests in one binary) share a design — this constructor
+    /// always runs a fresh characterization.
     ///
     /// # Errors
     ///
@@ -74,6 +80,38 @@ impl Accelerator {
         charac_cfg.length = config.array.vector_length;
         let charac = DesignCharacterization::new(config.kind, &charac_cfg)?;
         Ok(Self::with_characterization(config, charac))
+    }
+
+    /// Like [`Accelerator::new`], but characterizations are looked up in
+    /// (and inserted into) the given cache, so each distinct design is
+    /// characterized at most once per cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures from a cache miss.
+    pub fn new_cached(
+        config: AcceleratorConfig,
+        cache: &crate::engine::CharacterizationCache,
+    ) -> Result<Self, AccelError> {
+        let mut charac_cfg = config.characterize.clone();
+        charac_cfg.length = config.array.vector_length;
+        let charac = cache.get_or_characterize(config.kind, &charac_cfg)?;
+        Ok(Self::with_shared_characterization(config, charac))
+    }
+
+    /// A quick-configuration accelerator backed by the process-wide
+    /// [`CharacterizationCache::global`](crate::engine::CharacterizationCache::global)
+    /// cache — the constructor every in-repo test uses, so one test
+    /// binary characterizes each design at most once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures from a cache miss.
+    pub fn quick_cached(kind: MacKind) -> Result<Self, AccelError> {
+        Self::new_cached(
+            AcceleratorConfig::quick(kind),
+            crate::engine::CharacterizationCache::global(),
+        )
     }
 
     /// Builds an accelerator around an already-characterized design,
@@ -88,6 +126,21 @@ impl Accelerator {
         config: AcceleratorConfig,
         charac: DesignCharacterization,
     ) -> Self {
+        Self::with_shared_characterization(config, Arc::new(charac))
+    }
+
+    /// [`Accelerator::with_characterization`] for a shared (cached)
+    /// characterization: many accelerators — e.g. one per engine worker —
+    /// reference one characterization without re-simulating or cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the characterization's architecture differs from
+    /// `config.kind`.
+    pub fn with_shared_characterization(
+        config: AcceleratorConfig,
+        charac: Arc<DesignCharacterization>,
+    ) -> Self {
         assert_eq!(charac.kind(), config.kind, "characterization architecture mismatch");
         let array = SystolicArray::new(config.array);
         Accelerator { config, charac, array }
@@ -101,6 +154,12 @@ impl Accelerator {
     /// The underlying characterization (for custom PPA queries).
     pub fn characterization(&self) -> &DesignCharacterization {
         &self.charac
+    }
+
+    /// A shared handle to the characterization, for building further
+    /// accelerators or engines on the same design without re-simulating.
+    pub fn shared_characterization(&self) -> Arc<DesignCharacterization> {
+        Arc::clone(&self.charac)
     }
 
     /// Attaches a fresh telemetry hub (metrics registry + trace ring of
@@ -274,7 +333,7 @@ mod tests {
 
     #[test]
     fn quick_accelerator_runs_a_small_network() {
-        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+        let accel = Accelerator::quick_cached(MacKind::Bsc).unwrap();
         let net = bsc_nn::models::lenet5();
         let report = accel.run_network(&net).unwrap();
         assert_eq!(report.layers().len(), net.layers.len());
@@ -285,7 +344,7 @@ mod tests {
 
     #[test]
     fn telemetry_records_network_layers_and_matmuls() {
-        let mut accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+        let mut accel = Accelerator::quick_cached(MacKind::Bsc).unwrap();
         let tel = accel.enable_telemetry(1024);
         let net = bsc_nn::models::lenet5();
         accel.run_network(&net).unwrap();
@@ -323,7 +382,7 @@ mod tests {
 
     #[test]
     fn matmul_through_facade_is_exact() {
-        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Hps)).unwrap();
+        let accel = Accelerator::quick_cached(MacKind::Hps).unwrap();
         let k = accel.config().array.dot_length(Precision::Int8);
         let f = Matrix::from_fn(3, k, |r, c| ((r + c) % 5) as i64 - 2);
         let w = Matrix::from_fn(2, k, |r, c| ((r * c) % 3) as i64 - 1);
@@ -338,7 +397,7 @@ mod conv_tests {
 
     #[test]
     fn accelerator_conv2d_matches_golden() {
-        let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+        let accel = Accelerator::quick_cached(MacKind::Bsc).unwrap();
         let p = Precision::Int4;
         let input = bsc_nn::Tensor::random(3, 6, 6, p.value_range(), 11);
         let weights = bsc_nn::ops::ConvWeights::from_fn(4, 3, 3, 3, |o, i, y, x| {

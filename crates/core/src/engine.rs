@@ -1,0 +1,1018 @@
+//! Multi-tenant batch inference engine.
+//!
+//! [`Accelerator::run_network`] is a one-shot, single-tenant call: every
+//! construction re-characterizes the design and every caller runs one
+//! network at a time.  The [`Engine`] turns the same analytic pipeline
+//! into a serving loop:
+//!
+//! * a process-wide [`CharacterizationCache`] characterizes each
+//!   `(MacKind, CharacterizeConfig)` design **once** and shares it across
+//!   every engine, accelerator and test in the binary;
+//! * [`InferenceJob`]s (an [`Arc`]-shared network + a
+//!   [`PrecisionPolicy`] + an optional deadline in model cycles) are
+//!   admitted into a [`BoundedQueue`] — a full queue *rejects with a
+//!   reason* instead of growing without bound;
+//! * admission is deadline-aware: a job whose optimistic completion
+//!   already misses its deadline is rejected up front, and a configured
+//!   backlog limit sheds load before the array is hopelessly behind;
+//! * [`Engine::run_batch`] schedules the admitted jobs over the
+//!   `bsc_netlist::par` work-stealing pool and merges per-job
+//!   [`JobReport`]s **in submission order**, so results are independent
+//!   of the worker count, exactly like the sharded characterization.
+//!
+//! Every scheduling decision (admit / reject / shed, queue waits, start
+//! and completion cycles) is computed on a *serial virtual clock* in
+//! submission order; the worker pool only parallelizes the per-job
+//! energy/schedule evaluation, which is pure.  A batch therefore has one
+//! deterministic outcome per job — `{completed, rejected, shed}` — at
+//! any worker count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization};
+use bsc_mac::{MacKind, Precision};
+use bsc_nn::{Network, SharedNetwork};
+use bsc_systolic::mapping::schedule_conv;
+use bsc_telemetry::Telemetry;
+
+use crate::queue::BoundedQueue;
+use crate::report::NetworkReport;
+use crate::{layer_to_conv_shape, AccelError, Accelerator, AcceleratorConfig};
+
+// ---------------------------------------------------------------------------
+// Characterization cache
+// ---------------------------------------------------------------------------
+
+/// A shared cache of gate-level design characterizations keyed by
+/// `(MacKind, CharacterizeConfig)`.
+///
+/// Characterization (netlist build + activity testbench in all precision
+/// modes) is the most expensive construction in the stack; the cache
+/// guarantees each distinct design is characterized at most once per
+/// process.  The array geometry (`ArrayConfig`) enters the key only
+/// through its `vector_length` (folded into the `CharacterizeConfig` by
+/// the callers): PPA characterization is per-MAC, so arrays that differ
+/// only in PE count share an entry.
+///
+/// The entry lock is held *across* a characterization run, so concurrent
+/// requests for the same design block and then hit the cache instead of
+/// duplicating the work.
+#[derive(Debug, Default)]
+pub struct CharacterizationCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    kind: MacKind,
+    config: CharacterizeConfig,
+    charac: Arc<DesignCharacterization>,
+}
+
+impl CharacterizationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CharacterizationCache::default()
+    }
+
+    /// The process-wide cache every `*_cached` constructor and every
+    /// [`Engine::new`] uses.  Test binaries route through this to prove
+    /// (via [`CharacterizationCache::publish`]) that each design was
+    /// characterized at most once.
+    pub fn global() -> &'static CharacterizationCache {
+        static GLOBAL: OnceLock<CharacterizationCache> = OnceLock::new();
+        GLOBAL.get_or_init(CharacterizationCache::new)
+    }
+
+    /// Returns the cached characterization for `(kind, config)`, running
+    /// and inserting it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures from a cache miss.
+    pub fn get_or_characterize(
+        &self,
+        kind: MacKind,
+        config: &CharacterizeConfig,
+    ) -> Result<Arc<DesignCharacterization>, AccelError> {
+        let mut entries = self.entries.lock().expect("characterization cache poisoned");
+        if let Some(e) = entries.iter().find(|e| e.kind == kind && e.config == *config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.charac));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let charac = Arc::new(DesignCharacterization::new(kind, config)?);
+        entries.push(CacheEntry { kind, config: config.clone(), charac: Arc::clone(&charac) });
+        Ok(charac)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran a characterization (== distinct designs
+    /// characterized through this cache).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached designs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("characterization cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes the cache statistics into a metrics registry:
+    /// `engine.cache.hits`, `engine.cache.misses` and
+    /// `telemetry.characterize.runs` (the process-wide characterization
+    /// count from [`bsc_mac::ppa::characterize_runs`], which also covers
+    /// constructions that bypassed the cache).  Idempotent, like
+    /// [`Telemetry::publish_trace_stats`].
+    pub fn publish(&self, tel: &Telemetry) {
+        let raise = |name: &str, value: u64| {
+            let c = tel.metrics.counter(name);
+            c.add(value.saturating_sub(c.get()));
+        };
+        raise("engine.cache.hits", self.hits());
+        raise("engine.cache.misses", self.misses());
+        raise("telemetry.characterize.runs", bsc_mac::ppa::characterize_runs());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// How a job maps its network's layer precisions onto the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionPolicy {
+    /// Run every layer at its NAS-assigned (trained) precision.
+    AsTrained,
+    /// Force every layer to one precision mode.
+    Uniform(Precision),
+}
+
+impl PrecisionPolicy {
+    /// The network this policy actually runs: the shared handle itself
+    /// for [`PrecisionPolicy::AsTrained`] (no clone), or a re-precisioned
+    /// copy for [`PrecisionPolicy::Uniform`].
+    pub fn apply(self, network: &SharedNetwork) -> SharedNetwork {
+        match self {
+            PrecisionPolicy::AsTrained => Arc::clone(network),
+            PrecisionPolicy::Uniform(p) => Arc::new(network.with_uniform_precision(p)),
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrecisionPolicy::AsTrained => f.write_str("as-trained"),
+            PrecisionPolicy::Uniform(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::str::FromStr for PrecisionPolicy {
+    type Err = bsc_mac::MacError;
+
+    /// Parses `"nas"` / `"as-trained"` / `"mixed"` (keep trained
+    /// precisions) or any [`Precision`] spelling (`"int8"`, `"4-bit"`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "nas" | "as-trained" | "trained" | "mixed" => Ok(PrecisionPolicy::AsTrained),
+            other => Ok(PrecisionPolicy::Uniform(other.parse()?)),
+        }
+    }
+}
+
+/// One tenant request: a network, a precision policy and an optional
+/// completion deadline in *model cycles* (cycles of the engine's virtual
+/// batch clock, which starts at 0 every batch).
+#[derive(Debug, Clone)]
+pub struct InferenceJob {
+    /// Job name (unique names make reports readable; not enforced).
+    pub name: String,
+    /// The network to run, shared without cloning.
+    pub network: SharedNetwork,
+    /// Precision policy applied at admission.
+    pub policy: PrecisionPolicy,
+    /// Absolute deadline on the batch clock, if any.
+    pub deadline_cycles: Option<u64>,
+}
+
+impl InferenceJob {
+    /// A job with the default policy ([`PrecisionPolicy::AsTrained`]) and
+    /// no deadline.
+    pub fn new(name: impl Into<String>, network: SharedNetwork) -> Self {
+        InferenceJob {
+            name: name.into(),
+            network,
+            policy: PrecisionPolicy::AsTrained,
+            deadline_cycles: None,
+        }
+    }
+
+    /// Sets the precision policy.
+    pub fn with_policy(mut self, policy: PrecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the completion deadline in model cycles.
+    pub fn with_deadline(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------------
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity (backpressure).
+    QueueFull {
+        /// Configured queue bound.
+        capacity: usize,
+    },
+    /// Even the optimistic completion estimate misses the deadline.
+    DeadlineInfeasible {
+        /// Estimated completion cycle at admission (backlog + ideal run).
+        projected_cycles: u64,
+        /// The job's deadline.
+        deadline_cycles: u64,
+    },
+    /// Admitting the job would push the backlog past the configured
+    /// overload limit.
+    Overloaded {
+        /// Backlog the job would have created.
+        backlog_cycles: u64,
+        /// Configured backlog limit.
+        limit_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::DeadlineInfeasible { projected_cycles, deadline_cycles } => write!(
+                f,
+                "deadline infeasible (projected completion {projected_cycles} > deadline {deadline_cycles})"
+            ),
+            RejectReason::Overloaded { backlog_cycles, limit_cycles } => write!(
+                f,
+                "overloaded (backlog {backlog_cycles} cycles > limit {limit_cycles})"
+            ),
+        }
+    }
+}
+
+/// Why an admitted job was dropped at schedule time instead of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The exact schedule (which the optimistic admission estimate
+    /// under-approximates) puts completion past the deadline.
+    DeadlineMissed {
+        /// Completion cycle the exact schedule projected.
+        completion_cycle: u64,
+        /// The job's deadline.
+        deadline_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ShedReason::DeadlineMissed { completion_cycle, deadline_cycles } => write!(
+                f,
+                "deadline missed (scheduled completion {completion_cycle} > deadline {deadline_cycles})"
+            ),
+        }
+    }
+}
+
+/// The completed execution of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Cycles the job waited behind earlier jobs on the batch clock.
+    pub queue_wait_cycles: u64,
+    /// Batch-clock cycle at which the job finished.
+    pub completion_cycle: u64,
+    /// The job's deadline, if it had one.
+    pub deadline_cycles: Option<u64>,
+    /// Per-layer numerics — identical to what a serial
+    /// [`Accelerator::run_network`] call produces for the same network.
+    pub report: NetworkReport,
+}
+
+impl JobReport {
+    /// Execution cycles (excluding queue wait).
+    pub fn cycles(&self) -> u64 {
+        self.report.total_cycles()
+    }
+
+    /// Useful MACs.
+    pub fn macs(&self) -> u64 {
+        self.report.total_macs()
+    }
+
+    /// Energy in fJ.
+    pub fn energy_fj(&self) -> f64 {
+        self.report.total_energy_fj()
+    }
+
+    /// Achieved MACs per execution cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 { 0.0 } else { self.macs() as f64 / c as f64 }
+    }
+
+    /// Whether the deadline was met (`None` when the job had none).
+    /// Always `true` for completed jobs — misses are shed, not run.
+    pub fn deadline_met(&self) -> Option<bool> {
+        self.deadline_cycles.map(|d| self.completion_cycle <= d)
+    }
+}
+
+/// The single, mandatory terminal state of every submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job ran; per-layer numerics attached.
+    Completed(JobReport),
+    /// The job was refused at admission.
+    Rejected {
+        /// Job name.
+        name: String,
+        /// Why admission refused it.
+        reason: RejectReason,
+    },
+    /// The job was admitted but dropped at schedule time.
+    Shed {
+        /// Job name.
+        name: String,
+        /// Why the scheduler dropped it.
+        reason: ShedReason,
+    },
+}
+
+impl JobOutcome {
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        match self {
+            JobOutcome::Completed(r) => &r.name,
+            JobOutcome::Rejected { name, .. } | JobOutcome::Shed { name, .. } => name,
+        }
+    }
+
+    /// `"completed"`, `"rejected"` or `"shed"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed(_) => "completed",
+            JobOutcome::Rejected { .. } => "rejected",
+            JobOutcome::Shed { .. } => "shed",
+        }
+    }
+
+    /// The completed report, if any.
+    pub fn report(&self) -> Option<&JobReport> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Configuration of one [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The accelerator the jobs run on.
+    pub accel: AcceleratorConfig,
+    /// Bound of the admission queue (jobs).
+    pub queue_capacity: usize,
+    /// Worker threads for batch execution (`None` → one per available
+    /// core, `Some(1)` → fully serial).  Results never depend on this.
+    pub workers: Option<usize>,
+    /// Overload limit: reject submissions whose admission would push the
+    /// estimated backlog past this many cycles (`None` → unlimited).
+    pub max_backlog_cycles: Option<u64>,
+}
+
+impl EngineConfig {
+    /// Default serving parameters around an accelerator configuration.
+    pub fn new(accel: AcceleratorConfig) -> Self {
+        EngineConfig { accel, queue_capacity: 64, workers: None, max_backlog_cycles: None }
+    }
+
+    /// Quick-test engine: the reduced 4-PE × L8 array.
+    pub fn quick(kind: MacKind) -> Self {
+        EngineConfig::new(AcceleratorConfig::quick(kind))
+    }
+
+    /// Paper-faithful engine: the 32-PE × L32 array at 500 MHz.
+    pub fn paper(kind: MacKind) -> Self {
+        EngineConfig::new(AcceleratorConfig::paper(kind))
+    }
+
+    /// Sets the queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the overload backlog limit in cycles.
+    pub fn with_max_backlog_cycles(mut self, cycles: u64) -> Self {
+        self.max_backlog_cycles = Some(cycles);
+        self
+    }
+}
+
+/// An admitted job waiting in the bounded queue.
+#[derive(Debug)]
+struct Admitted {
+    slot: usize,
+    name: String,
+    network: SharedNetwork,
+    deadline_cycles: Option<u64>,
+}
+
+/// One submission slot: either already decided (rejected) or waiting.
+#[derive(Debug)]
+enum Slot {
+    Pending,
+    Decided(JobOutcome),
+}
+
+/// The report of one [`Engine::run_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    outcomes: Vec<JobOutcome>,
+    /// High-water mark of the admission queue during this batch.
+    pub peak_queue_depth: usize,
+}
+
+impl BatchReport {
+    /// Terminal states, one per submitted job, in submission order.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Completed job reports in submission order.
+    pub fn completed(&self) -> impl Iterator<Item = &JobReport> {
+        self.outcomes.iter().filter_map(JobOutcome::report)
+    }
+
+    /// Number of jobs submitted for this batch.
+    pub fn submitted(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of completed jobs.
+    pub fn completed_count(&self) -> usize {
+        self.completed().count()
+    }
+
+    /// Number of jobs rejected at admission.
+    pub fn rejected_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, JobOutcome::Rejected { .. })).count()
+    }
+
+    /// Number of jobs shed at schedule time.
+    pub fn shed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, JobOutcome::Shed { .. })).count()
+    }
+
+    /// Batch makespan on the model clock: the last completion cycle.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.completed().map(|r| r.completion_cycle).max().unwrap_or(0)
+    }
+
+    /// Total useful MACs of the completed jobs.
+    pub fn total_macs(&self) -> u64 {
+        self.completed().map(JobReport::macs).sum()
+    }
+
+    /// Total energy of the completed jobs in fJ.
+    pub fn total_energy_fj(&self) -> f64 {
+        self.completed().map(JobReport::energy_fj).sum()
+    }
+
+    /// Batched throughput: completed MACs per makespan cycle.  The number
+    /// the paper's 1024/4096/8192 MACs-per-cycle modes bound from above.
+    pub fn macs_per_cycle(&self) -> f64 {
+        let span = self.makespan_cycles();
+        if span == 0 { 0.0 } else { self.total_macs() as f64 / span as f64 }
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} submitted / {} completed / {} rejected / {} shed, {} cycles, {:.1} MACs/cycle, peak queue {}",
+            self.submitted(),
+            self.completed_count(),
+            self.rejected_count(),
+            self.shed_count(),
+            self.makespan_cycles(),
+            self.macs_per_cycle(),
+            self.peak_queue_depth,
+        )?;
+        for o in &self.outcomes {
+            match o {
+                JobOutcome::Completed(r) => writeln!(
+                    f,
+                    "  {:<24} completed  {:>10} cyc (wait {:>8})  {:>7.1} MACs/cyc  {:>10.0} fJ",
+                    r.name,
+                    r.cycles(),
+                    r.queue_wait_cycles,
+                    r.macs_per_cycle(),
+                    r.energy_fj(),
+                )?,
+                JobOutcome::Rejected { name, reason } => {
+                    writeln!(f, "  {name:<24} rejected   {reason}")?
+                }
+                JobOutcome::Shed { name, reason } => {
+                    writeln!(f, "  {name:<24} shed       {reason}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The multi-tenant batch inference engine.  See the module docs for the
+/// admission / scheduling semantics.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    charac: Arc<DesignCharacterization>,
+    queue: BoundedQueue<Admitted>,
+    slots: Vec<Slot>,
+    backlog_cycles: u64,
+    telemetry: Telemetry,
+}
+
+impl Engine {
+    /// Builds an engine on the process-wide
+    /// [`CharacterizationCache::global`] cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures from a first-use
+    /// characterization.
+    pub fn new(config: EngineConfig) -> Result<Self, AccelError> {
+        Self::with_cache(config, CharacterizationCache::global())
+    }
+
+    /// Builds an engine on an explicit cache (e.g. a scoped one in a
+    /// test that asserts exact hit/miss counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates gate-level simulation failures from a cache miss.
+    pub fn with_cache(
+        config: EngineConfig,
+        cache: &CharacterizationCache,
+    ) -> Result<Self, AccelError> {
+        let mut cc = config.accel.characterize.clone();
+        cc.length = config.accel.array.vector_length;
+        let charac = cache.get_or_characterize(config.accel.kind, &cc)?;
+        Ok(Self::with_design(config, charac))
+    }
+
+    /// Builds an engine around an already-characterized design (e.g. one
+    /// owned by a `Workbench`), avoiding any characterization pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the characterization's architecture differs from the
+    /// configured MAC kind.
+    pub fn with_design(config: EngineConfig, charac: Arc<DesignCharacterization>) -> Self {
+        assert_eq!(
+            charac.kind(),
+            config.accel.kind,
+            "characterization architecture mismatch"
+        );
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Engine {
+            config,
+            charac,
+            queue,
+            slots: Vec::new(),
+            backlog_cycles: 0,
+            telemetry: Telemetry::metrics_only(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared characterization the engine runs on.
+    pub fn characterization(&self) -> &Arc<DesignCharacterization> {
+        &self.charac
+    }
+
+    /// The engine's telemetry bundle (queue gauges, admission counters,
+    /// per-job spans).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the telemetry bundle (e.g. one shared with other engines
+    /// or a trace-capable ring).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Current estimated backlog of admitted-but-unrun work in cycles.
+    pub fn backlog_cycles(&self) -> u64 {
+        self.backlog_cycles
+    }
+
+    /// Number of jobs waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The optimistic (ideal-utilization) cycle estimate admission uses:
+    /// each layer at its peak MACs/cycle.  Always a lower bound on the
+    /// exact schedule, so admission never rejects a feasible job.
+    pub fn estimate_cycles(&self, net: &Network) -> u64 {
+        net.layers
+            .iter()
+            .map(|l| {
+                let peak = self.config.accel.array.peak_macs_per_cycle(l.precision) as u64;
+                l.macs().div_ceil(peak.max(1))
+            })
+            .sum()
+    }
+
+    /// The exact schedule cycles of a network on this array (what
+    /// `run_network` will report), without evaluating energy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn schedule_cycles(&self, net: &Network) -> Result<u64, AccelError> {
+        let mut cycles = 0u64;
+        for layer in &net.layers {
+            let shape = layer_to_conv_shape(&layer.kind);
+            cycles += schedule_conv(&self.config.accel.array, layer.precision, &shape)?.cycles;
+        }
+        Ok(cycles)
+    }
+
+    /// Admits a job into the bounded queue, or rejects it with a reason.
+    /// Either way the decision is recorded and reappears in the next
+    /// [`Engine::run_batch`]'s outcomes, so every submission has exactly
+    /// one terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] when the queue is full, the backlog
+    /// limit would be exceeded, or the deadline is already infeasible.
+    pub fn submit(&mut self, job: InferenceJob) -> Result<usize, RejectReason> {
+        let slot = self.slots.len();
+        self.telemetry.metrics.counter("engine.jobs.submitted").inc();
+        let reject = |this: &mut Self, name: String, reason: RejectReason| {
+            this.telemetry.metrics.counter("engine.jobs.rejected").inc();
+            this.slots.push(Slot::Decided(JobOutcome::Rejected { name, reason }));
+            Err(reason)
+        };
+
+        if self.queue.len() >= self.queue.capacity() {
+            let reason = RejectReason::QueueFull { capacity: self.queue.capacity() };
+            return reject(self, job.name, reason);
+        }
+        let network = job.policy.apply(&job.network);
+        let est = self.estimate_cycles(&network);
+        let projected = self.backlog_cycles + est;
+        if let Some(limit) = self.config.max_backlog_cycles {
+            if projected > limit {
+                let reason =
+                    RejectReason::Overloaded { backlog_cycles: projected, limit_cycles: limit };
+                return reject(self, job.name, reason);
+            }
+        }
+        if let Some(deadline) = job.deadline_cycles {
+            if projected > deadline {
+                let reason = RejectReason::DeadlineInfeasible {
+                    projected_cycles: projected,
+                    deadline_cycles: deadline,
+                };
+                return reject(self, job.name, reason);
+            }
+        }
+
+        let admitted = Admitted {
+            slot,
+            name: job.name,
+            network,
+            deadline_cycles: job.deadline_cycles,
+        };
+        if self.queue.push(admitted).is_err() {
+            unreachable!("capacity checked above");
+        }
+        self.slots.push(Slot::Pending);
+        self.backlog_cycles = projected;
+        let m = &self.telemetry.metrics;
+        m.counter("engine.jobs.admitted").inc();
+        m.gauge("engine.queue.depth").set(self.queue.len() as i64);
+        m.gauge("engine.queue.peak_depth").set(self.queue.peak_depth() as i64);
+        m.gauge("engine.backlog_cycles").set(self.backlog_cycles as i64);
+        Ok(slot)
+    }
+
+    /// Schedules and runs every queued job, returning one terminal
+    /// outcome per submission since the previous batch, in submission
+    /// order.
+    ///
+    /// Scheduling (shed decisions, queue waits, completion cycles) runs
+    /// serially on the virtual batch clock; execution fans out over the
+    /// `bsc_netlist::par` pool with one [`Accelerator`] per worker, all
+    /// sharing this engine's characterization.  Results are identical at
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/characterization failures of any scheduled job
+    /// (the batch is abandoned; admission state is still consumed).
+    pub fn run_batch(&mut self) -> Result<BatchReport, AccelError> {
+        let _wall = self.telemetry.metrics.timer("engine.run_batch_ns");
+        let _span = {
+            let g = self.telemetry.spans.begin("engine.run_batch");
+            g.annotate("queued", self.queue.len());
+            g
+        };
+        let mut slots = std::mem::take(&mut self.slots);
+        let queued: Vec<Admitted> = self.queue.drain().collect();
+        let peak_queue_depth = self.queue.peak_depth();
+        self.backlog_cycles = 0;
+        let m = &self.telemetry.metrics;
+        m.gauge("engine.queue.depth").set(0);
+        m.gauge("engine.backlog_cycles").set(0);
+
+        // Serial scheduling pass on the virtual batch clock: exact
+        // per-job cycles, shed decisions, queue waits.  Submission order,
+        // no worker involvement — the source of worker-count
+        // independence.
+        struct Planned {
+            job: Admitted,
+            start_cycle: u64,
+            completion_cycle: u64,
+        }
+        let mut plan = Vec::with_capacity(queued.len());
+        let mut clock = 0u64;
+        for job in queued {
+            let cycles = self.schedule_cycles(&job.network)?;
+            let completion = clock + cycles;
+            if let Some(deadline) = job.deadline_cycles {
+                if completion > deadline {
+                    m.counter("engine.jobs.shed").inc();
+                    slots[job.slot] = Slot::Decided(JobOutcome::Shed {
+                        name: job.name,
+                        reason: ShedReason::DeadlineMissed {
+                            completion_cycle: completion,
+                            deadline_cycles: deadline,
+                        },
+                    });
+                    continue;
+                }
+            }
+            plan.push(Planned { job, start_cycle: clock, completion_cycle: completion });
+            clock = completion;
+        }
+
+        // Parallel execution: per-worker accelerators over the shared
+        // characterization, merged back by plan index.
+        let accel_cfg = self.config.accel.clone();
+        let charac = Arc::clone(&self.charac);
+        let telemetry = self.telemetry.clone();
+        let reports: Vec<Result<NetworkReport, AccelError>> = bsc_netlist::par::run_indexed_with(
+            plan.len(),
+            self.config.workers,
+            || {
+                let mut accel =
+                    Accelerator::with_shared_characterization(accel_cfg.clone(), Arc::clone(&charac));
+                accel.attach_telemetry(telemetry.clone());
+                accel
+            },
+            |accel, i| {
+                let p = &plan[i];
+                let _job_span = {
+                    let g = accel.telemetry().expect("attached").spans.begin(&format!("engine.job.{}", p.job.name));
+                    g.annotate("network", &p.job.network.name);
+                    g.annotate("start_cycle", p.start_cycle);
+                    g
+                };
+                accel.run_network(&p.job.network)
+            },
+        );
+
+        for (p, report) in plan.into_iter().zip(reports) {
+            let report = report?;
+            m.counter("engine.jobs.completed").inc();
+            m.counter("engine.batch.macs").add(report.total_macs());
+            m.counter("engine.batch.cycles").add(report.total_cycles());
+            slots[p.job.slot] = Slot::Decided(JobOutcome::Completed(JobReport {
+                name: p.job.name,
+                queue_wait_cycles: p.start_cycle,
+                completion_cycle: p.completion_cycle,
+                deadline_cycles: p.job.deadline_cycles,
+                report,
+            }));
+        }
+
+        let outcomes = slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Decided(o) => o,
+                Slot::Pending => unreachable!("every admitted job was planned or shed"),
+            })
+            .collect();
+        Ok(BatchReport { outcomes, peak_queue_depth })
+    }
+
+    /// Convenience: submits every job (collecting rejections as
+    /// outcomes) and runs the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::run_batch`] failures.
+    pub fn run_jobs(&mut self, jobs: Vec<InferenceJob>) -> Result<BatchReport, AccelError> {
+        for job in jobs {
+            // Rejections are recorded as outcomes; nothing to do here.
+            let _ = self.submit(job);
+        }
+        self.run_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_nn::{Layer, LayerKind};
+
+    fn toy_net(name: &str, fan_in: usize, fan_out: usize, p: Precision) -> SharedNetwork {
+        Network {
+            name: name.into(),
+            dataset: "synthetic".into(),
+            layers: vec![Layer::new("fc", LayerKind::Fc { fan_in, fan_out }, p)],
+        }
+        .into_shared()
+    }
+
+    #[test]
+    fn cache_characterizes_each_design_once() {
+        let cache = CharacterizationCache::new();
+        let cfg = CharacterizeConfig::quick(2);
+        let a = cache.get_or_characterize(MacKind::Hps, &cfg).unwrap();
+        let b = cache.get_or_characterize(MacKind::Hps, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different config is a different design.
+        let cfg3 = CharacterizeConfig::quick(1);
+        let c = cache.get_or_characterize(MacKind::Hps, &cfg3).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let mut engine = Engine::new(
+            EngineConfig::quick(MacKind::Bsc).with_queue_capacity(2).with_workers(1),
+        )
+        .unwrap();
+        let net = toy_net("t", 64, 4, Precision::Int8);
+        assert!(engine.submit(InferenceJob::new("a", Arc::clone(&net))).is_ok());
+        assert!(engine.submit(InferenceJob::new("b", Arc::clone(&net))).is_ok());
+        let err = engine.submit(InferenceJob::new("c", Arc::clone(&net))).unwrap_err();
+        assert_eq!(err, RejectReason::QueueFull { capacity: 2 });
+        let batch = engine.run_batch().unwrap();
+        assert_eq!(batch.submitted(), 3);
+        assert_eq!(batch.completed_count(), 2);
+        assert_eq!(batch.rejected_count(), 1);
+        assert_eq!(batch.outcomes()[2].label(), "rejected");
+        // The queue bound was never exceeded.
+        assert!(batch.peak_queue_depth <= 2);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejects_and_tight_deadline_sheds() {
+        let mut engine =
+            Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(1)).unwrap();
+        let net = toy_net("t", 256, 32, Precision::Int8);
+        let ideal = engine.estimate_cycles(&net);
+        let exact = engine.schedule_cycles(&net).unwrap();
+        assert!(exact > ideal, "quick array must not be perfectly utilized ({exact} vs {ideal})");
+
+        // Deadline below even the ideal estimate: rejected at admission.
+        let err = engine
+            .submit(InferenceJob::new("hopeless", Arc::clone(&net)).with_deadline(ideal - 1))
+            .unwrap_err();
+        assert!(matches!(err, RejectReason::DeadlineInfeasible { .. }));
+
+        // Deadline between ideal and exact: admitted optimistically, then
+        // shed when the exact schedule lands.
+        assert!(engine
+            .submit(InferenceJob::new("optimistic", Arc::clone(&net)).with_deadline(ideal))
+            .is_ok());
+        // No deadline: always completes.
+        assert!(engine.submit(InferenceJob::new("steady", Arc::clone(&net))).is_ok());
+
+        let batch = engine.run_batch().unwrap();
+        assert_eq!(batch.submitted(), 3);
+        assert_eq!(batch.outcomes()[0].label(), "rejected");
+        assert_eq!(batch.outcomes()[1].label(), "shed");
+        assert_eq!(batch.outcomes()[2].label(), "completed");
+        let done = batch.completed().next().unwrap();
+        // The shed job never ran, so the survivor started at cycle 0.
+        assert_eq!(done.queue_wait_cycles, 0);
+        assert_eq!(done.completion_cycle, exact);
+    }
+
+    #[test]
+    fn overload_limit_sheds_submissions() {
+        let mut engine = Engine::new(
+            EngineConfig::quick(MacKind::Bsc).with_workers(1).with_max_backlog_cycles(1),
+        )
+        .unwrap();
+        let net = toy_net("t", 256, 16, Precision::Int4);
+        let err = engine.submit(InferenceJob::new("big", net)).unwrap_err();
+        assert!(matches!(err, RejectReason::Overloaded { .. }));
+    }
+
+    #[test]
+    fn batch_results_are_worker_count_independent() {
+        let nets: Vec<SharedNetwork> = (0..6)
+            .map(|i| toy_net(&format!("n{i}"), 32 + 8 * i, 4 + i, Precision::ALL[i % 3]))
+            .collect();
+        let run = |workers: usize| {
+            let mut engine = Engine::new(
+                EngineConfig::quick(MacKind::Bsc).with_workers(workers),
+            )
+            .unwrap();
+            let jobs = nets
+                .iter()
+                .enumerate()
+                .map(|(i, n)| InferenceJob::new(format!("job{i}"), Arc::clone(n)))
+                .collect();
+            engine.run_jobs(jobs).unwrap()
+        };
+        let serial = run(1);
+        let pooled = run(4);
+        assert_eq!(serial, pooled);
+        assert_eq!(serial.completed_count(), 6);
+        // Queue waits are cumulative completions of the predecessors.
+        let completed: Vec<_> = serial.completed().collect();
+        for w in completed.windows(2) {
+            assert_eq!(w[1].queue_wait_cycles, w[0].completion_cycle);
+        }
+    }
+
+    #[test]
+    fn engine_counters_track_outcomes() {
+        let mut engine = Engine::new(
+            EngineConfig::quick(MacKind::Bsc).with_queue_capacity(1).with_workers(1),
+        )
+        .unwrap();
+        let net = toy_net("t", 64, 8, Precision::Int2);
+        let _ = engine.submit(InferenceJob::new("a", Arc::clone(&net)));
+        let _ = engine.submit(InferenceJob::new("b", Arc::clone(&net)));
+        engine.run_batch().unwrap();
+        let snap = engine.telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("engine.jobs.submitted"), 2);
+        assert_eq!(snap.counter("engine.jobs.admitted"), 1);
+        assert_eq!(snap.counter("engine.jobs.rejected"), 1);
+        assert_eq!(snap.counter("engine.jobs.completed"), 1);
+        assert!(snap.gauge("engine.queue.peak_depth") <= 1);
+    }
+}

@@ -19,6 +19,10 @@
 //!
 //! [`Accelerator`] is the one-stop API: build it for an architecture, run
 //! matrices or whole networks, and read energy-efficiency reports.
+//! [`Engine`] layers multi-tenant serving on top: a shared
+//! [`CharacterizationCache`], a bounded admission queue with
+//! deadline-aware rejection and load shedding, and deterministic batched
+//! execution over a worker pool (see `docs/serving.md`).
 //!
 //! # Example
 //!
@@ -39,11 +43,18 @@
 
 mod accelerator;
 pub mod compiler;
+pub mod engine;
 mod error;
+pub mod queue;
 mod report;
 
 pub use accelerator::{Accelerator, AcceleratorConfig};
+pub use engine::{
+    BatchReport, CharacterizationCache, Engine, EngineConfig, InferenceJob, JobOutcome,
+    JobReport, PrecisionPolicy, RejectReason, ShedReason,
+};
 pub use error::AccelError;
+pub use queue::{BoundedQueue, QueueFull};
 pub use report::{render_comparison, LayerReport, NetworkReport};
 
 pub use bsc_mac as mac;

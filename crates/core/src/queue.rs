@@ -1,0 +1,154 @@
+//! Bounded FIFO admission queue with depth accounting.
+//!
+//! The batch engine admits [`InferenceJob`](crate::engine::InferenceJob)s
+//! into one of these instead of an unbounded `Vec`: when the queue is
+//! full the submission is *rejected with a reason* (backpressure), never
+//! silently buffered.  The queue tracks its high-water mark so tests and
+//! the telemetry export can prove the configured bound was never
+//! exceeded.
+
+use std::collections::VecDeque;
+
+/// Error returned when a push would exceed the configured capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured bound the push would have exceeded.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A bounded FIFO with a high-water mark.
+///
+/// Not internally synchronized: the engine owns it behind `&mut self`
+/// (admission is inherently ordered — concurrent submitters would make
+/// reject decisions racy and worker-count dependent).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    peak_depth: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity — a queue that can never admit anything
+    /// is a configuration error, not a useful degenerate case.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue { items: VecDeque::with_capacity(capacity), capacity, peak_depth: 0 }
+    }
+
+    /// Appends an item, or refuses if the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (and gives the item back untouched via the
+    /// tuple) when `len() == capacity()`.
+    pub fn push(&mut self, item: T) -> Result<(), (T, QueueFull)> {
+        if self.items.len() >= self.capacity {
+            return Err((item, QueueFull { capacity: self.capacity }));
+        }
+        self.items.push_back(item);
+        self.peak_depth = self.peak_depth.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Drains every queued item in FIFO order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The deepest the queue has ever been — by construction never above
+    /// [`capacity`](Self::capacity).
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let mut q = BoundedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_the_item() {
+        let mut q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        let (item, err) = q.push("c").unwrap_err();
+        assert_eq!(item, "c");
+        assert_eq!(err.capacity, 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        q.pop();
+        q.pop();
+        q.push(4).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_depth(), 3);
+        assert!(q.peak_depth() <= q.capacity());
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<_> = q.drain().collect();
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.peak_depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

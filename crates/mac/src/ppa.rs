@@ -7,8 +7,23 @@
 //! benchmark harness can look energies up instead of re-simulating gates.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bsc_synth::{analyze, CellLibrary, EffortModel, PpaReport, SynthError};
+
+/// Process-wide count of full characterization passes (gate-level netlist
+/// build + activity testbench).  Characterization is by far the most
+/// expensive construction in the stack, so callers that are supposed to
+/// share characterizations (the `bsc-accel` engine cache, test binaries)
+/// can assert this stayed at "once per distinct design".
+static CHARACTERIZE_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`DesignCharacterization`] constructions this process has run so
+/// far — the ground truth behind the `telemetry.characterize.runs`
+/// counter the `bsc-accel` characterization cache publishes.
+pub fn characterize_runs() -> u64 {
+    CHARACTERIZE_RUNS.load(Ordering::Relaxed)
+}
 
 use crate::netlist_if::StimulusProfile;
 use crate::{build_netlist, MacError, MacKind, MacNetlist, Precision};
@@ -132,6 +147,7 @@ impl DesignCharacterization {
         config: &CharacterizeConfig,
         workers: Option<usize>,
     ) -> Result<Self, PpaError> {
+        CHARACTERIZE_RUNS.fetch_add(1, Ordering::Relaxed);
         let netlist = build_netlist(kind, config.length);
         // One suite covers all six runs (three modes × two stimulus
         // profiles), so every pool worker compiles the design's simulator

@@ -1,0 +1,92 @@
+//! Exhaustive golden-model regression of the BSC bit-split unit (paper
+//! Fig. 4).  The unit's own module tests sample the operand space
+//! (`step_by` strides); this suite closes the gap by sweeping it
+//! completely: every 4b×4b pair in all four signedness combinations,
+//! every packed 2b×2b pair, the Fig. 4 signed/unsigned corner rows, and —
+//! in release builds — the full 256×256 four-unit 8-bit composition.
+
+use bsc_mac::bsc::BitSplitUnit;
+use bsc_mac::golden;
+
+fn nibble_range(signed: bool) -> std::ops::Range<i64> {
+    if signed { -8..8 } else { 0..16 }
+}
+
+#[test]
+fn exhaustive_4x4_all_signedness_combinations() {
+    // 4 signedness combos × 16 × 16 operands = 1,024 products, all
+    // checked against wide integer arithmetic.
+    for (sa, sb) in [(true, true), (true, false), (false, true), (false, false)] {
+        for a in nibble_range(sa) {
+            for b in nibble_range(sb) {
+                assert_eq!(
+                    BitSplitUnit::mul4(a, sa, b, sb).unwrap(),
+                    a * b,
+                    "a={a} sa={sa} b={b} sb={sb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_dual_2x2_matches_golden_dot() {
+    // All 4^4 = 256 packed operand combinations of the 2-bit mode; the
+    // local accumulation must equal the golden 2-element dot product.
+    for a0 in -2..2i64 {
+        for a1 in -2..2i64 {
+            for b0 in -2..2i64 {
+                for b1 in -2..2i64 {
+                    assert_eq!(
+                        BitSplitUnit::dual_mul2([a0, a1], [b0, b1]).unwrap(),
+                        golden::dot(&[a0, a1], &[b0, b1]),
+                        "a=[{a0},{a1}] b=[{b0},{b1}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig4_signedness_corner_rows() {
+    // The extreme rows of the Fig. 4 operating table: each operand at the
+    // edges of its declared range, in every signedness pairing.
+    let corners = |signed: bool| if signed { vec![-8i64, -1, 0, 7] } else { vec![0i64, 1, 15] };
+    for (sa, sb) in [(true, true), (true, false), (false, true), (false, false)] {
+        for &a in &corners(sa) {
+            for &b in &corners(sb) {
+                assert_eq!(BitSplitUnit::mul4(a, sa, b, sb).unwrap(), a * b);
+            }
+        }
+    }
+    // One step past each edge must be rejected, never silently wrapped.
+    assert!(BitSplitUnit::mul4(8, true, 0, true).is_err());
+    assert!(BitSplitUnit::mul4(-9, true, 0, true).is_err());
+    assert!(BitSplitUnit::mul4(16, false, 0, true).is_err());
+    assert!(BitSplitUnit::mul4(-1, false, 0, true).is_err());
+    assert!(BitSplitUnit::mul4(0, true, 8, true).is_err());
+    assert!(BitSplitUnit::mul4(0, true, -1, false).is_err());
+    assert!(BitSplitUnit::dual_mul2([2, 0], [0, 0]).is_err());
+    assert!(BitSplitUnit::dual_mul2([0, 0], [0, -3]).is_err());
+}
+
+/// The full 8-bit composition — all 65,536 signed byte pairs through the
+/// four-unit `{0,4,4,8}`-shift recombination (the unit tests sample this
+/// space with strides).  Exhaustive sweeps belong to the release gate:
+/// run with `cargo test --release`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive sweep; run with cargo test --release")]
+fn exhaustive_8x8_four_unit_composition() {
+    for a in -128..128i64 {
+        for b in -128..128i64 {
+            let (ah, al) = golden::split8(a);
+            let (bh, bl) = golden::split8(b);
+            let ll = BitSplitUnit::mul4(al, false, bl, false).unwrap();
+            let hl = BitSplitUnit::mul4(ah, true, bl, false).unwrap();
+            let lh = BitSplitUnit::mul4(al, false, bh, true).unwrap();
+            let hh = BitSplitUnit::mul4(ah, true, bh, true).unwrap();
+            assert_eq!(ll + ((hl + lh) << 4) + (hh << 8), a * b, "a={a} b={b}");
+        }
+    }
+}

@@ -121,7 +121,33 @@ pub struct Network {
     pub layers: Vec<Layer>,
 }
 
+/// A reference-counted network handle: many inference jobs (and many
+/// worker threads) share one layer table without cloning it.  This is the
+/// currency of the `bsc-accel` batch engine — `Arc::clone` is two pointer
+/// ops where `Network::clone` would copy every layer name.
+pub type SharedNetwork = std::sync::Arc<Network>;
+
 impl Network {
+    /// Wraps the network in an [`Arc`](std::sync::Arc) for clone-free
+    /// sharing across jobs and worker threads.
+    pub fn into_shared(self) -> SharedNetwork {
+        std::sync::Arc::new(self)
+    }
+
+    /// A copy of the network with every layer forced to one precision —
+    /// how a serving engine maps a tenant's "run me at 8-bit" policy onto
+    /// a NAS-assigned mixed-precision layer table.  The name gains a
+    /// `@Nb` suffix so reports stay distinguishable.
+    pub fn with_uniform_precision(&self, p: Precision) -> Network {
+        let mut net = self.clone();
+        net.name = format!("{}@{}b", net.name, p.bits());
+        for layer in &mut net.layers {
+            layer.precision = p;
+        }
+        net
+    }
+
+
     /// Total weight count.
     pub fn total_weights(&self) -> u64 {
         self.layers.iter().map(Layer::weight_count).sum()

@@ -44,5 +44,5 @@ pub mod tensor;
 
 pub use bsc_mac::Precision;
 pub use error::NnError;
-pub use layer::{Layer, LayerKind, Network, PrecisionDistribution};
+pub use layer::{Layer, LayerKind, Network, PrecisionDistribution, SharedNetwork};
 pub use tensor::Tensor;

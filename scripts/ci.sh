@@ -54,6 +54,16 @@ echo "==> perf regression gate: repro diff BENCH_baseline.json"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
     diff BENCH_baseline.json "$out/BENCH_sim.json"
 
+echo "==> engine serving gate: repro serve examples/serve_manifest.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    serve examples/serve_manifest.json --report-out "$out/serve_report.json" >/dev/null
+test -s "$out/serve_report.json"
+# The serve report is fully deterministic (virtual batch clock, submission
+# -order merging), so the diff runs at zero tolerance: any drift in job
+# numerics, outcome counts or queue/admission counters fails the gate.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_serve_baseline.json "$out/serve_report.json" --tol 0
+
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"

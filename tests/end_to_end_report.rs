@@ -1,14 +1,15 @@
 //! End-to-end energy-efficiency invariants: the headline claims of the
 //! paper must hold on this reproduction's quick configuration.
 
-use bsc_accel::{Accelerator, AcceleratorConfig};
+use bsc_accel::{Accelerator, CharacterizationCache};
 use bsc_mac::{MacKind, Precision};
 use bsc_nn::models;
+use bsc_telemetry::Telemetry;
 
 fn build_all() -> Vec<Accelerator> {
     MacKind::ALL
         .into_iter()
-        .map(|k| Accelerator::new(AcceleratorConfig::quick(k)).expect("characterization"))
+        .map(|k| Accelerator::quick_cached(k).expect("characterization"))
         .collect()
 }
 
@@ -40,7 +41,7 @@ fn bsc_wins_on_every_table1_benchmark() {
 fn lower_precision_layers_raise_efficiency() {
     // LeNet-5 (55% 4b / 45% 2b) must be more efficient than VGG-16
     // (8b-dominated by MACs) on the same BSC array.
-    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Bsc)).unwrap();
+    let accel = Accelerator::quick_cached(MacKind::Bsc).unwrap();
     let lenet = accel.run_network(&models::lenet5()).unwrap();
     let vgg = accel.run_network(&models::vgg16()).unwrap();
     // Compare per-MAC energy (efficiency normalized for utilization
@@ -55,7 +56,7 @@ fn lower_precision_layers_raise_efficiency() {
 
 #[test]
 fn report_totals_are_consistent() {
-    let accel = Accelerator::new(AcceleratorConfig::quick(MacKind::Lpc)).unwrap();
+    let accel = Accelerator::quick_cached(MacKind::Lpc).unwrap();
     let net = models::lenet5();
     let report = accel.run_network(&net).unwrap();
     assert_eq!(report.total_macs(), net.total_macs());
@@ -82,6 +83,28 @@ fn per_mode_efficiency_ordering_within_each_design() {
             accel.config().kind
         );
     }
+}
+
+#[test]
+fn each_design_is_characterized_at_most_once_per_binary() {
+    // Every test in this binary routes through the process-wide
+    // characterization cache, so no matter how many accelerators they
+    // build, the gate-level characterization runs at most once per
+    // distinct design.  `telemetry.characterize.runs` is backed by the
+    // process-global counter in `bsc_mac::ppa`, so it also catches any
+    // construction path that bypassed the cache.
+    let _accels = build_all();
+    let _again = build_all();
+    let tel = Telemetry::metrics_only();
+    CharacterizationCache::global().publish(&tel);
+    let snap = tel.metrics.snapshot();
+    let runs = snap.counter("telemetry.characterize.runs");
+    assert!(
+        (1..=MacKind::ALL.len() as u64).contains(&runs),
+        "expected at most one characterization per design, counted {runs}"
+    );
+    assert_eq!(snap.counter("engine.cache.misses"), runs);
+    assert!(snap.counter("engine.cache.hits") >= MacKind::ALL.len() as u64);
 }
 
 #[test]

@@ -1,12 +1,16 @@
 //! Randomized invariants spanning the crates (seeded, hermetic):
 //! arbitrary operand streams through the functional MACs, the systolic
-//! engine and the quantizer must preserve the golden semantics.
+//! engine and the quantizer must preserve the golden semantics, and
+//! arbitrary job mixes through the batch inference engine must respect
+//! its scheduling invariants.
 //! Formerly a `proptest` suite; now driven by the in-repo [`Rng64`] so
 //! the workspace builds offline — seeds are fixed, so every run
 //! exercises the same cases.
 
+use bsc_accel::{Engine, EngineConfig, InferenceJob, JobOutcome, PrecisionPolicy};
 use bsc_mac::{golden, vector_mac, MacKind, Precision, Rng64};
 use bsc_nn::quant::Quantizer;
+use bsc_nn::{Layer, LayerKind, Network, SharedNetwork};
 use bsc_systolic::{ArrayConfig, Matrix, SystolicArray};
 
 const CASES: usize = 64;
@@ -82,6 +86,81 @@ fn quantizer_codes_always_fit_and_dequantize_within_half_scale() {
             if v.abs() <= max_abs {
                 let err = (v - q.dequantize(code)).abs();
                 assert!(err <= q.scale() * 0.5 + 1e-9, "v={v} err={err}");
+            }
+        }
+    }
+}
+
+/// Random job mixes through the batch engine: whatever the mix of sizes,
+/// precision policies, deadlines and queue pressure, a batch must (a)
+/// terminate, (b) never exceed the queue bound, (c) leave every
+/// submission in exactly one of {completed, rejected, shed} with a
+/// printable reason, and (d) not depend on the worker count.
+#[test]
+fn random_job_mixes_terminate_with_exactly_one_outcome_each() {
+    let mut rng = Rng64::seed_from_u64(0xE9613E);
+    for round in 0..4 {
+        let capacity = rng.gen_range(3usize..9);
+        let backlog_limit =
+            if rng.gen_range(0u32..2) == 0 { Some(rng.gen_range(5_000u64..200_000)) } else { None };
+        let job_count = rng.gen_range(8usize..20);
+        let jobs: Vec<InferenceJob> = (0..job_count)
+            .map(|i| {
+                let fan_in = rng.gen_range(16usize..512);
+                let fan_out = rng.gen_range(1usize..48);
+                let p = Precision::ALL[rng.gen_range(0usize..3)];
+                let net: SharedNetwork = Network {
+                    name: format!("rand{round}-{i}"),
+                    dataset: "synthetic".into(),
+                    layers: vec![Layer::new("fc", LayerKind::Fc { fan_in, fan_out }, p)],
+                }
+                .into_shared();
+                let policy = match rng.gen_range(0u32..4) {
+                    0 => PrecisionPolicy::AsTrained,
+                    n => PrecisionPolicy::Uniform(Precision::ALL[(n - 1) as usize]),
+                };
+                let mut job = InferenceJob::new(format!("j{i}"), net).with_policy(policy);
+                // A third of the jobs get a deadline somewhere between
+                // hopeless and roomy, so all three terminal states occur.
+                if rng.gen_range(0u32..3) == 0 {
+                    job = job.with_deadline(rng.gen_range(1u64..400_000));
+                }
+                job
+            })
+            .collect();
+
+        let run = |workers: usize, jobs: Vec<InferenceJob>| {
+            let mut config = EngineConfig::quick(MacKind::Bsc)
+                .with_queue_capacity(capacity)
+                .with_workers(workers);
+            config.max_backlog_cycles = backlog_limit;
+            let mut engine = Engine::new(config).expect("characterize quick BSC");
+            // run_jobs returning at all is the no-deadlock assertion.
+            engine.run_jobs(jobs).expect("batch terminates")
+        };
+        let batch = run(1, jobs.clone());
+        let pooled = run(rng.gen_range(2usize..5), jobs);
+        assert_eq!(batch, pooled, "round {round}: outcomes depend on worker count");
+
+        assert_eq!(batch.submitted(), job_count, "one terminal state per submission");
+        assert!(batch.peak_queue_depth <= capacity, "round {round}: queue bound exceeded");
+        assert_eq!(
+            batch.completed_count() + batch.rejected_count() + batch.shed_count(),
+            job_count,
+            "round {round}: unexplained outcome"
+        );
+        for (i, outcome) in batch.outcomes().iter().enumerate() {
+            assert_eq!(outcome.name(), format!("j{i}"), "submission order lost");
+            match outcome {
+                JobOutcome::Completed(r) => {
+                    assert!(r.deadline_met().unwrap_or(true), "completed past its deadline")
+                }
+                JobOutcome::Rejected { reason, .. } => {
+                    assert!(!reason.to_string().is_empty(), "rejection without a reason")
+                }
+                JobOutcome::Shed { reason, .. } => {
+                    assert!(!reason.to_string().is_empty(), "shed without a reason")
+                }
             }
         }
     }
