@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--csv DIR] [--metrics-out FILE] [--trace-out FILE]
 //!       [--bench-out FILE] [--no-timers]
-//!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|all]
+//!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|all]
 //! repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
 //! repro serve <manifest.json> [--report-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
@@ -30,6 +30,13 @@
 //!   event-driven incremental) and reports the characterization
 //!   wall-clock of a quick workbench; `--bench-out FILE` writes the
 //!   machine-readable `BENCH_sim.json` baseline.
+//! * `mem` sweeps the memory hierarchy (buffer size x DRAM bandwidth x
+//!   precision x MAC kind) through the tiled double-buffered DMA
+//!   schedule and reports stall cycles, DMA traffic and the roofline
+//!   side of every point; `--bench-out FILE` writes the deterministic
+//!   `BENCH_mem_baseline.json` the CI gate diffs at zero tolerance.  The
+//!   sweep is analytic (no characterization), so `--quick` is accepted
+//!   but changes nothing.
 //! * `trace` runs the instrumented three-layer probe network on one
 //!   shared trace ring and reconstructs a per-PE timeline;
 //!   `--perfetto-out` writes Chrome trace-event JSON (open at
@@ -50,7 +57,7 @@
 use std::path::PathBuf;
 
 use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
-use bsc_bench::{experiments, observatory, serve, simbench, telemetry_probe, Workbench};
+use bsc_bench::{experiments, memexp, observatory, serve, simbench, telemetry_probe, Workbench};
 use bsc_mac::MacKind;
 
 struct Options {
@@ -184,6 +191,7 @@ fn main() {
             | "extensions"
             | "telemetry"
             | "simbench"
+            | "mem"
             | "trace"
             | "serve"
             | "diff"
@@ -303,6 +311,19 @@ fn main() {
         }
     };
 
+    let run_mem = || {
+        eprintln!("sweeping the memory hierarchy (buffers x bandwidth x precision x kind)...");
+        let points = memexp::sweep().unwrap_or_else(|e| die(&format!("mem sweep failed: {e}")));
+        print!("{}", memexp::render(&points));
+        write_csv("mem_sweep.csv", memexp::to_csv(&points));
+        if let Some(path) = &opts.bench_out {
+            if let Err(e) = std::fs::write(path, memexp::to_json(&points)) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
     let run_trace = || {
         eprintln!("running the instrumented probe network (trace observatory)...");
         let run = observatory::observe(MacKind::Bsc, opts.trace_cap)
@@ -364,6 +385,7 @@ fn main() {
     match opts.which.as_str() {
         "table1" => run_table1(),
         "simbench" => run_simbench(),
+        "mem" => run_mem(),
         "trace" => run_trace(),
         "serve" => run_serve(),
         "diff" => run_diff(),
@@ -402,7 +424,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|trace|serve|diff|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|diff|extensions|all)"
         )),
     }
 }

@@ -11,6 +11,7 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod memexp;
 pub mod observatory;
 pub mod serve;
 pub mod simbench;

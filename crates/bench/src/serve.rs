@@ -228,6 +228,17 @@ pub fn render(run: &ServeRun) -> String {
         run.batch.total_energy_fj() / 1e3,
         run.metrics.counter("telemetry.characterize.runs"),
     );
+    if let Some(h) = run.metrics.histogram("engine.queue.wait_cycles") {
+        let _ = writeln!(
+            out,
+            "queue wait: p50 {:.0} / p95 {:.0} / p99 {:.0} cycles over {} dispatches (max {})",
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.count,
+            h.max,
+        );
+    }
     out
 }
 
@@ -300,6 +311,23 @@ pub fn report_json(run: &ServeRun) -> String {
     j.key("engine.queue.peak_depth").i64(run.metrics.gauge("engine.queue.peak_depth"));
     j.end_object();
 
+    // Admission → dispatch waits on the virtual batch clock: cycle-domain
+    // and therefore deterministic and gated like every other count.
+    j.key("queue_wait_cycles").begin_object();
+    match run.metrics.histogram("engine.queue.wait_cycles") {
+        Some(h) => {
+            j.key("count").u64(h.count);
+            j.key("max").u64(h.max);
+            j.key("p50").f64(h.p50());
+            j.key("p95").f64(h.p95());
+            j.key("p99").f64(h.p99());
+        }
+        None => {
+            j.key("count").u64(0);
+        }
+    }
+    j.end_object();
+
     // Wall clock, reported but never gated (the `_ns` suffix).
     j.key("run_batch_ns")
         .u64(run.metrics.histogram("engine.run_batch_ns").map_or(0, |h| h.sum));
@@ -358,5 +386,11 @@ mod tests {
         );
         let text = render(&run);
         assert!(text.contains("BSC engine"), "{text}");
+        // Queue waits surface in both the JSON gate and the text view.
+        assert_eq!(
+            doc.get("queue_wait_cycles").and_then(|q| q.get("count")).and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert!(text.contains("queue wait: p50"), "{text}");
     }
 }

@@ -7,6 +7,7 @@ use bsc_mac::{MacKind, Precision};
 use bsc_nn::Network;
 use bsc_systolic::energy::ArrayEnergyModel;
 use bsc_systolic::mapping::schedule_conv;
+use bsc_systolic::mem::{schedule_conv_with_memory, MemConfig};
 use bsc_systolic::{ArrayConfig, Matrix, MatmulRun, SystolicArray};
 use bsc_telemetry::Telemetry;
 
@@ -24,6 +25,11 @@ pub struct AcceleratorConfig {
     pub period_ps: f64,
     /// Gate-level characterization settings.
     pub characterize: CharacterizeConfig,
+    /// Memory hierarchy feeding the array.  Defaults to
+    /// [`MemConfig::infinite`], which reproduces the compute-only
+    /// schedules bit-exactly; set a finite hierarchy (e.g.
+    /// [`MemConfig::edge`]) to price DMA stalls into every report.
+    pub mem: MemConfig,
 }
 
 impl AcceleratorConfig {
@@ -35,6 +41,7 @@ impl AcceleratorConfig {
             array: ArrayConfig::paper(kind),
             period_ps: 2000.0,
             characterize: CharacterizeConfig::default(),
+            mem: MemConfig::infinite(),
         }
     }
 
@@ -48,7 +55,14 @@ impl AcceleratorConfig {
             array: ArrayConfig { pes: 4, vector_length: 8, kind },
             period_ps: 2000.0,
             characterize: CharacterizeConfig::quick(4),
+            mem: MemConfig::infinite(),
         }
+    }
+
+    /// Same accelerator behind a different memory hierarchy.
+    pub fn with_mem(mut self, mem: MemConfig) -> Self {
+        self.mem = mem;
+        self
     }
 }
 
@@ -248,6 +262,11 @@ impl Accelerator {
     /// partial-sum read-modify-write traffic), which the paper's PPA scope
     /// excludes.  Returns `(layer name, breakdown)` pairs.
     ///
+    /// With a finite memory hierarchy configured, buffer fills and DRAM
+    /// transfers are priced from the tiler's **measured** DMA counters;
+    /// under the default infinite hierarchy the pre-hierarchy analytic
+    /// estimate is the (pinned) fallback.
+    ///
     /// # Errors
     ///
     /// Propagates mapping and characterization errors.
@@ -259,9 +278,20 @@ impl Accelerator {
         let mut rows = Vec::with_capacity(net.layers.len());
         for layer in &net.layers {
             let shape = layer_to_conv_shape(&layer.kind);
-            let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
             let model = self.energy_model(layer.precision)?;
-            rows.push((layer.name.clone(), model.schedule_energy_with_memory(&schedule, sram)));
+            let breakdown = if self.config.mem.is_infinite_bandwidth() {
+                let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
+                model.schedule_energy_with_memory(&schedule, sram)
+            } else {
+                let aware = schedule_conv_with_memory(
+                    &self.config.array,
+                    &self.config.mem,
+                    layer.precision,
+                    &shape,
+                )?;
+                model.schedule_energy_with_dma(&aware, sram)
+            };
+            rows.push((layer.name.clone(), breakdown));
         }
         Ok(rows)
     }
@@ -292,7 +322,13 @@ impl Accelerator {
                 g
             });
             let shape = layer_to_conv_shape(&layer.kind);
-            let schedule = schedule_conv(&self.config.array, layer.precision, &shape)?;
+            let aware = schedule_conv_with_memory(
+                &self.config.array,
+                &self.config.mem,
+                layer.precision,
+                &shape,
+            )?;
+            let schedule = aware.compute;
             let model = self.energy_model(layer.precision)?;
             let energy_fj = model.schedule_energy_fj(&schedule);
             if let Some(tel) = self.telemetry() {
@@ -303,16 +339,43 @@ impl Accelerator {
                     cols: shape.out_channels as u32,
                     inner: shape.in_channels as u32,
                 });
+                // Under a finite hierarchy, the layer's DMA activity shows
+                // up as load/store slices on the timeline's DMA track: the
+                // channel's load time anchored at the layer start, its
+                // writeback time ending at the layer's last cycle.
+                if !self.config.mem.is_infinite_bandwidth() {
+                    tel.trace.push(bsc_telemetry::TraceEvent::Dma {
+                        cycle: 0,
+                        cycles: aware.dma_load_cycles.min(u32::MAX as u64) as u32,
+                        bytes: aware.dma_load_bytes.min(u32::MAX as u64) as u32,
+                        store: false,
+                    });
+                    if aware.dma_store_bytes > 0 {
+                        tel.trace.push(bsc_telemetry::TraceEvent::Dma {
+                            cycle: aware.total_cycles.saturating_sub(aware.dma_store_cycles),
+                            cycles: aware.dma_store_cycles.min(u32::MAX as u64) as u32,
+                            bytes: aware.dma_store_bytes.min(u32::MAX as u64) as u32,
+                            store: true,
+                        });
+                    }
+                }
                 let prefix = format!("accel.layer.{}", layer.name);
                 tel.metrics.counter(&format!("{prefix}.cycles")).add(schedule.cycles);
                 tel.metrics.counter(&format!("{prefix}.macs")).add(schedule.useful_macs);
                 tel.metrics.counter(&format!("{prefix}.passes")).add(schedule.passes);
+                tel.metrics.counter("mem.dma.loads").add(aware.dma_loads);
+                tel.metrics.counter("mem.dma.bytes").add(aware.dma_bytes());
+                tel.metrics.counter("mem.dma.stall_cycles").add(aware.stall_cycles);
             }
             layers.push(LayerReport {
                 name: layer.name.clone(),
                 precision: layer.precision,
                 macs: schedule.useful_macs,
                 cycles: schedule.cycles,
+                total_cycles: aware.total_cycles,
+                stall_cycles: aware.stall_cycles + aware.drain_cycles,
+                roofline: aware.roofline,
+                peak_fraction: aware.peak_fraction,
                 utilization: schedule.utilization,
                 energy_fj,
                 tops_per_w: model.schedule_tops_per_w(&schedule),

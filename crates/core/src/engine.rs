@@ -33,12 +33,31 @@ use std::sync::{Arc, Mutex, OnceLock};
 use bsc_mac::ppa::{CharacterizeConfig, DesignCharacterization};
 use bsc_mac::{MacKind, Precision};
 use bsc_nn::{Network, SharedNetwork};
-use bsc_systolic::mapping::schedule_conv;
+use bsc_systolic::mem::schedule_conv_with_memory;
 use bsc_telemetry::Telemetry;
 
 use crate::queue::BoundedQueue;
 use crate::report::NetworkReport;
 use crate::{layer_to_conv_shape, AccelError, Accelerator, AcceleratorConfig};
+
+/// Bucket bounds (model cycles) for the `engine.queue.wait_cycles`
+/// histogram: powers of four from 1Ki to 1Gi cycles, so queue waits from
+/// a single small layer up to a saturated batch all land in finite
+/// buckets.
+const QUEUE_WAIT_BOUNDS_CYCLES: &[u64] = &[
+    0,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+];
 
 // ---------------------------------------------------------------------------
 // Characterization cache
@@ -676,7 +695,11 @@ impl Engine {
     }
 
     /// The exact schedule cycles of a network on this array (what
-    /// `run_network` will report), without evaluating energy.
+    /// `run_network` will report), without evaluating energy.  Includes
+    /// DMA stall and drain cycles under the configured memory hierarchy,
+    /// so shedding decisions see the bandwidth-limited latency; with the
+    /// default infinite [`bsc_systolic::MemConfig`] this is exactly the
+    /// compute-only schedule.
     ///
     /// # Errors
     ///
@@ -685,7 +708,9 @@ impl Engine {
         let mut cycles = 0u64;
         for layer in &net.layers {
             let shape = layer_to_conv_shape(&layer.kind);
-            cycles += schedule_conv(&self.config.accel.array, layer.precision, &shape)?.cycles;
+            cycles +=
+                schedule_conv_with_memory(&self.config.accel.array, &self.config.accel.mem, layer.precision, &shape)?
+                    .total_cycles;
         }
         Ok(cycles)
     }
@@ -807,6 +832,7 @@ impl Engine {
                     continue;
                 }
             }
+            m.histogram("engine.queue.wait_cycles", QUEUE_WAIT_BOUNDS_CYCLES).record(clock);
             plan.push(Planned { job, start_cycle: clock, completion_cycle: completion });
             clock = completion;
         }
@@ -996,6 +1022,57 @@ mod tests {
         for w in completed.windows(2) {
             assert_eq!(w[1].queue_wait_cycles, w[0].completion_cycle);
         }
+    }
+
+    #[test]
+    fn tight_bandwidth_sheds_a_job_that_ample_bandwidth_completes() {
+        use bsc_systolic::{DramBandwidth, MemConfig};
+
+        let net = toy_net("t", 256, 32, Precision::Int8);
+        let ample = Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(1)).unwrap();
+        let compute_only = ample.schedule_cycles(&net).unwrap();
+
+        let run_with = |mem: MemConfig| {
+            let mut engine = Engine::new(
+                EngineConfig::new(AcceleratorConfig::quick(MacKind::Bsc).with_mem(mem))
+                    .with_workers(1),
+            )
+            .unwrap();
+            engine
+                .submit(InferenceJob::new("edge", Arc::clone(&net)).with_deadline(compute_only))
+                .expect("admission is memory-blind, so both configs admit");
+            engine.run_batch().unwrap()
+        };
+
+        // Ample bandwidth: the exact schedule equals the compute-only
+        // schedule, so the deadline is met exactly.
+        let ample_batch = run_with(MemConfig::infinite());
+        assert_eq!(ample_batch.outcomes()[0].label(), "completed");
+        assert_eq!(ample_batch.completed().next().unwrap().completion_cycle, compute_only);
+
+        // One byte per cycle: DMA stalls push the exact schedule past the
+        // same deadline, and the scheduler sheds instead of running late.
+        let starved =
+            run_with(MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1)));
+        assert_eq!(starved.outcomes()[0].label(), "shed");
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_every_planned_job() {
+        let mut engine =
+            Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(1)).unwrap();
+        let net = toy_net("t", 64, 8, Precision::Int8);
+        for i in 0..3 {
+            engine.submit(InferenceJob::new(format!("j{i}"), Arc::clone(&net))).unwrap();
+        }
+        let batch = engine.run_batch().unwrap();
+        let waits: Vec<u64> = batch.completed().map(|r| r.queue_wait_cycles).collect();
+        let snap = engine.telemetry().metrics.snapshot();
+        let hist = snap.histogram("engine.queue.wait_cycles").expect("histogram recorded");
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.sum, waits.iter().sum::<u64>());
+        assert_eq!(hist.max, *waits.iter().max().unwrap());
+        assert_eq!(hist.min, 0, "the first job starts immediately");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use bsc_mac::{MacKind, Precision};
+use bsc_systolic::Roofline;
 
 /// The scheduled execution of one layer on the array.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,9 +14,21 @@ pub struct LayerReport {
     pub precision: Precision,
     /// Useful MACs.
     pub macs: u64,
-    /// Clock cycles.
+    /// Compute clock cycles (the array's busy schedule, memory ignored).
     pub cycles: u64,
-    /// Array utilization (useful MACs over peak).
+    /// End-to-end cycles through the memory hierarchy, including DMA
+    /// stalls and the final drain.  Equals `cycles` when the configured
+    /// hierarchy is infinite.
+    pub total_cycles: u64,
+    /// Cycles the array waited on the DMA engine (fill + mid-layer
+    /// stalls + drain).
+    pub stall_cycles: u64,
+    /// Which roofline wall limits the layer under the configured memory.
+    pub roofline: Roofline,
+    /// Useful MACs over the stall-inclusive peak (`total_cycles ×` peak
+    /// MACs/cycle) — the *achieved* fraction of the Fig. 5 throughput.
+    pub peak_fraction: f64,
+    /// Array utilization (useful MACs over compute-cycle peak).
     pub utilization: f64,
     /// Energy in fJ.
     pub energy_fj: f64,
@@ -62,9 +75,20 @@ impl NetworkReport {
         self.layers.iter().map(|l| l.macs).sum()
     }
 
-    /// Total cycles.
+    /// Total compute cycles (memory hierarchy ignored).
     pub fn total_cycles(&self) -> u64 {
         self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total end-to-end cycles including DMA stalls.  Equals
+    /// [`NetworkReport::total_cycles`] under an infinite hierarchy.
+    pub fn total_cycles_with_stalls(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles).sum()
+    }
+
+    /// Total cycles the array waited on DMA.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.stall_cycles).sum()
     }
 
     /// Total energy in fJ.
@@ -72,9 +96,10 @@ impl NetworkReport {
         self.layers.iter().map(|l| l.energy_fj).sum()
     }
 
-    /// Inference latency in ms at the configured clock.
+    /// Inference latency in ms at the configured clock, including any
+    /// memory stalls the configured hierarchy induces.
     pub fn latency_ms(&self) -> f64 {
-        self.total_cycles() as f64 * self.period_ps * 1e-9
+        self.total_cycles_with_stalls() as f64 * self.period_ps * 1e-9
     }
 
     /// The network-average energy efficiency in TOPS/W — the quantity
@@ -116,7 +141,7 @@ impl fmt::Display for NetworkReport {
             100.0 * self.avg_utilization(),
         )?;
         for l in &self.layers {
-            writeln!(
+            write!(
                 f,
                 "  {:<22} {:>5} {:>14} MACs {:>12} cyc  util {:>5.1}%  {:>8.2} TOPS/W",
                 l.name,
@@ -126,6 +151,10 @@ impl fmt::Display for NetworkReport {
                 100.0 * l.utilization,
                 l.tops_per_w,
             )?;
+            if l.stall_cycles > 0 {
+                write!(f, "  +{} stall ({})", l.stall_cycles, l.roofline)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -186,6 +215,10 @@ mod tests {
                     precision: Precision::Int4,
                     macs: 1000,
                     cycles: 10,
+                    total_cycles: 12,
+                    stall_cycles: 2,
+                    roofline: Roofline::ComputeBound,
+                    peak_fraction: 0.7,
                     utilization: 0.8,
                     energy_fj: 500.0,
                     tops_per_w: 4.0,
@@ -195,6 +228,10 @@ mod tests {
                     precision: Precision::Int8,
                     macs: 3000,
                     cycles: 30,
+                    total_cycles: 30,
+                    stall_cycles: 0,
+                    roofline: Roofline::ComputeBound,
+                    peak_fraction: 0.4,
                     utilization: 0.4,
                     energy_fj: 1500.0,
                     tops_per_w: 4.0,
@@ -208,6 +245,10 @@ mod tests {
         let r = toy_report();
         assert_eq!(r.total_macs(), 4000);
         assert_eq!(r.total_cycles(), 40);
+        assert_eq!(r.total_cycles_with_stalls(), 42);
+        assert_eq!(r.total_stall_cycles(), 2);
+        // Latency prices the stall-inclusive cycle count.
+        assert!((r.latency_ms() - 42.0 * 2000.0 * 1e-9).abs() < 1e-15);
         assert!((r.total_energy_fj() - 2000.0).abs() < 1e-12);
         // 2e3 * 4000 / 2000 = 4000 TOPS/W (toy numbers).
         assert!((r.avg_tops_per_w() - 4000.0).abs() < 1e-9);
@@ -232,6 +273,10 @@ mod tests {
                     precision: Precision::Int4,
                     macs: 1000,
                     cycles: 10,
+                    total_cycles: 10,
+                    stall_cycles: 0,
+                    roofline: Roofline::ComputeBound,
+                    peak_fraction: 0.5,
                     utilization: 0.5,
                     energy_fj: 2.0e3 * 1000.0 / eff,
                     tops_per_w: eff,

@@ -74,6 +74,23 @@ impl LayerKind {
             LayerKind::Fc { fan_in, fan_out } => (fan_in * fan_out) as u64,
         }
     }
+
+    /// Input activation elements (per input image): the feature-map
+    /// volume a memory hierarchy must stage for this layer.
+    pub fn input_elems(&self) -> u64 {
+        match *self {
+            LayerKind::Conv { in_c, in_w, in_h, .. } => (in_c * in_w * in_h) as u64,
+            LayerKind::Fc { fan_in, .. } => fan_in as u64,
+        }
+    }
+
+    /// Output activation elements (per input image).
+    pub fn output_elems(&self) -> u64 {
+        match *self {
+            LayerKind::Conv { out_c, .. } => out_c as u64 * (self.out_w() * self.out_h()) as u64,
+            LayerKind::Fc { fan_out, .. } => fan_out as u64,
+        }
+    }
 }
 
 /// One layer of a multi-precision network: a shape plus the weight
@@ -107,6 +124,11 @@ impl Layer {
     /// Weight storage in bits at this layer's precision.
     pub fn weight_bits(&self) -> u64 {
         self.weight_count() * u64::from(self.precision.bits())
+    }
+
+    /// Input activation storage in bits at this layer's precision.
+    pub fn activation_bits(&self) -> u64 {
+        self.kind.input_elems() * u64::from(self.precision.bits())
     }
 }
 
@@ -156,6 +178,13 @@ impl Network {
     /// Total MACs per inference.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Largest per-layer input activation footprint in bits — the
+    /// feature-buffer high-water mark a hierarchy must cover to keep
+    /// every layer's input map resident.
+    pub fn peak_activation_bits(&self) -> u64 {
+        self.layers.iter().map(Layer::activation_bits).max().unwrap_or(0)
     }
 
     /// Model size in megabytes at one byte per weight (the convention the
@@ -249,6 +278,26 @@ mod tests {
         assert!((d.fraction(Precision::Int8) - 0.25).abs() < 1e-12);
         assert!((d.fraction(Precision::Int4) - 0.75).abs() < 1e-12);
         assert_eq!(d.fraction(Precision::Int2), 0.0);
+    }
+
+    #[test]
+    fn activation_footprints_follow_the_feature_map_volumes() {
+        let k = LayerKind::Conv { in_c: 3, out_c: 8, kernel: 3, stride: 1, padding: 1, in_w: 8, in_h: 8 };
+        assert_eq!(k.input_elems(), 3 * 64);
+        assert_eq!(k.output_elems(), 8 * 64);
+        let fc = LayerKind::Fc { fan_in: 128, fan_out: 10 };
+        assert_eq!((fc.input_elems(), fc.output_elems()), (128, 10));
+        let net = Network {
+            name: "toy".into(),
+            dataset: "synthetic".into(),
+            layers: vec![
+                Layer::new("a", k, Precision::Int4),
+                Layer::new("b", fc, Precision::Int8),
+            ],
+        };
+        assert_eq!(net.layers[0].activation_bits(), 3 * 64 * 4);
+        // The FC input (128 x 8b = 1024 bits) outweighs the conv map.
+        assert_eq!(net.peak_activation_bits(), 128 * 8);
     }
 
     #[test]

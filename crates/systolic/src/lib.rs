@@ -14,7 +14,11 @@
 //!   resulting cycle/utilization schedule;
 //! * [`energy`] — the array-level energy model combining the gate-level
 //!   per-MAC characterization of `bsc-mac` (with weight-stationary
-//!   activity) with the dataflow statistics of the simulation.
+//!   activity) with the dataflow statistics of the simulation;
+//! * [`mem`] — the two-level memory hierarchy: finite SRAM tile buffers
+//!   fed by a double-buffered DMA engine over a fixed-bandwidth DRAM
+//!   channel, producing stall-accurate [`MemoryAwareSchedule`]s with
+//!   per-layer roofline classification.
 //!
 //! # Example
 //!
@@ -42,10 +46,15 @@ pub mod energy;
 mod error;
 pub mod mapping;
 mod matrix;
+pub mod mem;
 pub mod netlist;
 mod pe;
 
 pub use array::{ArrayConfig, Dataflow, DataflowStats, MatmulRun, SystolicArray};
+pub use mem::{
+    schedule_conv_with_memory, DramBandwidth, FeatureReuse, MemConfig, MemoryAwareSchedule,
+    Roofline,
+};
 pub use error::SystolicError;
 pub use matrix::Matrix;
 pub use pe::ProcessingElement;

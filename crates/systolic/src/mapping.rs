@@ -276,6 +276,87 @@ mod tests {
     }
 
     #[test]
+    fn one_by_one_kernels_have_one_pass_per_tile_pair() {
+        // A 1×1 conv has no kernel loop: passes = channel tiles × PE tiles,
+        // and every output pixel needs exactly one feature vector per tile.
+        let shape = ConvShape::conv(96, 48, 14, 14, 1, 1, 0);
+        let s = schedule_conv(&paper_bsc(), Precision::Int8, &shape).unwrap();
+        assert_eq!(s.passes, 3 * 2); // ceil(96/32) × ceil(48/32)
+        assert_eq!(s.useful_macs, shape.macs());
+        assert_eq!(s.feature_read_vectors, 3 * 2 * 14 * 14);
+    }
+
+    #[test]
+    fn stride_larger_than_kernel_skips_input_pixels() {
+        // stride 4 > kernel 2: output is 8×8 on a 32×32 input and the MAC
+        // count only covers the visited windows.
+        let shape = ConvShape::conv(32, 32, 32, 32, 2, 4, 0);
+        assert_eq!(shape.out_w(), 8);
+        assert_eq!(shape.out_h(), 8);
+        let s = schedule_conv(&paper_bsc(), Precision::Int8, &shape).unwrap();
+        assert_eq!(s.useful_macs, shape.macs());
+        assert_eq!(s.useful_macs, 32 * 8 * 8 * 4 * 32);
+        // One pass per kernel offset: 4 passes of 64 pixels + 31 fill each.
+        assert_eq!(s.cycles, 4 * (64 + 31));
+    }
+
+    #[test]
+    fn ragged_channel_counts_fill_a_partial_last_tile() {
+        // 33 input channels in 8-bit mode: tile 0 is full, tile 1 carries a
+        // single useful lane and gates the other 31.
+        let shape = ConvShape::conv(33, 32, 8, 8, 1, 1, 0);
+        let s = schedule_conv(&paper_bsc(), Precision::Int8, &shape).unwrap();
+        assert_eq!(s.passes, 2);
+        assert_eq!(s.useful_macs, shape.macs());
+        assert_eq!(s.gated_lane_macs, 64 * 31 * 32);
+        // 45 output channels: PE tile 0 uses all 32 PEs, tile 1 only 13,
+        // so the second tile's fill is shorter.
+        let ragged_out = ConvShape::conv(32, 45, 8, 8, 1, 1, 0);
+        let s2 = schedule_conv(&paper_bsc(), Precision::Int8, &ragged_out).unwrap();
+        assert_eq!(s2.cycles, (64 + 31) + (64 + 12));
+        assert_eq!(s2.useful_macs, ragged_out.macs());
+    }
+
+    #[test]
+    fn lane_accounting_balances_for_random_shapes() {
+        // Property: every busy PE-cycle spends exactly `split` lane slots,
+        // split between useful channels and gated filler lanes — so
+        // `useful + gated == busy × dot_length`, and `useful` is the exact
+        // MAC count of the layer.  Exercised across random shapes for every
+        // MAC kind × precision.
+        let mut rng = bsc_netlist::rng::Rng64::seed_from_u64(0xf160_6a9e);
+        for _ in 0..256 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 520) as usize,
+                out_channels: 1 + (rng.next_u64() % 130) as usize,
+                in_w: 1 + (rng.next_u64() % 40) as usize,
+                in_h: 1 + (rng.next_u64() % 40) as usize,
+                kernel_w: 1 + (rng.next_u64() % 5) as usize,
+                kernel_h: 1 + (rng.next_u64() % 5) as usize,
+                stride: 1 + (rng.next_u64() % 4) as usize,
+                padding: (rng.next_u64() % 3) as usize,
+            };
+            if shape.in_w + 2 * shape.padding < shape.kernel_w
+                || shape.in_h + 2 * shape.padding < shape.kernel_h
+            {
+                continue; // kernel does not fit the padded input
+            }
+            let kind = bsc_mac::MacKind::ALL[(rng.next_u64() % 3) as usize];
+            let p = Precision::ALL[(rng.next_u64() % 3) as usize];
+            let config = ArrayConfig::paper(kind);
+            let s = schedule_conv(&config, p, &shape).unwrap();
+            let split = config.dot_length(p) as u64;
+            assert_eq!(
+                s.useful_macs + s.gated_lane_macs,
+                s.busy_pe_cycles * split,
+                "{shape:?} {kind} {p}"
+            );
+            assert_eq!(s.useful_macs, shape.macs(), "{shape:?} {kind} {p}");
+            assert_eq!(s.busy_pe_cycles + s.idle_pe_cycles, s.cycles * 32);
+        }
+    }
+
+    #[test]
     fn zero_shape_fields_are_rejected() {
         let mut shape = ConvShape::conv(1, 1, 1, 1, 1, 1, 0);
         shape.in_channels = 0;

@@ -1,0 +1,469 @@
+//! Two-level memory hierarchy: SRAM tile buffers fed by a DMA channel.
+//!
+//! [`crate::mapping::schedule_conv`] prices a layer as if every feature and
+//! weight vector arrives the cycle the array wants it.  This module models
+//! what actually feeds the array: finite weight/feature/output SRAM buffers
+//! (capacities in bytes, element widths per MAC architecture — 16 b BSC,
+//! 32 b LPC, 8 b HPS), a DRAM channel with a fixed burst latency and a
+//! configurable bytes-per-cycle bandwidth, and a double-buffered DMA engine
+//! that prefetches the next tile while the current one computes.
+//!
+//! [`schedule_conv_with_memory`] tiles the layer with [`tiler`], replays the
+//! pass list against the DMA channel on a deterministic integer clock, and
+//! returns a [`MemoryAwareSchedule`]: the compute-only [`LayerSchedule`]
+//! plus stall/fill/drain cycles, DMA traffic, buffer high-water marks and a
+//! roofline classification.  Two invariants hold by construction and are
+//! pinned by tests:
+//!
+//! * with [`MemConfig::infinite`] the schedule reproduces the compute-only
+//!   cycle count **bit-exactly** for every precision × MAC kind;
+//! * total cycles are monotonically non-increasing in DRAM bandwidth.
+
+use bsc_mac::Precision;
+
+use crate::mapping::{schedule_conv, ConvShape, LayerSchedule};
+use crate::{ArrayConfig, SystolicError};
+
+mod tiler;
+
+/// DRAM channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramBandwidth {
+    /// Transfers complete in zero cycles (the compute-only idealization).
+    Infinite,
+    /// A fixed-rate channel moving this many bytes per cycle (≥ 1).
+    BytesPerCycle(u64),
+}
+
+impl DramBandwidth {
+    /// Cycles to move `bytes` over the channel, including the burst setup
+    /// latency.  Zero-byte transfers are free (no burst is issued).
+    pub fn transfer_cycles(self, burst_latency_cycles: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        match self {
+            DramBandwidth::Infinite => 0,
+            DramBandwidth::BytesPerCycle(bw) => {
+                burst_latency_cycles + bytes.div_ceil(bw.max(1))
+            }
+        }
+    }
+}
+
+/// Parameters of the two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Weight SRAM capacity in bytes.
+    pub weight_buffer_bytes: u64,
+    /// Feature SRAM capacity in bytes.
+    pub feature_buffer_bytes: u64,
+    /// Output (psum) SRAM capacity in bytes.
+    pub output_buffer_bytes: u64,
+    /// DRAM channel bandwidth.
+    pub bandwidth: DramBandwidth,
+    /// Fixed setup latency charged once per DMA burst.
+    pub burst_latency_cycles: u64,
+    /// Bytes of one partial sum held in the output buffer.
+    pub psum_bytes: u64,
+}
+
+impl MemConfig {
+    /// Unbounded buffers and an instant DRAM channel: schedules degenerate
+    /// to the compute-only model bit-exactly.
+    pub fn infinite() -> Self {
+        MemConfig {
+            weight_buffer_bytes: u64::MAX,
+            feature_buffer_bytes: u64::MAX,
+            output_buffer_bytes: u64::MAX,
+            bandwidth: DramBandwidth::Infinite,
+            burst_latency_cycles: 0,
+            psum_bytes: 4,
+        }
+    }
+
+    /// An edge-SoC-style configuration: 64 KiB weight / 128 KiB feature /
+    /// 64 KiB output buffers behind a 16 B-per-cycle DRAM channel with a
+    /// 32-cycle burst latency (≈ 8 GB/s at the paper's 500 MHz clock).
+    pub fn edge() -> Self {
+        MemConfig {
+            weight_buffer_bytes: 64 * 1024,
+            feature_buffer_bytes: 128 * 1024,
+            output_buffer_bytes: 64 * 1024,
+            bandwidth: DramBandwidth::BytesPerCycle(16),
+            burst_latency_cycles: 32,
+            psum_bytes: 4,
+        }
+    }
+
+    /// Same buffers, different channel rate.
+    pub fn with_bandwidth(mut self, bandwidth: DramBandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Cycles to move `bytes` over the DRAM channel.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.bandwidth.transfer_cycles(self.burst_latency_cycles, bytes)
+    }
+
+    /// True when the channel is the compute-only idealization.
+    pub fn is_infinite_bandwidth(&self) -> bool {
+        self.bandwidth == DramBandwidth::Infinite
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::infinite()
+    }
+}
+
+/// How often feature vectors cross the DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureReuse {
+    /// The whole input map is SRAM-resident: each byte loaded once.
+    FullMap,
+    /// One chunk's input region is resident: loaded once per chunk and
+    /// channel tile, reused across kernel offsets.
+    ChunkResident,
+    /// The region is re-streamed on every pass.
+    Streamed,
+}
+
+impl FeatureReuse {
+    /// Stable lowercase tag for sinks and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FeatureReuse::FullMap => "full-map",
+            FeatureReuse::ChunkResident => "chunk-resident",
+            FeatureReuse::Streamed => "streamed",
+        }
+    }
+}
+
+/// Which wall of the roofline a layer sits under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Roofline {
+    /// Serial DMA time fits under compute time: the array is the limit.
+    ComputeBound,
+    /// The DRAM channel is busy longer than the array: memory is the limit.
+    BandwidthBound,
+}
+
+impl Roofline {
+    /// Stable lowercase tag for sinks and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Roofline::ComputeBound => "compute-bound",
+            Roofline::BandwidthBound => "bandwidth-bound",
+        }
+    }
+}
+
+impl std::fmt::Display for Roofline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A [`LayerSchedule`] extended with the memory hierarchy's contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryAwareSchedule {
+    /// The compute-only schedule the tiling was derived from.
+    pub compute: LayerSchedule,
+    /// Stationary-weight tile passes (includes spatial re-chunking).
+    pub tile_passes: u64,
+    /// Output-row chunks per PE tile (1 when the buffers hold the layer).
+    pub spatial_chunks: u64,
+    /// Array-busy cycles including per-chunk refill bubbles.  Equals
+    /// `compute.cycles` when the buffers hold the whole layer.
+    pub compute_cycles: u64,
+    /// Cycles the array sat waiting on DMA (includes the initial fill).
+    pub stall_cycles: u64,
+    /// The initial tile load before the first compute cycle.
+    pub fill_cycles: u64,
+    /// Trailing DMA after the last compute cycle (final writeback).
+    pub drain_cycles: u64,
+    /// End-to-end layer cycles: `compute_cycles + stall_cycles +
+    /// drain_cycles`.
+    pub total_cycles: u64,
+    /// DMA load transfer operations issued.
+    pub dma_loads: u64,
+    /// DMA store (writeback) transfer operations issued.
+    pub dma_stores: u64,
+    /// Bytes moved DRAM → SRAM.
+    pub dma_load_bytes: u64,
+    /// Bytes moved SRAM → DRAM.
+    pub dma_store_bytes: u64,
+    /// Cycles the DMA channel was busy transferring.
+    pub dma_busy_cycles: u64,
+    /// Cycles of `dma_busy_cycles` spent on loads (DRAM → SRAM).
+    pub dma_load_cycles: u64,
+    /// Cycles of `dma_busy_cycles` spent on writebacks (SRAM → DRAM).
+    pub dma_store_cycles: u64,
+    /// Peak bytes resident in the weight buffer.
+    pub weight_high_water_bytes: u64,
+    /// Peak bytes resident in the feature buffer.
+    pub feature_high_water_bytes: u64,
+    /// Peak bytes resident in the output buffer.
+    pub output_high_water_bytes: u64,
+    /// How often feature vectors crossed the DRAM channel.
+    pub feature_reuse: FeatureReuse,
+    /// Roofline classification of the layer under this hierarchy.
+    pub roofline: Roofline,
+    /// Useful MACs over `total_cycles ×` peak MACs/cycle.
+    pub peak_fraction: f64,
+}
+
+impl MemoryAwareSchedule {
+    /// Total bytes across the DRAM channel in either direction.
+    pub fn dma_bytes(&self) -> u64 {
+        self.dma_load_bytes + self.dma_store_bytes
+    }
+
+    /// True when the DRAM channel, not the array, limits the layer.
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.roofline == Roofline::BandwidthBound
+    }
+}
+
+/// Schedules one layer through the memory hierarchy.
+///
+/// Tiles the shape per the Fig. 6 loop order, then replays the pass list
+/// against the DMA channel: the load for pass *i + 1* is issued while pass
+/// *i* computes (at its end when a buffer cannot hold two tiles), writebacks
+/// queue behind loads on the single channel, and a pass stalls until its
+/// operands have landed.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::EmptyShape`] when any shape field is zero.
+pub fn schedule_conv_with_memory(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Result<MemoryAwareSchedule, SystolicError> {
+    let compute = schedule_conv(config, p, shape)?;
+    let tiling = tiler::tile(config, mem, p, shape);
+
+    let mut clock = 0u64; // when the array finishes its current pass
+    let mut dma_free = 0u64; // when the DMA channel is next free
+    let mut stall_cycles = 0u64;
+    let mut compute_cycles = 0u64;
+    let mut dma_load_cycles = 0u64;
+    let mut dma_store_cycles = 0u64;
+    let mut dma_loads = 0u64;
+    let mut dma_stores = 0u64;
+    let mut dma_load_bytes = 0u64;
+    let mut dma_store_bytes = 0u64;
+
+    let n = tiling.passes.len();
+    // The first tile has nothing to overlap with: its load is the fill.
+    let first = &tiling.passes[0];
+    let mut ready = mem.transfer_cycles(first.load_bytes);
+    let fill_cycles = ready;
+    dma_free = dma_free.max(ready);
+    dma_load_cycles += ready;
+    dma_loads += first.loads;
+    dma_load_bytes += first.load_bytes;
+
+    for i in 0..n {
+        let pass = &tiling.passes[i];
+        let start = clock.max(ready);
+        stall_cycles += start - clock;
+        let end = start + pass.compute_cycles;
+        compute_cycles += pass.compute_cycles;
+        if i + 1 < n {
+            let next = &tiling.passes[i + 1];
+            let t = mem.transfer_cycles(next.load_bytes);
+            // Double buffering prefetches during compute; without the spare
+            // buffer the load must wait for the pass to release its tile.
+            let earliest = if tiling.double_buffered { start } else { end };
+            dma_free = earliest.max(dma_free) + t;
+            ready = dma_free;
+            dma_load_cycles += t;
+            dma_loads += next.loads;
+            dma_load_bytes += next.load_bytes;
+        }
+        if pass.store_bytes > 0 {
+            // Writeback queues on the same channel once the chunk retires.
+            let t = mem.transfer_cycles(pass.store_bytes);
+            dma_free = dma_free.max(end) + t;
+            dma_store_cycles += t;
+            dma_stores += 1;
+            dma_store_bytes += pass.store_bytes;
+        }
+        clock = end;
+    }
+    let total_cycles = clock.max(dma_free);
+    let drain_cycles = total_cycles - clock;
+    let dma_busy_cycles = dma_load_cycles + dma_store_cycles;
+    debug_assert!(compute_cycles >= compute.cycles);
+    debug_assert_eq!(compute_cycles + stall_cycles, clock);
+
+    let roofline = if dma_busy_cycles > compute_cycles {
+        Roofline::BandwidthBound
+    } else {
+        Roofline::ComputeBound
+    };
+    let peak = total_cycles.saturating_mul(config.peak_macs_per_cycle(p) as u64);
+    Ok(MemoryAwareSchedule {
+        compute,
+        tile_passes: n as u64,
+        spatial_chunks: tiling.spatial_chunks,
+        compute_cycles,
+        stall_cycles,
+        fill_cycles,
+        drain_cycles,
+        total_cycles,
+        dma_loads,
+        dma_stores,
+        dma_load_bytes,
+        dma_store_bytes,
+        dma_busy_cycles,
+        dma_load_cycles,
+        dma_store_cycles,
+        weight_high_water_bytes: tiling.weight_high_water,
+        feature_high_water_bytes: tiling.feature_high_water,
+        output_high_water_bytes: tiling.output_high_water,
+        feature_reuse: tiling.feature_reuse,
+        roofline,
+        peak_fraction: if peak > 0 {
+            compute.useful_macs as f64 / peak as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_mac::MacKind;
+    use bsc_netlist::rng::Rng64;
+
+    /// A Table-I-style workload: VGG-ish 3×3 conv over a 56×56 map.
+    fn table1_layer() -> ConvShape {
+        ConvShape::conv(128, 256, 56, 56, 3, 1, 1)
+    }
+
+    #[test]
+    fn infinite_memory_reproduces_compute_only_cycles_bit_exactly() {
+        let mem = MemConfig::infinite();
+        let shapes = [
+            table1_layer(),
+            ConvShape::conv(3, 32, 32, 32, 3, 1, 1),
+            ConvShape::conv(64, 64, 7, 7, 1, 1, 0),
+            ConvShape::fully_connected(512, 10),
+        ];
+        for kind in MacKind::ALL {
+            let config = ArrayConfig::paper(kind);
+            for p in Precision::ALL {
+                for shape in &shapes {
+                    let base = schedule_conv(&config, p, shape).unwrap();
+                    let aware =
+                        schedule_conv_with_memory(&config, &mem, p, shape).unwrap();
+                    assert_eq!(aware.compute, base, "{kind} {p}");
+                    assert_eq!(aware.total_cycles, base.cycles, "{kind} {p}");
+                    assert_eq!(aware.compute_cycles, base.cycles, "{kind} {p}");
+                    assert_eq!(aware.stall_cycles, 0, "{kind} {p}");
+                    assert_eq!(aware.drain_cycles, 0, "{kind} {p}");
+                    assert_eq!(aware.roofline, Roofline::ComputeBound);
+                    // Traffic is still accounted even though it is free.
+                    assert!(aware.dma_load_bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finite_bandwidth_stalls_a_table1_layer() {
+        let config = ArrayConfig::paper(MacKind::Bsc);
+        let mem = MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1));
+        let aware =
+            schedule_conv_with_memory(&config, &mem, Precision::Int8, &table1_layer())
+                .unwrap();
+        assert!(aware.stall_cycles > 0, "expected stalls at 1 B/cycle");
+        assert!(aware.total_cycles > aware.compute_cycles);
+        assert_eq!(aware.roofline, Roofline::BandwidthBound);
+        assert!(aware.peak_fraction < aware.compute.utilization);
+    }
+
+    #[test]
+    fn total_cycles_are_monotone_in_bandwidth() {
+        // Property: for random shapes, widening the DRAM channel never
+        // makes a layer slower, and infinite bandwidth is the floor.
+        let mut rng = Rng64::seed_from_u64(0x5eed_0e30);
+        for _ in 0..64 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 300) as usize,
+                out_channels: 1 + (rng.next_u64() % 96) as usize,
+                in_w: 3 + (rng.next_u64() % 30) as usize,
+                in_h: 3 + (rng.next_u64() % 30) as usize,
+                kernel_w: 1 + (rng.next_u64() % 3) as usize,
+                kernel_h: 1 + (rng.next_u64() % 3) as usize,
+                stride: 1 + (rng.next_u64() % 2) as usize,
+                padding: (rng.next_u64() % 2) as usize,
+            };
+            let kind = MacKind::ALL[(rng.next_u64() % 3) as usize];
+            let p = Precision::ALL[(rng.next_u64() % 3) as usize];
+            let config = ArrayConfig::paper(kind);
+            let mut prev = u64::MAX;
+            for bw in [1, 2, 4, 8, 16, 32, 64, 128, 1024] {
+                let mem =
+                    MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(bw));
+                let aware =
+                    schedule_conv_with_memory(&config, &mem, p, &shape).unwrap();
+                assert!(
+                    aware.total_cycles <= prev,
+                    "bw {bw} slowed {shape:?} {kind} {p}: {} > {prev}",
+                    aware.total_cycles
+                );
+                prev = aware.total_cycles;
+            }
+            let ideal = MemConfig::edge().with_bandwidth(DramBandwidth::Infinite);
+            let floor = schedule_conv_with_memory(&config, &ideal, p, &shape).unwrap();
+            assert!(floor.total_cycles <= prev);
+        }
+    }
+
+    #[test]
+    fn double_buffering_hides_traffic_a_serial_channel_cannot() {
+        // With double buffering the end-to-end time is at most what a
+        // fully serial load→compute→store schedule would take.
+        let config = ArrayConfig::paper(MacKind::Bsc);
+        let mem = MemConfig::edge();
+        let aware =
+            schedule_conv_with_memory(&config, &mem, Precision::Int8, &table1_layer())
+                .unwrap();
+        let serial = aware.compute_cycles + aware.dma_busy_cycles;
+        assert!(aware.total_cycles <= serial);
+        // And it genuinely overlapped: strictly better than serial.
+        assert!(aware.total_cycles < serial);
+    }
+
+    #[test]
+    fn bytes_are_bandwidth_independent() {
+        let config = ArrayConfig::paper(MacKind::Hps);
+        let shape = table1_layer();
+        let narrow = MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1));
+        let wide = MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(256));
+        let a = schedule_conv_with_memory(&config, &narrow, Precision::Int8, &shape).unwrap();
+        let b = schedule_conv_with_memory(&config, &wide, Precision::Int8, &shape).unwrap();
+        assert_eq!(a.dma_load_bytes, b.dma_load_bytes);
+        assert_eq!(a.dma_store_bytes, b.dma_store_bytes);
+        assert_eq!(a.dma_loads, b.dma_loads);
+    }
+
+    #[test]
+    fn transfer_cycles_charge_burst_latency_once() {
+        let mem = MemConfig::edge(); // 16 B/cycle, 32-cycle burst
+        assert_eq!(mem.transfer_cycles(0), 0);
+        assert_eq!(mem.transfer_cycles(1), 32 + 1);
+        assert_eq!(mem.transfer_cycles(16), 32 + 1);
+        assert_eq!(mem.transfer_cycles(17), 32 + 2);
+        assert_eq!(MemConfig::infinite().transfer_cycles(1 << 40), 0);
+    }
+}

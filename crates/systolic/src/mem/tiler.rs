@@ -1,0 +1,265 @@
+//! Splits a [`ConvShape`] into buffer-sized tile passes (paper Fig. 6 order).
+//!
+//! The loop nest mirrors [`crate::mapping::schedule_conv`] — channel split to
+//! the mode's dot length, `K_N` across the PEs, then the spatial loops — with
+//! one extra level the compute-only schedule does not need: the output rows
+//! are chunked so that (a) the psums of one chunk fit the output buffer and
+//! (b) the input-row region feeding one chunk fits (twice, for double
+//! buffering) in the feature buffer.  Every pass records the DMA bytes that
+//! must land before it can run and the writeback it retires, which is all
+//! the double-buffered DMA model in [`super`] needs.
+
+use bsc_mac::Precision;
+
+use crate::mapping::ConvShape;
+use crate::ArrayConfig;
+
+use super::{FeatureReuse, MemConfig};
+
+/// One stationary-weight pass plus the DMA traffic tied to it.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct TilePass {
+    /// Cycles the array computes: chunk pixels + PE-chain fill.
+    pub compute_cycles: u64,
+    /// Bytes that must be resident in SRAM before this pass starts.
+    pub load_bytes: u64,
+    /// DMA transfer operations behind `load_bytes`.
+    pub loads: u64,
+    /// Output-buffer writeback retired after this pass (last pass of a
+    /// spatial chunk only).
+    pub store_bytes: u64,
+}
+
+/// The full tiling of one layer: the flat pass list in execution order plus
+/// the buffer-occupancy bookkeeping the schedule reports.
+#[derive(Debug, Clone)]
+pub(super) struct Tiling {
+    /// Passes in execution order (PE tile → chunk → channel tile → kernel).
+    pub passes: Vec<TilePass>,
+    /// Output-row chunks per PE tile (1 when the buffers hold the layer).
+    pub spatial_chunks: u64,
+    /// How often feature vectors travel the DRAM channel.
+    pub feature_reuse: FeatureReuse,
+    /// Whether next-pass loads may overlap the current pass's compute.
+    pub double_buffered: bool,
+    /// Peak bytes resident in the weight buffer.
+    pub weight_high_water: u64,
+    /// Peak bytes resident in the feature buffer.
+    pub feature_high_water: u64,
+    /// Peak bytes resident in the output buffer.
+    pub output_high_water: u64,
+}
+
+/// Bytes of one SRAM vector word in the array's element format.
+pub(super) fn vector_bytes(config: &ArrayConfig) -> u64 {
+    (config.vector_length as u64 * config.kind.element_bits() as u64).div_ceil(8)
+}
+
+/// Input rows needed to produce `rows` output rows (clamped to the map).
+fn region_rows(shape: &ConvShape, rows: u64) -> u64 {
+    ((rows - 1) * shape.stride as u64 + shape.kernel_h as u64).min(shape.in_h as u64)
+}
+
+/// Tiles `shape` in mode `p` onto the buffers of `mem`.
+///
+/// The shape must already have passed [`ConvShape`] validation (the caller
+/// runs `schedule_conv` first, which rejects zero fields).
+pub(super) fn tile(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Tiling {
+    let split = config.dot_length(p);
+    let pes = config.pes as u64;
+    let vb = vector_bytes(config);
+    let out_w = shape.out_w() as u64;
+    let out_h = shape.out_h() as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let channel_tiles = shape.in_channels.div_ceil(split) as u64;
+    let pe_tiles = shape.out_channels.div_ceil(config.pes) as u64;
+    let in_pixels = (shape.in_w * shape.in_h) as u64;
+
+    // Whole-map residency: every channel tile of the input feature map fits
+    // the feature buffer at once, so each feature byte crosses DRAM once.
+    let full_map_bytes = channel_tiles.saturating_mul(in_pixels).saturating_mul(vb);
+    let full_map_fits = full_map_bytes <= mem.feature_buffer_bytes;
+
+    // Whole-tile weight residency: all passes of one PE tile fit at once,
+    // so spatial re-chunking does not re-fetch weights.
+    let weight_tile_bytes = kernel
+        .saturating_mul(channel_tiles)
+        .saturating_mul(pes)
+        .saturating_mul(vb);
+    let weights_resident = weight_tile_bytes <= mem.weight_buffer_bytes;
+
+    // Largest output-row chunk whose psums fit the output buffer and whose
+    // input region fits the feature buffer (twice, unless the whole map is
+    // resident anyway).  Feasibility is monotone in `rows`, and one row is
+    // always granted as the minimum tile.
+    let feature_ok = |rows: u64| {
+        full_map_fits
+            || 2 * region_rows(shape, rows) * shape.in_w as u64 * vb <= mem.feature_buffer_bytes
+    };
+    let output_ok =
+        |rows: u64| rows * out_w * pes * mem.psum_bytes <= mem.output_buffer_bytes;
+    let mut chunk_rows = 1;
+    for rows in (1..=out_h).rev() {
+        if feature_ok(rows) && output_ok(rows) {
+            chunk_rows = rows;
+            break;
+        }
+    }
+    let spatial_chunks = out_h.div_ceil(chunk_rows);
+
+    let feature_reuse = if full_map_fits {
+        FeatureReuse::FullMap
+    } else if feature_ok(chunk_rows) {
+        FeatureReuse::ChunkResident
+    } else {
+        FeatureReuse::Streamed
+    };
+    // DMA may prefetch the next pass while this one computes only when both
+    // operand buffers have room for two tiles.
+    let double_buffered =
+        (weights_resident || 2 * pes * vb <= mem.weight_buffer_bytes) && feature_reuse != FeatureReuse::Streamed;
+
+    let chunk_region_bytes =
+        |rows: u64| region_rows(shape, rows) * shape.in_w as u64 * vb;
+
+    let mut passes =
+        Vec::with_capacity((pe_tiles * spatial_chunks * channel_tiles * kernel) as usize);
+    let mut output_high_water = 0u64;
+    for nt in 0..pe_tiles {
+        let used_pes = if nt + 1 == pe_tiles {
+            shape.out_channels as u64 - nt * pes
+        } else {
+            pes
+        };
+        let mut row = 0;
+        for chunk in 0..spatial_chunks {
+            let rows = chunk_rows.min(out_h - row);
+            row += rows;
+            let chunk_spatial = rows * out_w;
+            let psum_bytes = chunk_spatial * used_pes * mem.psum_bytes;
+            output_high_water = output_high_water.max(psum_bytes);
+            for ct in 0..channel_tiles {
+                for k in 0..kernel {
+                    let mut load_bytes = 0u64;
+                    let mut loads = 0u64;
+                    // Weights: one vector per PE per pass, skipped on later
+                    // chunks when the whole PE tile stays resident.
+                    if !weights_resident || chunk == 0 {
+                        load_bytes += used_pes * vb;
+                        loads += 1;
+                    }
+                    // Features, by reuse level.
+                    match feature_reuse {
+                        FeatureReuse::FullMap => {
+                            if nt == 0 && chunk == 0 && k == 0 {
+                                load_bytes += in_pixels * vb;
+                                loads += 1;
+                            }
+                        }
+                        FeatureReuse::ChunkResident => {
+                            if k == 0 {
+                                load_bytes += chunk_region_bytes(rows);
+                                loads += 1;
+                            }
+                        }
+                        FeatureReuse::Streamed => {
+                            load_bytes += chunk_region_bytes(rows);
+                            loads += 1;
+                        }
+                    }
+                    let last_of_chunk = ct + 1 == channel_tiles && k + 1 == kernel;
+                    passes.push(TilePass {
+                        compute_cycles: chunk_spatial + used_pes - 1,
+                        load_bytes,
+                        loads,
+                        store_bytes: if last_of_chunk { psum_bytes } else { 0 },
+                    });
+                }
+            }
+        }
+    }
+
+    let weight_high_water = if weights_resident {
+        weight_tile_bytes
+    } else if double_buffered {
+        2 * pes * vb
+    } else {
+        pes * vb
+    };
+    let feature_high_water = match feature_reuse {
+        FeatureReuse::FullMap => full_map_bytes,
+        FeatureReuse::ChunkResident => 2 * chunk_region_bytes(chunk_rows),
+        FeatureReuse::Streamed => chunk_region_bytes(chunk_rows),
+    };
+
+    Tiling {
+        passes,
+        spatial_chunks,
+        feature_reuse,
+        double_buffered,
+        weight_high_water,
+        feature_high_water,
+        output_high_water,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_mac::MacKind;
+
+    fn paper() -> ArrayConfig {
+        ArrayConfig::paper(MacKind::Bsc)
+    }
+
+    #[test]
+    fn infinite_buffers_produce_one_chunk_per_pe_tile() {
+        let shape = ConvShape::conv(64, 64, 28, 28, 3, 1, 1);
+        let t = tile(&paper(), &MemConfig::infinite(), Precision::Int8, &shape);
+        assert_eq!(t.spatial_chunks, 1);
+        assert_eq!(t.feature_reuse, FeatureReuse::FullMap);
+        // 2 PE tiles × 2 channel tiles × 9 kernel offsets.
+        assert_eq!(t.passes.len(), 2 * 2 * 9);
+    }
+
+    #[test]
+    fn tiny_output_buffer_forces_row_chunks() {
+        let shape = ConvShape::conv(32, 32, 16, 16, 3, 1, 1);
+        let mem = MemConfig {
+            // One output row of psums is 16 px × 32 PEs × 4 B = 2 KiB.
+            output_buffer_bytes: 2 * 1024,
+            ..MemConfig::infinite()
+        };
+        let t = tile(&paper(), &mem, Precision::Int8, &shape);
+        assert_eq!(t.spatial_chunks, 16);
+        assert!(t.output_high_water <= mem.output_buffer_bytes);
+        // Writebacks: one per (PE tile, chunk).
+        let stores = t.passes.iter().filter(|p| p.store_bytes > 0).count();
+        assert_eq!(stores, 16);
+    }
+
+    #[test]
+    fn streamed_features_load_every_pass() {
+        let shape = ConvShape::conv(32, 32, 16, 16, 3, 1, 1);
+        let mem = MemConfig {
+            feature_buffer_bytes: 1024, // under one row region (3×16×64 B)
+            ..MemConfig::infinite()
+        };
+        let t = tile(&paper(), &mem, Precision::Int8, &shape);
+        assert_eq!(t.feature_reuse, FeatureReuse::Streamed);
+        assert!(!t.double_buffered);
+        assert!(t.passes.iter().all(|p| p.load_bytes > 0));
+    }
+
+    #[test]
+    fn vector_bytes_track_element_widths() {
+        for (kind, bytes) in [(MacKind::Bsc, 64), (MacKind::Lpc, 128), (MacKind::Hps, 32)] {
+            assert_eq!(vector_bytes(&ArrayConfig::paper(kind)), bytes, "{kind}");
+        }
+    }
+}

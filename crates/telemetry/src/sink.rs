@@ -263,6 +263,12 @@ pub fn write_trace_event(j: &mut JsonBuilder, ev: &TraceEvent) {
         TraceEvent::ModeSet { bits } => {
             j.key("bits").u64(bits as u64);
         }
+        TraceEvent::Dma { cycle, cycles, bytes, store } => {
+            j.key("cycle").u64(cycle);
+            j.key("dur").u64(cycles as u64);
+            j.key("bytes").u64(bytes as u64);
+            j.key("store").bool(store);
+        }
     }
     j.end_object();
 }
@@ -286,23 +292,27 @@ pub fn trace_to_json(snap: &TraceSnapshot) -> String {
 /// Encodes a trace snapshot as CSV with a fixed superset of columns;
 /// fields that do not apply to an event kind are left empty.
 pub fn trace_to_csv(snap: &TraceSnapshot) -> String {
-    let mut out = String::from("kind,cycle,pe,row,macs,layer,pass,rows,cols,inner,elems,bits\n");
+    let mut out =
+        String::from("kind,cycle,pe,row,macs,layer,pass,rows,cols,inner,elems,bits,dur,bytes,store\n");
     for ev in &snap.events {
         let row = match *ev {
             TraceEvent::PeFired { cycle, pe, row, macs } => {
-                format!("pe_fired,{cycle},{pe},{row},{macs},,,,,,,")
+                format!("pe_fired,{cycle},{pe},{row},{macs},,,,,,,,,,")
             }
             TraceEvent::VectorStall { cycle, pe } => {
-                format!("vector_stall,{cycle},{pe},,,,,,,,,")
+                format!("vector_stall,{cycle},{pe},,,,,,,,,,,,")
             }
             TraceEvent::TileStart { layer, pass, rows, cols, inner } => {
-                format!("tile_start,,,,,{layer},{pass},{rows},{cols},{inner},,")
+                format!("tile_start,,,,,{layer},{pass},{rows},{cols},{inner},,,,,")
             }
             TraceEvent::WeightLoad { cycle, pe, elems } => {
-                format!("weight_load,{cycle},{pe},,,,,,,,{elems},")
+                format!("weight_load,{cycle},{pe},,,,,,,,{elems},,,,")
             }
             TraceEvent::ModeSet { bits } => {
-                format!("mode_set,,,,,,,,,,,{bits}")
+                format!("mode_set,,,,,,,,,,,{bits},,,")
+            }
+            TraceEvent::Dma { cycle, cycles, bytes, store } => {
+                format!("dma,{cycle},,,,,,,,,,,{cycles},{bytes},{}", store as u8)
             }
         };
         out.push_str(&row);
@@ -365,17 +375,23 @@ mod tests {
         ring.push(TraceEvent::TileStart { layer: 0, pass: 1, rows: 2, cols: 3, inner: 4 });
         ring.push(TraceEvent::WeightLoad { cycle: 7, pe: 0, elems: 4 });
         ring.push(TraceEvent::ModeSet { bits: 4 });
+        ring.push(TraceEvent::Dma { cycle: 9, cycles: 12, bytes: 256, store: true });
         let snap = ring.snapshot();
         let json = trace_to_json(&snap);
-        for kind in ["pe_fired", "vector_stall", "tile_start", "weight_load", "mode_set"] {
+        for kind in
+            ["pe_fired", "vector_stall", "tile_start", "weight_load", "mode_set", "dma"]
+        {
             assert!(json.contains(kind), "{json}");
         }
-        assert!(json.contains(r#""total":5"#));
+        assert!(json.contains(r#""total":6"#));
         assert!(json.contains(r#""bits":4"#));
+        assert!(json.contains(r#""bytes":256"#));
+        assert!(json.contains(r#""store":true"#));
         let csv = trace_to_csv(&snap);
-        assert_eq!(csv.lines().count(), 6);
+        assert_eq!(csv.lines().count(), 7);
         assert!(csv.lines().nth(1).unwrap().starts_with("pe_fired,1,2,3,4"));
-        assert_eq!(csv.lines().nth(5).unwrap(), "mode_set,,,,,,,,,,,4");
+        assert_eq!(csv.lines().nth(5).unwrap(), "mode_set,,,,,,,,,,,4,,,");
+        assert_eq!(csv.lines().nth(6).unwrap(), "dma,9,,,,,,,,,,,12,256,1");
         // Every row carries the full fixed column set.
         let cols = csv.lines().next().unwrap().split(',').count();
         for line in csv.lines().skip(1) {

@@ -64,6 +64,26 @@ test -s "$out/serve_report.json"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
     diff BENCH_serve_baseline.json "$out/serve_report.json" --tol 0
 
+echo "==> memory-hierarchy gate: repro mem"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    --quick mem --bench-out "$out/BENCH_mem.json" >/dev/null
+test -s "$out/BENCH_mem.json"
+# The sweep is analytic and cycle-domain, so the baseline diff runs at
+# zero tolerance; the roofline must still have points on both sides.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_mem_baseline.json "$out/BENCH_mem.json" --tol 0
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/BENCH_mem.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sides = {p["roofline"] for p in doc["points"]}
+assert "bandwidth-bound" in sides, "sweep lost its bandwidth-bound points"
+assert "compute-bound" in sides, "sweep lost its compute-bound points"
+print(f"mem sweep valid ({doc['bandwidth_bound_points']} bandwidth-bound, "
+      f"{doc['compute_bound_points']} compute-bound of {len(doc['points'])} points)")
+PY
+fi
+
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
