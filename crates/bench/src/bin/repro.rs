@@ -5,7 +5,8 @@
 //!       [--bench-out FILE] [--no-timers]
 //!       [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|all]
 //! repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
-//! repro serve <manifest.json> [--report-out FILE]
+//! repro serve <manifest.json> [--report-out FILE] [--slo-out FILE]
+//!             [--dash-out FILE] [--events-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
 //!            [--verbose]
 //! ```
@@ -46,7 +47,11 @@
 //!   inference engine (bounded queue, deadline-aware admission, shared
 //!   characterization cache — see `docs/serving.md`) and prints per-job
 //!   and aggregate reports; `--report-out` writes the deterministic JSON
-//!   report the CI baseline gate diffs.
+//!   report the CI baseline gate diffs, `--slo-out` the per-tenant SLO
+//!   report (latency quantiles, goodput, attainment, fJ-exact energy
+//!   attribution) gated at `--tol 0`, `--dash-out` a self-contained
+//!   HTML/SVG dashboard, and `--events-out` a JSONL structured event
+//!   log stamped with span correlation IDs.
 //! * `diff` compares two benchmark/metrics JSON files field-by-field and
 //!   exits nonzero when a deterministic field drifted beyond the
 //!   tolerance (`--tol 5` = ±5 %, the default).  Wall-clock fields
@@ -67,6 +72,9 @@ struct Options {
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
+    slo_out: Option<PathBuf>,
+    dash_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
     perfetto_out: Option<PathBuf>,
     svg_out: Option<PathBuf>,
     trace_cap: usize,
@@ -86,6 +94,9 @@ fn parse_args() -> Options {
     let mut trace_out = None;
     let mut bench_out = None;
     let mut report_out = None;
+    let mut slo_out = None;
+    let mut dash_out = None;
+    let mut events_out = None;
     let mut perfetto_out = None;
     let mut svg_out = None;
     let mut trace_cap = observatory::DEFAULT_TRACE_CAPACITY;
@@ -111,6 +122,9 @@ fn parse_args() -> Options {
             "--trace-out" => trace_out = Some(path_arg("--trace-out", &mut args)),
             "--bench-out" => bench_out = Some(path_arg("--bench-out", &mut args)),
             "--report-out" => report_out = Some(path_arg("--report-out", &mut args)),
+            "--slo-out" => slo_out = Some(path_arg("--slo-out", &mut args)),
+            "--dash-out" => dash_out = Some(path_arg("--dash-out", &mut args)),
+            "--events-out" => events_out = Some(path_arg("--events-out", &mut args)),
             "--perfetto-out" => perfetto_out = Some(path_arg("--perfetto-out", &mut args)),
             "--svg-out" => svg_out = Some(path_arg("--svg-out", &mut args)),
             "--trace-cap" => {
@@ -164,6 +178,9 @@ fn parse_args() -> Options {
         trace_out,
         bench_out,
         report_out,
+        slo_out,
+        dash_out,
+        events_out,
         perfetto_out,
         svg_out,
         trace_cap,
@@ -353,12 +370,18 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
         let run = serve::serve(&text).unwrap_or_else(|e| die(&e));
         print!("{}", serve::render(&run));
-        if let Some(path) = &opts.report_out {
-            if let Err(e) = std::fs::write(path, serve::report_json(&run)) {
-                die(&format!("cannot write {}: {e}", path.display()));
+        let write_out = |path: &Option<PathBuf>, data: String| {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, data) {
+                    die(&format!("cannot write {}: {e}", path.display()));
+                }
+                eprintln!("wrote {}", path.display());
             }
-            eprintln!("wrote {}", path.display());
-        }
+        };
+        write_out(&opts.report_out, serve::report_json(&run));
+        write_out(&opts.slo_out, serve::slo_json(&run));
+        write_out(&opts.dash_out, bsc_bench::dashboard::dashboard_html(&run));
+        write_out(&opts.events_out, serve::events_jsonl(&run));
     };
 
     let run_diff = || {

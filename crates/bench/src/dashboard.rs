@@ -1,0 +1,257 @@
+//! Self-contained HTML/SVG serving dashboard for `repro serve`.
+//!
+//! [`dashboard_html`] renders one [`ServeRun`](crate::serve::ServeRun)
+//! into a single static HTML document with **zero external assets** —
+//! no scripts, no fonts, no stylesheets beyond an inline `<style>` —
+//! so the file opens identically offline and diffs cleanly:
+//!
+//! * a per-tenant latency quantile table (the integer p50/p95/p99 from
+//!   the SLO report's quantile sketch) with goodput, energy and SLO
+//!   verdicts;
+//! * one `<svg>` time-series panel **per tenant**: completed jobs per
+//!   tumbling window as bars, shed decisions overlaid in red (the CI
+//!   gate counts exactly one `<svg>` element per tenant);
+//! * a tenant × precision energy heatmap as an HTML table whose cell
+//!   shading encodes each cell's share of the batch energy.
+//!
+//! Every number in the document comes from the deterministic SLO
+//! report; nothing reads wall time, so the HTML is byte-identical at
+//! any worker count.
+
+use std::fmt::Write as _;
+
+use crate::serve::ServeRun;
+
+/// Escapes `&`, `<`, `>` and `"` for HTML text and attribute positions.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// SVG panel geometry (CSS pixels).
+const CHART_W: u64 = 640;
+const CHART_H: u64 = 96;
+const CHART_PAD: u64 = 2;
+
+/// One tenant's windowed activity as an `<svg>` bar chart: completed
+/// jobs per window (blue), shed decisions overlaid (red).  `n_windows`
+/// is the batch-wide axis length so panels of different tenants align.
+fn tenant_svg(t: &bsc_accel::TenantSlo, n_windows: u64) -> String {
+    let n = n_windows.max(1);
+    let peak = t.windows.iter().map(|w| w.completed + w.shed).max().unwrap_or(0).max(1);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg viewBox="0 0 {w} {h}" width="{w}" height="{h}" role="img" aria-label="windowed activity of tenant {name}">"#,
+        w = CHART_W,
+        h = CHART_H,
+        name = esc(t.tenant.as_str()),
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="0" y="0" width="{CHART_W}" height="{CHART_H}" fill="#f7f7f8"/>"##
+    );
+    // Integer-arithmetic layout: x positions and heights are exact
+    // functions of the window data, no float formatting anywhere.
+    let inner_h = CHART_H - 2 * CHART_PAD;
+    for w in &t.windows {
+        let x0 = CHART_PAD + w.window * (CHART_W - 2 * CHART_PAD) / n;
+        let x1 = CHART_PAD + (w.window + 1) * (CHART_W - 2 * CHART_PAD) / n;
+        let width = (x1 - x0).saturating_sub(1).max(1);
+        let done_h = w.completed * inner_h / peak;
+        if done_h > 0 {
+            let _ = write!(
+                svg,
+                r##"<rect x="{x0}" y="{y}" width="{width}" height="{done_h}" fill="#4878b0"><title>window {win}: {c} completed</title></rect>"##,
+                y = CHART_H - CHART_PAD - done_h,
+                win = w.window,
+                c = w.completed,
+            );
+        }
+        let shed_h = w.shed * inner_h / peak;
+        if shed_h > 0 {
+            let _ = write!(
+                svg,
+                r##"<rect x="{x0}" y="{y}" width="{width}" height="{shed_h}" fill="#c04848"><title>window {win}: {s} shed</title></rect>"##,
+                y = CHART_H - CHART_PAD - done_h - shed_h,
+                win = w.window,
+                s = w.shed,
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders the serving dashboard.  See the module docs for contents and
+/// determinism guarantees.
+pub fn dashboard_html(run: &ServeRun) -> String {
+    let slo = &run.batch.slo;
+    let mut html = String::new();
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    html.push_str("<title>BSC serving dashboard</title>\n<style>\n");
+    html.push_str(concat!(
+        "body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n",
+        "table{border-collapse:collapse;margin:1em 0}\n",
+        "th,td{border:1px solid #ccc;padding:.3em .6em;text-align:right}\n",
+        "th:first-child,td:first-child{text-align:left}\n",
+        "caption{text-align:left;font-weight:600;padding:.3em 0}\n",
+        ".met{color:#1a7a2e}.missed{color:#b01818;font-weight:600}.none{color:#777}\n",
+        "section{margin:1.5em 0}\n",
+    ));
+    html.push_str("</style>\n</head>\n<body>\n");
+
+    let _ = writeln!(html, "<h1>BSC serving dashboard</h1>");
+    let _ = writeln!(
+        html,
+        "<p>{kind} engine &middot; queue capacity {cap} &middot; {sub} submitted / {done} completed / {rej} rejected / {shed} shed &middot; makespan {span} cycles &middot; window width {win} cycles</p>",
+        kind = esc(&run.kind.to_string()),
+        cap = run.queue_capacity,
+        sub = run.batch.submitted(),
+        done = run.batch.completed_count(),
+        rej = run.batch.rejected_count(),
+        shed = run.batch.shed_count(),
+        span = run.batch.makespan_cycles(),
+        win = slo.window_width_cycles,
+    );
+
+    // --- Per-tenant latency quantile table -------------------------------
+    html.push_str("<table>\n<caption>Per-tenant latency and SLO attainment</caption>\n");
+    html.push_str(
+        "<tr><th>tenant</th><th>submitted</th><th>completed</th><th>rejected</th><th>shed</th>\
+         <th>p50 (cyc)</th><th>p95 (cyc)</th><th>p99 (cyc)</th><th>max (cyc)</th>\
+         <th>goodput</th><th>energy (pJ)</th><th>SLO</th></tr>\n",
+    );
+    for t in &slo.tenants {
+        let (class, verdict) = match &t.attainment {
+            Some(a) if a.attained => ("met", "met".to_string()),
+            Some(a) => ("missed", format!("missed (burn {:.1}×)", a.burn_rate)),
+            None => ("none", "—".to_string()),
+        };
+        let _ = writeln!(
+            html,
+            "<tr><td>{name}</td><td>{sub}</td><td>{done}</td><td>{rej}</td><td>{shed}</td>\
+             <td>{p50}</td><td>{p95}</td><td>{p99}</td><td>{max}</td>\
+             <td>{good:.3}</td><td>{pj:.1}</td><td class=\"{class}\">{verdict}</td></tr>",
+            name = esc(t.tenant.as_str()),
+            sub = t.submitted,
+            done = t.completed,
+            rej = t.rejected,
+            shed = t.shed,
+            p50 = t.latency.p50,
+            p95 = t.latency.p95,
+            p99 = t.latency.p99,
+            max = t.latency.max,
+            good = t.goodput,
+            pj = t.energy_fj as f64 / 1e3,
+        );
+    }
+    html.push_str("</table>\n");
+
+    // --- Windowed time series: exactly one <svg> per tenant --------------
+    let n_windows = slo
+        .tenants
+        .iter()
+        .flat_map(|t| t.windows.iter())
+        .map(|w| w.window + 1)
+        .max()
+        .unwrap_or(1);
+    for t in &slo.tenants {
+        let _ = writeln!(
+            html,
+            "<section>\n<h2>{name} — completed (blue) / shed (red) per window</h2>\n{svg}\n</section>",
+            name = esc(t.tenant.as_str()),
+            svg = tenant_svg(t, n_windows),
+        );
+    }
+
+    // --- Tenant × precision energy heatmap -------------------------------
+    let mut precisions: Vec<&str> = Vec::new();
+    for t in &slo.tenants {
+        for (p, _) in &t.energy_by_precision {
+            if !precisions.contains(&p.as_str()) {
+                precisions.push(p);
+            }
+        }
+    }
+    precisions.sort_unstable();
+    let total = slo.total_energy_fj().max(1);
+    html.push_str("<table>\n<caption>Energy attribution by tenant &times; precision (fJ, cell shading = share of batch energy)</caption>\n<tr><th>tenant</th>");
+    for p in &precisions {
+        let _ = write!(html, "<th>{}</th>", esc(p));
+    }
+    html.push_str("<th>total</th></tr>\n");
+    for t in &slo.tenants {
+        let _ = write!(html, "<tr><td>{}</td>", esc(t.tenant.as_str()));
+        for p in &precisions {
+            let fj = t
+                .energy_by_precision
+                .iter()
+                .find(|(name, _)| name == p)
+                .map_or(0, |(_, fj)| *fj);
+            // Shade by integer share: alpha in 0..=255 from the exact
+            // fJ ratio, so the color is as deterministic as the number.
+            let alpha = (fj * 255 / total) as u8;
+            let _ = write!(
+                html,
+                "<td style=\"background:rgba(72,120,176,{a:.3})\">{fj}</td>",
+                a = alpha as f64 / 255.0,
+            );
+        }
+        let _ = writeln!(html, "<td>{}</td></tr>", t.energy_fj);
+    }
+    let _ = writeln!(
+        html,
+        "<tr><td>batch total</td><td colspan=\"{}\"></td><td>{}</td></tr>",
+        precisions.len(),
+        slo.total_energy_fj(),
+    );
+    html.push_str("</table>\n</body>\n</html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"{
+      "engine": {"kind": "bsc", "quick": true, "workers": 2},
+      "tenants": {"gold": {"latency_p99_cycles": 100000000, "min_goodput": 0.5}},
+      "jobs": [
+        {"name": "g", "network": "lenet5", "tenant": "gold", "count": 2},
+        {"name": "f", "network": "lenet5", "precision": "int8"}
+      ]
+    }"#;
+
+    #[test]
+    fn dashboard_is_self_contained_with_one_svg_per_tenant() {
+        let run = crate::serve::serve(MANIFEST).unwrap();
+        let html = dashboard_html(&run);
+        assert_eq!(
+            html.matches("<svg").count(),
+            run.batch.slo.tenants.len(),
+            "exactly one svg per tenant"
+        );
+        // Self-contained: no external fetches of any kind.
+        for forbidden in ["http://", "https://", "<script", "<link", "@import", "url("] {
+            assert!(!html.contains(forbidden), "dashboard must not reference {forbidden}");
+        }
+        // Both tenants (default + gold) appear, and the verdict renders.
+        assert!(html.contains(">gold</td>"));
+        assert!(html.contains(">default</td>"));
+        assert!(html.contains("class=\"met\"") || html.contains("class=\"missed\""));
+        // Heatmap totals match the exact attribution.
+        assert!(html.contains(&format!("<td>{}</td>", run.batch.slo.total_energy_fj())));
+    }
+
+    #[test]
+    fn dashboard_is_deterministic_across_runs() {
+        let a = dashboard_html(&crate::serve::serve(MANIFEST).unwrap());
+        let b = dashboard_html(&crate::serve::serve(MANIFEST).unwrap());
+        assert_eq!(a, b, "no wall-clock data may leak into the dashboard");
+    }
+
+    #[test]
+    fn escaping_covers_markup_characters() {
+        assert_eq!(esc(r#"<a&"b>"#), "&lt;a&amp;&quot;b&gt;");
+    }
+}

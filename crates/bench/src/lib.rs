@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dashboard;
 pub mod diff;
 pub mod experiments;
 pub mod memexp;

@@ -13,8 +13,12 @@
 //!     "workers": 2,
 //!     "max_backlog_cycles": 500000
 //!   },
+//!   "tenants": {
+//!     "vision": {"latency_p99_cycles": 400000, "min_goodput": 0.9}
+//!   },
 //!   "jobs": [
-//!     {"name": "lenet-nas", "network": "lenet5", "precision": "nas"},
+//!     {"name": "lenet-nas", "network": "lenet5", "precision": "nas",
+//!      "tenant": "vision"},
 //!     {"name": "vgg-8b", "network": "vgg16", "precision": "int8",
 //!      "deadline_cycles": 900000, "count": 4}
 //!   ]
@@ -24,23 +28,30 @@
 //! `network` names a built-in benchmark (`lenet5`, `vgg16`, `resnet18`,
 //! `nas`); `precision` is a [`PrecisionPolicy`] spelling (`nas` keeps the
 //! NAS-assigned layer precisions); `count` repeats the spec N times with
-//! a `#i` suffix, sharing one `Arc`'d network.  The aggregate report is
-//! deterministic (wall-clock fields carry the `_ns` suffix the `repro
-//! diff` gate exempts), so a checked-in baseline catches queue-counter
-//! and numeric drift.
+//! a `#i` suffix, sharing one `Arc`'d network.  `tenant` accounts the job
+//! to a named tenant (default `"default"`); the optional top-level
+//! `tenants` object declares per-tenant [`SloTarget`]s that the batch's
+//! SLO report measures attainment against.  The aggregate report and the
+//! SLO report are deterministic (wall-clock fields carry the `_ns`
+//! suffix the `repro diff` gate exempts), so checked-in baselines catch
+//! queue-counter and numeric drift at `--tol 0`.
 
 use std::collections::BTreeMap;
 
-use bsc_accel::{BatchReport, Engine, EngineConfig, InferenceJob, JobOutcome, PrecisionPolicy};
+use bsc_accel::{
+    BatchReport, Engine, EngineConfig, InferenceJob, JobOutcome, PrecisionPolicy, SloTarget,
+};
 use bsc_mac::MacKind;
 use bsc_nn::{models, SharedNetwork};
-use bsc_telemetry::{JsonBuilder, MetricsSnapshot};
+use bsc_telemetry::{JsonBuilder, MetricsSnapshot, SpanSnapshot};
 
 /// A parsed manifest: engine parameters plus the job list.
 #[derive(Debug)]
 pub struct ServeManifest {
     /// Engine configuration built from the `engine` object.
     pub engine: EngineConfig,
+    /// Declared per-tenant SLO targets, keyed by tenant name.
+    pub tenants: BTreeMap<String, SloTarget>,
     /// Jobs in submission order (repeat specs already expanded).
     pub jobs: Vec<InferenceJob>,
 }
@@ -57,6 +68,9 @@ pub struct ServeRun {
     pub batch: BatchReport,
     /// Engine telemetry (queue/admission counters, cache stats).
     pub metrics: MetricsSnapshot,
+    /// Wall-clock spans of the run; their IDs stamp the structured
+    /// event log ([`events_jsonl`]) for correlation with traces.
+    pub spans: SpanSnapshot,
 }
 
 fn err_at(context: &str, detail: impl std::fmt::Display) -> String {
@@ -125,6 +139,34 @@ pub fn parse_manifest(text: &str) -> Result<ServeManifest, String> {
         config.max_backlog_cycles = Some(limit as u64);
     }
 
+    let mut tenants: BTreeMap<String, SloTarget> = BTreeMap::new();
+    if let Some(t) = doc.get("tenants") {
+        let bsc_telemetry::JsonValue::Object(members) = t else {
+            return Err("manifest: `tenants` must be an object".into());
+        };
+        for (tenant, spec) in members {
+            let ctx = format!("tenants.{tenant}");
+            let p99 = spec
+                .get("latency_p99_cycles")
+                .and_then(|v| v.as_f64())
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| {
+                    err_at(&ctx, "latency_p99_cycles: expected a non-negative integer")
+                })? as u64;
+            let min_goodput = match spec.get("min_goodput") {
+                None => 0.0,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|g| (0.0..=1.0).contains(g))
+                    .ok_or_else(|| err_at(&ctx, "min_goodput: expected a number in 0..=1"))?,
+            };
+            tenants.insert(
+                tenant.clone(),
+                SloTarget { latency_p99_cycles: p99, min_goodput },
+            );
+        }
+    }
+
     let specs = doc
         .get("jobs")
         .and_then(|v| v.as_array())
@@ -174,6 +216,14 @@ pub fn parse_manifest(text: &str) -> Result<ServeManifest, String> {
                 .ok_or_else(|| err_at(&ctx, "count: expected a positive integer"))?
                 as usize,
         };
+        let tenant = spec
+            .get("tenant")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| err_at(&ctx, "tenant: expected a string"))
+            })
+            .transpose()?;
         for rep in 0..count {
             let mut job = InferenceJob::new(
                 if count == 1 { name.clone() } else { format!("{name}#{rep}") },
@@ -183,10 +233,19 @@ pub fn parse_manifest(text: &str) -> Result<ServeManifest, String> {
             if let Some(d) = deadline {
                 job = job.with_deadline(d);
             }
+            if let Some(t) = &tenant {
+                job = job.with_tenant(t.clone());
+                // Submitting a job with a target declares it for the
+                // whole tenant; targets for tenants that never submit
+                // are simply unused.
+                if let Some(target) = tenants.get(t) {
+                    job = job.with_slo(*target);
+                }
+            }
             jobs.push(job);
         }
     }
-    Ok(ServeManifest { engine: config, jobs })
+    Ok(ServeManifest { engine: config, tenants, jobs })
 }
 
 /// Runs a manifest through a fresh engine on the process-wide
@@ -205,7 +264,8 @@ pub fn serve(manifest_text: &str) -> Result<ServeRun, String> {
     let batch = engine.run_jobs(manifest.jobs).map_err(|e| err_at("batch", e))?;
     bsc_accel::CharacterizationCache::global().publish(engine.telemetry());
     let metrics = engine.telemetry().metrics.snapshot();
-    Ok(ServeRun { kind, queue_capacity, batch, metrics })
+    let spans = engine.telemetry().spans.snapshot();
+    Ok(ServeRun { kind, queue_capacity, batch, metrics, spans })
 }
 
 /// Aligned-text view of one serve run.
@@ -232,11 +292,41 @@ pub fn render(run: &ServeRun) -> String {
         let _ = writeln!(
             out,
             "queue wait: p50 {:.0} / p95 {:.0} / p99 {:.0} cycles over {} dispatches (max {})",
-            h.p50(),
-            h.p95(),
-            h.p99(),
+            h.p50().unwrap_or(0.0),
+            h.p95().unwrap_or(0.0),
+            h.p99().unwrap_or(0.0),
             h.count,
             h.max,
+        );
+    }
+    // Labeled outcome totals: one line per `engine.jobs{...}` point, in
+    // the family's canonical order.
+    for (labels, total) in run.metrics.labeled_counter("engine.jobs") {
+        let _ = writeln!(out, "  engine.jobs{labels} {total}");
+    }
+    // Per-tenant SLO summary.
+    for t in &run.batch.slo.tenants {
+        let verdict = match &t.attainment {
+            Some(a) if a.attained => "SLO met".to_string(),
+            Some(a) => format!(
+                "SLO MISSED (p99 {}, goodput {})",
+                if a.latency_p99_ok { "ok" } else { "over" },
+                if a.goodput_ok { "ok" } else { "under" },
+            ),
+            None => "no target".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "tenant {:<12} {} submitted / {} completed / {} rejected / {} shed, p99 {} cyc, goodput {:.2}, {:.1} pJ — {}",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.rejected,
+            t.shed,
+            t.latency.p99,
+            t.goodput,
+            t.energy_fj as f64 / 1e3,
+            verdict,
         );
     }
     out
@@ -318,9 +408,9 @@ pub fn report_json(run: &ServeRun) -> String {
         Some(h) => {
             j.key("count").u64(h.count);
             j.key("max").u64(h.max);
-            j.key("p50").f64(h.p50());
-            j.key("p95").f64(h.p95());
-            j.key("p99").f64(h.p99());
+            j.key("p50").f64(h.p50().unwrap_or(0.0));
+            j.key("p95").f64(h.p95().unwrap_or(0.0));
+            j.key("p99").f64(h.p99().unwrap_or(0.0));
         }
         None => {
             j.key("count").u64(0);
@@ -335,6 +425,172 @@ pub fn report_json(run: &ServeRun) -> String {
     let mut text = j.finish();
     text.push('\n');
     text
+}
+
+/// Machine-readable per-tenant SLO report for the CI baseline gate.
+///
+/// Every field is either an integer (counts, cycle quantiles from the
+/// integer sketch, whole-fJ energy attributions) or a float derived
+/// from integers (rates), all computed by a serial fold over the
+/// outcome list — the document is byte-identical at any worker count
+/// and is diffed at `--tol 0` against `BENCH_slo_baseline.json`.
+/// Tenant entries carry a `name` member so diff paths are keyed by
+/// tenant, not array position.
+pub fn slo_json(run: &ServeRun) -> String {
+    let slo = &run.batch.slo;
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("engine").begin_object();
+    j.key("kind").string(&run.kind.to_string());
+    j.key("window_width_cycles").u64(slo.window_width_cycles);
+    j.key("total_energy_fj").u64(slo.total_energy_fj());
+    j.end_object();
+
+    j.key("tenants").begin_array();
+    for t in &slo.tenants {
+        j.begin_object();
+        j.key("name").string(t.tenant.as_str());
+        j.key("submitted").u64(t.submitted);
+        j.key("completed").u64(t.completed);
+        j.key("rejected").u64(t.rejected);
+        j.key("shed").u64(t.shed);
+        j.key("goodput").f64(t.goodput);
+        j.key("reject_rate").f64(t.reject_rate());
+        j.key("shed_rate").f64(t.shed_rate());
+        j.key("deadline_jobs").u64(t.deadline_jobs);
+        j.key("deadline_met").u64(t.deadline_met);
+        j.key("macs").u64(t.macs);
+        j.key("energy_fj").u64(t.energy_fj);
+
+        j.key("latency_cycles").begin_object();
+        j.key("count").u64(t.latency.count);
+        j.key("min").u64(t.latency.min);
+        j.key("max").u64(t.latency.max);
+        j.key("p50").u64(t.latency.p50);
+        j.key("p95").u64(t.latency.p95);
+        j.key("p99").u64(t.latency.p99);
+        j.end_object();
+
+        j.key("rejected_by_reason").begin_object();
+        for (reason, n) in &t.rejected_by_reason {
+            j.key(reason).u64(*n);
+        }
+        j.end_object();
+        j.key("shed_by_reason").begin_object();
+        for (reason, n) in &t.shed_by_reason {
+            j.key(reason).u64(*n);
+        }
+        j.end_object();
+
+        j.key("energy_by_precision").begin_object();
+        for (precision, fj) in &t.energy_by_precision {
+            j.key(precision).u64(*fj);
+        }
+        j.end_object();
+
+        if let Some(target) = &t.target {
+            j.key("target").begin_object();
+            j.key("latency_p99_cycles").u64(target.latency_p99_cycles);
+            j.key("min_goodput").f64(target.min_goodput);
+            j.end_object();
+        }
+        if let Some(a) = &t.attainment {
+            j.key("attainment").begin_object();
+            j.key("latency_p99_ok").bool(a.latency_p99_ok);
+            j.key("goodput_ok").bool(a.goodput_ok);
+            j.key("attained").bool(a.attained);
+            j.key("p99_ratio").f64(a.p99_ratio);
+            j.key("burn_rate").f64(a.burn_rate);
+            j.end_object();
+        }
+
+        j.key("windows").begin_array();
+        for w in &t.windows {
+            j.begin_object();
+            j.key("window").u64(w.window);
+            j.key("start_cycle").u64(w.start_cycle);
+            j.key("completed").u64(w.completed);
+            j.key("shed").u64(w.shed);
+            j.key("macs").u64(w.macs);
+            j.end_object();
+        }
+        j.end_array();
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+/// Structured event log: one strict-JSON object per line, each stamped
+/// with the wall-clock span correlation IDs of [`ServeRun::spans`], so
+/// log lines join against Perfetto exports and trace snapshots.
+///
+/// Span IDs and `_ns` durations are wall-clock-era values and therefore
+/// *not* gated by the baseline diff; the CI gate only requires every
+/// line to parse under the strict RFC 8259 parser (which this function
+/// also asserts itself, line by line).
+pub fn events_jsonl(run: &ServeRun) -> String {
+    let batch_span = run.spans.by_name("engine.run_batch").map_or(0, |s| s.id);
+    let mut lines = Vec::new();
+
+    let mut batch = JsonBuilder::new();
+    batch.begin_object();
+    batch.key("event").string("batch");
+    batch.key("span").u64(batch_span);
+    batch.key("kind").string(&run.kind.to_string());
+    batch.key("submitted").u64(run.batch.submitted() as u64);
+    batch.key("completed").u64(run.batch.completed_count() as u64);
+    batch.key("rejected").u64(run.batch.rejected_count() as u64);
+    batch.key("shed").u64(run.batch.shed_count() as u64);
+    batch.key("makespan_cycles").u64(run.batch.makespan_cycles());
+    batch
+        .key("duration_ns")
+        .u64(run.spans.by_name("engine.run_batch").map_or(0, |s| s.duration_ns()));
+    batch.end_object();
+    lines.push(batch.finish());
+
+    for outcome in run.batch.outcomes() {
+        let span = run.spans.by_name(&format!("engine.job.{}", outcome.name()));
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.key("event").string("job");
+        j.key("name").string(outcome.name());
+        j.key("tenant").string(outcome.tenant().as_str());
+        j.key("outcome").string(outcome.label());
+        j.key("span").u64(span.map_or(0, |s| s.id));
+        j.key("parent_span").u64(span.map_or(batch_span, |s| s.parent));
+        match outcome {
+            JobOutcome::Completed(r) => {
+                j.key("queue_wait_cycles").u64(r.queue_wait_cycles);
+                j.key("completion_cycle").u64(r.completion_cycle);
+                j.key("macs").u64(r.macs());
+                if let Some(met) = r.deadline_met() {
+                    j.key("deadline_met").bool(met);
+                }
+            }
+            JobOutcome::Rejected { reason, .. } => {
+                j.key("reason").string(reason.slug());
+            }
+            JobOutcome::Shed { reason, .. } => {
+                j.key("reason").string(reason.slug());
+                j.key("decision_cycle").u64(reason.decision_cycle());
+            }
+        }
+        j.key("duration_ns").u64(span.map_or(0, |s| s.duration_ns()));
+        j.end_object();
+        lines.push(j.finish());
+    }
+
+    let mut out = String::new();
+    for line in lines {
+        bsc_telemetry::parse_json(&line).expect("event line must be strict RFC 8259 JSON");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -370,6 +626,100 @@ mod tests {
         assert!(parse_manifest(&bad_net).unwrap_err().contains("alexnet"));
         let bad_precision = MANIFEST.replace("int8", "int3");
         assert!(parse_manifest(&bad_precision).unwrap_err().contains("precision"));
+    }
+
+    const TENANT_MANIFEST: &str = r#"{
+      "engine": {"kind": "bsc", "quick": true, "queue_capacity": 8, "workers": 2},
+      "tenants": {
+        "gold": {"latency_p99_cycles": 900000000, "min_goodput": 0.5},
+        "strict": {"latency_p99_cycles": 1, "min_goodput": 1.0}
+      },
+      "jobs": [
+        {"name": "g", "network": "lenet5", "tenant": "gold", "count": 2},
+        {"name": "s", "network": "lenet5", "precision": "int8", "tenant": "strict"},
+        {"name": "free", "network": "lenet5", "precision": "int4"}
+      ]
+    }"#;
+
+    #[test]
+    fn manifest_tenants_declare_targets_on_their_jobs() {
+        let m = parse_manifest(TENANT_MANIFEST).unwrap();
+        assert_eq!(m.tenants.len(), 2);
+        assert_eq!(m.jobs[0].tenant.as_str(), "gold");
+        assert_eq!(m.jobs[0].slo.unwrap().latency_p99_cycles, 900_000_000);
+        assert_eq!(m.jobs[2].tenant.as_str(), "strict");
+        assert_eq!(m.jobs[2].slo.unwrap().min_goodput, 1.0);
+        // No tenant key: the default tenant, no target.
+        assert_eq!(m.jobs[3].tenant.as_str(), "default");
+        assert!(m.jobs[3].slo.is_none());
+        // Malformed targets are rejected with context.
+        let bad = TENANT_MANIFEST.replace("900000000", "-1");
+        assert!(parse_manifest(&bad).unwrap_err().contains("latency_p99_cycles"));
+        let bad = TENANT_MANIFEST.replace("0.5", "1.5");
+        assert!(parse_manifest(&bad).unwrap_err().contains("min_goodput"));
+    }
+
+    #[test]
+    fn slo_json_is_byte_identical_at_any_worker_count() {
+        let at = |workers: usize| {
+            let manifest =
+                TENANT_MANIFEST.replace("\"workers\": 2", &format!("\"workers\": {workers}"));
+            slo_json(&serve(&manifest).unwrap())
+        };
+        let one = at(1);
+        assert_eq!(one, at(2), "1 vs 2 workers");
+        assert_eq!(one, at(8), "1 vs 8 workers");
+        let doc = bsc_telemetry::parse_json(&one).expect("slo report is valid JSON");
+        let tenants = doc.get("tenants").and_then(|v| v.as_array()).unwrap();
+        // Sorted by tenant name, each entry keyed by `name` for diff.
+        let names: Vec<_> =
+            tenants.iter().map(|t| t.get("name").and_then(|v| v.as_str()).unwrap()).collect();
+        assert_eq!(names, vec!["default", "gold", "strict"]);
+        // gold met its loose target; strict missed its hopeless one.
+        let by_name = |n: &str| tenants.iter().find(|t| t.get("name").unwrap().as_str() == Some(n)).unwrap();
+        assert_eq!(
+            by_name("gold").get("attainment").and_then(|a| a.get("attained")),
+            Some(&bsc_telemetry::JsonValue::Bool(true))
+        );
+        assert_eq!(
+            by_name("strict").get("attainment").and_then(|a| a.get("attained")),
+            Some(&bsc_telemetry::JsonValue::Bool(false))
+        );
+        assert!(by_name("default").get("attainment").is_none());
+        // Tenant energies sum exactly to the batch total.
+        let total: f64 = tenants
+            .iter()
+            .map(|t| t.get("energy_fj").and_then(|v| v.as_f64()).unwrap())
+            .sum();
+        assert_eq!(
+            Some(total),
+            doc.get("engine").and_then(|e| e.get("total_energy_fj")).and_then(|v| v.as_f64())
+        );
+    }
+
+    #[test]
+    fn events_jsonl_lines_parse_and_carry_span_ids() {
+        let run = serve(TENANT_MANIFEST).unwrap();
+        let log = events_jsonl(&run);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 1 + run.batch.submitted(), "batch line + one per job");
+        let batch = bsc_telemetry::parse_json(lines[0]).expect("strict JSON");
+        assert_eq!(batch.get("event").and_then(|v| v.as_str()), Some("batch"));
+        let batch_span = batch.get("span").and_then(|v| v.as_f64()).unwrap();
+        assert!(batch_span > 0.0, "batch span recorded");
+        for line in &lines[1..] {
+            let event = bsc_telemetry::parse_json(line).expect("strict JSON");
+            assert_eq!(event.get("event").and_then(|v| v.as_str()), Some("job"));
+            assert!(event.get("tenant").is_some());
+            let outcome = event.get("outcome").and_then(|v| v.as_str()).unwrap();
+            if outcome == "completed" {
+                // Completed jobs ran inside a recorded span.  (Its
+                // parent is whatever span was innermost when the worker
+                // began it — present, but not asserted further.)
+                assert!(event.get("span").and_then(|v| v.as_f64()).unwrap() > 0.0);
+                assert!(event.get("parent_span").and_then(|v| v.as_f64()).is_some());
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ use bsc_telemetry::Telemetry;
 
 use crate::queue::BoundedQueue;
 use crate::report::NetworkReport;
+use crate::slo::{window_width_for_horizon, SloAccountant, SloReport, SloTarget, TenantId};
 use crate::{layer_to_conv_shape, AccelError, Accelerator, AcceleratorConfig};
 
 /// Bucket bounds (model cycles) for the `engine.queue.wait_cycles`
@@ -220,23 +221,32 @@ impl std::str::FromStr for PrecisionPolicy {
 pub struct InferenceJob {
     /// Job name (unique names make reports readable; not enforced).
     pub name: String,
+    /// The tenant the job is accounted to (latency sketches, shed rates
+    /// and energy attribution in the batch's [`SloReport`]).
+    pub tenant: TenantId,
     /// The network to run, shared without cloning.
     pub network: SharedNetwork,
     /// Precision policy applied at admission.
     pub policy: PrecisionPolicy,
     /// Absolute deadline on the batch clock, if any.
     pub deadline_cycles: Option<u64>,
+    /// The tenant's declared SLO target, if any.  Submitting a job with
+    /// a target declares it for the whole tenant in this batch (last
+    /// declaration wins).
+    pub slo: Option<SloTarget>,
 }
 
 impl InferenceJob {
-    /// A job with the default policy ([`PrecisionPolicy::AsTrained`]) and
-    /// no deadline.
+    /// A job with the default policy ([`PrecisionPolicy::AsTrained`]),
+    /// the `"default"` tenant and no deadline.
     pub fn new(name: impl Into<String>, network: SharedNetwork) -> Self {
         InferenceJob {
             name: name.into(),
+            tenant: TenantId::default(),
             network,
             policy: PrecisionPolicy::AsTrained,
             deadline_cycles: None,
+            slo: None,
         }
     }
 
@@ -249,6 +259,18 @@ impl InferenceJob {
     /// Sets the completion deadline in model cycles.
     pub fn with_deadline(mut self, cycles: u64) -> Self {
         self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the owning tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = TenantId::new(tenant);
+        self
+    }
+
+    /// Declares the tenant's SLO target.
+    pub fn with_slo(mut self, target: SloTarget) -> Self {
+        self.slo = Some(target);
         self
     }
 }
@@ -282,6 +304,19 @@ pub enum RejectReason {
     },
 }
 
+impl RejectReason {
+    /// Machine-readable reason slug, the `reason` label of the
+    /// `engine.jobs` metric family and the key of per-tenant rate
+    /// breakdowns.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::DeadlineInfeasible { .. } => "deadline_infeasible",
+            RejectReason::Overloaded { .. } => "overloaded",
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
@@ -313,6 +348,24 @@ pub enum ShedReason {
     },
 }
 
+impl ShedReason {
+    /// Machine-readable reason slug (see [`RejectReason::slug`]).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ShedReason::DeadlineMissed { .. } => "deadline_missed",
+        }
+    }
+
+    /// The virtual-clock cycle at which the shed decision applies — the
+    /// projected completion the scheduler refused — used to place the
+    /// event on the dashboard's window axis.
+    pub fn decision_cycle(&self) -> u64 {
+        match *self {
+            ShedReason::DeadlineMissed { completion_cycle, .. } => completion_cycle,
+        }
+    }
+}
+
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
@@ -329,6 +382,8 @@ impl std::fmt::Display for ShedReason {
 pub struct JobReport {
     /// Job name.
     pub name: String,
+    /// Tenant the job is accounted to.
+    pub tenant: TenantId,
     /// Cycles the job waited behind earlier jobs on the batch clock.
     pub queue_wait_cycles: u64,
     /// Batch-clock cycle at which the job finished.
@@ -378,6 +433,8 @@ pub enum JobOutcome {
     Rejected {
         /// Job name.
         name: String,
+        /// Tenant the rejection is accounted to.
+        tenant: TenantId,
         /// Why admission refused it.
         reason: RejectReason,
     },
@@ -385,6 +442,8 @@ pub enum JobOutcome {
     Shed {
         /// Job name.
         name: String,
+        /// Tenant the shed is accounted to.
+        tenant: TenantId,
         /// Why the scheduler dropped it.
         reason: ShedReason,
     },
@@ -405,6 +464,14 @@ impl JobOutcome {
             JobOutcome::Completed(_) => "completed",
             JobOutcome::Rejected { .. } => "rejected",
             JobOutcome::Shed { .. } => "shed",
+        }
+    }
+
+    /// The tenant the outcome is accounted to.
+    pub fn tenant(&self) -> &TenantId {
+        match self {
+            JobOutcome::Completed(r) => &r.tenant,
+            JobOutcome::Rejected { tenant, .. } | JobOutcome::Shed { tenant, .. } => tenant,
         }
     }
 
@@ -476,6 +543,7 @@ impl EngineConfig {
 struct Admitted {
     slot: usize,
     name: String,
+    tenant: TenantId,
     network: SharedNetwork,
     deadline_cycles: Option<u64>,
 }
@@ -493,6 +561,10 @@ pub struct BatchReport {
     outcomes: Vec<JobOutcome>,
     /// High-water mark of the admission queue during this batch.
     pub peak_queue_depth: usize,
+    /// Per-tenant SLO accounting folded from the outcomes (latency
+    /// sketches, shed/reject rates, goodput, attainment, fJ-exact
+    /// energy attribution).
+    pub slo: SloReport,
 }
 
 impl BatchReport {
@@ -573,10 +645,10 @@ impl std::fmt::Display for BatchReport {
                     r.macs_per_cycle(),
                     r.energy_fj(),
                 )?,
-                JobOutcome::Rejected { name, reason } => {
+                JobOutcome::Rejected { name, reason, .. } => {
                     writeln!(f, "  {name:<24} rejected   {reason}")?
                 }
-                JobOutcome::Shed { name, reason } => {
+                JobOutcome::Shed { name, reason, .. } => {
                     writeln!(f, "  {name:<24} shed       {reason}")?
                 }
             }
@@ -594,6 +666,7 @@ pub struct Engine {
     queue: BoundedQueue<Admitted>,
     slots: Vec<Slot>,
     backlog_cycles: u64,
+    slo_targets: std::collections::BTreeMap<TenantId, SloTarget>,
     telemetry: Telemetry,
 }
 
@@ -645,6 +718,7 @@ impl Engine {
             queue,
             slots: Vec::new(),
             backlog_cycles: 0,
+            slo_targets: std::collections::BTreeMap::new(),
             telemetry: Telemetry::metrics_only(),
         }
     }
@@ -727,15 +801,23 @@ impl Engine {
     pub fn submit(&mut self, job: InferenceJob) -> Result<usize, RejectReason> {
         let slot = self.slots.len();
         self.telemetry.metrics.counter("engine.jobs.submitted").inc();
-        let reject = |this: &mut Self, name: String, reason: RejectReason| {
+        if let Some(target) = job.slo {
+            self.slo_targets.insert(job.tenant.clone(), target);
+        }
+        let reject = |this: &mut Self, name: String, tenant: TenantId, reason: RejectReason| {
             this.telemetry.metrics.counter("engine.jobs.rejected").inc();
-            this.slots.push(Slot::Decided(JobOutcome::Rejected { name, reason }));
+            this.telemetry
+                .metrics
+                .labeled_counter("engine.jobs")
+                .with(&[("outcome", "rejected"), ("reason", reason.slug())])
+                .inc();
+            this.slots.push(Slot::Decided(JobOutcome::Rejected { name, tenant, reason }));
             Err(reason)
         };
 
         if self.queue.len() >= self.queue.capacity() {
             let reason = RejectReason::QueueFull { capacity: self.queue.capacity() };
-            return reject(self, job.name, reason);
+            return reject(self, job.name, job.tenant, reason);
         }
         let network = job.policy.apply(&job.network);
         let est = self.estimate_cycles(&network);
@@ -744,7 +826,7 @@ impl Engine {
             if projected > limit {
                 let reason =
                     RejectReason::Overloaded { backlog_cycles: projected, limit_cycles: limit };
-                return reject(self, job.name, reason);
+                return reject(self, job.name, job.tenant, reason);
             }
         }
         if let Some(deadline) = job.deadline_cycles {
@@ -753,13 +835,14 @@ impl Engine {
                     projected_cycles: projected,
                     deadline_cycles: deadline,
                 };
-                return reject(self, job.name, reason);
+                return reject(self, job.name, job.tenant, reason);
             }
         }
 
         let admitted = Admitted {
             slot,
             name: job.name,
+            tenant: job.tenant,
             network,
             deadline_cycles: job.deadline_cycles,
         };
@@ -821,13 +904,18 @@ impl Engine {
             let completion = clock + cycles;
             if let Some(deadline) = job.deadline_cycles {
                 if completion > deadline {
+                    let reason = ShedReason::DeadlineMissed {
+                        completion_cycle: completion,
+                        deadline_cycles: deadline,
+                    };
                     m.counter("engine.jobs.shed").inc();
+                    m.labeled_counter("engine.jobs")
+                        .with(&[("outcome", "shed"), ("reason", reason.slug())])
+                        .inc();
                     slots[job.slot] = Slot::Decided(JobOutcome::Shed {
                         name: job.name,
-                        reason: ShedReason::DeadlineMissed {
-                            completion_cycle: completion,
-                            deadline_cycles: deadline,
-                        },
+                        tenant: job.tenant,
+                        reason,
                     });
                     continue;
                 }
@@ -866,10 +954,12 @@ impl Engine {
         for (p, report) in plan.into_iter().zip(reports) {
             let report = report?;
             m.counter("engine.jobs.completed").inc();
+            m.labeled_counter("engine.jobs").with(&[("outcome", "completed")]).inc();
             m.counter("engine.batch.macs").add(report.total_macs());
             m.counter("engine.batch.cycles").add(report.total_cycles());
             slots[p.job.slot] = Slot::Decided(JobOutcome::Completed(JobReport {
                 name: p.job.name,
+                tenant: p.job.tenant,
                 queue_wait_cycles: p.start_cycle,
                 completion_cycle: p.completion_cycle,
                 deadline_cycles: p.job.deadline_cycles,
@@ -877,14 +967,35 @@ impl Engine {
             }));
         }
 
-        let outcomes = slots
+        let outcomes: Vec<JobOutcome> = slots
             .into_iter()
             .map(|s| match s {
                 Slot::Decided(o) => o,
                 Slot::Pending => unreachable!("every admitted job was planned or shed"),
             })
             .collect();
-        Ok(BatchReport { outcomes, peak_queue_depth })
+
+        // Serial SLO fold over the outcomes, in submission order: a pure
+        // reduction of already-deterministic data, so the report is
+        // bit-identical at any worker count.  The window width derives
+        // from the batch horizon (latest completion or shed decision).
+        let horizon = outcomes
+            .iter()
+            .map(|o| match o {
+                JobOutcome::Completed(r) => r.completion_cycle,
+                JobOutcome::Shed { reason, .. } => reason.decision_cycle(),
+                JobOutcome::Rejected { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut accountant = SloAccountant::new(window_width_for_horizon(horizon));
+        for (tenant, target) in std::mem::take(&mut self.slo_targets) {
+            accountant.declare_target(tenant, target);
+        }
+        for outcome in &outcomes {
+            accountant.observe(outcome);
+        }
+        Ok(BatchReport { outcomes, peak_queue_depth, slo: accountant.report() })
     }
 
     /// Convenience: submits every job (collecting rejections as
@@ -1073,6 +1184,97 @@ mod tests {
         assert_eq!(hist.sum, waits.iter().sum::<u64>());
         assert_eq!(hist.max, *waits.iter().max().unwrap());
         assert_eq!(hist.min, 0, "the first job starts immediately");
+    }
+
+    #[test]
+    fn labeled_outcome_counters_break_down_by_reason() {
+        let mut engine = Engine::new(
+            EngineConfig::quick(MacKind::Bsc).with_queue_capacity(1).with_workers(1),
+        )
+        .unwrap();
+        let net = toy_net("t", 256, 32, Precision::Int8);
+        let ideal = engine.estimate_cycles(&net);
+        // Admitted optimistically, shed by the exact schedule.
+        let _ = engine.submit(InferenceJob::new("shed-me", Arc::clone(&net)).with_deadline(ideal));
+        // Queue capacity 1: refused with backpressure.
+        let _ = engine.submit(InferenceJob::new("bounced", Arc::clone(&net)));
+        engine.run_batch().unwrap();
+        let _ = engine.submit(InferenceJob::new("runs", Arc::clone(&net)));
+        engine.run_batch().unwrap();
+
+        let snap = engine.telemetry().metrics.snapshot();
+        let at = |labels: &[(&str, &str)]| snap.labeled_counter_at("engine.jobs", labels);
+        assert_eq!(at(&[("outcome", "shed"), ("reason", "deadline_missed")]), 1);
+        assert_eq!(at(&[("outcome", "rejected"), ("reason", "queue_full")]), 1);
+        assert_eq!(at(&[("outcome", "completed")]), 1);
+        // Labeled totals agree with the flat counters.
+        let total: u64 = snap.labeled_counter("engine.jobs").iter().map(|(_, v)| v).sum();
+        assert_eq!(total, snap.counter("engine.jobs.submitted"));
+    }
+
+    #[test]
+    fn slo_report_accounts_every_tenant_and_attaches_targets() {
+        let mut engine =
+            Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(1)).unwrap();
+        let net = toy_net("t", 128, 16, Precision::Int8);
+        let target = crate::SloTarget { latency_p99_cycles: 1, min_goodput: 1.0 };
+        engine
+            .submit(
+                InferenceJob::new("a0", Arc::clone(&net)).with_tenant("acme").with_slo(target),
+            )
+            .unwrap();
+        engine.submit(InferenceJob::new("a1", Arc::clone(&net)).with_tenant("acme")).unwrap();
+        engine.submit(InferenceJob::new("z0", Arc::clone(&net)).with_tenant("zeta")).unwrap();
+        let batch = engine.run_batch().unwrap();
+
+        assert_eq!(
+            batch.slo.tenants.iter().map(|t| t.tenant.as_str()).collect::<Vec<_>>(),
+            vec!["acme", "zeta"],
+            "tenants sorted by id"
+        );
+        let acme = batch.slo.tenant("acme").unwrap();
+        assert_eq!((acme.submitted, acme.completed), (2, 2));
+        assert_eq!(acme.latency.count, 2);
+        // A 1-cycle p99 target is hopeless: declared, measured, missed.
+        let att = acme.attainment.expect("target declared via with_slo");
+        assert!(!att.latency_p99_ok && !att.attained);
+        assert!(batch.slo.tenant("zeta").unwrap().attainment.is_none());
+        // Both tenants saw identical jobs, so attribution is symmetric.
+        assert_eq!(acme.energy_fj, 2 * batch.slo.tenant("zeta").unwrap().energy_fj);
+    }
+
+    #[test]
+    fn tenant_energy_attributions_sum_exactly_to_the_batch_total() {
+        let mut engine =
+            Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(2)).unwrap();
+        for i in 0..9 {
+            let net = toy_net(&format!("n{i}"), 32 + 16 * i, 4 + i, Precision::ALL[i % 3]);
+            engine
+                .submit(
+                    InferenceJob::new(format!("job{i}"), net)
+                        .with_tenant(format!("tenant-{}", i % 3)),
+                )
+                .unwrap();
+        }
+        let batch = engine.run_batch().unwrap();
+        assert_eq!(batch.completed_count(), 9);
+
+        // The ground truth: quantize each layer's energy independently
+        // and sum — the same integers the accountant folds.
+        let expected: u64 = batch
+            .completed()
+            .flat_map(|r| r.report.layers())
+            .map(|l| crate::slo::quantize_energy_fj(l.energy_fj))
+            .sum();
+        assert_eq!(batch.slo.total_energy_fj(), expected, "per-tenant sums == batch total");
+        // And the per-precision split of each tenant sums to its total.
+        for t in &batch.slo.tenants {
+            let split: u64 = t.energy_by_precision.iter().map(|(_, fj)| fj).sum();
+            assert_eq!(split, t.energy_fj, "precision split of {} is exact", t.tenant);
+        }
+        // The quantized batch total tracks the float total to <1 fJ per layer.
+        let float_total = batch.total_energy_fj();
+        assert!((float_total - expected as f64).abs() < 9.0 * 1.0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod engine;
 mod error;
 pub mod queue;
 mod report;
+pub mod slo;
 
 pub use accelerator::{Accelerator, AcceleratorConfig};
 pub use engine::{
@@ -56,6 +57,9 @@ pub use engine::{
 pub use error::AccelError;
 pub use queue::{BoundedQueue, QueueFull};
 pub use report::{render_comparison, LayerReport, NetworkReport};
+pub use slo::{
+    SloAccountant, SloAttainment, SloReport, SloTarget, TenantId, TenantSlo, TenantWindow,
+};
 
 pub use bsc_mac as mac;
 pub use bsc_netlist as netlist;

@@ -6,6 +6,11 @@
 //! * [`metrics`] — a [`Registry`] of named monotonic [`Counter`]s,
 //!   [`Gauge`]s and fixed-bucket [`Histogram`]s behind cheap atomic
 //!   handles, plus [`ScopedTimer`] for wall-clock phase timing;
+//! * [`metrics::labels`] — dimensional metric families
+//!   ([`LabeledCounter`], [`LabeledHistogram`]) keyed by canonical
+//!   [`LabelSet`]s, an HDR-style integer [`QuantileSketch`] and a
+//!   virtual-clock [`WindowedAggregator`] for tenant-level SLO
+//!   accounting;
 //! * [`trace`] — a bounded, droppable [`TraceRing`] of typed
 //!   cycle-events ([`TraceEvent::PeFired`], [`TraceEvent::VectorStall`],
 //!   [`TraceEvent::TileStart`], [`TraceEvent::WeightLoad`],
@@ -56,7 +61,9 @@ pub mod trace;
 
 pub use json::{parse_json, JsonParseError, JsonValue};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, ScopedTimer,
+    Counter, Gauge, Histogram, HistogramSnapshot, LabelSet, LabeledCounter, LabeledHistogram,
+    MetricsSnapshot, QuantileSketch, Registry, ScopedTimer, SketchSnapshot, WindowCell,
+    WindowedAggregator,
 };
 pub use perfetto::perfetto_json;
 pub use sink::JsonBuilder;

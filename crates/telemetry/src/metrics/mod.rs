@@ -6,10 +6,17 @@
 //! op per update and never take the registry lock.  The [`Registry`] lock
 //! is only held during registration and snapshotting.
 
+pub mod labels;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+pub use labels::{
+    LabelSet, LabeledCounter, LabeledHistogram, QuantileSketch, SketchSnapshot, WindowCell,
+    WindowedAggregator,
+};
 
 /// A monotonically increasing event count.
 #[derive(Debug, Clone, Default)]
@@ -82,6 +89,13 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// A detached histogram with the given finite bucket bounds (used by
+    /// labeled families; registry histograms go through
+    /// [`Registry::histogram`]).
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        Histogram::new(bounds)
+    }
+
     fn new(bounds: &[u64]) -> Self {
         let mut sorted: Vec<u64> = bounds.to_vec();
         sorted.sort_unstable();
@@ -164,10 +178,15 @@ impl HistogramSnapshot {
     /// Estimated value of the `q`-quantile (`0.0 ..= 1.0`) by linear
     /// interpolation inside the bucket containing it.  The first bucket
     /// interpolates from `min`, the overflow bucket toward `max`, so the
-    /// estimate is always inside `[min, max]`.  Returns 0 when empty.
-    pub fn percentile(&self, q: f64) -> f64 {
+    /// estimate is always inside `[min, max]`.
+    ///
+    /// Returns `None` for an empty histogram — there is no quantile of
+    /// nothing, and the previous silent `0.0` was indistinguishable from
+    /// a real all-zero distribution.  Callers that want the old sentinel
+    /// spell it `percentile(q).unwrap_or(0.0)`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = q * self.count as f64;
@@ -189,25 +208,28 @@ impl HistogramSnapshot {
                 };
                 let lower = lower.max(self.min as f64).min(upper);
                 let frac = (rank - cumulative as f64) / bucket_count as f64;
-                return lower + (upper - lower) * frac.clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
             }
             cumulative = next;
         }
-        self.max as f64
+        Some(self.max as f64)
     }
 
-    /// The p50 (median) estimate — see [`HistogramSnapshot::percentile`].
-    pub fn p50(&self) -> f64 {
+    /// The p50 (median) estimate, `None` when empty — see
+    /// [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> Option<f64> {
         self.percentile(0.50)
     }
 
-    /// The p95 estimate — see [`HistogramSnapshot::percentile`].
-    pub fn p95(&self) -> f64 {
+    /// The p95 estimate, `None` when empty — see
+    /// [`HistogramSnapshot::percentile`].
+    pub fn p95(&self) -> Option<f64> {
         self.percentile(0.95)
     }
 
-    /// The p99 estimate — see [`HistogramSnapshot::percentile`].
-    pub fn p99(&self) -> f64 {
+    /// The p99 estimate, `None` when empty — see
+    /// [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> Option<f64> {
         self.percentile(0.99)
     }
 }
@@ -221,6 +243,12 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram states by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Labeled counter families by name; points sorted lexicographically
+    /// by label set, so serialization is byte-deterministic no matter
+    /// which worker registered which point first.
+    pub labeled_counters: Vec<(String, Vec<(LabelSet, u64)>)>,
+    /// Labeled histogram families by name, points sorted like counters.
+    pub labeled_histograms: Vec<(String, Vec<(LabelSet, HistogramSnapshot)>)>,
 }
 
 impl MetricsSnapshot {
@@ -247,6 +275,27 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// The points of the named labeled counter family (empty when the
+    /// family is absent).
+    pub fn labeled_counter(&self, name: &str) -> &[(LabelSet, u64)] {
+        self.labeled_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, pts)| pts.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The total of one point of a labeled counter family, or 0 when the
+    /// family or point is absent.
+    pub fn labeled_counter_at(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let set = LabelSet::new(labels);
+        self.labeled_counter(name)
+            .iter()
+            .find(|(s, _)| *s == set)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
     /// A copy without the wall-clock timer histograms (names ending in
     /// `_ns`) — the one intentionally non-deterministic signal.  Used by
     /// the `repro --no-timers` determinism path so repeated runs
@@ -262,6 +311,13 @@ impl MetricsSnapshot {
                 .filter(|(n, _)| !n.ends_with("_ns"))
                 .cloned()
                 .collect(),
+            labeled_counters: self.labeled_counters.clone(),
+            labeled_histograms: self
+                .labeled_histograms
+                .iter()
+                .filter(|(n, _)| !n.ends_with("_ns"))
+                .cloned()
+                .collect(),
         }
     }
 }
@@ -271,6 +327,8 @@ struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    labeled_counters: BTreeMap<String, LabeledCounter>,
+    labeled_histograms: BTreeMap<String, LabeledHistogram>,
 }
 
 /// A named collection of metrics.  Cloning shares the underlying store, so
@@ -320,6 +378,26 @@ impl Registry {
             .clone()
     }
 
+    /// The labeled counter family named `name`, created empty on first
+    /// use.  Points are addressed with
+    /// [`LabeledCounter::with`]: `reg.labeled_counter("engine.jobs")
+    /// .with(&[("outcome", "shed"), ("reason", "deadline_missed")])`.
+    pub fn labeled_counter(&self, name: &str) -> LabeledCounter {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.labeled_counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The labeled histogram family named `name`, created with `bounds`
+    /// on first use (later calls reuse the family; `bounds` is then
+    /// ignored, like [`Registry::histogram`]).
+    pub fn labeled_histogram(&self, name: &str, bounds: &[u64]) -> LabeledHistogram {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.labeled_histograms
+            .entry(name.to_string())
+            .or_insert_with(|| LabeledHistogram::new(bounds))
+            .clone()
+    }
+
     /// Starts a wall-clock timer whose elapsed nanoseconds are recorded
     /// into the histogram `name` when the returned guard drops.
     pub fn timer(&self, name: &str) -> ScopedTimer {
@@ -339,6 +417,16 @@ impl Registry {
                 .histograms
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            labeled_counters: g
+                .labeled_counters
+                .iter()
+                .map(|(n, f)| (n.clone(), f.snapshot()))
+                .collect(),
+            labeled_histograms: g
+                .labeled_histograms
+                .iter()
+                .map(|(n, f)| (n.clone(), f.snapshot()))
                 .collect(),
         }
     }
@@ -429,22 +517,66 @@ mod tests {
         }
         let snap = reg.snapshot();
         let hs = snap.histogram("lat").unwrap();
-        let p50 = hs.p50();
-        let p99 = hs.p99();
+        let p50 = hs.p50().unwrap();
+        let p99 = hs.p99().unwrap();
         assert!((40.0..=60.0).contains(&p50), "p50 = {p50}");
         assert!((90.0..=100.0).contains(&p99), "p99 = {p99}");
-        assert!(hs.p95() <= p99 + 1e-9);
+        assert!(hs.p95().unwrap() <= p99 + 1e-9);
         // Bounded by the observed extremes even in the overflow bucket.
         let hb = reg.histogram("big", &[10]);
         hb.record(5000);
         hb.record(7000);
         let snap = reg.snapshot();
         let hs = snap.histogram("big").unwrap();
-        assert!(hs.p50() >= 5000.0 && hs.p99() <= 7000.0, "{hs:?}");
-        // Empty histogram: all zero.
-        let he = reg.histogram("empty", &[10]);
-        let _ = he;
-        assert_eq!(reg.snapshot().histogram("empty").unwrap().p99(), 0.0);
+        assert!(hs.p50().unwrap() >= 5000.0 && hs.p99().unwrap() <= 7000.0, "{hs:?}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let reg = Registry::new();
+        let _ = reg.histogram("empty", &[10]);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("empty").unwrap();
+        // Explicit: there is no quantile of nothing.
+        assert_eq!(hs.percentile(0.5), None);
+        assert_eq!(hs.p50(), None);
+        assert_eq!(hs.p95(), None);
+        assert_eq!(hs.p99(), None);
+        assert_eq!(hs.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_the_sample() {
+        let reg = Registry::new();
+        reg.histogram("one", &[10, 100]).record(37);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("one").unwrap();
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hs.percentile(q), Some(37.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn saturating_counts_keep_percentiles_in_range() {
+        // Sums wrap (relaxed atomics), but quantile estimates must stay
+        // inside [min, max] even when the sum has overflowed.
+        let reg = Registry::new();
+        let h = reg.histogram("huge", &[1 << 32]);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(5);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("huge").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.min, 5);
+        assert_eq!(hs.max, u64::MAX);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = hs.percentile(q).unwrap();
+            assert!(
+                (hs.min as f64..=hs.max as f64).contains(&p),
+                "q = {q} escaped [min, max]: {p}"
+            );
+        }
     }
 
     #[test]

@@ -172,8 +172,36 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
     j.finish()
 }
 
+fn write_histogram_object(j: &mut JsonBuilder, h: &crate::metrics::HistogramSnapshot) {
+    j.begin_object();
+    j.key("count").u64(h.count);
+    j.key("sum").u64(h.sum);
+    j.key("min").u64(h.min);
+    j.key("max").u64(h.max);
+    j.key("mean").f64(h.mean());
+    // Empty histograms serialize the legacy 0 sentinel so baselines that
+    // predate the `Option` percentile API keep their field shapes.
+    j.key("p50").f64(h.p50().unwrap_or(0.0));
+    j.key("p95").f64(h.p95().unwrap_or(0.0));
+    j.key("p99").f64(h.p99().unwrap_or(0.0));
+    j.key("bounds").begin_array();
+    for b in &h.bounds {
+        j.u64(*b);
+    }
+    j.end_array();
+    j.key("buckets").begin_array();
+    for b in &h.buckets {
+        j.u64(*b);
+    }
+    j.end_array();
+    j.end_object();
+}
+
 /// Writes the metrics object into an in-progress document (after a
-/// [`JsonBuilder::key`] or at array level).
+/// [`JsonBuilder::key`] or at array level).  Labeled families appear
+/// under `labeled_counters` / `labeled_histograms`, one member per point
+/// keyed `family{k=v,...}` in lexicographic label order, so the document
+/// is byte-deterministic at any registration interleaving.
 pub fn write_metrics_object(j: &mut JsonBuilder, snap: &MetricsSnapshot) {
     j.begin_object();
     j.key("counters").begin_object();
@@ -188,28 +216,29 @@ pub fn write_metrics_object(j: &mut JsonBuilder, snap: &MetricsSnapshot) {
     j.end_object();
     j.key("histograms").begin_object();
     for (name, h) in &snap.histograms {
-        j.key(name).begin_object();
-        j.key("count").u64(h.count);
-        j.key("sum").u64(h.sum);
-        j.key("min").u64(h.min);
-        j.key("max").u64(h.max);
-        j.key("mean").f64(h.mean());
-        j.key("p50").f64(h.p50());
-        j.key("p95").f64(h.p95());
-        j.key("p99").f64(h.p99());
-        j.key("bounds").begin_array();
-        for b in &h.bounds {
-            j.u64(*b);
-        }
-        j.end_array();
-        j.key("buckets").begin_array();
-        for b in &h.buckets {
-            j.u64(*b);
-        }
-        j.end_array();
-        j.end_object();
+        j.key(name);
+        write_histogram_object(j, h);
     }
     j.end_object();
+    if !snap.labeled_counters.is_empty() {
+        j.key("labeled_counters").begin_object();
+        for (name, points) in &snap.labeled_counters {
+            for (labels, v) in points {
+                j.key(&format!("{name}{labels}")).u64(*v);
+            }
+        }
+        j.end_object();
+    }
+    if !snap.labeled_histograms.is_empty() {
+        j.key("labeled_histograms").begin_object();
+        for (name, points) in &snap.labeled_histograms {
+            for (labels, h) in points {
+                j.key(&format!("{name}{labels}"));
+                write_histogram_object(j, h);
+            }
+        }
+        j.end_object();
+    }
     j.end_object();
 }
 
@@ -229,6 +258,18 @@ pub fn metrics_to_csv(snap: &MetricsSnapshot) -> String {
         out.push_str(&format!("histogram_sum,{n},{}\n", h.sum));
         out.push_str(&format!("histogram_min,{n},{}\n", h.min));
         out.push_str(&format!("histogram_max,{n},{}\n", h.max));
+    }
+    for (name, points) in &snap.labeled_counters {
+        for (labels, v) in points {
+            out.push_str(&format!("labeled_counter,{},{v}\n", csv_field(&format!("{name}{labels}"))));
+        }
+    }
+    for (name, points) in &snap.labeled_histograms {
+        for (labels, h) in points {
+            let n = csv_field(&format!("{name}{labels}"));
+            out.push_str(&format!("labeled_histogram_count,{n},{}\n", h.count));
+            out.push_str(&format!("labeled_histogram_sum,{n},{}\n", h.sum));
+        }
     }
     out
 }
@@ -355,6 +396,32 @@ mod tests {
         assert!(json.contains(r#""depth":-2"#), "{json}");
         assert!(json.contains(r#""count":1"#), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn labeled_metrics_serialize_in_canonical_order() {
+        let reg = Registry::new();
+        let jobs = reg.labeled_counter("engine.jobs");
+        jobs.with(&[("outcome", "shed"), ("reason", "deadline_missed")]).inc();
+        jobs.with(&[("outcome", "completed")]).add(3);
+        reg.labeled_histogram("lat", &[10]).with(&[("tenant", "b")]).record(7);
+        let json = metrics_to_json(&reg.snapshot());
+        assert!(
+            json.contains(r#""engine.jobs{outcome=completed}":3"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""engine.jobs{outcome=shed,reason=deadline_missed}":1"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""lat{tenant=b}""#), "{json}");
+        // completed sorts before shed: canonical lexicographic order.
+        let completed = json.find("outcome=completed").unwrap();
+        let shed = json.find("outcome=shed").unwrap();
+        assert!(completed < shed);
+        assert!(crate::json::parse_json(&json).is_ok(), "{json}");
+        let csv = metrics_to_csv(&reg.snapshot());
+        assert!(csv.contains("labeled_counter,"), "{csv}");
     }
 
     #[test]

@@ -56,13 +56,46 @@ cargo run --release --offline -q -p bsc-bench --bin repro -- \
 
 echo "==> engine serving gate: repro serve examples/serve_manifest.json"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
-    serve examples/serve_manifest.json --report-out "$out/serve_report.json" >/dev/null
+    serve examples/serve_manifest.json --report-out "$out/serve_report.json" \
+    --slo-out "$out/slo.json" --dash-out "$out/dash.html" \
+    --events-out "$out/events.jsonl" >/dev/null
 test -s "$out/serve_report.json"
 # The serve report is fully deterministic (virtual batch clock, submission
 # -order merging), so the diff runs at zero tolerance: any drift in job
 # numerics, outcome counts or queue/admission counters fails the gate.
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
     diff BENCH_serve_baseline.json "$out/serve_report.json" --tol 0
+
+echo "==> tenant SLO gate: repro diff BENCH_slo_baseline.json"
+# The per-tenant SLO report (integer latency quantiles, whole-fJ energy
+# attribution, windowed series) is byte-deterministic at any worker
+# count, so it is also gated at zero tolerance.
+test -s "$out/slo.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_slo_baseline.json "$out/slo.json" --tol 0
+# Dashboard sanity: non-empty, self-contained, one <svg> per tenant.
+test -s "$out/dash.html"
+test -s "$out/events.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/slo.json" "$out/dash.html" "$out/events.jsonl" <<'PY'
+import json, sys
+slo = json.load(open(sys.argv[1]))
+tenants = [t["name"] for t in slo["tenants"]]
+assert tenants == sorted(tenants), "tenants must be sorted"
+total = sum(t["energy_fj"] for t in slo["tenants"])
+assert total == slo["engine"]["total_energy_fj"], "energy attribution must sum exactly"
+html = open(sys.argv[2]).read()
+assert html.count("<svg") == len(tenants), (
+    f"expected one <svg> per tenant, got {html.count('<svg')} for {len(tenants)}")
+for needle in ("<script", "http://", "https://"):
+    assert needle not in html, f"dashboard must be self-contained (found {needle})"
+# Every event-log line must be a strict JSON object.
+events = [json.loads(line) for line in open(sys.argv[3])]
+assert events and events[0]["event"] == "batch"
+assert all("tenant" in e for e in events[1:]), "job events must carry tenants"
+print(f"slo gate valid ({len(tenants)} tenants, {len(events)} event lines)")
+PY
+fi
 
 echo "==> memory-hierarchy gate: repro mem"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
