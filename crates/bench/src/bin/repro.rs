@@ -7,6 +7,9 @@
 //! repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
 //! repro serve <manifest.json> [--report-out FILE] [--slo-out FILE]
 //!             [--dash-out FILE] [--events-out FILE]
+//! repro online <manifest.json> [--workers N] [--report-out FILE]
+//!              [--slo-out FILE] [--dash-out FILE] [--events-out FILE]
+//!              [--perfetto-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
 //!            [--verbose]
 //! ```
@@ -52,6 +55,19 @@
 //!   attribution) gated at `--tol 0`, `--dash-out` a self-contained
 //!   HTML/SVG dashboard, and `--events-out` a JSONL structured event
 //!   log stamped with span correlation IDs.
+//! * `online` drives the deterministic discrete-event online serving
+//!   simulator: open-loop arrival processes (Poisson / bursty / diurnal)
+//!   over a multi-shard cluster of heterogeneous accelerators (see
+//!   `docs/serving.md`).  `--workers N` overrides the manifest's worker
+//!   count — reports are byte-identical at any worker count;
+//!   `--report-out` writes the `BENCH_online_baseline.json` document the
+//!   CI gate diffs at `--tol 0`, `--slo-out` the per-tenant SLO report,
+//!   `--dash-out` the HTML dashboard, `--events-out` the JSONL decision
+//!   log, and `--perfetto-out` a Chrome trace timeline with one track
+//!   group per shard.
+//! * `serve`, `mem` and `online` validate their flags strictly: an
+//!   unknown or out-of-place flag, or a flag missing its value, exits
+//!   with status 2 and the usage text.
 //! * `diff` compares two benchmark/metrics JSON files field-by-field and
 //!   exits nonzero when a deterministic field drifted beyond the
 //!   tolerance (`--tol 5` = ±5 %, the default).  Wall-clock fields
@@ -62,7 +78,9 @@
 use std::path::PathBuf;
 
 use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
-use bsc_bench::{experiments, memexp, observatory, serve, simbench, telemetry_probe, Workbench};
+use bsc_bench::{
+    experiments, memexp, observatory, online, serve, simbench, telemetry_probe, Workbench,
+};
 use bsc_mac::MacKind;
 
 struct Options {
@@ -79,6 +97,7 @@ struct Options {
     svg_out: Option<PathBuf>,
     trace_cap: usize,
     no_timers: bool,
+    workers: Option<usize>,
     tol: f64,
     ignore: Vec<String>,
     verbose: bool,
@@ -101,6 +120,8 @@ fn parse_args() -> Options {
     let mut svg_out = None;
     let mut trace_cap = observatory::DEFAULT_TRACE_CAPACITY;
     let mut no_timers = false;
+    let mut workers = None;
+    let mut seen_flags: Vec<String> = Vec::new();
     let mut tol = 5.0;
     let mut ignore = Vec::new();
     let mut verbose = false;
@@ -108,9 +129,13 @@ fn parse_args() -> Options {
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if arg.starts_with("--") {
+            seen_flags.push(arg.clone());
+        }
         let path_arg = |flag: &str, args: &mut dyn Iterator<Item = String>| {
             PathBuf::from(
-                args.next().unwrap_or_else(|| die(&format!("{flag} requires an argument"))),
+                args.next()
+                    .unwrap_or_else(|| die_usage(&format!("{flag} requires a file argument"))),
             )
         };
         match arg.as_str() {
@@ -130,22 +155,35 @@ fn parse_args() -> Options {
             "--trace-cap" => {
                 let n = args
                     .next()
-                    .unwrap_or_else(|| die("--trace-cap requires a number argument"));
+                    .unwrap_or_else(|| die_usage("--trace-cap requires a number argument"));
                 trace_cap = n
                     .parse()
                     .unwrap_or_else(|_| die(&format!("--trace-cap: `{n}` is not a number")));
             }
+            "--workers" => {
+                let n = args
+                    .next()
+                    .unwrap_or_else(|| die_usage("--workers requires a number argument"));
+                let parsed: usize = n
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--workers: `{n}` is not a number")));
+                if parsed == 0 {
+                    die("--workers: must be positive");
+                }
+                workers = Some(parsed);
+            }
             "--tol" => {
                 let n = args
                     .next()
-                    .unwrap_or_else(|| die("--tol requires a percentage argument"));
+                    .unwrap_or_else(|| die_usage("--tol requires a percentage argument"));
                 tol = n
                     .parse()
                     .unwrap_or_else(|_| die(&format!("--tol: `{n}` is not a number")));
             }
             "--ignore" => {
                 ignore.push(
-                    args.next().unwrap_or_else(|| die("--ignore requires a pattern argument")),
+                    args.next()
+                        .unwrap_or_else(|| die_usage("--ignore requires a pattern argument")),
                 );
             }
             other if !other.starts_with("--") => {
@@ -155,7 +193,7 @@ fn parse_args() -> Options {
                     files.push(PathBuf::from(other));
                 }
             }
-            other => die(&format!("unknown flag `{other}`")),
+            other => die_usage(&format!("unknown flag `{other}`")),
         }
     }
     // Telemetry outputs without an explicit experiment mean "run the
@@ -171,6 +209,17 @@ fn parse_args() -> Options {
     } else {
         "all"
     };
+    let which = which.unwrap_or_else(|| default.to_owned());
+    // `serve`, `mem` and `online` accept only their own flags — a stray
+    // flag silently changing nothing is how baseline-generation runs go
+    // wrong, so it is a usage error instead.
+    if let Some(allowed) = subcommand_flags(&which) {
+        for flag in &seen_flags {
+            if !allowed.contains(&flag.as_str()) {
+                die_usage(&format!("`repro {which}` does not accept `{flag}`"));
+            }
+        }
+    }
     Options {
         quick,
         csv_dir,
@@ -185,11 +234,30 @@ fn parse_args() -> Options {
         svg_out,
         trace_cap,
         no_timers,
+        workers,
         tol,
         ignore,
         verbose,
-        which: which.unwrap_or_else(|| default.to_owned()),
+        which,
         files,
+    }
+}
+
+/// The exact flag set each strict subcommand accepts; `None` leaves the
+/// subcommand on the legacy permissive path.
+fn subcommand_flags(which: &str) -> Option<&'static [&'static str]> {
+    match which {
+        "serve" => Some(&["--report-out", "--slo-out", "--dash-out", "--events-out"]),
+        "online" => Some(&[
+            "--workers",
+            "--report-out",
+            "--slo-out",
+            "--dash-out",
+            "--events-out",
+            "--perfetto-out",
+        ]),
+        "mem" => Some(&["--quick", "--csv", "--bench-out"]),
+        _ => None,
     }
 }
 
@@ -211,6 +279,7 @@ fn main() {
             | "mem"
             | "trace"
             | "serve"
+            | "online"
             | "diff"
     );
     let wb = if needs_workbench {
@@ -384,6 +453,29 @@ fn main() {
         write_out(&opts.events_out, serve::events_jsonl(&run));
     };
 
+    let run_online = || {
+        let [manifest] = opts.files.as_slice() else {
+            die_usage("online requires exactly one file argument: <manifest.json>");
+        };
+        let text = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
+        let run = online::online(&text, opts.workers).unwrap_or_else(|e| die(&e));
+        print!("{}", online::render(&run));
+        let write_out = |path: &Option<PathBuf>, data: String| {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, data) {
+                    die(&format!("cannot write {}: {e}", path.display()));
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        };
+        write_out(&opts.report_out, online::report_json(&run));
+        write_out(&opts.slo_out, online::slo_json(&run));
+        write_out(&opts.dash_out, bsc_bench::dashboard::online_dashboard_html(&run));
+        write_out(&opts.events_out, online::events_jsonl(&run));
+        write_out(&opts.perfetto_out, online::perfetto_json(&run));
+    };
+
     let run_diff = || {
         let [baseline, current] = opts.files.as_slice() else {
             die("diff requires exactly two file arguments: <baseline.json> <current.json>");
@@ -411,6 +503,7 @@ fn main() {
         "mem" => run_mem(),
         "trace" => run_trace(),
         "serve" => run_serve(),
+        "online" => run_online(),
         "diff" => run_diff(),
         "extensions" => match experiments::render_extensions() {
             Ok(text) => print!("{text}"),
@@ -447,7 +540,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|diff|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|online|diff|extensions|all)"
         )),
     }
 }
@@ -455,4 +548,23 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
+}
+
+const USAGE: &str = "\
+usage:
+  repro [--quick] [--csv DIR] [--metrics-out FILE] [--trace-out FILE]
+        [--bench-out FILE] [--no-timers]
+        [table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|all]
+  repro trace [--perfetto-out FILE] [--svg-out FILE] [--trace-cap N]
+  repro serve <manifest.json> [--report-out FILE] [--slo-out FILE]
+              [--dash-out FILE] [--events-out FILE]
+  repro online <manifest.json> [--workers N] [--report-out FILE] [--slo-out FILE]
+               [--dash-out FILE] [--events-out FILE] [--perfetto-out FILE]
+  repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]... [--verbose]";
+
+/// A malformed command line: the message, the usage block, exit 2 (so
+/// CI distinguishes \"you called it wrong\" from a failing run).
+fn die_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
 }

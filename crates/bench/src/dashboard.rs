@@ -1,7 +1,11 @@
-//! Self-contained HTML/SVG serving dashboard for `repro serve`.
+//! Self-contained HTML/SVG serving dashboards for `repro serve` and
+//! `repro online`.
 //!
 //! [`dashboard_html`] renders one [`ServeRun`](crate::serve::ServeRun)
-//! into a single static HTML document with **zero external assets** —
+//! and [`online_dashboard_html`] one
+//! [`OnlineRun`](crate::online::OnlineRun); both share the same
+//! SLO-report-driven body via [`slo_dashboard_document`] and produce a
+//! single static HTML document with **zero external assets** —
 //! no scripts, no fonts, no stylesheets beyond an inline `<style>` —
 //! so the file opens identically offline and diffs cleanly:
 //!
@@ -20,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+use crate::online::OnlineRun;
 use crate::serve::ServeRun;
 
 /// Escapes `&`, `<`, `>` and `"` for HTML text and attribute positions.
@@ -82,10 +87,54 @@ fn tenant_svg(t: &bsc_accel::TenantSlo, n_windows: u64) -> String {
     svg
 }
 
-/// Renders the serving dashboard.  See the module docs for contents and
-/// determinism guarantees.
+/// Renders the `repro serve` dashboard.  See the module docs for
+/// contents and determinism guarantees.
 pub fn dashboard_html(run: &ServeRun) -> String {
     let slo = &run.batch.slo;
+    let summary = format!(
+        "{kind} engine &middot; queue capacity {cap} &middot; {sub} submitted / {done} completed / {rej} rejected / {shed} shed &middot; makespan {span} cycles &middot; window width {win} cycles",
+        kind = esc(&run.kind.to_string()),
+        cap = run.queue_capacity,
+        sub = run.batch.submitted(),
+        done = run.batch.completed_count(),
+        rej = run.batch.rejected_count(),
+        shed = run.batch.shed_count(),
+        span = run.batch.makespan_cycles(),
+        win = slo.window_width_cycles,
+    );
+    slo_dashboard_document(&summary, "batch", slo)
+}
+
+/// Renders the `repro online` dashboard: the same SLO-driven body under
+/// a cluster summary line naming the dispatch policy and every shard.
+pub fn online_dashboard_html(run: &OnlineRun) -> String {
+    let r = &run.report;
+    let shards = run
+        .shard_names
+        .iter()
+        .map(|n| esc(n))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let summary = format!(
+        "{policy} dispatch over {n} shards ({shards}) &middot; seed {seed} &middot; {sub} submitted / {done} completed / {rej} rejected / {shed} shed &middot; makespan {span} cycles &middot; window width {win} cycles",
+        policy = esc(&r.policy.to_string()),
+        n = run.shard_names.len(),
+        seed = r.seed,
+        sub = r.submitted,
+        done = r.completed,
+        rej = r.rejected,
+        shed = r.shed,
+        span = r.makespan_cycles,
+        win = r.slo.window_width_cycles,
+    );
+    slo_dashboard_document(&summary, "cluster", &r.slo)
+}
+
+/// Shared document shell and SLO-report body: summary line, per-tenant
+/// quantile table, one `<svg>` per tenant, tenant &times; precision
+/// energy heatmap.  `total_label` names the energy total row
+/// ("batch" for serve, "cluster" for online).
+fn slo_dashboard_document(summary: &str, total_label: &str, slo: &bsc_accel::SloReport) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
     html.push_str("<title>BSC serving dashboard</title>\n<style>\n");
@@ -101,18 +150,7 @@ pub fn dashboard_html(run: &ServeRun) -> String {
     html.push_str("</style>\n</head>\n<body>\n");
 
     let _ = writeln!(html, "<h1>BSC serving dashboard</h1>");
-    let _ = writeln!(
-        html,
-        "<p>{kind} engine &middot; queue capacity {cap} &middot; {sub} submitted / {done} completed / {rej} rejected / {shed} shed &middot; makespan {span} cycles &middot; window width {win} cycles</p>",
-        kind = esc(&run.kind.to_string()),
-        cap = run.queue_capacity,
-        sub = run.batch.submitted(),
-        done = run.batch.completed_count(),
-        rej = run.batch.rejected_count(),
-        shed = run.batch.shed_count(),
-        span = run.batch.makespan_cycles(),
-        win = slo.window_width_cycles,
-    );
+    let _ = writeln!(html, "<p>{summary}</p>");
 
     // --- Per-tenant latency quantile table -------------------------------
     html.push_str("<table>\n<caption>Per-tenant latency and SLO attainment</caption>\n");
@@ -175,7 +213,10 @@ pub fn dashboard_html(run: &ServeRun) -> String {
     }
     precisions.sort_unstable();
     let total = slo.total_energy_fj().max(1);
-    html.push_str("<table>\n<caption>Energy attribution by tenant &times; precision (fJ, cell shading = share of batch energy)</caption>\n<tr><th>tenant</th>");
+    let _ = write!(
+        html,
+        "<table>\n<caption>Energy attribution by tenant &times; precision (fJ, cell shading = share of {total_label} energy)</caption>\n<tr><th>tenant</th>"
+    );
     for p in &precisions {
         let _ = write!(html, "<th>{}</th>", esc(p));
     }
@@ -201,7 +242,7 @@ pub fn dashboard_html(run: &ServeRun) -> String {
     }
     let _ = writeln!(
         html,
-        "<tr><td>batch total</td><td colspan=\"{}\"></td><td>{}</td></tr>",
+        "<tr><td>{total_label} total</td><td colspan=\"{}\"></td><td>{}</td></tr>",
         precisions.len(),
         slo.total_energy_fj(),
     );
@@ -248,6 +289,40 @@ mod tests {
         let a = dashboard_html(&crate::serve::serve(MANIFEST).unwrap());
         let b = dashboard_html(&crate::serve::serve(MANIFEST).unwrap());
         assert_eq!(a, b, "no wall-clock data may leak into the dashboard");
+    }
+
+    const ONLINE_MANIFEST: &str = r#"{
+      "cluster": {
+        "policy": "round-robin",
+        "seed": 3,
+        "horizon_cycles": 100000,
+        "max_outstanding": 4,
+        "shards": [
+          {"name": "a0", "kind": "bsc", "quick": true},
+          {"name": "b1", "kind": "lpc", "quick": true, "mem": "edge"}
+        ]
+      },
+      "tenants": {"gold": {"latency_p99_cycles": 100000, "min_goodput": 0.1}},
+      "sources": [
+        {"name": "s", "network": "micro", "tenant": "gold",
+         "arrivals": {"process": "poisson", "mean_interarrival_cycles": 800}}
+      ]
+    }"#;
+
+    #[test]
+    fn online_dashboard_shares_the_slo_body_and_names_the_cluster() {
+        let run = crate::online::online(ONLINE_MANIFEST, Some(2)).unwrap();
+        let html = online_dashboard_html(&run);
+        assert_eq!(html.matches("<svg").count(), run.report.slo.tenants.len());
+        for forbidden in ["http://", "https://", "<script", "<link", "@import", "url("] {
+            assert!(!html.contains(forbidden), "dashboard must not reference {forbidden}");
+        }
+        assert!(html.contains("round-robin dispatch over 2 shards (a0, b1)"), "{html}");
+        assert!(html.contains("cluster total"));
+        assert!(html.contains(">gold</td>"));
+        let again =
+            online_dashboard_html(&crate::online::online(ONLINE_MANIFEST, Some(8)).unwrap());
+        assert_eq!(html, again, "online dashboard is worker-count independent");
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod diff;
 pub mod experiments;
 pub mod memexp;
 pub mod observatory;
+pub mod online;
 pub mod serve;
 pub mod simbench;
 pub mod telemetry_probe;

@@ -1,0 +1,738 @@
+//! `repro online`: drive the multi-shard discrete-event serving
+//! simulator from a JSON manifest and report cluster / shard / tenant
+//! results.
+//!
+//! The manifest names the cluster (heterogeneous shards + dispatch
+//! policy), the per-tenant SLO targets, and the open-loop traffic
+//! sources (see `docs/serving.md`):
+//!
+//! ```json
+//! {
+//!   "cluster": {
+//!     "policy": "least-outstanding",
+//!     "seed": 7,
+//!     "horizon_cycles": 40000000,
+//!     "max_jobs": 200000,
+//!     "max_outstanding": 8,
+//!     "max_backlog_cycles": 500000,
+//!     "workers": 2,
+//!     "shards": [
+//!       {"name": "bsc0", "kind": "bsc", "quick": true},
+//!       {"name": "lpc0", "kind": "lpc", "quick": true, "mem": "edge"},
+//!       {"name": "hps0", "kind": "hps", "quick": true, "mem": "edge",
+//!        "bandwidth_bytes_per_cycle": 64}
+//!     ]
+//!   },
+//!   "tenants": {"gold": {"latency_p99_cycles": 60000, "min_goodput": 0.9}},
+//!   "sources": [
+//!     {"name": "steady", "network": "micro", "tenant": "gold",
+//!      "deadline_cycles": 60000,
+//!      "arrivals": {"process": "poisson", "mean_interarrival_cycles": 400}}
+//!   ]
+//! }
+//! ```
+//!
+//! `arrivals.process` is `poisson`, `bursty` (adds `on_cycles` /
+//! `off_cycles`) or `diurnal` (adds `segments`, each with
+//! `duration_cycles` + `mean_interarrival_cycles`).  Every export —
+//! aggregate report, SLO report, event log, Perfetto timeline,
+//! dashboard — is a pure function of the manifest, byte-identical at
+//! any worker count, so `BENCH_online_baseline.json` is gated at
+//! `--tol 0`.
+
+use bsc_accel::cluster::{
+    run_online, DispatchPolicy, JobTemplate, OnlineConfig, OnlineReport, ShardSpec,
+    TrafficSource,
+};
+use bsc_accel::des::{ArrivalProcess, DiurnalSegment};
+use bsc_accel::systolic::mem::{DramBandwidth, MemConfig};
+use bsc_accel::{AcceleratorConfig, PrecisionPolicy, TenantId};
+use bsc_mac::MacKind;
+use bsc_telemetry::{JsonBuilder, MetricsSnapshot, Telemetry};
+
+use crate::serve::{lookup_network, parse_tenants, write_slo_tenants};
+
+/// The result of one online run: the deterministic report plus the
+/// metrics snapshot.
+#[derive(Debug)]
+pub struct OnlineRun {
+    /// The cluster report (per-shard tallies, SLO fold, event log).
+    pub report: OnlineReport,
+    /// Shard names in shard order (for rendering / Perfetto groups).
+    pub shard_names: Vec<String>,
+    /// Engine telemetry (shard-labeled outcome counters, queue waits).
+    pub metrics: MetricsSnapshot,
+}
+
+fn err_at(context: &str, detail: impl std::fmt::Display) -> String {
+    format!("{context}: {detail}")
+}
+
+fn u64_field(
+    obj: &bsc_telemetry::JsonValue,
+    ctx: &str,
+    key: &str,
+) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| err_at(ctx, format!("{key}: expected a non-negative integer")))?;
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+fn parse_shard(spec: &bsc_telemetry::JsonValue, i: usize) -> Result<ShardSpec, String> {
+    let ctx = format!("cluster.shards[{i}]");
+    let name = spec
+        .get("name")
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("shard{i}"));
+    let kind = match spec
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .unwrap_or("bsc")
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "bsc" => MacKind::Bsc,
+        "lpc" => MacKind::Lpc,
+        "hps" => MacKind::Hps,
+        other => return Err(err_at(&ctx, format!("unknown architecture `{other}`"))),
+    };
+    let quick = matches!(spec.get("quick"), Some(bsc_telemetry::JsonValue::Bool(true)));
+    let mut accel =
+        if quick { AcceleratorConfig::quick(kind) } else { AcceleratorConfig::paper(kind) };
+    let mut mem = match spec.get("mem").and_then(|v| v.as_str()) {
+        None | Some("infinite") => MemConfig::infinite(),
+        Some("edge") => MemConfig::edge(),
+        Some(other) => {
+            return Err(err_at(&ctx, format!("mem: unknown preset `{other}` (infinite|edge)")))
+        }
+    };
+    if let Some(bw) = u64_field(spec, &ctx, "bandwidth_bytes_per_cycle")? {
+        if bw == 0 {
+            return Err(err_at(&ctx, "bandwidth_bytes_per_cycle: must be positive"));
+        }
+        mem = mem.with_bandwidth(DramBandwidth::BytesPerCycle(bw));
+    }
+    accel = accel.with_mem(mem);
+    Ok(ShardSpec { name, accel })
+}
+
+fn parse_arrivals(
+    spec: &bsc_telemetry::JsonValue,
+    ctx: &str,
+) -> Result<ArrivalProcess, String> {
+    let arrivals = spec.get("arrivals").ok_or_else(|| err_at(ctx, "missing `arrivals`"))?;
+    let mean = |obj: &bsc_telemetry::JsonValue, c: &str| -> Result<u64, String> {
+        u64_field(obj, c, "mean_interarrival_cycles")?
+            .filter(|m| *m >= 1)
+            .ok_or_else(|| err_at(c, "mean_interarrival_cycles: expected a positive integer"))
+    };
+    match arrivals.get("process").and_then(|v| v.as_str()).unwrap_or("poisson") {
+        "poisson" => Ok(ArrivalProcess::Poisson {
+            mean_interarrival_cycles: mean(arrivals, ctx)?,
+        }),
+        "bursty" => {
+            let on = u64_field(arrivals, ctx, "on_cycles")?
+                .filter(|v| *v >= 1)
+                .ok_or_else(|| err_at(ctx, "on_cycles: expected a positive integer"))?;
+            let off = u64_field(arrivals, ctx, "off_cycles")?
+                .ok_or_else(|| err_at(ctx, "off_cycles: expected a non-negative integer"))?;
+            Ok(ArrivalProcess::Bursty {
+                on_cycles: on,
+                off_cycles: off,
+                mean_interarrival_cycles: mean(arrivals, ctx)?,
+            })
+        }
+        "diurnal" => {
+            let segs = arrivals
+                .get("segments")
+                .and_then(|v| v.as_array())
+                .filter(|a| !a.is_empty())
+                .ok_or_else(|| err_at(ctx, "segments: expected a non-empty array"))?;
+            let mut segments = Vec::with_capacity(segs.len());
+            for (k, seg) in segs.iter().enumerate() {
+                let sctx = format!("{ctx}.segments[{k}]");
+                segments.push(DiurnalSegment {
+                    duration_cycles: u64_field(seg, &sctx, "duration_cycles")?
+                        .filter(|v| *v >= 1)
+                        .ok_or_else(|| {
+                            err_at(&sctx, "duration_cycles: expected a positive integer")
+                        })?,
+                    mean_interarrival_cycles: mean(seg, &sctx)?,
+                });
+            }
+            Ok(ArrivalProcess::Diurnal { segments })
+        }
+        other => Err(err_at(
+            ctx,
+            format!("arrivals.process: unknown process `{other}` (poisson|bursty|diurnal)"),
+        )),
+    }
+}
+
+/// Parses an online manifest into an [`OnlineConfig`].
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON, unknown
+/// networks / precisions / policies, or out-of-range parameters.
+pub fn parse_online_manifest(text: &str) -> Result<OnlineConfig, String> {
+    let doc = bsc_telemetry::parse_json(text).map_err(|e| err_at("manifest", e))?;
+    let cluster = doc.get("cluster").ok_or("manifest: missing `cluster` object")?;
+
+    let shard_specs = cluster
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .filter(|a| !a.is_empty())
+        .ok_or("cluster.shards: expected a non-empty array")?;
+    let mut shards = Vec::with_capacity(shard_specs.len());
+    for (i, spec) in shard_specs.iter().enumerate() {
+        shards.push(parse_shard(spec, i)?);
+    }
+
+    let policy = match cluster.get("policy").and_then(|v| v.as_str()) {
+        None => DispatchPolicy::LeastOutstanding,
+        Some(s) => s.parse::<DispatchPolicy>().map_err(|e| err_at("cluster.policy", e))?,
+    };
+    let seed = u64_field(cluster, "cluster", "seed")?.unwrap_or(0);
+    let horizon_cycles = u64_field(cluster, "cluster", "horizon_cycles")?
+        .filter(|h| *h >= 1)
+        .ok_or("cluster.horizon_cycles: expected a positive integer")?;
+    let max_jobs = u64_field(cluster, "cluster", "max_jobs")?.unwrap_or(u64::MAX);
+    let max_outstanding =
+        u64_field(cluster, "cluster", "max_outstanding")?.unwrap_or(64);
+    if max_outstanding == 0 {
+        return Err("cluster.max_outstanding: must be positive".into());
+    }
+    let max_backlog_cycles = u64_field(cluster, "cluster", "max_backlog_cycles")?;
+    let workers = u64_field(cluster, "cluster", "workers")?
+        .map(|w| {
+            if w == 0 { Err("cluster.workers: must be positive".to_string()) } else { Ok(w as usize) }
+        })
+        .transpose()?;
+
+    let tenants = parse_tenants(&doc)?;
+
+    let source_specs = doc
+        .get("sources")
+        .and_then(|v| v.as_array())
+        .filter(|a| !a.is_empty())
+        .ok_or("manifest: missing non-empty `sources` array")?;
+    let mut sources = Vec::with_capacity(source_specs.len());
+    for (i, spec) in source_specs.iter().enumerate() {
+        let ctx = format!("sources[{i}]");
+        let net_name = spec
+            .get("network")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| err_at(&ctx, "missing `network`"))?;
+        let network = lookup_network(net_name).map_err(|e| err_at(&ctx, e))?;
+        let name = spec
+            .get("name")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("source{i}"));
+        let precision = match spec.get("precision").and_then(|v| v.as_str()) {
+            None => PrecisionPolicy::AsTrained,
+            Some(s) => s
+                .parse::<PrecisionPolicy>()
+                .map_err(|e| err_at(&ctx, format!("precision: {e}")))?,
+        };
+        let tenant = spec
+            .get("tenant")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| err_at(&ctx, "tenant: expected a string"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "default".into());
+        let slo = tenants.get(&tenant).copied();
+        sources.push(TrafficSource {
+            template: JobTemplate {
+                name,
+                tenant: TenantId::new(tenant),
+                network,
+                precision,
+                deadline_cycles: u64_field(spec, &ctx, "deadline_cycles")?,
+                slo,
+            },
+            process: parse_arrivals(spec, &ctx)?,
+        });
+    }
+
+    Ok(OnlineConfig {
+        shards,
+        policy,
+        seed,
+        horizon_cycles,
+        max_jobs,
+        max_outstanding,
+        max_backlog_cycles,
+        workers,
+        sources,
+    })
+}
+
+/// Runs an online manifest end to end.  `workers_override` (the CLI's
+/// `--workers`) takes precedence over the manifest's worker count —
+/// results are identical either way; only wall time changes.
+///
+/// # Errors
+///
+/// Returns a message on manifest, characterization or scheduling
+/// failures.
+pub fn online(manifest_text: &str, workers_override: Option<usize>) -> Result<OnlineRun, String> {
+    let mut config = parse_online_manifest(manifest_text)?;
+    if workers_override.is_some() {
+        config.workers = workers_override;
+    }
+    let telemetry = Telemetry::metrics_only();
+    let report = run_online(&config, &telemetry).map_err(|e| err_at("online", e))?;
+    bsc_accel::CharacterizationCache::global().publish(&telemetry);
+    Ok(OnlineRun {
+        shard_names: config.shards.iter().map(|s| s.name.clone()).collect(),
+        report,
+        metrics: telemetry.metrics.snapshot(),
+    })
+}
+
+/// Aligned-text view of one online run.
+pub fn render(run: &OnlineRun) -> String {
+    use std::fmt::Write as _;
+    let r = &run.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "online: {} policy, seed {}, horizon {} cycles: {} submitted / {} completed / {} rejected / {} shed, makespan {} cycles",
+        r.policy,
+        r.seed,
+        r.horizon_cycles,
+        r.submitted,
+        r.completed,
+        r.rejected,
+        r.shed,
+        r.makespan_cycles,
+    );
+    for s in &r.shards {
+        let util = if r.makespan_cycles == 0 {
+            0.0
+        } else {
+            s.busy_cycles as f64 / r.makespan_cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "shard {:<10} [{}] {:>8} completed / {:>6} rejected / {:>6} shed, busy {:>12} cyc (util {:.2}), peak outstanding {}, {:.1} pJ",
+            s.name,
+            s.kind,
+            s.completed,
+            s.rejected,
+            s.shed,
+            s.busy_cycles,
+            util,
+            s.peak_outstanding,
+            s.energy_fj as f64 / 1e3,
+        );
+    }
+    for (labels, total) in run.metrics.labeled_counter("engine.jobs") {
+        let _ = writeln!(out, "  engine.jobs{labels} {total}");
+    }
+    for t in &r.slo.tenants {
+        let verdict = match &t.attainment {
+            Some(a) if a.attained => "SLO met".to_string(),
+            Some(a) => format!(
+                "SLO MISSED (p99 {}, goodput {})",
+                if a.latency_p99_ok { "ok" } else { "over" },
+                if a.goodput_ok { "ok" } else { "under" },
+            ),
+            None => "no target".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "tenant {:<12} {} submitted / {} completed / {} rejected / {} shed, latency p99 {} cyc, goodput {:.2}, {:.1} pJ — {}",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.rejected,
+            t.shed,
+            t.latency.p99,
+            t.goodput,
+            t.energy_fj as f64 / 1e3,
+            verdict,
+        );
+    }
+    if r.events_truncated > 0 {
+        let _ = writeln!(
+            out,
+            "event log: first {} decisions kept, {} truncated",
+            r.events.len(),
+            r.events_truncated,
+        );
+    }
+    out
+}
+
+/// Machine-readable aggregate report for the `BENCH_online_baseline.json`
+/// CI gate.  Every field is a pure function of the manifest — no wall
+/// clock, no process-global cache tallies — so the document is diffed at
+/// `--tol 0` and byte-compared across worker counts.
+pub fn report_json(run: &OnlineRun) -> String {
+    let r = &run.report;
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("cluster").begin_object();
+    j.key("policy").string(&r.policy.to_string());
+    j.key("seed").u64(r.seed);
+    j.key("horizon_cycles").u64(r.horizon_cycles);
+    j.key("shards").u64(r.shards.len() as u64);
+    j.end_object();
+
+    j.key("aggregate").begin_object();
+    j.key("submitted").u64(r.submitted);
+    j.key("completed").u64(r.completed);
+    j.key("rejected").u64(r.rejected);
+    j.key("shed").u64(r.shed);
+    j.key("makespan_cycles").u64(r.makespan_cycles);
+    j.key("total_energy_fj").u64(r.total_energy_fj());
+    j.key("events_logged").u64(r.events.len() as u64);
+    j.key("events_truncated").u64(r.events_truncated);
+    j.end_object();
+
+    j.key("shards").begin_array();
+    for s in &r.shards {
+        j.begin_object();
+        j.key("name").string(&s.name);
+        j.key("kind").string(&s.kind.to_string());
+        j.key("completed").u64(s.completed);
+        j.key("rejected").u64(s.rejected);
+        j.key("shed").u64(s.shed);
+        j.key("busy_cycles").u64(s.busy_cycles);
+        j.key("last_completion_cycle").u64(s.last_completion_cycle);
+        j.key("peak_outstanding").u64(s.peak_outstanding);
+        j.key("macs").u64(s.macs);
+        j.key("energy_fj").u64(s.energy_fj);
+        j.end_object();
+    }
+    j.end_array();
+
+    j.key("counters").begin_object();
+    // Cache hit/miss tallies are published from the process-global
+    // characterization cache (cumulative across runs), so only the
+    // run-scoped job counters are gated here.
+    for name in [
+        "engine.jobs.submitted",
+        "engine.jobs.rejected",
+        "engine.jobs.shed",
+        "engine.jobs.completed",
+    ] {
+        j.key(name).u64(run.metrics.counter(name));
+    }
+    j.end_object();
+
+    j.key("queue_wait_cycles").begin_object();
+    match run.metrics.histogram("engine.queue.wait_cycles") {
+        Some(h) => {
+            j.key("count").u64(h.count);
+            j.key("max").u64(h.max);
+            j.key("p50").f64(h.p50().unwrap_or(0.0));
+            j.key("p95").f64(h.p95().unwrap_or(0.0));
+            j.key("p99").f64(h.p99().unwrap_or(0.0));
+        }
+        None => {
+            j.key("count").u64(0);
+        }
+    }
+    j.end_object();
+
+    // Wall clock (`engine.run_online_ns`) is deliberately omitted: the
+    // report is byte-compared across worker counts, so every field must
+    // be a pure function of the manifest.
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+/// Machine-readable per-tenant SLO report, sharing the exact tenant
+/// layout of `repro serve`'s `--slo-out` (see
+/// [`write_slo_tenants`](crate::serve)) under a cluster header.
+pub fn slo_json(run: &OnlineRun) -> String {
+    let slo = &run.report.slo;
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("cluster").begin_object();
+    j.key("policy").string(&run.report.policy.to_string());
+    j.key("window_width_cycles").u64(slo.window_width_cycles);
+    j.key("total_energy_fj").u64(slo.total_energy_fj());
+    j.end_object();
+    write_slo_tenants(&mut j, slo);
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+/// Structured event log: one strict-JSON line summarizing the run, then
+/// one line per retained decision (the log is capped at
+/// [`bsc_accel::cluster::EVENT_LOG_CAP`]; the header carries the
+/// truncation count so consumers know the tail is aggregate-only).
+pub fn events_jsonl(run: &OnlineRun) -> String {
+    let r = &run.report;
+    let mut lines = Vec::with_capacity(1 + r.events.len());
+
+    let mut head = JsonBuilder::new();
+    head.begin_object();
+    head.key("event").string("online");
+    head.key("policy").string(&r.policy.to_string());
+    head.key("seed").u64(r.seed);
+    head.key("submitted").u64(r.submitted);
+    head.key("completed").u64(r.completed);
+    head.key("rejected").u64(r.rejected);
+    head.key("shed").u64(r.shed);
+    head.key("makespan_cycles").u64(r.makespan_cycles);
+    head.key("events_truncated").u64(r.events_truncated);
+    head.end_object();
+    lines.push(head.finish());
+
+    for e in &r.events {
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.key("event").string("job");
+        j.key("job").string(&e.job);
+        j.key("template").string(&e.template);
+        j.key("tenant").string(e.tenant.as_str());
+        j.key("shard").string(&e.shard);
+        j.key("outcome").string(e.outcome);
+        if let Some(reason) = e.reason {
+            j.key("reason").string(reason);
+        }
+        j.key("arrival_cycle").u64(e.arrival_cycle);
+        j.key("start_cycle").u64(e.start_cycle);
+        j.key("completion_cycle").u64(e.completion_cycle);
+        j.end_object();
+        lines.push(j.finish());
+    }
+
+    let mut out = String::new();
+    for line in lines {
+        bsc_telemetry::parse_json(&line).expect("event line must be strict RFC 8259 JSON");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome trace-event timeline of the online run: **one process (track
+/// group) per shard**, named after the shard, with the retained
+/// completed jobs as complete slices on the shard's dispatch track and
+/// shed/rejected decisions as instant events on a decisions track.
+/// Timestamps are model cycles (µs in the viewer).
+pub fn perfetto_json(run: &OnlineRun) -> String {
+    const DISPATCH_TID: u64 = 1;
+    const DECISIONS_TID: u64 = 2;
+    let r = &run.report;
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.key("displayTimeUnit").string("ms");
+    j.key("otherData").begin_object();
+    j.key("policy").string(&r.policy.to_string());
+    j.key("makespan_cycles").u64(r.makespan_cycles);
+    j.key("events_truncated").u64(r.events_truncated);
+    j.key("truncated").bool(r.events_truncated > 0);
+    j.end_object();
+    j.key("traceEvents").begin_array();
+
+    // One process per shard, in shard order.
+    for (i, name) in run.shard_names.iter().enumerate() {
+        let pid = i as u64 + 1;
+        j.begin_object();
+        j.key("ph").string("M");
+        j.key("pid").u64(pid);
+        j.key("name").string("process_name");
+        j.key("args").begin_object();
+        j.key("name").string(&format!("shard {name}"));
+        j.end_object();
+        j.end_object();
+        for (tid, label) in [(DISPATCH_TID, "dispatch"), (DECISIONS_TID, "decisions")] {
+            j.begin_object();
+            j.key("ph").string("M");
+            j.key("pid").u64(pid);
+            j.key("tid").u64(tid);
+            j.key("name").string("thread_name");
+            j.key("args").begin_object();
+            j.key("name").string(label);
+            j.end_object();
+            j.end_object();
+        }
+    }
+
+    for e in &r.events {
+        let pid = run
+            .shard_names
+            .iter()
+            .position(|n| *n == e.shard)
+            .map_or(0, |i| i as u64 + 1);
+        j.begin_object();
+        if e.outcome == "completed" {
+            j.key("ph").string("X");
+            j.key("pid").u64(pid);
+            j.key("tid").u64(DISPATCH_TID);
+            j.key("name").string(&e.job);
+            j.key("cat").string("job");
+            j.key("ts").u64(e.start_cycle);
+            j.key("dur").u64(e.completion_cycle - e.start_cycle);
+        } else {
+            j.key("ph").string("i");
+            j.key("pid").u64(pid);
+            j.key("tid").u64(DECISIONS_TID);
+            j.key("name").string(&format!("{} {}", e.outcome, e.job));
+            j.key("cat").string("decision");
+            j.key("ts").u64(e.arrival_cycle);
+            j.key("s").string("t");
+        }
+        j.key("args").begin_object();
+        j.key("tenant").string(e.tenant.as_str());
+        j.key("arrival_cycle").u64(e.arrival_cycle);
+        if let Some(reason) = e.reason {
+            j.key("reason").string(reason);
+        }
+        j.end_object();
+        j.end_object();
+    }
+
+    j.end_array();
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) const MANIFEST: &str = r#"{
+      "cluster": {
+        "policy": "least-outstanding",
+        "seed": 11,
+        "horizon_cycles": 300000,
+        "max_jobs": 5000,
+        "max_outstanding": 8,
+        "max_backlog_cycles": 200000,
+        "workers": 2,
+        "shards": [
+          {"name": "bsc0", "kind": "bsc", "quick": true},
+          {"name": "lpc0", "kind": "lpc", "quick": true, "mem": "edge"},
+          {"name": "hps0", "kind": "hps", "quick": true, "mem": "edge",
+           "bandwidth_bytes_per_cycle": 64}
+        ]
+      },
+      "tenants": {
+        "gold": {"latency_p99_cycles": 100000, "min_goodput": 0.5},
+        "strict": {"latency_p99_cycles": 1, "min_goodput": 1.0}
+      },
+      "sources": [
+        {"name": "steady", "network": "micro", "tenant": "gold",
+         "deadline_cycles": 100000,
+         "arrivals": {"process": "poisson", "mean_interarrival_cycles": 400}},
+        {"name": "burst", "network": "micro", "tenant": "strict", "precision": "int8",
+         "arrivals": {"process": "bursty", "on_cycles": 4000, "off_cycles": 16000,
+                      "mean_interarrival_cycles": 150}},
+        {"name": "tide", "network": "micro",
+         "arrivals": {"process": "diurnal", "segments": [
+            {"duration_cycles": 50000, "mean_interarrival_cycles": 300},
+            {"duration_cycles": 50000, "mean_interarrival_cycles": 3000}]}}
+      ]
+    }"#;
+
+    #[test]
+    fn manifest_parses_heterogeneous_shards_and_processes() {
+        let config = parse_online_manifest(MANIFEST).unwrap();
+        assert_eq!(config.shards.len(), 3);
+        assert_eq!(config.shards[0].accel.kind, MacKind::Bsc);
+        assert!(config.shards[0].accel.mem.is_infinite_bandwidth());
+        assert!(!config.shards[1].accel.mem.is_infinite_bandwidth());
+        assert_ne!(config.shards[1].accel.mem, config.shards[2].accel.mem);
+        assert_eq!(config.sources.len(), 3);
+        assert!(matches!(config.sources[0].process, ArrivalProcess::Poisson { .. }));
+        assert!(matches!(config.sources[1].process, ArrivalProcess::Bursty { .. }));
+        assert!(matches!(config.sources[2].process, ArrivalProcess::Diurnal { .. }));
+        assert_eq!(config.sources[0].template.tenant.as_str(), "gold");
+        assert!(config.sources[0].template.slo.is_some());
+        assert!(config.sources[2].template.slo.is_none());
+    }
+
+    #[test]
+    fn malformed_online_manifests_are_rejected_with_context() {
+        assert!(parse_online_manifest("{}").unwrap_err().contains("cluster"));
+        let bad = MANIFEST.replace("least-outstanding", "random");
+        assert!(parse_online_manifest(&bad).unwrap_err().contains("policy"));
+        let bad = MANIFEST.replace("\"process\": \"poisson\"", "\"process\": \"weibull\"");
+        assert!(parse_online_manifest(&bad).unwrap_err().contains("weibull"));
+        let bad = MANIFEST.replace("micro", "alexnet");
+        assert!(parse_online_manifest(&bad).unwrap_err().contains("alexnet"));
+    }
+
+    #[test]
+    fn online_exports_are_worker_count_independent_and_strict_json() {
+        let runs: Vec<OnlineRun> =
+            [Some(1), Some(2), Some(8)].into_iter().map(|w| online(MANIFEST, w).unwrap()).collect();
+        assert!(runs[0].report.submitted > 100);
+        assert!(runs[0].report.completed > 0);
+        let reports: Vec<String> = runs.iter().map(report_json).collect();
+        let slos: Vec<String> = runs.iter().map(slo_json).collect();
+        let events: Vec<String> = runs.iter().map(events_jsonl).collect();
+        let traces: Vec<String> = runs.iter().map(perfetto_json).collect();
+        for i in 1..runs.len() {
+            assert_eq!(reports[0], reports[i], "report differs at worker set {i}");
+            assert_eq!(slos[0], slos[i], "slo differs at worker set {i}");
+            assert_eq!(events[0], events[i], "events differ at worker set {i}");
+            assert_eq!(traces[0], traces[i], "trace differs at worker set {i}");
+        }
+        bsc_telemetry::parse_json(&reports[0]).expect("report is strict JSON");
+        bsc_telemetry::parse_json(&slos[0]).expect("slo is strict JSON");
+        bsc_telemetry::parse_json(&traces[0]).expect("trace is strict JSON");
+        for line in events[0].lines() {
+            bsc_telemetry::parse_json(line).expect("event lines are strict JSON");
+        }
+    }
+
+    #[test]
+    fn perfetto_groups_one_process_per_shard() {
+        let run = online(MANIFEST, Some(2)).unwrap();
+        let doc = bsc_telemetry::parse_json(&perfetto_json(&run)).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let processes: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                    && e.get("name").and_then(|v| v.as_str()) == Some("process_name")
+            })
+            .map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|v| v.as_str()).unwrap())
+            .collect();
+        assert_eq!(processes, vec!["shard bsc0", "shard lpc0", "shard hps0"]);
+        // Every slice lands in a declared process.
+        for e in events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")) {
+            let pid = e.get("pid").and_then(|v| v.as_f64()).unwrap();
+            assert!((1.0..=3.0).contains(&pid));
+        }
+    }
+
+    #[test]
+    fn render_names_every_shard_and_tenant() {
+        let run = online(MANIFEST, Some(2)).unwrap();
+        let text = render(&run);
+        for shard in ["bsc0", "lpc0", "hps0"] {
+            assert!(text.contains(shard), "{text}");
+        }
+        for tenant in ["gold", "strict", "default"] {
+            assert!(text.contains(tenant), "{text}");
+        }
+    }
+}

@@ -77,15 +77,51 @@ fn err_at(context: &str, detail: impl std::fmt::Display) -> String {
     format!("{context}: {detail}")
 }
 
-fn lookup_network(name: &str) -> Result<SharedNetwork, String> {
+pub(crate) fn lookup_network(name: &str) -> Result<SharedNetwork, String> {
     let net = match name.trim().to_ascii_lowercase().replace(['-', '_'], "").as_str() {
         "lenet5" | "lenet" => models::lenet5(),
         "vgg16" | "vgg" => models::vgg16(),
         "resnet18" | "resnet" => models::resnet18(),
         "nas" | "nasbased" | "nasvgg" => models::nas_based(),
-        other => return Err(format!("unknown network `{other}` (expected lenet5|vgg16|resnet18|nas)")),
+        "micro" | "micromlp" => models::micro(),
+        other => return Err(format!("unknown network `{other}` (expected lenet5|vgg16|resnet18|nas|micro)")),
     };
     Ok(net.into_shared())
+}
+
+/// Parses the optional top-level `tenants` object shared by the serve
+/// and online manifests.
+pub(crate) fn parse_tenants(
+    doc: &bsc_telemetry::JsonValue,
+) -> Result<BTreeMap<String, SloTarget>, String> {
+    let mut tenants: BTreeMap<String, SloTarget> = BTreeMap::new();
+    if let Some(t) = doc.get("tenants") {
+        let bsc_telemetry::JsonValue::Object(members) = t else {
+            return Err("manifest: `tenants` must be an object".into());
+        };
+        for (tenant, spec) in members {
+            let ctx = format!("tenants.{tenant}");
+            let p99 = spec
+                .get("latency_p99_cycles")
+                .and_then(|v| v.as_f64())
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| {
+                    err_at(&ctx, "latency_p99_cycles: expected a non-negative integer")
+                })? as u64;
+            let min_goodput = match spec.get("min_goodput") {
+                None => 0.0,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|g| (0.0..=1.0).contains(g))
+                    .ok_or_else(|| err_at(&ctx, "min_goodput: expected a number in 0..=1"))?,
+            };
+            tenants.insert(
+                tenant.clone(),
+                SloTarget { latency_p99_cycles: p99, min_goodput },
+            );
+        }
+    }
+    Ok(tenants)
 }
 
 /// Parses a serve manifest.
@@ -139,33 +175,7 @@ pub fn parse_manifest(text: &str) -> Result<ServeManifest, String> {
         config.max_backlog_cycles = Some(limit as u64);
     }
 
-    let mut tenants: BTreeMap<String, SloTarget> = BTreeMap::new();
-    if let Some(t) = doc.get("tenants") {
-        let bsc_telemetry::JsonValue::Object(members) = t else {
-            return Err("manifest: `tenants` must be an object".into());
-        };
-        for (tenant, spec) in members {
-            let ctx = format!("tenants.{tenant}");
-            let p99 = spec
-                .get("latency_p99_cycles")
-                .and_then(|v| v.as_f64())
-                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
-                .ok_or_else(|| {
-                    err_at(&ctx, "latency_p99_cycles: expected a non-negative integer")
-                })? as u64;
-            let min_goodput = match spec.get("min_goodput") {
-                None => 0.0,
-                Some(v) => v
-                    .as_f64()
-                    .filter(|g| (0.0..=1.0).contains(g))
-                    .ok_or_else(|| err_at(&ctx, "min_goodput: expected a number in 0..=1"))?,
-            };
-            tenants.insert(
-                tenant.clone(),
-                SloTarget { latency_p99_cycles: p99, min_goodput },
-            );
-        }
-    }
+    let tenants = parse_tenants(&doc)?;
 
     let specs = doc
         .get("jobs")
@@ -446,6 +456,16 @@ pub fn slo_json(run: &ServeRun) -> String {
     j.key("total_energy_fj").u64(slo.total_energy_fj());
     j.end_object();
 
+    write_slo_tenants(&mut j, slo);
+    j.end_object();
+    let mut text = j.finish();
+    text.push('\n');
+    text
+}
+
+/// Writes the `tenants` array of an SLO report — the exact member
+/// layout both `repro serve` and `repro online` gate at `--tol 0`.
+pub(crate) fn write_slo_tenants(j: &mut JsonBuilder, slo: &bsc_accel::SloReport) {
     j.key("tenants").begin_array();
     for t in &slo.tenants {
         j.begin_object();
@@ -518,10 +538,6 @@ pub fn slo_json(run: &ServeRun) -> String {
         j.end_object();
     }
     j.end_array();
-    j.end_object();
-    let mut text = j.finish();
-    text.push('\n');
-    text
 }
 
 /// Structured event log: one strict-JSON object per line, each stamped

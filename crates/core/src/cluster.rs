@@ -1,0 +1,838 @@
+//! Multi-shard online serving: open-loop arrivals dispatched across
+//! heterogeneous accelerators on the discrete-event clock.
+//!
+//! A [`Cluster`](OnlineConfig) is a set of [`ShardSpec`]s — each its
+//! own [`AcceleratorConfig`], so shards may mix MAC kinds (BSC / LPC /
+//! HPS) *and* memory hierarchies — fed by seeded
+//! [`ArrivalProcess`](crate::des::ArrivalProcess) traffic sources.
+//! [`run_online`] drives one [`crate::des::EventQueue`] interleaving
+//! job-arrival and shard-completion events:
+//!
+//! 1. **Arrival** at cycle *t*: the [`DispatchPolicy`] picks a shard,
+//!    then the engine's admission ladder runs against that shard —
+//!    outstanding-job cap (`queue_full`), backlog limit (`overloaded`),
+//!    and the DMA-aware deadline lower bound
+//!    (`deadline_infeasible`, [`crate::Engine::estimate_cycles`]
+//!    semantics).  Survivors get the shard's *exact* stall-inclusive
+//!    schedule; if even that misses the absolute deadline
+//!    (`arrival + relative deadline`) the job is shed at *t* without
+//!    occupying the shard.  Dispatched jobs advance the shard's
+//!    busy-until clock and enqueue a completion event.
+//! 2. **Completion** at cycle *c*: the shard's outstanding count drops;
+//!    at equal times completions precede arrivals
+//!    ([`crate::des::PRIORITY_COMPLETION`]) so freed capacity is
+//!    visible to same-cycle arrivals.
+//!
+//! Every scheduling decision happens serially on the event clock.
+//! Workers enter only afterwards, to evaluate the expensive per-layer
+//! [`NetworkReport`] **once per distinct (traffic source × shard)
+//! pair** — results merge by pair index, so the whole
+//! [`OnlineReport`], including the folded [`SloReport`], is
+//! bit-identical at any worker count.  Latency is `completion −
+//! arrival` on the event clock; outcomes stream into the existing
+//! [`SloAccountant`], so per-tenant p99 / goodput / shed series come
+//! for free over 10⁵–10⁶ simulated jobs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bsc_mac::MacKind;
+use bsc_nn::SharedNetwork;
+use bsc_telemetry::Telemetry;
+
+use crate::des::{ArrivalGen, ArrivalProcess, EventQueue, PRIORITY_ARRIVAL, PRIORITY_COMPLETION};
+use crate::engine::{
+    estimate_cycles_for, schedule_cycles_for, CharacterizationCache, PrecisionPolicy,
+    RejectReason, ShedReason,
+};
+use crate::report::NetworkReport;
+use crate::slo::{quantize_energy_fj, window_width_for_horizon, SloAccountant, SloReport, SloTarget, TenantId};
+use crate::{AccelError, Accelerator, AcceleratorConfig};
+
+/// One shard of the cluster: a named accelerator configuration.  Shards
+/// may differ in MAC kind *and* memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Stable shard name (metric label, report key, Perfetto track
+    /// group).
+    pub name: String,
+    /// The accelerator this shard models.
+    pub accel: AcceleratorConfig,
+}
+
+/// How arrivals choose a shard.  All policies are deterministic
+/// functions of the event-clock state; ties always break toward the
+/// lowest shard index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Cycle through shards in index order, one arrival each.
+    RoundRobin,
+    /// Pick the shard with the least outstanding work
+    /// (`busy_until − now`).
+    LeastOutstanding,
+    /// Deficit-counter fairness: route each tenant to the shard where
+    /// that tenant has consumed the fewest execution cycles so far, so
+    /// heavy tenants spread out instead of monopolizing one shard.
+    TenantFair,
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastOutstanding => "least-outstanding",
+            DispatchPolicy::TenantFair => "tenant-fair",
+        })
+    }
+}
+
+impl std::str::FromStr for DispatchPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
+            "round-robin" | "rr" => Ok(DispatchPolicy::RoundRobin),
+            "least-outstanding" | "least-loaded" | "lo" => Ok(DispatchPolicy::LeastOutstanding),
+            "tenant-fair" | "fair" => Ok(DispatchPolicy::TenantFair),
+            other => Err(format!(
+                "unknown dispatch policy {other:?} (expected round-robin, least-outstanding or tenant-fair)"
+            )),
+        }
+    }
+}
+
+/// The job every arrival of one traffic source instantiates.
+#[derive(Debug, Clone)]
+pub struct JobTemplate {
+    /// Template name; job instances are `name#<arrival-seq>`.
+    pub name: String,
+    /// Tenant the instances are accounted to.
+    pub tenant: TenantId,
+    /// The network to run.
+    pub network: SharedNetwork,
+    /// Precision policy applied once, up front.
+    pub precision: PrecisionPolicy,
+    /// Deadline **relative to arrival** (absolute deadline =
+    /// `arrival + deadline_cycles`), or `None` for best-effort.
+    pub deadline_cycles: Option<u64>,
+    /// The tenant's SLO target, if any (declared to the accountant).
+    pub slo: Option<SloTarget>,
+}
+
+/// One open-loop traffic source: a job template plus the arrival
+/// process that emits its instances.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    /// What each arrival runs.
+    pub template: JobTemplate,
+    /// When arrivals happen.
+    pub process: ArrivalProcess,
+}
+
+/// Configuration of one online-serving run.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The heterogeneous shards jobs dispatch onto (must be non-empty).
+    pub shards: Vec<ShardSpec>,
+    /// Shard-selection policy.
+    pub policy: DispatchPolicy,
+    /// Seed for all arrival processes (each source derives its own
+    /// stream deterministically from this and its index).
+    pub seed: u64,
+    /// Arrivals are generated while their timestamp is ≤ this horizon.
+    pub horizon_cycles: u64,
+    /// Hard cap on total arrivals (guards runaway rate tables).
+    pub max_jobs: u64,
+    /// Per-shard cap on dispatched-but-incomplete jobs; the `queue_full`
+    /// rejection.
+    pub max_outstanding: u64,
+    /// Per-shard backlog limit in cycles (`busy_until − now`); the
+    /// `overloaded` rejection.  `None` disables the check.
+    pub max_backlog_cycles: Option<u64>,
+    /// Worker threads for the report-evaluation phase (`None` = auto).
+    /// **Never** affects results.
+    pub workers: Option<usize>,
+    /// The traffic sources (must be non-empty).
+    pub sources: Vec<TrafficSource>,
+}
+
+/// Per-shard tallies of one online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard name.
+    pub name: String,
+    /// Shard MAC architecture.
+    pub kind: MacKind,
+    /// Jobs this shard completed.
+    pub completed: u64,
+    /// Jobs rejected while this shard was the dispatch choice.
+    pub rejected: u64,
+    /// Jobs shed while this shard was the dispatch choice.
+    pub shed: u64,
+    /// Sum of exact execution cycles of completed jobs.
+    pub busy_cycles: u64,
+    /// Cycle of the shard's last completion (0 if none).
+    pub last_completion_cycle: u64,
+    /// High-water mark of dispatched-but-incomplete jobs.
+    pub peak_outstanding: u64,
+    /// Useful MACs completed.
+    pub macs: u64,
+    /// fJ-exact energy of completed jobs (integer sum of per-layer
+    /// quantized energies — see [`crate::slo::quantize_energy_fj`]).
+    pub energy_fj: u64,
+}
+
+/// One (capped) event-log record for the JSONL / Perfetto exports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineEvent {
+    /// Job instance name (`template#seq`).
+    pub job: String,
+    /// Template the instance came from.
+    pub template: String,
+    /// Tenant accounted.
+    pub tenant: TenantId,
+    /// The dispatch-chosen shard.
+    pub shard: String,
+    /// `"completed"`, `"rejected"` or `"shed"`.
+    pub outcome: &'static str,
+    /// Machine-readable reason slug for rejected/shed.
+    pub reason: Option<&'static str>,
+    /// Arrival cycle.
+    pub arrival_cycle: u64,
+    /// Execution start cycle (= arrival for immediate dispatch;
+    /// equal to `arrival_cycle` on rejected/shed records).
+    pub start_cycle: u64,
+    /// Completion cycle (decision cycle on rejected/shed records).
+    pub completion_cycle: u64,
+}
+
+/// Cap on retained [`OnlineEvent`] records: the aggregate numbers cover
+/// every job, but per-job logs over 10⁶ arrivals would dwarf the run,
+/// so the log keeps the first [`EVENT_LOG_CAP`] decisions and counts
+/// the rest in [`OnlineReport::events_truncated`].
+pub const EVENT_LOG_CAP: usize = 10_000;
+
+/// The deterministic result of one [`run_online`] call.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Dispatch policy that ran.
+    pub policy: DispatchPolicy,
+    /// Seed of the arrival streams.
+    pub seed: u64,
+    /// Configured arrival horizon.
+    pub horizon_cycles: u64,
+    /// Total arrivals (= completed + rejected + shed).
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs refused at admission.
+    pub rejected: u64,
+    /// Jobs shed at dispatch (exact schedule missed the deadline).
+    pub shed: u64,
+    /// Last completion cycle across all shards.
+    pub makespan_cycles: u64,
+    /// Per-shard tallies, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Per-tenant SLO accounting (latency = completion − arrival).
+    pub slo: SloReport,
+    /// First [`EVENT_LOG_CAP`] per-job decisions, in event order.
+    pub events: Vec<OnlineEvent>,
+    /// Decisions beyond the event-log cap.
+    pub events_truncated: u64,
+}
+
+impl OnlineReport {
+    /// Total fJ-exact energy across shards.
+    pub fn total_energy_fj(&self) -> u64 {
+        self.shards.iter().map(|s| s.energy_fj).sum()
+    }
+}
+
+/// Mutable per-shard dispatch state.
+struct ShardState {
+    busy_until: u64,
+    outstanding: u64,
+    peak_outstanding: u64,
+}
+
+/// Chooses the shard for one arrival.  Deterministic; ties break toward
+/// the lowest index.
+fn choose_shard(
+    policy: DispatchPolicy,
+    now: u64,
+    shards: &[ShardState],
+    rr_cursor: &mut usize,
+    tenant_cycles: &BTreeMap<(usize, usize), u64>,
+    source: usize,
+) -> usize {
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let pick = *rr_cursor % shards.len();
+            *rr_cursor = (*rr_cursor + 1) % shards.len();
+            pick
+        }
+        DispatchPolicy::LeastOutstanding => shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.busy_until.saturating_sub(now), *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+        DispatchPolicy::TenantFair => (0..shards.len())
+            .min_by_key(|&i| (tenant_cycles.get(&(source, i)).copied().unwrap_or(0), i))
+            .unwrap_or(0),
+    }
+}
+
+/// Runs one online-serving simulation.  See the module docs for the
+/// event semantics and determinism contract.
+///
+/// The returned report and the metrics recorded into `telemetry` are a
+/// pure function of `config` — bit-identical at any worker count and on
+/// every platform.
+///
+/// # Errors
+///
+/// Propagates characterization and mapping failures; rejects empty
+/// shard or source lists as
+/// [`AccelError::Config`](crate::AccelError).
+pub fn run_online(
+    config: &OnlineConfig,
+    telemetry: &Telemetry,
+) -> Result<OnlineReport, AccelError> {
+    if config.shards.is_empty() {
+        return Err(AccelError::Config("online cluster needs at least one shard".into()));
+    }
+    if config.sources.is_empty() {
+        return Err(AccelError::Config("online cluster needs at least one traffic source".into()));
+    }
+    let _wall = telemetry.metrics.timer("engine.run_online_ns");
+    let m = &telemetry.metrics;
+
+    // Precision policies apply once; per-(source × shard) cycle numbers
+    // are computed up front — the event loop then runs on pure integers.
+    let networks: Vec<SharedNetwork> =
+        config.sources.iter().map(|s| s.template.precision.apply(&s.template.network)).collect();
+    let n_shards = config.shards.len();
+    let mut estimate = vec![0u64; config.sources.len() * n_shards];
+    let mut exact = vec![0u64; config.sources.len() * n_shards];
+    for (si, net) in networks.iter().enumerate() {
+        for (hi, shard) in config.shards.iter().enumerate() {
+            estimate[si * n_shards + hi] = estimate_cycles_for(&shard.accel, net);
+            exact[si * n_shards + hi] = schedule_cycles_for(&shard.accel, net)?;
+        }
+    }
+
+    enum Event {
+        Arrival { source: usize },
+        Completion { shard: usize },
+    }
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut gens: Vec<ArrivalGen> = config
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            // Distinct, deterministic stream per source: golden-ratio
+            // hashing keeps seeds apart even for adjacent indices.
+            let seed = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ArrivalGen::new(s.process.clone(), seed)
+        })
+        .collect();
+    let mut arrivals_pushed = 0u64;
+    for (i, g) in gens.iter_mut().enumerate() {
+        let t = g.next_arrival();
+        if t <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
+            events.push(t, PRIORITY_ARRIVAL, Event::Arrival { source: i });
+            arrivals_pushed += 1;
+        }
+    }
+
+    let mut shards: Vec<ShardState> = (0..n_shards)
+        .map(|_| ShardState { busy_until: 0, outstanding: 0, peak_outstanding: 0 })
+        .collect();
+    let mut shard_reports: Vec<ShardReport> = config
+        .shards
+        .iter()
+        .map(|s| ShardReport {
+            name: s.name.clone(),
+            kind: s.accel.kind,
+            completed: 0,
+            rejected: 0,
+            shed: 0,
+            busy_cycles: 0,
+            last_completion_cycle: 0,
+            peak_outstanding: 0,
+            macs: 0,
+            energy_fj: 0,
+        })
+        .collect();
+
+    // One completed job, compactly: the NetworkReport is attached later,
+    // once per distinct (source × shard) pair.
+    struct CompletedRec {
+        source: u32,
+        shard: u32,
+        arrival: u64,
+        completion: u64,
+    }
+    let mut completed_recs: Vec<CompletedRec> = Vec::new();
+    let mut rr_cursor = 0usize;
+    let mut tenant_cycles: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut per_source_seq: Vec<u64> = vec![0; config.sources.len()];
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut event_log: Vec<OnlineEvent> = Vec::new();
+    let mut events_truncated = 0u64;
+    // Deferred SLO observations that need no NetworkReport fold
+    // immediately; completion observations wait for the report phase,
+    // but their *decision* bookkeeping happens here.
+    struct Deferred {
+        tenant: TenantId,
+        kind: DeferredKind,
+    }
+    enum DeferredKind {
+        Rejection(&'static str),
+        Shed(&'static str, u64),
+    }
+    let mut deferred: Vec<Deferred> = Vec::new();
+
+    let log_event = |log: &mut Vec<OnlineEvent>, truncated: &mut u64, ev: OnlineEvent| {
+        if log.len() < EVENT_LOG_CAP {
+            log.push(ev);
+        } else {
+            *truncated += 1;
+        }
+    };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Completion { shard } => {
+                shards[shard].outstanding -= 1;
+            }
+            Event::Arrival { source } => {
+                // Keep the source's stream flowing before anything else,
+                // so admission decisions can't perturb arrival times.
+                let next = gens[source].next_arrival();
+                if next <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
+                    events.push(next, PRIORITY_ARRIVAL, Event::Arrival { source });
+                    arrivals_pushed += 1;
+                }
+
+                let tmpl = &config.sources[source].template;
+                let seq = per_source_seq[source];
+                per_source_seq[source] += 1;
+                submitted += 1;
+                m.counter("engine.jobs.submitted").inc();
+
+                let hi = choose_shard(
+                    config.policy,
+                    now,
+                    &shards,
+                    &mut rr_cursor,
+                    &tenant_cycles,
+                    source,
+                );
+                let shard_name = config.shards[hi].name.clone();
+                let backlog = shards[hi].busy_until.saturating_sub(now);
+                let est = estimate[source * n_shards + hi];
+
+                let reject_reason = if shards[hi].outstanding >= config.max_outstanding {
+                    Some(RejectReason::QueueFull {
+                        capacity: config.max_outstanding as usize,
+                    })
+                } else if config
+                    .max_backlog_cycles
+                    .is_some_and(|limit| backlog > limit)
+                {
+                    Some(RejectReason::Overloaded {
+                        backlog_cycles: backlog,
+                        limit_cycles: config.max_backlog_cycles.unwrap_or(0),
+                    })
+                } else if tmpl
+                    .deadline_cycles
+                    .is_some_and(|d| backlog + est > d)
+                {
+                    Some(RejectReason::DeadlineInfeasible {
+                        projected_cycles: backlog + est,
+                        deadline_cycles: tmpl.deadline_cycles.unwrap_or(0),
+                    })
+                } else {
+                    None
+                };
+                if let Some(reason) = reject_reason {
+                    rejected += 1;
+                    shard_reports[hi].rejected += 1;
+                    m.counter("engine.jobs.rejected").inc();
+                    m.labeled_counter("engine.jobs")
+                        .with(&[
+                            ("outcome", "rejected"),
+                            ("reason", reason.slug()),
+                            ("shard", &shard_name),
+                        ])
+                        .inc();
+                    deferred.push(Deferred {
+                        tenant: tmpl.tenant.clone(),
+                        kind: DeferredKind::Rejection(reason.slug()),
+                    });
+                    log_event(&mut event_log, &mut events_truncated, OnlineEvent {
+                        job: format!("{}#{seq}", tmpl.name),
+                        template: tmpl.name.clone(),
+                        tenant: tmpl.tenant.clone(),
+                        shard: shard_name,
+                        outcome: "rejected",
+                        reason: Some(reason.slug()),
+                        arrival_cycle: now,
+                        start_cycle: now,
+                        completion_cycle: now,
+                    });
+                    continue;
+                }
+
+                let cycles = exact[source * n_shards + hi];
+                let start = shards[hi].busy_until.max(now);
+                let completion = start + cycles;
+                if let Some(d) = tmpl.deadline_cycles {
+                    if completion > now + d {
+                        let reason = ShedReason::DeadlineMissed {
+                            completion_cycle: completion,
+                            deadline_cycles: now + d,
+                        };
+                        shed += 1;
+                        shard_reports[hi].shed += 1;
+                        m.counter("engine.jobs.shed").inc();
+                        m.labeled_counter("engine.jobs")
+                            .with(&[
+                                ("outcome", "shed"),
+                                ("reason", reason.slug()),
+                                ("shard", &shard_name),
+                            ])
+                            .inc();
+                        deferred.push(Deferred {
+                            tenant: tmpl.tenant.clone(),
+                            kind: DeferredKind::Shed(reason.slug(), now),
+                        });
+                        log_event(&mut event_log, &mut events_truncated, OnlineEvent {
+                            job: format!("{}#{seq}", tmpl.name),
+                            template: tmpl.name.clone(),
+                            tenant: tmpl.tenant.clone(),
+                            shard: shard_name,
+                            outcome: "shed",
+                            reason: Some(reason.slug()),
+                            arrival_cycle: now,
+                            start_cycle: now,
+                            completion_cycle: now,
+                        });
+                        continue;
+                    }
+                }
+
+                // Dispatch.
+                shards[hi].busy_until = completion;
+                shards[hi].outstanding += 1;
+                shards[hi].peak_outstanding =
+                    shards[hi].peak_outstanding.max(shards[hi].outstanding);
+                *tenant_cycles.entry((source, hi)).or_default() += cycles;
+                shard_reports[hi].completed += 1;
+                shard_reports[hi].busy_cycles += cycles;
+                shard_reports[hi].last_completion_cycle =
+                    shard_reports[hi].last_completion_cycle.max(completion);
+                m.counter("engine.jobs.completed").inc();
+                m.labeled_counter("engine.jobs")
+                    .with(&[("outcome", "completed"), ("shard", &shard_name)])
+                    .inc();
+                m.histogram("engine.queue.wait_cycles", crate::engine::QUEUE_WAIT_BOUNDS_CYCLES)
+                    .record(start - now);
+                events.push(completion, PRIORITY_COMPLETION, Event::Completion { shard: hi });
+                completed_recs.push(CompletedRec {
+                    source: source as u32,
+                    shard: hi as u32,
+                    arrival: now,
+                    completion,
+                });
+                log_event(&mut event_log, &mut events_truncated, OnlineEvent {
+                    job: format!("{}#{seq}", tmpl.name),
+                    template: tmpl.name.clone(),
+                    tenant: tmpl.tenant.clone(),
+                    shard: shard_name,
+                    outcome: "completed",
+                    reason: None,
+                    arrival_cycle: now,
+                    start_cycle: start,
+                    completion_cycle: completion,
+                });
+            }
+        }
+    }
+
+    // Report-evaluation phase: the only parallel section.  One
+    // NetworkReport per distinct (source × shard) pair that completed at
+    // least one job; merged by pair index, so worker count is invisible.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    {
+        let mut seen = vec![false; config.sources.len() * n_shards];
+        for rec in &completed_recs {
+            let key = rec.source as usize * n_shards + rec.shard as usize;
+            if !seen[key] {
+                seen[key] = true;
+                pairs.push((rec.source as usize, rec.shard as usize));
+            }
+        }
+        pairs.sort_unstable();
+    }
+    let mut characs: Vec<Option<Arc<bsc_mac::ppa::DesignCharacterization>>> =
+        vec![None; n_shards];
+    for &(_, hi) in &pairs {
+        if characs[hi].is_none() {
+            let mut cc = config.shards[hi].accel.characterize.clone();
+            cc.length = config.shards[hi].accel.array.vector_length;
+            characs[hi] = Some(
+                CharacterizationCache::global()
+                    .get_or_characterize(config.shards[hi].accel.kind, &cc)?,
+            );
+        }
+    }
+    let reports: Vec<Result<NetworkReport, AccelError>> = bsc_netlist::par::run_indexed_with(
+        pairs.len(),
+        config.workers,
+        || (),
+        |(), i| {
+            let (si, hi) = pairs[i];
+            let accel = Accelerator::with_shared_characterization(
+                config.shards[hi].accel.clone(),
+                Arc::clone(characs[hi].as_ref().expect("characterized above")),
+            );
+            accel.run_network(&networks[si])
+        },
+    );
+    let mut pair_reports: BTreeMap<(usize, usize), NetworkReport> = BTreeMap::new();
+    for (&pair, report) in pairs.iter().zip(reports) {
+        pair_reports.insert(pair, report?);
+    }
+
+    // Serial SLO fold.  Order never matters for the accountant's BTree
+    // state, but folding deferred decisions then completions keeps the
+    // walk obvious.  The window width derives from the full horizon —
+    // completions may legitimately land past the arrival horizon.
+    let makespan = completed_recs.iter().map(|r| r.completion).max().unwrap_or(0);
+    let horizon = config.horizon_cycles.max(makespan);
+    let mut acc = SloAccountant::new(window_width_for_horizon(horizon));
+    for s in &config.sources {
+        if let Some(target) = s.template.slo {
+            acc.declare_target(s.template.tenant.clone(), target);
+        }
+    }
+    for d in &deferred {
+        match d.kind {
+            DeferredKind::Rejection(slug) => acc.observe_rejection(&d.tenant, slug),
+            DeferredKind::Shed(slug, cycle) => acc.observe_shed(&d.tenant, slug, cycle),
+        }
+    }
+    for rec in &completed_recs {
+        let tmpl = &config.sources[rec.source as usize].template;
+        let report = &pair_reports[&(rec.source as usize, rec.shard as usize)];
+        acc.observe_completion(
+            &tmpl.tenant,
+            rec.completion - rec.arrival,
+            rec.completion,
+            tmpl.deadline_cycles.map(|_| true),
+            report,
+        );
+        let sr = &mut shard_reports[rec.shard as usize];
+        sr.macs += report.total_macs();
+        for layer in report.layers() {
+            sr.energy_fj += quantize_energy_fj(layer.energy_fj);
+        }
+    }
+    for (sr, st) in shard_reports.iter_mut().zip(&shards) {
+        sr.peak_outstanding = st.peak_outstanding;
+    }
+    let completed = completed_recs.len() as u64;
+    m.gauge("engine.online.makespan_cycles").set(makespan.min(i64::MAX as u64) as i64);
+
+    Ok(OnlineReport {
+        policy: config.policy,
+        seed: config.seed,
+        horizon_cycles: config.horizon_cycles,
+        submitted,
+        completed,
+        rejected,
+        shed,
+        makespan_cycles: makespan,
+        shards: shard_reports,
+        slo: acc.report(),
+        events: event_log,
+        events_truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::ArrivalProcess;
+    use bsc_mac::Precision;
+    use bsc_nn::{Layer, LayerKind, Network};
+
+    fn toy_net(name: &str, fan_in: usize, fan_out: usize, p: Precision) -> SharedNetwork {
+        Network {
+            name: name.into(),
+            dataset: "unit".into(),
+            layers: vec![Layer::new("fc", LayerKind::Fc { fan_in, fan_out }, p)],
+        }
+        .into_shared()
+    }
+
+    fn quick_shards() -> Vec<ShardSpec> {
+        [MacKind::Bsc, MacKind::Lpc, MacKind::Hps]
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| ShardSpec {
+                name: format!("shard{i}"),
+                accel: AcceleratorConfig::quick(kind),
+            })
+            .collect()
+    }
+
+    fn quick_config(policy: DispatchPolicy, workers: Option<usize>) -> OnlineConfig {
+        OnlineConfig {
+            shards: quick_shards(),
+            policy,
+            seed: 7,
+            horizon_cycles: 200_000,
+            max_jobs: 10_000,
+            max_outstanding: 8,
+            max_backlog_cycles: Some(50_000),
+            workers,
+            sources: vec![
+                TrafficSource {
+                    template: JobTemplate {
+                        name: "steady".into(),
+                        tenant: TenantId::new("gold"),
+                        network: toy_net("a", 64, 8, Precision::Int8),
+                        precision: PrecisionPolicy::AsTrained,
+                        deadline_cycles: Some(20_000),
+                        slo: Some(SloTarget {
+                            latency_p99_cycles: 50_000,
+                            min_goodput: 0.5,
+                        }),
+                    },
+                    process: ArrivalProcess::Poisson { mean_interarrival_cycles: 500 },
+                },
+                TrafficSource {
+                    template: JobTemplate {
+                        name: "burst".into(),
+                        tenant: TenantId::new("bronze"),
+                        network: toy_net("b", 128, 16, Precision::Int4),
+                        precision: PrecisionPolicy::AsTrained,
+                        deadline_cycles: None,
+                        slo: None,
+                    },
+                    process: ArrivalProcess::Bursty {
+                        on_cycles: 5_000,
+                        off_cycles: 20_000,
+                        mean_interarrival_cycles: 200,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn online_report_is_worker_count_independent() {
+        let runs: Vec<OnlineReport> = [Some(1), Some(2), Some(8)]
+            .into_iter()
+            .map(|w| {
+                run_online(&quick_config(DispatchPolicy::LeastOutstanding, w), &Telemetry::metrics_only())
+                    .unwrap()
+            })
+            .collect();
+        assert!(runs[0].submitted > 100, "traffic actually flowed");
+        assert!(runs[0].completed > 0);
+        for r in &runs[1..] {
+            assert_eq!(r.submitted, runs[0].submitted);
+            assert_eq!(r.shards, runs[0].shards);
+            assert_eq!(r.slo, runs[0].slo);
+            assert_eq!(r.events, runs[0].events);
+        }
+    }
+
+    #[test]
+    fn round_robin_touches_every_shard() {
+        let report =
+            run_online(&quick_config(DispatchPolicy::RoundRobin, Some(2)), &Telemetry::metrics_only())
+                .unwrap();
+        for s in &report.shards {
+            assert!(
+                s.completed + s.rejected + s.shed > 0,
+                "round-robin must route to {}",
+                s.name
+            );
+        }
+        assert_eq!(
+            report.submitted,
+            report.completed + report.rejected + report.shed,
+            "every arrival gets exactly one outcome"
+        );
+    }
+
+    #[test]
+    fn policies_are_deterministic_but_distinct() {
+        let tel = Telemetry::metrics_only;
+        let rr = run_online(&quick_config(DispatchPolicy::RoundRobin, Some(2)), &tel()).unwrap();
+        let rr2 = run_online(&quick_config(DispatchPolicy::RoundRobin, Some(2)), &tel()).unwrap();
+        let lo = run_online(&quick_config(DispatchPolicy::LeastOutstanding, Some(2)), &tel()).unwrap();
+        assert_eq!(rr.events, rr2.events, "same config, same stream");
+        // Same arrivals, different placement bookkeeping.
+        assert_eq!(rr.submitted, lo.submitted);
+    }
+
+    #[test]
+    fn tenant_fair_spreads_one_tenant_across_shards() {
+        let mut config = quick_config(DispatchPolicy::TenantFair, Some(2));
+        config.sources.truncate(1); // single hot tenant
+        let report = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        let used = report.shards.iter().filter(|s| s.completed > 0).count();
+        assert!(used >= 2, "tenant-fair must not pin one tenant to one shard");
+    }
+
+    #[test]
+    fn deadlines_reject_or_shed_under_pressure() {
+        let mut config = quick_config(DispatchPolicy::RoundRobin, Some(1));
+        // Deadline below even the estimate: every arrival of source 0 is
+        // rejected as infeasible.
+        config.sources[0].template.deadline_cycles = Some(1);
+        let report = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        assert!(report.rejected > 0);
+        let gold = report.slo.tenant("gold").expect("gold tenant present");
+        assert_eq!(gold.completed, 0);
+        assert!(gold
+            .rejected_by_reason
+            .iter()
+            .any(|(slug, n)| slug == "deadline_infeasible" && *n == gold.rejected));
+    }
+
+    #[test]
+    fn online_latency_is_completion_minus_arrival() {
+        let config = quick_config(DispatchPolicy::LeastOutstanding, Some(2));
+        let report = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        // Every logged completed event's latency is bounded by the SLO
+        // sketch's max.
+        let max_latency: u64 = report
+            .events
+            .iter()
+            .filter(|e| e.outcome == "completed")
+            .map(|e| e.completion_cycle - e.arrival_cycle)
+            .max()
+            .unwrap();
+        let sketch_max = report
+            .slo
+            .tenants
+            .iter()
+            .map(|t| t.latency.max)
+            .max()
+            .unwrap();
+        assert!(max_latency <= sketch_max || report.events_truncated > 0);
+        assert!(sketch_max > 0);
+    }
+}

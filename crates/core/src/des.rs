@@ -1,0 +1,396 @@
+//! Deterministic discrete-event scheduling primitives.
+//!
+//! The engine's original batch planner was a serial `for` loop over a
+//! virtual clock.  Online serving needs the same determinism with
+//! *interleaved* event streams — job arrivals from open-loop traffic
+//! generators racing shard completions — so this module provides the
+//! two building blocks both modes share:
+//!
+//! * [`EventQueue`]: a binary-heap priority queue whose total order is
+//!   the triple `(time, priority, seq)`.  At equal times, completions
+//!   ([`PRIORITY_COMPLETION`]) are delivered before arrivals
+//!   ([`PRIORITY_ARRIVAL`]) so a shard freed at cycle *t* can accept a
+//!   job arriving at cycle *t*; remaining ties break FIFO by push
+//!   sequence number.  That triple is the **entire** tie-break contract
+//!   — nothing about heap internals or hash order leaks into results,
+//!   which is what makes every consumer bit-identical at any worker
+//!   count.
+//! * [`ArrivalGen`]: seeded open-loop arrival processes on the integer
+//!   cycle clock — Poisson via an inverse-CDF in fixed point (no
+//!   floats, so no platform-dependent rounding), bursty on/off gating,
+//!   and diurnal rate tables.  Inter-arrival gaps are clamped to ≥ 1
+//!   cycle so every generator makes progress.
+//!
+//! All arithmetic is integer (Q32 fixed point where fractions are
+//! needed); nothing reads wall time.
+
+use bsc_netlist::rng::Rng64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Event priority of shard completions: at equal times a completion is
+/// delivered **before** any arrival, so the freed capacity is visible
+/// to a job arriving on the same cycle.
+pub const PRIORITY_COMPLETION: u8 = 0;
+
+/// Event priority of job arrivals (after completions at equal times).
+pub const PRIORITY_ARRIVAL: u8 = 1;
+
+/// One queued event: ordering key plus opaque payload.
+struct Entry<T> {
+    time: u64,
+    priority: u8,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> Entry<T> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A deterministic discrete-event queue ordered by `(time, priority,
+/// seq)`.  `seq` is assigned at push time, so equal `(time, priority)`
+/// events pop in push order (FIFO) — see the module docs for why this
+/// triple is the complete determinism contract.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Enqueues `payload` at `time` with the given priority class
+    /// ([`PRIORITY_COMPLETION`] or [`PRIORITY_ARRIVAL`]).
+    pub fn push(&mut self, time: u64, priority: u8, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, priority, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// ln 2 in Q32 fixed point (`⌊ln 2 · 2³²⌉`).
+const LN2_Q32: u64 = 2_977_044_472;
+
+/// `log₂(u)` in Q32 fixed point for `u ≥ 1`: integer part from the MSB
+/// position, 32 fractional bits by iterative squaring of the normalized
+/// mantissa (the classic shift-and-square binary logarithm — exact at
+/// powers of two, monotone everywhere).
+fn log2_q32(u: u64) -> u64 {
+    debug_assert!(u >= 1);
+    let msb = 63 - u64::from(u.leading_zeros());
+    // Normalize the mantissa to Q32 in [1, 2): x = u / 2^msb.
+    let mut x: u64 =
+        if msb >= 32 { u >> (msb - 32) } else { u << (32 - msb) };
+    let mut frac: u64 = 0;
+    for i in 1..=32u64 {
+        // Invariant: x is Q32 in [1, 2).  Squaring may reach [1, 4).
+        x = ((u128::from(x) * u128::from(x)) >> 32) as u64;
+        if x >= 1u64 << 33 {
+            x >>= 1;
+            frac |= 1u64 << (32 - i);
+        }
+    }
+    (msb << 32) | frac
+}
+
+/// `−ln(u / 2⁶⁴)` in Q32 fixed point, for `u` in `[1, 2⁶⁴)`: the
+/// inverse-CDF kernel of exponential sampling.  The maximum value is
+/// `64 · ln 2 ≈ 44.36` (at `u = 1`), comfortably inside Q32 range.
+pub fn neg_ln_unit_q32(u: u64) -> u64 {
+    let u = u.max(1);
+    let diff = (64u64 << 32) - log2_q32(u);
+    ((u128::from(diff) * u128::from(LN2_Q32)) >> 32) as u64
+}
+
+/// An exponential inter-arrival sample with the given mean, from one
+/// uniform 64-bit word: `Δ = mean · (−ln(u/2⁶⁴))`, computed entirely in
+/// integer Q32 and clamped to ≥ 1 cycle so generators always advance.
+fn sample_exponential(rng: &mut Rng64, mean_cycles: u64) -> u64 {
+    let u = rng.next_u64();
+    let q = neg_ln_unit_q32(u);
+    let delta = ((u128::from(mean_cycles.max(1)) * u128::from(q)) >> 32) as u64;
+    delta.max(1)
+}
+
+/// One segment of a diurnal rate table: `duration_cycles` of traffic at
+/// `mean_interarrival_cycles`.  The table wraps (a "day" is the sum of
+/// all segment durations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiurnalSegment {
+    /// How long this segment lasts on the cycle clock.
+    pub duration_cycles: u64,
+    /// Mean inter-arrival gap while inside this segment.
+    pub mean_interarrival_cycles: u64,
+}
+
+/// An open-loop arrival process on the integer cycle clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps with the
+    /// given mean.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_interarrival_cycles: u64,
+    },
+    /// On/off gated Poisson: arrivals follow a Poisson process on an
+    /// "active time" axis that only advances during on-windows, so
+    /// bursts of Poisson traffic alternate with silent gaps.
+    Bursty {
+        /// Length of each active window.
+        on_cycles: u64,
+        /// Length of each silent window between active windows.
+        off_cycles: u64,
+        /// Mean inter-arrival gap *within* active windows.
+        mean_interarrival_cycles: u64,
+    },
+    /// Piecewise-constant rate table that wraps around (e.g. a day of
+    /// traffic).  The segment rate is sampled at the previous event's
+    /// timestamp — a deliberate, documented approximation that keeps
+    /// the inverse-CDF integer-exact.
+    Diurnal {
+        /// The repeating rate table (must be non-empty).
+        segments: Vec<DiurnalSegment>,
+    },
+}
+
+/// A seeded generator of strictly-increasing arrival timestamps for one
+/// [`ArrivalProcess`].  Two generators with the same process and seed
+/// emit identical streams on every platform.
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: Rng64,
+    /// Last emitted wall-clock arrival (Poisson/Diurnal axis).
+    last_cycle: u64,
+    /// Accumulated active time (Bursty axis).
+    active_cycles: u64,
+}
+
+impl ArrivalGen {
+    /// A generator over `process` seeded with `seed`.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        ArrivalGen {
+            process,
+            rng: Rng64::seed_from_u64(seed),
+            last_cycle: 0,
+            active_cycles: 0,
+        }
+    }
+
+    /// The next arrival's absolute cycle.  Strictly increasing (gaps
+    /// are clamped to ≥ 1 cycle).
+    pub fn next_arrival(&mut self) -> u64 {
+        match &self.process {
+            ArrivalProcess::Poisson { mean_interarrival_cycles } => {
+                let mean = *mean_interarrival_cycles;
+                self.last_cycle += sample_exponential(&mut self.rng, mean);
+                self.last_cycle
+            }
+            ArrivalProcess::Bursty { on_cycles, off_cycles, mean_interarrival_cycles } => {
+                // Poisson on the active-time axis, then warp active time
+                // onto the wall clock by inserting one off-window after
+                // every completed on-window.
+                let (on, off, mean) =
+                    ((*on_cycles).max(1), *off_cycles, *mean_interarrival_cycles);
+                self.active_cycles += sample_exponential(&mut self.rng, mean);
+                let a = self.active_cycles;
+                self.last_cycle = (a / on) * (on + off) + a % on;
+                self.last_cycle
+            }
+            ArrivalProcess::Diurnal { segments } => {
+                assert!(!segments.is_empty(), "diurnal table must be non-empty");
+                let day: u64 =
+                    segments.iter().map(|s| s.duration_cycles.max(1)).sum();
+                // Segment in force at the previous event's timestamp.
+                let mut pos = self.last_cycle % day.max(1);
+                let mut mean = segments[0].mean_interarrival_cycles;
+                for s in segments {
+                    let d = s.duration_cycles.max(1);
+                    if pos < d {
+                        mean = s.mean_interarrival_cycles;
+                        break;
+                    }
+                    pos -= d;
+                }
+                self.last_cycle += sample_exponential(&mut self.rng, mean);
+                self.last_cycle
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_priority_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(10, PRIORITY_ARRIVAL, "a@10");
+        q.push(10, PRIORITY_COMPLETION, "c@10");
+        q.push(5, PRIORITY_ARRIVAL, "a@5");
+        q.push(10, PRIORITY_ARRIVAL, "a2@10");
+        q.push(10, PRIORITY_COMPLETION, "c2@10");
+        assert_eq!(q.peek_time(), Some(5));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        // Completions first at equal time; FIFO within a class.
+        assert_eq!(order, ["a@5", "c@10", "c2@10", "a@10", "a2@10"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn neg_ln_is_exact_at_powers_of_two_and_monotone() {
+        // −ln(2^63 / 2^64) = ln 2.
+        assert_eq!(neg_ln_unit_q32(1u64 << 63), LN2_Q32);
+        // −ln(2^62 / 2^64) = 2 ln 2.
+        assert_eq!(neg_ln_unit_q32(1u64 << 62), 2 * LN2_Q32);
+        // −ln(1 / 2^64) = 64 ln 2, the sampler's maximum.
+        assert_eq!(neg_ln_unit_q32(1), 64 * LN2_Q32);
+        // u → 2^64 ⇒ −ln(u/2^64) → 0.
+        assert_eq!(neg_ln_unit_q32(u64::MAX), 0);
+        // Monotone decreasing in u.
+        let mut prev = u64::MAX;
+        for sh in 0..64 {
+            let v = neg_ln_unit_q32(1u64 << sh);
+            assert!(v < prev, "not decreasing at 2^{sh}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing_with_the_right_mean() {
+        let mut g = ArrivalGen::new(
+            ArrivalProcess::Poisson { mean_interarrival_cycles: 1000 },
+            7,
+        );
+        let mut last = 0;
+        let n = 20_000u64;
+        for _ in 0..n {
+            let t = g.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+        // Sample mean within 5% of the nominal 1000 cycles.
+        let mean = last / n;
+        assert!((950..=1050).contains(&mean), "sample mean {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let p = ArrivalProcess::Poisson { mean_interarrival_cycles: 64 };
+        let mut a = ArrivalGen::new(p.clone(), 42);
+        let mut b = ArrivalGen::new(p.clone(), 42);
+        let mut c = ArrivalGen::new(p, 43);
+        let sa: Vec<u64> = (0..256).map(|_| a.next_arrival()).collect();
+        let sb: Vec<u64> = (0..256).map(|_| b.next_arrival()).collect();
+        let sc: Vec<u64> = (0..256).map(|_| c.next_arrival()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn bursty_arrivals_never_land_in_off_windows() {
+        let (on, off) = (100u64, 400u64);
+        let mut g = ArrivalGen::new(
+            ArrivalProcess::Bursty {
+                on_cycles: on,
+                off_cycles: off,
+                mean_interarrival_cycles: 10,
+            },
+            9,
+        );
+        let mut last = 0;
+        let mut in_first_window = 0u64;
+        for _ in 0..5_000 {
+            let t = g.next_arrival();
+            assert!(t > last);
+            last = t;
+            // Phase within the (on + off) period must be inside the
+            // on-window.
+            assert!(t % (on + off) < on, "arrival at {t} is inside an off window");
+            if t < on + off {
+                in_first_window += 1;
+            }
+        }
+        assert!(in_first_window > 0, "traffic starts in the first on-window");
+    }
+
+    #[test]
+    fn diurnal_rate_table_modulates_arrival_density() {
+        // Half the day fast (mean 10), half slow (mean 1000).
+        let day_half = 100_000u64;
+        let mut g = ArrivalGen::new(
+            ArrivalProcess::Diurnal {
+                segments: vec![
+                    DiurnalSegment { duration_cycles: day_half, mean_interarrival_cycles: 10 },
+                    DiurnalSegment { duration_cycles: day_half, mean_interarrival_cycles: 1000 },
+                ],
+            },
+            11,
+        );
+        let (mut fast, mut slow) = (0u64, 0u64);
+        loop {
+            let t = g.next_arrival();
+            if t >= 2 * day_half {
+                break;
+            }
+            if t % (2 * day_half) < day_half {
+                fast += 1;
+            } else {
+                slow += 1;
+            }
+        }
+        assert!(
+            fast > 10 * slow.max(1),
+            "fast half ({fast}) should dwarf slow half ({slow})"
+        );
+    }
+}

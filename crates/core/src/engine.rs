@@ -45,7 +45,7 @@ use crate::{layer_to_conv_shape, AccelError, Accelerator, AcceleratorConfig};
 /// histogram: powers of four from 1Ki to 1Gi cycles, so queue waits from
 /// a single small layer up to a saturated batch all land in finite
 /// buckets.
-const QUEUE_WAIT_BOUNDS_CYCLES: &[u64] = &[
+pub(crate) const QUEUE_WAIT_BOUNDS_CYCLES: &[u64] = &[
     0,
     1 << 10,
     1 << 12,
@@ -657,6 +657,46 @@ impl std::fmt::Display for BatchReport {
     }
 }
 
+/// The admission-time cycle lower bound for `net` on `accel`: per layer
+/// the larger of the compute floor (all MACs at peak MACs/cycle) and
+/// the DMA floor ([`bsc_systolic::mem::dma_cycles_lower_bound`]) — the
+/// shared implementation behind [`Engine::estimate_cycles`] and the
+/// cluster dispatcher's per-shard admission checks.
+pub(crate) fn estimate_cycles_for(accel: &AcceleratorConfig, net: &Network) -> u64 {
+    net.layers
+        .iter()
+        .map(|l| {
+            let peak = accel.array.peak_macs_per_cycle(l.precision) as u64;
+            let compute = l.macs().div_ceil(peak.max(1));
+            let shape = layer_to_conv_shape(&l.kind);
+            let dma = bsc_systolic::mem::dma_cycles_lower_bound(
+                &accel.array,
+                &accel.mem,
+                l.precision,
+                &shape,
+            );
+            compute.max(dma)
+        })
+        .sum()
+}
+
+/// The exact stall-inclusive schedule cycles of `net` on `accel` — the
+/// shared implementation behind [`Engine::schedule_cycles`] and the
+/// cluster dispatcher's shard occupancy bookkeeping.
+pub(crate) fn schedule_cycles_for(
+    accel: &AcceleratorConfig,
+    net: &Network,
+) -> Result<u64, AccelError> {
+    let mut cycles = 0u64;
+    for layer in &net.layers {
+        let shape = layer_to_conv_shape(&layer.kind);
+        cycles +=
+            schedule_conv_with_memory(&accel.array, &accel.mem, layer.precision, &shape)?
+                .total_cycles;
+    }
+    Ok(cycles)
+}
+
 /// The multi-tenant batch inference engine.  See the module docs for the
 /// admission / scheduling semantics.
 #[derive(Debug)]
@@ -755,17 +795,19 @@ impl Engine {
         self.queue.len()
     }
 
-    /// The optimistic (ideal-utilization) cycle estimate admission uses:
-    /// each layer at its peak MACs/cycle.  Always a lower bound on the
-    /// exact schedule, so admission never rejects a feasible job.
+    /// The optimistic cycle estimate admission uses: per layer, the
+    /// larger of the compute floor (all MACs at peak MACs/cycle) and the
+    /// DMA floor (the layer's minimum DRAM traffic through the configured
+    /// channel — [`bsc_systolic::mem::dma_cycles_lower_bound`]).  Both
+    /// floors are proven lower bounds on the stall-inclusive
+    /// [`Engine::schedule_cycles`], so admission never rejects a feasible
+    /// job; but unlike the old compute-only bound it *does* reject jobs
+    /// whose DRAM traffic alone already overruns the deadline under a
+    /// finite [`bsc_systolic::MemConfig`], instead of admitting them and
+    /// shedding at execution.  With the default infinite hierarchy the
+    /// DMA floor is zero and the estimate is unchanged.
     pub fn estimate_cycles(&self, net: &Network) -> u64 {
-        net.layers
-            .iter()
-            .map(|l| {
-                let peak = self.config.accel.array.peak_macs_per_cycle(l.precision) as u64;
-                l.macs().div_ceil(peak.max(1))
-            })
-            .sum()
+        estimate_cycles_for(&self.config.accel, net)
     }
 
     /// The exact schedule cycles of a network on this array (what
@@ -779,14 +821,7 @@ impl Engine {
     ///
     /// Propagates mapping failures.
     pub fn schedule_cycles(&self, net: &Network) -> Result<u64, AccelError> {
-        let mut cycles = 0u64;
-        for layer in &net.layers {
-            let shape = layer_to_conv_shape(&layer.kind);
-            cycles +=
-                schedule_conv_with_memory(&self.config.accel.array, &self.config.accel.mem, layer.precision, &shape)?
-                    .total_cycles;
-        }
-        Ok(cycles)
+        schedule_cycles_for(&self.config.accel, net)
     }
 
     /// Admits a job into the bounded queue, or rejects it with a reason.
@@ -888,20 +923,40 @@ impl Engine {
         m.gauge("engine.queue.depth").set(0);
         m.gauge("engine.backlog_cycles").set(0);
 
-        // Serial scheduling pass on the virtual batch clock: exact
-        // per-job cycles, shed decisions, queue waits.  Submission order,
-        // no worker involvement — the source of worker-count
-        // independence.
+        // Scheduling pass on the discrete-event clock: batch mode is the
+        // degenerate DES workload where every admitted job arrives at
+        // cycle 0 in submission order and the engine is a single shard.
+        // The `(time, priority, seq)` contract of [`crate::des::EventQueue`]
+        // delivers those arrivals FIFO, so the plan — exact per-job
+        // cycles, shed decisions, queue waits — is byte-identical to the
+        // historical serial loop, and no worker is involved: the source
+        // of worker-count independence.
         struct Planned {
             job: Admitted,
             start_cycle: u64,
             completion_cycle: u64,
         }
-        let mut plan = Vec::with_capacity(queued.len());
-        let mut clock = 0u64;
+        enum BatchEvent {
+            Arrive(Box<Admitted>),
+            Complete,
+        }
+        let mut events = crate::des::EventQueue::new();
         for job in queued {
+            events.push(0, crate::des::PRIORITY_ARRIVAL, BatchEvent::Arrive(Box::new(job)));
+        }
+        let mut plan = Vec::with_capacity(events.len());
+        let mut busy_until = 0u64;
+        while let Some((now, event)) = events.pop() {
+            let job = match event {
+                // Completions free the (single) shard; with one shard the
+                // busy-until gauge already encodes that, so they carry no
+                // payload here.  Online serving gives them real work.
+                BatchEvent::Complete => continue,
+                BatchEvent::Arrive(job) => *job,
+            };
             let cycles = self.schedule_cycles(&job.network)?;
-            let completion = clock + cycles;
+            let start = busy_until.max(now);
+            let completion = start + cycles;
             if let Some(deadline) = job.deadline_cycles {
                 if completion > deadline {
                     let reason = ShedReason::DeadlineMissed {
@@ -920,9 +975,10 @@ impl Engine {
                     continue;
                 }
             }
-            m.histogram("engine.queue.wait_cycles", QUEUE_WAIT_BOUNDS_CYCLES).record(clock);
-            plan.push(Planned { job, start_cycle: clock, completion_cycle: completion });
-            clock = completion;
+            m.histogram("engine.queue.wait_cycles", QUEUE_WAIT_BOUNDS_CYCLES).record(start);
+            events.push(completion, crate::des::PRIORITY_COMPLETION, BatchEvent::Complete);
+            plan.push(Planned { job, start_cycle: start, completion_cycle: completion });
+            busy_until = completion;
         }
 
         // Parallel execution: per-worker accelerators over the shared
@@ -1143,29 +1199,100 @@ mod tests {
         let ample = Engine::new(EngineConfig::quick(MacKind::Bsc).with_workers(1)).unwrap();
         let compute_only = ample.schedule_cycles(&net).unwrap();
 
-        let run_with = |mem: MemConfig| {
-            let mut engine = Engine::new(
-                EngineConfig::new(AcceleratorConfig::quick(MacKind::Bsc).with_mem(mem))
-                    .with_workers(1),
-            )
-            .unwrap();
-            engine
-                .submit(InferenceJob::new("edge", Arc::clone(&net)).with_deadline(compute_only))
-                .expect("admission is memory-blind, so both configs admit");
-            engine.run_batch().unwrap()
-        };
-
         // Ample bandwidth: the exact schedule equals the compute-only
         // schedule, so the deadline is met exactly.
-        let ample_batch = run_with(MemConfig::infinite());
+        let mut engine = Engine::new(
+            EngineConfig::new(AcceleratorConfig::quick(MacKind::Bsc).with_mem(MemConfig::infinite()))
+                .with_workers(1),
+        )
+        .unwrap();
+        engine
+            .submit(InferenceJob::new("edge", Arc::clone(&net)).with_deadline(compute_only))
+            .expect("feasible under infinite memory");
+        let ample_batch = engine.run_batch().unwrap();
         assert_eq!(ample_batch.outcomes()[0].label(), "completed");
         assert_eq!(ample_batch.completed().next().unwrap().completion_cycle, compute_only);
 
-        // One byte per cycle: DMA stalls push the exact schedule past the
-        // same deadline, and the scheduler sheds instead of running late.
-        let starved =
-            run_with(MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1)));
-        assert_eq!(starved.outcomes()[0].label(), "shed");
+        // One byte per cycle: the DMA traffic floor alone overruns the
+        // same deadline, so the DMA-aware bound rejects at admission
+        // instead of admitting a job that could only shed.
+        let mut starved = Engine::new(
+            EngineConfig::new(
+                AcceleratorConfig::quick(MacKind::Bsc)
+                    .with_mem(MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1))),
+            )
+            .with_workers(1),
+        )
+        .unwrap();
+        let err = starved
+            .submit(InferenceJob::new("doomed", Arc::clone(&net)).with_deadline(compute_only))
+            .unwrap_err();
+        assert!(matches!(err, RejectReason::DeadlineInfeasible { .. }), "{err}");
+
+        // A deadline between the admission estimate and the exact
+        // stall-inclusive schedule is still admitted optimistically and
+        // shed at execution — the estimate stays a true lower bound.
+        let est = starved.estimate_cycles(&net);
+        let exact = starved.schedule_cycles(&net).unwrap();
+        assert!(est < exact, "estimate {est} vs exact {exact}");
+        starved
+            .submit(InferenceJob::new("edge", Arc::clone(&net)).with_deadline(exact - 1))
+            .expect("above the admission bound");
+        let batch = starved.run_batch().unwrap();
+        assert_eq!(batch.outcomes()[0].label(), "rejected");
+        assert_eq!(batch.outcomes()[1].label(), "shed");
+    }
+
+    #[test]
+    fn admission_bound_is_dma_aware_where_the_stall_free_bound_was_blind() {
+        use bsc_systolic::{DramBandwidth, MemConfig};
+
+        let net = toy_net("t", 256, 32, Precision::Int8);
+        let mut engine = Engine::new(
+            EngineConfig::new(
+                AcceleratorConfig::quick(MacKind::Bsc)
+                    .with_mem(MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1))),
+            )
+            .with_workers(1),
+        )
+        .unwrap();
+
+        // The pre-fix admission bound: every layer at peak MACs/cycle,
+        // blind to the memory hierarchy.
+        let stall_free: u64 = net
+            .layers
+            .iter()
+            .map(|l| {
+                let peak = engine.config().accel.array.peak_macs_per_cycle(l.precision) as u64;
+                l.macs().div_ceil(peak.max(1))
+            })
+            .sum();
+        let est = engine.estimate_cycles(&net);
+        assert!(
+            stall_free < est,
+            "at 1 B/cycle the DMA floor must dominate ({stall_free} vs {est})"
+        );
+
+        // Pick a deadline the old bound accepts but the DMA floor
+        // disproves.  The old bound would admit this job and the exact
+        // stall-inclusive schedule would shed it; the DMA-aware bound
+        // rejects it at submission instead.
+        let deadline = est - 1;
+        assert!(deadline >= stall_free, "deadline sits between the two bounds");
+        assert!(
+            engine.schedule_cycles(&net).unwrap() > deadline,
+            "an admitted job could only shed"
+        );
+        let err = engine
+            .submit(InferenceJob::new("late", Arc::clone(&net)).with_deadline(deadline))
+            .unwrap_err();
+        match err {
+            RejectReason::DeadlineInfeasible { projected_cycles, deadline_cycles } => {
+                assert_eq!(projected_cycles, est);
+                assert_eq!(deadline_cycles, deadline);
+            }
+            other => panic!("expected DeadlineInfeasible, got {other}"),
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub enum AccelError {
     Systolic(bsc_systolic::SystolicError),
     /// Vector MAC operand failure.
     Mac(bsc_mac::MacError),
+    /// Invalid engine / cluster configuration (e.g. an online cluster
+    /// with no shards).
+    Config(String),
 }
 
 impl fmt::Display for AccelError {
@@ -19,6 +22,7 @@ impl fmt::Display for AccelError {
             AccelError::Ppa(e) => write!(f, "characterization error: {e}"),
             AccelError::Systolic(e) => write!(f, "systolic error: {e}"),
             AccelError::Mac(e) => write!(f, "mac error: {e}"),
+            AccelError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }
@@ -29,6 +33,7 @@ impl Error for AccelError {
             AccelError::Ppa(e) => Some(e),
             AccelError::Systolic(e) => Some(e),
             AccelError::Mac(e) => Some(e),
+            AccelError::Config(_) => None,
         }
     }
 }

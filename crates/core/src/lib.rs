@@ -42,7 +42,9 @@
 #![warn(missing_docs)]
 
 mod accelerator;
+pub mod cluster;
 pub mod compiler;
+pub mod des;
 pub mod engine;
 mod error;
 pub mod queue;
@@ -50,6 +52,11 @@ mod report;
 pub mod slo;
 
 pub use accelerator::{Accelerator, AcceleratorConfig};
+pub use cluster::{
+    DispatchPolicy, JobTemplate, OnlineConfig, OnlineReport, ShardReport, ShardSpec,
+    TrafficSource,
+};
+pub use des::{ArrivalGen, ArrivalProcess, DiurnalSegment, EventQueue};
 pub use engine::{
     BatchReport, CharacterizationCache, Engine, EngineConfig, InferenceJob, JobOutcome,
     JobReport, PrecisionPolicy, RejectReason, ShedReason,

@@ -34,6 +34,7 @@ use std::fmt;
 use bsc_telemetry::{QuantileSketch, SketchSnapshot, WindowedAggregator};
 
 use crate::engine::JobOutcome;
+use crate::report::NetworkReport;
 
 /// The tenant a job is accounted to.  Free-form, case-sensitive;
 /// [`TenantId::default`] is the `"default"` tenant jobs land in when a
@@ -253,50 +254,89 @@ impl SloAccountant {
 
     /// Folds one outcome.  Every submission must be observed exactly
     /// once for the rates to mean anything.
+    ///
+    /// Batch mode's arrival time is cycle 0, so latency equals the
+    /// completion cycle; this delegates to the streaming observers that
+    /// online serving calls directly with `completion − arrival`.
     pub fn observe(&mut self, outcome: &JobOutcome) {
-        let tenant = outcome.tenant().clone();
-        let acc = self.tenants.entry(tenant.clone()).or_default();
-        acc.submitted += 1;
         match outcome {
-            JobOutcome::Completed(r) => {
-                acc.completed += 1;
-                acc.latency.get_or_insert_with(QuantileSketch::new).record(r.completion_cycle);
-                if let Some(met) = r.deadline_met() {
-                    acc.deadline_jobs += 1;
-                    if met {
-                        acc.deadline_met += 1;
-                    }
-                }
-                acc.macs += r.macs();
-                // fJ-exact attribution: quantize per layer, sum integers.
-                for layer in r.report.layers() {
-                    let fj = quantize_energy_fj(layer.energy_fj);
-                    acc.energy_fj += fj;
-                    *acc
-                        .energy_by_precision
-                        .entry(format!("int{}", layer.precision.bits()))
-                        .or_default() += fj;
-                }
-                self.windows.record(
-                    r.completion_cycle,
-                    &[("tenant", tenant.as_str()), ("outcome", "completed")],
-                    r.macs(),
-                );
-            }
+            JobOutcome::Completed(r) => self.observe_completion(
+                outcome.tenant(),
+                r.completion_cycle,
+                r.completion_cycle,
+                r.deadline_met(),
+                &r.report,
+            ),
             JobOutcome::Rejected { reason, .. } => {
-                acc.rejected += 1;
-                *acc.rejected_by_reason.entry(reason.slug()).or_default() += 1;
+                self.observe_rejection(outcome.tenant(), reason.slug());
             }
             JobOutcome::Shed { reason, .. } => {
-                acc.shed += 1;
-                *acc.shed_by_reason.entry(reason.slug()).or_default() += 1;
-                self.windows.record(
-                    reason.decision_cycle(),
-                    &[("tenant", tenant.as_str()), ("outcome", "shed")],
-                    0,
-                );
+                self.observe_shed(outcome.tenant(), reason.slug(), reason.decision_cycle());
             }
         }
+    }
+
+    /// Streams one completed job: `latency_cycles` is whatever clock
+    /// difference the caller's arrival model defines (batch: completion
+    /// cycle; online: completion − arrival), `completion_cycle` places
+    /// the event on the window axis, and the energy/MAC attribution is
+    /// read off the job's [`NetworkReport`].
+    pub fn observe_completion(
+        &mut self,
+        tenant: &TenantId,
+        latency_cycles: u64,
+        completion_cycle: u64,
+        deadline_met: Option<bool>,
+        report: &NetworkReport,
+    ) {
+        let acc = self.tenants.entry(tenant.clone()).or_default();
+        acc.submitted += 1;
+        acc.completed += 1;
+        acc.latency.get_or_insert_with(QuantileSketch::new).record(latency_cycles);
+        if let Some(met) = deadline_met {
+            acc.deadline_jobs += 1;
+            if met {
+                acc.deadline_met += 1;
+            }
+        }
+        acc.macs += report.total_macs();
+        // fJ-exact attribution: quantize per layer, sum integers.
+        for layer in report.layers() {
+            let fj = quantize_energy_fj(layer.energy_fj);
+            acc.energy_fj += fj;
+            *acc
+                .energy_by_precision
+                .entry(format!("int{}", layer.precision.bits()))
+                .or_default() += fj;
+        }
+        self.windows.record(
+            completion_cycle,
+            &[("tenant", tenant.as_str()), ("outcome", "completed")],
+            report.total_macs(),
+        );
+    }
+
+    /// Streams one admission rejection under a machine-readable reason
+    /// slug (see [`crate::RejectReason::slug`]).
+    pub fn observe_rejection(&mut self, tenant: &TenantId, slug: &'static str) {
+        let acc = self.tenants.entry(tenant.clone()).or_default();
+        acc.submitted += 1;
+        acc.rejected += 1;
+        *acc.rejected_by_reason.entry(slug).or_default() += 1;
+    }
+
+    /// Streams one shed decision at `decision_cycle` under a
+    /// machine-readable reason slug (see [`crate::ShedReason::slug`]).
+    pub fn observe_shed(&mut self, tenant: &TenantId, slug: &'static str, decision_cycle: u64) {
+        let acc = self.tenants.entry(tenant.clone()).or_default();
+        acc.submitted += 1;
+        acc.shed += 1;
+        *acc.shed_by_reason.entry(slug).or_default() += 1;
+        self.windows.record(
+            decision_cycle,
+            &[("tenant", tenant.as_str()), ("outcome", "shed")],
+            0,
+        );
     }
 
     /// The finished per-tenant report.

@@ -46,6 +46,20 @@ fn fc(name: &str, fan_in: usize, fan_out: usize, precision: Precision) -> Layer 
     Layer::new(name, LayerKind::Fc { fan_in, fan_out }, precision)
 }
 
+/// A deliberately tiny mixed-precision MLP for traffic-scale serving
+/// simulations: a few hundred array cycles per inference, so an online
+/// run can push 10⁵–10⁶ jobs through a cluster in CI time while still
+/// exercising all three precision modes.  Not a Table-I benchmark.
+pub fn micro() -> Network {
+    use Precision::{Int2, Int4, Int8};
+    let layers = vec![
+        fc("fc1", 64, 32, Int8),
+        fc("fc2", 32, 32, Int4),
+        fc("fc3", 32, 10, Int2),
+    ];
+    Network { name: "Micro-MLP".into(), dataset: "synthetic".into(), layers }
+}
+
 /// VGG-16 with the Table-I precision assignment: all convolutions 8-bit
 /// except `conv3_2`, all fully connected layers 4-bit (10.2% / 89.8% / 0%).
 pub fn vgg16() -> Network {

@@ -228,6 +228,70 @@ impl MemoryAwareSchedule {
     }
 }
 
+/// A static floor on the DRAM traffic of `shape` in mode `p`, valid for
+/// **every** tiling [`schedule_conv_with_memory`] can choose:
+///
+/// * **weights** — the layer's weight volume in vector words crosses the
+///   channel at least once: `out_channels × channel_tiles × kernel`
+///   vectors (the tiler's chunk-0 loads alone already sum to exactly
+///   this; non-resident configurations only re-fetch on top);
+/// * **features** — every tiling loads input regions whose row counts
+///   sum to at least `min(out_h, in_h)` rows (each chunk's region spans
+///   at least as many input rows as it produces output rows, and the
+///   full-map case loads the whole `in_h`-row map once);
+/// * **outputs** — each partial sum is written back exactly once:
+///   `out_pixels × out_channels × psum_bytes` (chunks partition the
+///   output rows, so this is an equality in every configuration).
+///
+/// The floor is therefore `≤` [`MemoryAwareSchedule::dma_bytes`] for
+/// every `MemConfig` (pinned by a randomized test below), which makes
+/// [`dma_cycles_lower_bound`] a sound admission-time bound.
+pub fn min_dma_bytes(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> u64 {
+    let vb = tiler::vector_bytes(config);
+    let split = config.dot_length(p) as u64;
+    let channel_tiles = (shape.in_channels as u64).div_ceil(split.max(1));
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let weight_bytes = (shape.out_channels as u64)
+        .saturating_mul(channel_tiles)
+        .saturating_mul(kernel)
+        .saturating_mul(vb);
+    let feature_rows = (shape.out_h() as u64).min(shape.in_h as u64);
+    let feature_bytes = feature_rows.saturating_mul(shape.in_w as u64).saturating_mul(vb);
+    let store_bytes = ((shape.out_w() * shape.out_h()) as u64)
+        .saturating_mul(shape.out_channels as u64)
+        .saturating_mul(mem.psum_bytes);
+    weight_bytes.saturating_add(feature_bytes).saturating_add(store_bytes)
+}
+
+/// A guaranteed lower bound on
+/// [`schedule_conv_with_memory`]`(..).total_cycles` that needs no tiling
+/// pass: the cycles to move the layer's [`min_dma_bytes`] as one ideal
+/// burst.
+///
+/// Soundness: the replayed schedule ends no earlier than its DMA channel
+/// is busy, the channel is busy at least
+/// `burst_latency + ceil(Σ bytes / bw)` cycles (every nonzero transfer
+/// pays the burst latency at least once, and a sum of per-transfer
+/// `ceil`s is at least the `ceil` of the summed bytes), and the actual
+/// byte sum never falls below the [`min_dma_bytes`] floor.  Under
+/// [`DramBandwidth::Infinite`] the bound is 0, so deadline admission that
+/// takes `max(compute_estimate, dma_cycles_lower_bound)` per layer stays
+/// a true lower bound on the stall-inclusive schedule — it can never
+/// reject a feasible job.
+pub fn dma_cycles_lower_bound(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> u64 {
+    mem.transfer_cycles(min_dma_bytes(config, mem, p, shape))
+}
+
 /// Schedules one layer through the memory hierarchy.
 ///
 /// Tiles the shape per the Fig. 6 loop order, then replays the pass list
@@ -455,6 +519,77 @@ mod tests {
         assert_eq!(a.dma_load_bytes, b.dma_load_bytes);
         assert_eq!(a.dma_store_bytes, b.dma_store_bytes);
         assert_eq!(a.dma_loads, b.dma_loads);
+    }
+
+    #[test]
+    fn dma_floor_never_exceeds_scheduled_traffic_or_cycles() {
+        // The admission-time floor must hold for every tiling the
+        // scheduler can pick: random shapes × kinds × precisions ×
+        // hierarchies, including buffer-starved configurations that force
+        // chunked and streamed residency.
+        let mut rng = Rng64::seed_from_u64(0x0D11_AB07);
+        let tiny = MemConfig {
+            weight_buffer_bytes: 256,
+            feature_buffer_bytes: 1024,
+            output_buffer_bytes: 2048,
+            bandwidth: DramBandwidth::BytesPerCycle(8),
+            burst_latency_cycles: 16,
+            psum_bytes: 4,
+        };
+        for _ in 0..96 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 200) as usize,
+                out_channels: 1 + (rng.next_u64() % 80) as usize,
+                in_w: 3 + (rng.next_u64() % 24) as usize,
+                in_h: 3 + (rng.next_u64() % 24) as usize,
+                kernel_w: 1 + (rng.next_u64() % 3) as usize,
+                kernel_h: 1 + (rng.next_u64() % 3) as usize,
+                stride: 1 + (rng.next_u64() % 3) as usize,
+                padding: (rng.next_u64() % 2) as usize,
+            };
+            let kind = MacKind::ALL[(rng.next_u64() % 3) as usize];
+            let p = Precision::ALL[(rng.next_u64() % 3) as usize];
+            let config = ArrayConfig::paper(kind);
+            for mem in [
+                MemConfig::infinite(),
+                MemConfig::edge(),
+                MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1)),
+                tiny,
+            ] {
+                let aware = schedule_conv_with_memory(&config, &mem, p, &shape).unwrap();
+                let floor = min_dma_bytes(&config, &mem, p, &shape);
+                assert!(floor > 0, "{shape:?} {kind} {p}");
+                assert!(
+                    floor <= aware.dma_bytes(),
+                    "byte floor {floor} > scheduled {} for {shape:?} {kind} {p} {mem:?}",
+                    aware.dma_bytes()
+                );
+                let lb = dma_cycles_lower_bound(&config, &mem, p, &shape);
+                assert!(
+                    lb <= aware.total_cycles,
+                    "cycle bound {lb} > scheduled {} for {shape:?} {kind} {p} {mem:?}",
+                    aware.total_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dma_lower_bound_rises_above_compute_when_starved() {
+        // At 1 B/cycle the admission-visible DMA bound must exceed the
+        // compute-only cycle count — the property the engine's DMA-aware
+        // deadline admission depends on to reject doomed jobs up front.
+        let config = ArrayConfig::paper(MacKind::Bsc);
+        let mem = MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(1));
+        let shape = table1_layer();
+        let compute = schedule_conv(&config, Precision::Int8, &shape).unwrap().cycles;
+        let lb = dma_cycles_lower_bound(&config, &mem, Precision::Int8, &shape);
+        assert!(lb > compute, "lb {lb} vs compute {compute}");
+        // And under an infinite channel the bound vanishes.
+        assert_eq!(
+            dma_cycles_lower_bound(&config, &MemConfig::infinite(), Precision::Int8, &shape),
+            0
+        );
     }
 
     #[test]

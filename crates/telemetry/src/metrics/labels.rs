@@ -184,6 +184,13 @@ fn sketch_bucket(v: u64) -> usize {
 
 /// The largest value mapping into bucket `idx` (its inclusive upper
 /// bound) — the representative a quantile query reports.
+///
+/// Near the top of the `u64` range both the `(SUB + sub) << octave`
+/// lower bound and the `(1 << octave) - 1` bucket width sit against the
+/// edge of the integer: the final bucket's bound is *exactly*
+/// `u64::MAX`.  Both shifts saturate instead of wrapping, so an
+/// out-of-range index can only ever report `u64::MAX`, never a tiny
+/// wrapped value that would corrupt a quantile.
 fn sketch_upper(idx: usize) -> u64 {
     let idx = idx as u64;
     if idx < SUB {
@@ -191,8 +198,14 @@ fn sketch_upper(idx: usize) -> u64 {
     }
     let octave = (idx - SUB) / SUB;
     let sub = (idx - SUB) % SUB;
-    let lower = (SUB + sub) << octave;
-    lower + ((1u64 << octave) - 1)
+    let base = SUB + sub; // 16..=31: five significant bits
+    let lower = if octave as u32 <= base.leading_zeros() {
+        base << octave
+    } else {
+        u64::MAX
+    };
+    let width = if octave >= 64 { u64::MAX } else { (1u64 << octave) - 1 };
+    lower.saturating_add(width)
 }
 
 /// A fixed-bucket log-linear (HDR-style) quantile sketch over `u64`
@@ -486,6 +499,47 @@ mod tests {
         assert_eq!(snap.min, 0);
         assert_eq!(snap.max, u64::MAX);
         assert_eq!(snap.p99, u64::MAX);
+    }
+
+    #[test]
+    fn sketch_upper_saturates_at_the_top_of_the_u64_range() {
+        // The final bucket's inclusive upper bound is exactly u64::MAX —
+        // the shifts sit against the edge of the integer and must not
+        // wrap to a tiny value.
+        assert_eq!(sketch_upper(SKETCH_BUCKETS - 1), u64::MAX);
+        // Out-of-range indexes (impossible from sketch_bucket, but the
+        // saturation contract covers them) also pin to u64::MAX.
+        assert_eq!(sketch_upper(SKETCH_BUCKETS), u64::MAX);
+        assert_eq!(sketch_upper(SKETCH_BUCKETS + 64 * 16), u64::MAX);
+        // Recording the two largest representable values keeps every
+        // quantile at the top instead of wrapping.
+        let s = QuantileSketch::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX - 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, u64::MAX - 1);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.p50, u64::MAX);
+        assert_eq!(snap.p99, u64::MAX);
+    }
+
+    #[test]
+    fn sketch_upper_brackets_every_octave_boundary() {
+        // For every power-of-two boundary in the log-linear range, the
+        // bucket holding it bounds it from above and the previous bucket
+        // ends exactly one below it.
+        for k in SUB_BITS..64 {
+            let v = 1u64 << k;
+            let b = sketch_bucket(v);
+            assert!(sketch_upper(b) >= v, "upper(bucket(2^{k})) must cover 2^{k}");
+            assert_eq!(sketch_upper(b - 1), v - 1, "bucket below 2^{k} ends at 2^{k}-1");
+            // A sketch holding only the boundary reports it exactly
+            // (upper bound clamped to [min, max]).
+            let s = QuantileSketch::new();
+            s.record(v);
+            assert_eq!(s.snapshot().p99, v, "2^{k} round-trips");
+        }
     }
 
     #[test]

@@ -117,6 +117,65 @@ print(f"mem sweep valid ({doc['bandwidth_bound_points']} bandwidth-bound, "
 PY
 fi
 
+echo "==> online serving gate: repro online examples/online_manifest.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    online examples/online_manifest.json --report-out "$out/online_report.json" \
+    --slo-out "$out/online_slo.json" --dash-out "$out/online_dash.html" \
+    --events-out "$out/online_events.jsonl" \
+    --perfetto-out "$out/online_perfetto.json" >/dev/null
+test -s "$out/online_report.json"
+# The online report is a pure function of the manifest (discrete-event
+# clock, seeded integer arrival sampling, order-independent SLO fold),
+# so the baseline diff runs at zero tolerance.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_online_baseline.json "$out/online_report.json" --tol 0
+# Worker-count independence: re-running the same manifest with 2 and 8
+# workers must reproduce the report byte for byte.
+for w in 2 8; do
+    cargo run --release --offline -q -p bsc-bench --bin repro -- \
+        online examples/online_manifest.json --workers "$w" \
+        --report-out "$out/online_report_w$w.json" >/dev/null
+    cmp "$out/online_report.json" "$out/online_report_w$w.json"
+done
+echo "online report byte-identical at 1, 2 and 8 workers"
+# Strict flag parsing: unknown flags and missing values are usage
+# errors (exit 2), not silently ignored.
+set +e
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    online examples/online_manifest.json --frobnicate >/dev/null 2>&1
+[ $? -eq 2 ] || { echo "unknown flag must exit 2"; exit 1; }
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    serve examples/serve_manifest.json --slo-out >/dev/null 2>&1
+[ $? -eq 2 ] || { echo "missing flag value must exit 2"; exit 1; }
+set -e
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/online_report.json" "$out/online_slo.json" \
+        "$out/online_events.jsonl" "$out/online_perfetto.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+agg = report["aggregate"]
+assert agg["submitted"] >= 100_000, "online gate must simulate >= 1e5 jobs"
+assert agg["submitted"] == agg["completed"] + agg["rejected"] + agg["shed"]
+assert len(report["shards"]) >= 3, "online gate needs >= 3 heterogeneous shards"
+assert len({s["kind"] for s in report["shards"]}) >= 3, "shards must be heterogeneous"
+slo = json.load(open(sys.argv[2]))
+verdicts = {t["name"]: t.get("attainment", {}).get("attained") for t in slo["tenants"]}
+assert True in verdicts.values(), "expected a tenant meeting its SLO"
+assert False in verdicts.values(), "expected a tenant missing its SLO"
+assert None in verdicts.values(), "expected a tenant with no target"
+events = [json.loads(line) for line in open(sys.argv[3])]
+assert events[0]["event"] == "online"
+assert events[0]["events_truncated"] + len(events) - 1 == agg["submitted"]
+assert all(e["event"] == "job" for e in events[1:])
+trace = json.load(open(sys.argv[4]))
+groups = [e["args"]["name"] for e in trace["traceEvents"]
+          if e.get("ph") == "M" and e.get("name") == "process_name"]
+assert len(groups) == len(report["shards"]), "one Perfetto track group per shard"
+print(f"online gate valid ({agg['submitted']} jobs, {len(report['shards'])} shards, "
+      f"{len(groups)} track groups, verdicts {sorted(verdicts)})")
+PY
+fi
+
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
