@@ -9,7 +9,9 @@
 //!             [--dash-out FILE] [--events-out FILE]
 //! repro online <manifest.json> [--workers N] [--report-out FILE]
 //!              [--slo-out FILE] [--dash-out FILE] [--events-out FILE]
-//!              [--perfetto-out FILE]
+//!              [--perfetto-out FILE] [--profile-out FILE] [--folded-out FILE]
+//! repro profile <manifest.json> [--workers N] [--profile-out FILE]
+//!               [--folded-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
 //!            [--verbose]
 //! ```
@@ -65,7 +67,20 @@
 //!   `--dash-out` the HTML dashboard, `--events-out` the JSONL decision
 //!   log, and `--perfetto-out` a Chrome trace timeline with one track
 //!   group per shard.
-//! * `serve`, `mem` and `online` validate their flags strictly: an
+//!   Adding `--profile-out` (JSON) or `--folded-out` (folded stacks for
+//!   flamegraph tools) runs the same simulation under the self-profiler
+//!   and additionally writes the phase-attributed profile — the online
+//!   report is unchanged by profiling.
+//! * `profile` runs an online manifest under the simulator
+//!   self-profiler and prints the phase table (calls, deterministic
+//!   work units, wall clock) plus arrivals/sec.  The profile document's
+//!   `counters` section is a pure function of the manifest
+//!   (byte-identical at any worker count, gated by CI at `--tol 0`
+//!   against `BENCH_profile_baseline.json`); its `wall` / `throughput`
+//!   sections carry `*_ns` / `*_per_sec` names the differ never gates.
+//!   See `docs/profiling.md`.
+//! * `serve`, `mem`, `online` and `profile` validate their flags
+//!   strictly: an
 //!   unknown or out-of-place flag, or a flag missing its value, exits
 //!   with status 2 and the usage text.
 //! * `diff` compares two benchmark/metrics JSON files field-by-field and
@@ -79,7 +94,7 @@ use std::path::PathBuf;
 
 use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
 use bsc_bench::{
-    experiments, memexp, observatory, online, serve, simbench, telemetry_probe, Workbench,
+    experiments, memexp, observatory, online, profile, serve, simbench, telemetry_probe, Workbench,
 };
 use bsc_mac::MacKind;
 
@@ -90,6 +105,8 @@ struct Options {
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
+    folded_out: Option<PathBuf>,
     slo_out: Option<PathBuf>,
     dash_out: Option<PathBuf>,
     events_out: Option<PathBuf>,
@@ -113,6 +130,8 @@ fn parse_args() -> Options {
     let mut trace_out = None;
     let mut bench_out = None;
     let mut report_out = None;
+    let mut profile_out = None;
+    let mut folded_out = None;
     let mut slo_out = None;
     let mut dash_out = None;
     let mut events_out = None;
@@ -147,6 +166,8 @@ fn parse_args() -> Options {
             "--trace-out" => trace_out = Some(path_arg("--trace-out", &mut args)),
             "--bench-out" => bench_out = Some(path_arg("--bench-out", &mut args)),
             "--report-out" => report_out = Some(path_arg("--report-out", &mut args)),
+            "--profile-out" => profile_out = Some(path_arg("--profile-out", &mut args)),
+            "--folded-out" => folded_out = Some(path_arg("--folded-out", &mut args)),
             "--slo-out" => slo_out = Some(path_arg("--slo-out", &mut args)),
             "--dash-out" => dash_out = Some(path_arg("--dash-out", &mut args)),
             "--events-out" => events_out = Some(path_arg("--events-out", &mut args)),
@@ -227,6 +248,8 @@ fn parse_args() -> Options {
         trace_out,
         bench_out,
         report_out,
+        profile_out,
+        folded_out,
         slo_out,
         dash_out,
         events_out,
@@ -255,7 +278,10 @@ fn subcommand_flags(which: &str) -> Option<&'static [&'static str]> {
             "--dash-out",
             "--events-out",
             "--perfetto-out",
+            "--profile-out",
+            "--folded-out",
         ]),
+        "profile" => Some(&["--workers", "--profile-out", "--folded-out"]),
         "mem" => Some(&["--quick", "--csv", "--bench-out"]),
         _ => None,
     }
@@ -280,6 +306,7 @@ fn main() {
             | "trace"
             | "serve"
             | "online"
+            | "profile"
             | "diff"
     );
     let wb = if needs_workbench {
@@ -453,27 +480,54 @@ fn main() {
         write_out(&opts.events_out, serve::events_jsonl(&run));
     };
 
+    let write_out = |path: &Option<PathBuf>, data: String| {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, data) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
     let run_online = || {
         let [manifest] = opts.files.as_slice() else {
             die_usage("online requires exactly one file argument: <manifest.json>");
         };
         let text = std::fs::read_to_string(manifest)
             .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
-        let run = online::online(&text, opts.workers).unwrap_or_else(|e| die(&e));
-        print!("{}", online::render(&run));
-        let write_out = |path: &Option<PathBuf>, data: String| {
-            if let Some(path) = path {
-                if let Err(e) = std::fs::write(path, data) {
-                    die(&format!("cannot write {}: {e}", path.display()));
-                }
-                eprintln!("wrote {}", path.display());
-            }
+        // A profile output upgrades the run to the self-profiled path;
+        // the online report itself is identical either way.
+        let profiling = opts.profile_out.is_some() || opts.folded_out.is_some();
+        let run = if profiling {
+            let p = profile::profile(&text, opts.workers).unwrap_or_else(|e| die(&e));
+            print!("{}", online::render(&p.run));
+            print!("{}", profile::render(&p));
+            write_out(&opts.profile_out, profile::profile_document(&p));
+            write_out(&opts.folded_out, profile::folded(&p));
+            p.run
+        } else {
+            let run = online::online(&text, opts.workers).unwrap_or_else(|e| die(&e));
+            print!("{}", online::render(&run));
+            run
         };
         write_out(&opts.report_out, online::report_json(&run));
         write_out(&opts.slo_out, online::slo_json(&run));
         write_out(&opts.dash_out, bsc_bench::dashboard::online_dashboard_html(&run));
         write_out(&opts.events_out, online::events_jsonl(&run));
         write_out(&opts.perfetto_out, online::perfetto_json(&run));
+    };
+
+    let run_profile = || {
+        let [manifest] = opts.files.as_slice() else {
+            die_usage("profile requires exactly one file argument: <manifest.json>");
+        };
+        let text = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
+        eprintln!("profiling the online simulator (deterministic counters + wall clock)...");
+        let p = profile::profile(&text, opts.workers).unwrap_or_else(|e| die(&e));
+        print!("{}", profile::render(&p));
+        write_out(&opts.profile_out, profile::profile_document(&p));
+        write_out(&opts.folded_out, profile::folded(&p));
     };
 
     let run_diff = || {
@@ -504,6 +558,7 @@ fn main() {
         "trace" => run_trace(),
         "serve" => run_serve(),
         "online" => run_online(),
+        "profile" => run_profile(),
         "diff" => run_diff(),
         "extensions" => match experiments::render_extensions() {
             Ok(text) => print!("{text}"),
@@ -540,7 +595,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|online|diff|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|online|profile|diff|extensions|all)"
         )),
     }
 }
@@ -560,6 +615,9 @@ usage:
               [--dash-out FILE] [--events-out FILE]
   repro online <manifest.json> [--workers N] [--report-out FILE] [--slo-out FILE]
                [--dash-out FILE] [--events-out FILE] [--perfetto-out FILE]
+               [--profile-out FILE] [--folded-out FILE]
+  repro profile <manifest.json> [--workers N] [--profile-out FILE]
+                [--folded-out FILE]
   repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]... [--verbose]";
 
 /// A malformed command line: the message, the usage block, exit 2 (so

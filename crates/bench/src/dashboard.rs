@@ -18,6 +18,13 @@
 //! * a tenant × precision energy heatmap as an HTML table whose cell
 //!   shading encodes each cell's share of the batch energy.
 //!
+//! The online dashboard adds the cluster observatory between the tenant
+//! panels and the heatmap: a per-shard tally table (with the peak
+//! outstanding / peak backlog high-water marks), the admission-ladder
+//! funnel table, and one depth-observatory `<svg>` **per shard**
+//! (outstanding jobs as bars, backlog overlaid) — so its total `<svg>`
+//! count is tenants + shards.
+//!
 //! Every number in the document comes from the deterministic SLO
 //! report; nothing reads wall time, so the HTML is byte-identical at
 //! any worker count.
@@ -87,6 +94,125 @@ fn tenant_svg(t: &bsc_accel::TenantSlo, n_windows: u64) -> String {
     svg
 }
 
+/// One shard's depth observatory series as an `<svg>` chart on the
+/// sampled virtual-clock grid: outstanding jobs as blue bars, the
+/// backlog (cycles of queued work) overlaid as red ticks.  Each series
+/// scales to its own peak; the exact values ride in `<title>` tooltips.
+fn shard_depth_svg(d: &bsc_accel::ShardDepth, stride: u64) -> String {
+    let n = d.samples.len().max(1) as u64;
+    let peak_out = d.samples.iter().map(|s| s.outstanding).max().unwrap_or(0).max(1);
+    let peak_back = d.samples.iter().map(|s| s.backlog_cycles).max().unwrap_or(0).max(1);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg viewBox="0 0 {w} {h}" width="{w}" height="{h}" role="img" aria-label="queue depth of shard {name} (stride {stride} cycles)">"#,
+        w = CHART_W,
+        h = CHART_H,
+        name = esc(&d.shard),
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="0" y="0" width="{CHART_W}" height="{CHART_H}" fill="#f7f7f8"/>"##
+    );
+    let inner_h = CHART_H - 2 * CHART_PAD;
+    for (i, s) in d.samples.iter().enumerate() {
+        let i = i as u64;
+        let x0 = CHART_PAD + i * (CHART_W - 2 * CHART_PAD) / n;
+        let x1 = CHART_PAD + (i + 1) * (CHART_W - 2 * CHART_PAD) / n;
+        let width = (x1 - x0).saturating_sub(1).max(1);
+        let out_h = s.outstanding * inner_h / peak_out;
+        if out_h > 0 {
+            let _ = write!(
+                svg,
+                r##"<rect x="{x0}" y="{y}" width="{width}" height="{out_h}" fill="#4878b0"><title>cycle {cyc}: {o} outstanding</title></rect>"##,
+                y = CHART_H - CHART_PAD - out_h,
+                cyc = s.cycle,
+                o = s.outstanding,
+            );
+        }
+        let back_h = s.backlog_cycles * inner_h / peak_back;
+        if back_h > 0 {
+            let _ = write!(
+                svg,
+                r##"<rect x="{x0}" y="{y}" width="{width}" height="2" fill="#c04848"><title>cycle {cyc}: backlog {b} cycles</title></rect>"##,
+                y = (CHART_H - CHART_PAD).saturating_sub(back_h).max(CHART_PAD),
+                cyc = s.cycle,
+                b = s.backlog_cycles,
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// The online dashboard's cluster sections: the per-shard tally table
+/// (with the peak outstanding / peak backlog high-water marks), the
+/// admission-ladder funnel table, and one depth-observatory `<svg>` per
+/// shard.
+fn cluster_sections(r: &bsc_accel::OnlineReport) -> String {
+    let mut html = String::new();
+    // --- Per-shard tallies and high-water marks --------------------------
+    html.push_str("<table>\n<caption>Per-shard tallies and high-water marks</caption>\n");
+    html.push_str(
+        "<tr><th>shard</th><th>kind</th><th>completed</th><th>rejected</th><th>shed</th>\
+         <th>busy (cyc)</th><th>peak outstanding</th><th>peak backlog (cyc)</th>\
+         <th>energy (pJ)</th></tr>\n",
+    );
+    for s in &r.shards {
+        let _ = writeln!(
+            html,
+            "<tr><td>{name}</td><td>{kind}</td><td>{done}</td><td>{rej}</td><td>{shed}</td>\
+             <td>{busy}</td><td>{peak}</td><td>{backlog}</td><td>{pj:.1}</td></tr>",
+            name = esc(&s.name),
+            kind = s.kind,
+            done = s.completed,
+            rej = s.rejected,
+            shed = s.shed,
+            busy = s.busy_cycles,
+            peak = s.peak_outstanding,
+            backlog = s.peak_backlog_cycles,
+            pj = s.energy_fj as f64 / 1e3,
+        );
+    }
+    html.push_str("</table>\n");
+
+    // --- Admission-ladder funnel -----------------------------------------
+    html.push_str(
+        "<table>\n<caption>Admission ladder (per-stage outcome of every offered arrival)</caption>\n",
+    );
+    html.push_str(
+        "<tr><th>shard</th><th>offered</th><th>queue full</th><th>overloaded</th>\
+         <th>deadline infeasible</th><th>shed</th><th>dispatched</th></tr>\n",
+    );
+    for f in &r.funnel {
+        let _ = writeln!(
+            html,
+            "<tr><td>{name}</td><td>{off}</td><td>{qf}</td><td>{ov}</td><td>{di}</td>\
+             <td>{sh}</td><td>{disp}</td></tr>",
+            name = esc(&f.shard),
+            off = f.offered,
+            qf = f.queue_full,
+            ov = f.overloaded,
+            di = f.deadline_infeasible,
+            sh = f.shed_deadline,
+            disp = f.dispatched,
+        );
+    }
+    html.push_str("</table>\n");
+
+    // --- Depth observatory: exactly one <svg> per shard ------------------
+    for d in &r.depth {
+        let _ = writeln!(
+            html,
+            "<section>\n<h2>{name} — outstanding (blue) / backlog (red), every {stride} cycles</h2>\n{svg}\n</section>",
+            name = esc(&d.shard),
+            stride = r.depth_stride_cycles,
+            svg = shard_depth_svg(d, r.depth_stride_cycles),
+        );
+    }
+    html
+}
+
 /// Renders the `repro serve` dashboard.  See the module docs for
 /// contents and determinism guarantees.
 pub fn dashboard_html(run: &ServeRun) -> String {
@@ -102,7 +228,7 @@ pub fn dashboard_html(run: &ServeRun) -> String {
         span = run.batch.makespan_cycles(),
         win = slo.window_width_cycles,
     );
-    slo_dashboard_document(&summary, "batch", slo)
+    slo_dashboard_document(&summary, "batch", slo, "")
 }
 
 /// Renders the `repro online` dashboard: the same SLO-driven body under
@@ -127,14 +253,21 @@ pub fn online_dashboard_html(run: &OnlineRun) -> String {
         span = r.makespan_cycles,
         win = r.slo.window_width_cycles,
     );
-    slo_dashboard_document(&summary, "cluster", &r.slo)
+    slo_dashboard_document(&summary, "cluster", &r.slo, &cluster_sections(r))
 }
 
 /// Shared document shell and SLO-report body: summary line, per-tenant
 /// quantile table, one `<svg>` per tenant, tenant &times; precision
 /// energy heatmap.  `total_label` names the energy total row
-/// ("batch" for serve, "cluster" for online).
-fn slo_dashboard_document(summary: &str, total_label: &str, slo: &bsc_accel::SloReport) -> String {
+/// ("batch" for serve, "cluster" for online); `extra` is injected
+/// verbatim between the tenant panels and the heatmap (the online
+/// dashboard's cluster sections — empty for serve).
+fn slo_dashboard_document(
+    summary: &str,
+    total_label: &str,
+    slo: &bsc_accel::SloReport,
+    extra: &str,
+) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
     html.push_str("<title>BSC serving dashboard</title>\n<style>\n");
@@ -201,6 +334,8 @@ fn slo_dashboard_document(summary: &str, total_label: &str, slo: &bsc_accel::Slo
             svg = tenant_svg(t, n_windows),
         );
     }
+
+    html.push_str(extra);
 
     // --- Tenant × precision energy heatmap -------------------------------
     let mut precisions: Vec<&str> = Vec::new();
@@ -313,7 +448,11 @@ mod tests {
     fn online_dashboard_shares_the_slo_body_and_names_the_cluster() {
         let run = crate::online::online(ONLINE_MANIFEST, Some(2)).unwrap();
         let html = online_dashboard_html(&run);
-        assert_eq!(html.matches("<svg").count(), run.report.slo.tenants.len());
+        assert_eq!(
+            html.matches("<svg").count(),
+            run.report.slo.tenants.len() + run.report.shards.len(),
+            "one svg per tenant plus one depth panel per shard"
+        );
         for forbidden in ["http://", "https://", "<script", "<link", "@import", "url("] {
             assert!(!html.contains(forbidden), "dashboard must not reference {forbidden}");
         }
@@ -323,6 +462,26 @@ mod tests {
         let again =
             online_dashboard_html(&crate::online::online(ONLINE_MANIFEST, Some(8)).unwrap());
         assert_eq!(html, again, "online dashboard is worker-count independent");
+    }
+
+    #[test]
+    fn online_dashboard_carries_the_cluster_observatory() {
+        let run = crate::online::online(ONLINE_MANIFEST, Some(2)).unwrap();
+        let html = online_dashboard_html(&run);
+        assert!(html.contains("Per-shard tallies and high-water marks"), "{html}");
+        assert!(html.contains("Admission ladder"), "{html}");
+        assert!(html.contains("peak backlog (cyc)"));
+        for s in &run.report.shards {
+            assert!(html.contains(&format!("<td>{}</td>", esc(&s.name))));
+        }
+        // Every shard's funnel row balances: the offered count equals
+        // the sum of its stage outcomes, and the table shows it.
+        for f in &run.report.funnel {
+            assert!(html.contains(&format!(
+                "<td>{}</td><td>{}</td><td>{}</td><td>{}</td>",
+                f.offered, f.queue_full, f.overloaded, f.deadline_infeasible
+            )));
+        }
     }
 
     #[test]

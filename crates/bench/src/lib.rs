@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod memexp;
 pub mod observatory;
 pub mod online;
+pub mod profile;
 pub mod serve;
 pub mod simbench;
 pub mod telemetry_probe;

@@ -41,13 +41,14 @@
 //! `--tol 0`.
 
 use bsc_accel::cluster::{
-    run_online, DispatchPolicy, JobTemplate, OnlineConfig, OnlineReport, ShardSpec,
-    TrafficSource,
+    run_online_profiled, DispatchPolicy, JobTemplate, OnlineConfig, OnlineReport, ShardSpec,
+    TrafficSource, EVENT_LOG_CAP,
 };
 use bsc_accel::des::{ArrivalProcess, DiurnalSegment};
 use bsc_accel::systolic::mem::{DramBandwidth, MemConfig};
 use bsc_accel::{AcceleratorConfig, PrecisionPolicy, TenantId};
 use bsc_mac::MacKind;
+use bsc_telemetry::profile::Profiler;
 use bsc_telemetry::{JsonBuilder, MetricsSnapshot, Telemetry};
 
 use crate::serve::{lookup_network, parse_tenants, write_slo_tenants};
@@ -212,6 +213,9 @@ pub fn parse_online_manifest(text: &str) -> Result<OnlineConfig, String> {
         return Err("cluster.max_outstanding: must be positive".into());
     }
     let max_backlog_cycles = u64_field(cluster, "cluster", "max_backlog_cycles")?;
+    let event_log_cap = u64_field(cluster, "cluster", "event_log_cap")?
+        .map(|c| c as usize)
+        .unwrap_or(EVENT_LOG_CAP);
     let workers = u64_field(cluster, "cluster", "workers")?
         .map(|w| {
             if w == 0 { Err("cluster.workers: must be positive".to_string()) } else { Ok(w as usize) }
@@ -275,6 +279,7 @@ pub fn parse_online_manifest(text: &str) -> Result<OnlineConfig, String> {
         max_jobs,
         max_outstanding,
         max_backlog_cycles,
+        event_log_cap,
         workers,
         sources,
     })
@@ -289,12 +294,29 @@ pub fn parse_online_manifest(text: &str) -> Result<OnlineConfig, String> {
 /// Returns a message on manifest, characterization or scheduling
 /// failures.
 pub fn online(manifest_text: &str, workers_override: Option<usize>) -> Result<OnlineRun, String> {
+    online_profiled(manifest_text, workers_override, None)
+}
+
+/// [`online`] with an optional self-profiler attached (the engine of
+/// `repro online --profile-out` and `repro profile`).  The profiler's
+/// deterministic counter side is a pure function of the manifest; see
+/// [`bsc_accel::cluster::run_online_profiled`].
+///
+/// # Errors
+///
+/// Same contract as [`online`].
+pub fn online_profiled(
+    manifest_text: &str,
+    workers_override: Option<usize>,
+    profiler: Option<&Profiler>,
+) -> Result<OnlineRun, String> {
     let mut config = parse_online_manifest(manifest_text)?;
     if workers_override.is_some() {
         config.workers = workers_override;
     }
     let telemetry = Telemetry::metrics_only();
-    let report = run_online(&config, &telemetry).map_err(|e| err_at("online", e))?;
+    let report =
+        run_online_profiled(&config, &telemetry, profiler).map_err(|e| err_at("online", e))?;
     bsc_accel::CharacterizationCache::global().publish(&telemetry);
     Ok(OnlineRun {
         shard_names: config.shards.iter().map(|s| s.name.clone()).collect(),
@@ -328,7 +350,7 @@ pub fn render(run: &OnlineRun) -> String {
         };
         let _ = writeln!(
             out,
-            "shard {:<10} [{}] {:>8} completed / {:>6} rejected / {:>6} shed, busy {:>12} cyc (util {:.2}), peak outstanding {}, {:.1} pJ",
+            "shard {:<10} [{}] {:>8} completed / {:>6} rejected / {:>6} shed, busy {:>12} cyc (util {:.2}), peak outstanding {}, peak backlog {} cyc, {:.1} pJ",
             s.name,
             s.kind,
             s.completed,
@@ -337,7 +359,21 @@ pub fn render(run: &OnlineRun) -> String {
             s.busy_cycles,
             util,
             s.peak_outstanding,
+            s.peak_backlog_cycles,
             s.energy_fj as f64 / 1e3,
+        );
+    }
+    for f in &r.funnel {
+        let _ = writeln!(
+            out,
+            "  funnel {:<10} offered {:>8} -> queue_full {:>6} | overloaded {:>6} | deadline_infeasible {:>6} | shed {:>6} | dispatched {:>8}",
+            f.shard,
+            f.offered,
+            f.queue_full,
+            f.overloaded,
+            f.deadline_infeasible,
+            f.shed_deadline,
+            f.dispatched,
         );
     }
     for (labels, total) in run.metrics.labeled_counter("engine.jobs") {
@@ -415,11 +451,52 @@ pub fn report_json(run: &OnlineRun) -> String {
         j.key("busy_cycles").u64(s.busy_cycles);
         j.key("last_completion_cycle").u64(s.last_completion_cycle);
         j.key("peak_outstanding").u64(s.peak_outstanding);
+        j.key("peak_backlog_cycles").u64(s.peak_backlog_cycles);
         j.key("macs").u64(s.macs);
         j.key("energy_fj").u64(s.energy_fj);
         j.end_object();
     }
     j.end_array();
+
+    // Admission-ladder funnel: stage-by-stage pass/stop counts per
+    // shard; stages partition `offered`, so the gate catches any drift
+    // in the ladder's decision mix, not just the aggregate outcome.
+    j.key("funnel").begin_array();
+    for f in &r.funnel {
+        j.begin_object();
+        j.key("shard").string(&f.shard);
+        j.key("offered").u64(f.offered);
+        j.key("queue_full").u64(f.queue_full);
+        j.key("overloaded").u64(f.overloaded);
+        j.key("deadline_infeasible").u64(f.deadline_infeasible);
+        j.key("shed_deadline").u64(f.shed_deadline);
+        j.key("dispatched").u64(f.dispatched);
+        j.end_object();
+    }
+    j.end_array();
+
+    // Depth observatory: the windowed per-shard series, sampled on the
+    // virtual clock (deterministic), compact enough to gate whole.
+    j.key("depth").begin_object();
+    j.key("stride_cycles").u64(r.depth_stride_cycles);
+    j.key("shards").begin_array();
+    for d in &r.depth {
+        j.begin_object();
+        j.key("shard").string(&d.shard);
+        j.key("samples").u64(d.samples.len() as u64);
+        j.key("series").begin_array();
+        for s in &d.samples {
+            j.begin_array();
+            j.u64(s.cycle);
+            j.u64(s.outstanding);
+            j.u64(s.backlog_cycles);
+            j.end_array();
+        }
+        j.end_array();
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
 
     j.key("counters").begin_object();
     // Cache hit/miss tallies are published from the process-global
@@ -430,6 +507,7 @@ pub fn report_json(run: &OnlineRun) -> String {
         "engine.jobs.rejected",
         "engine.jobs.shed",
         "engine.jobs.completed",
+        "engine.decision_log.truncated",
     ] {
         j.key(name).u64(run.metrics.counter(name));
     }
@@ -530,9 +608,11 @@ pub fn events_jsonl(run: &OnlineRun) -> String {
 
 /// Chrome trace-event timeline of the online run: **one process (track
 /// group) per shard**, named after the shard, with the retained
-/// completed jobs as complete slices on the shard's dispatch track and
-/// shed/rejected decisions as instant events on a decisions track.
-/// Timestamps are model cycles (µs in the viewer).
+/// completed jobs as complete slices on the shard's dispatch track,
+/// shed/rejected decisions as instant events on a decisions track, and
+/// the depth observatory as a per-shard counter track (`ph:"C"`,
+/// outstanding jobs + backlog).  Timestamps are model cycles (µs in the
+/// viewer).
 pub fn perfetto_json(run: &OnlineRun) -> String {
     const DISPATCH_TID: u64 = 1;
     const DECISIONS_TID: u64 = 2;
@@ -567,6 +647,29 @@ pub fn perfetto_json(run: &OnlineRun) -> String {
             j.key("name").string("thread_name");
             j.key("args").begin_object();
             j.key("name").string(label);
+            j.end_object();
+            j.end_object();
+        }
+    }
+
+    // Depth-observatory counter tracks: one per shard (the shard's own
+    // process), rendered by Perfetto as stacked counter plots over the
+    // virtual clock.
+    for d in &r.depth {
+        let pid = run
+            .shard_names
+            .iter()
+            .position(|n| *n == d.shard)
+            .map_or(0, |i| i as u64 + 1);
+        for s in &d.samples {
+            j.begin_object();
+            j.key("ph").string("C");
+            j.key("pid").u64(pid);
+            j.key("name").string("queue depth");
+            j.key("ts").u64(s.cycle);
+            j.key("args").begin_object();
+            j.key("outstanding").u64(s.outstanding);
+            j.key("backlog_kcycles").u64(s.backlog_cycles / 1_000);
             j.end_object();
             j.end_object();
         }
@@ -614,7 +717,7 @@ pub fn perfetto_json(run: &OnlineRun) -> String {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) const MANIFEST: &str = r#"{
@@ -722,6 +825,99 @@ mod tests {
             let pid = e.get("pid").and_then(|v| v.as_f64()).unwrap();
             assert!((1.0..=3.0).contains(&pid));
         }
+    }
+
+    #[test]
+    fn manifest_event_log_cap_flows_into_the_run() {
+        let capped = MANIFEST.replace("\"seed\": 11,", "\"seed\": 11, \"event_log_cap\": 7,");
+        let config = parse_online_manifest(&capped).unwrap();
+        assert_eq!(config.event_log_cap, 7);
+        let run = online(&capped, Some(1)).unwrap();
+        assert_eq!(run.report.events.len(), 7);
+        assert_eq!(run.report.events_truncated, run.report.submitted - 7);
+        // The drop count surfaces in the render output and the report.
+        let text = render(&run);
+        assert!(
+            text.contains(&format!(
+                "event log: first 7 decisions kept, {} truncated",
+                run.report.events_truncated
+            )),
+            "{text}"
+        );
+        let doc = bsc_telemetry::parse_json(&report_json(&run)).unwrap();
+        let truncated = doc
+            .get("counters")
+            .and_then(|c| c.get("engine.decision_log.truncated"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(truncated as u64, run.report.events_truncated);
+        // The default cap keeps every decision of this small manifest.
+        assert_eq!(parse_online_manifest(MANIFEST).unwrap().event_log_cap, EVENT_LOG_CAP);
+    }
+
+    #[test]
+    fn report_json_carries_funnel_and_depth_sections() {
+        let run = online(MANIFEST, Some(2)).unwrap();
+        let doc = bsc_telemetry::parse_json(&report_json(&run)).unwrap();
+        let funnel = doc.get("funnel").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(funnel.len(), 3);
+        for f in funnel {
+            let n = |k: &str| f.get(k).and_then(|v| v.as_f64()).unwrap() as u64;
+            assert_eq!(
+                n("offered"),
+                n("queue_full") + n("overloaded") + n("deadline_infeasible")
+                    + n("shed_deadline") + n("dispatched")
+            );
+        }
+        let depth = doc.get("depth").unwrap();
+        let stride = depth.get("stride_cycles").and_then(|v| v.as_f64()).unwrap() as u64;
+        assert!(stride.is_power_of_two());
+        let shards = depth.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(shards.len(), 3);
+        for s in shards {
+            let series = s.get("series").and_then(|v| v.as_array()).unwrap();
+            assert_eq!(
+                series.len() as f64,
+                s.get("samples").and_then(|v| v.as_f64()).unwrap()
+            );
+            assert!(!series.is_empty());
+        }
+        // Per-shard high-water marks ride in the shard objects.
+        for s in doc.get("shards").and_then(|v| v.as_array()).unwrap() {
+            assert!(s.get("peak_outstanding").is_some());
+            assert!(s.get("peak_backlog_cycles").is_some());
+        }
+    }
+
+    #[test]
+    fn perfetto_depth_counter_tracks_cover_every_shard() {
+        let run = online(MANIFEST, Some(2)).unwrap();
+        let doc = bsc_telemetry::parse_json(&perfetto_json(&run)).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let mut counter_pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+            .map(|e| e.get("pid").and_then(|v| v.as_f64()).unwrap() as u64)
+            .collect();
+        counter_pids.sort_unstable();
+        counter_pids.dedup();
+        assert_eq!(counter_pids, vec![1, 2, 3], "one counter track per shard");
+    }
+
+    #[test]
+    fn profiled_online_counters_match_the_report() {
+        let prof = Profiler::new();
+        let run = online_profiled(MANIFEST, Some(2), Some(&prof)).unwrap();
+        let snap = prof.snapshot();
+        assert_eq!(
+            snap.phase("admission").unwrap().counter("offered"),
+            run.report.submitted
+        );
+        assert_eq!(
+            snap.phase("slo-fold").unwrap().counter("observations"),
+            run.report.submitted
+        );
+        assert!(snap.phase("schedule-eval").unwrap().counter("pairs_evaluated") > 0);
     }
 
     #[test]

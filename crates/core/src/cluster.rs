@@ -38,6 +38,7 @@ use std::sync::Arc;
 
 use bsc_mac::MacKind;
 use bsc_nn::SharedNetwork;
+use bsc_telemetry::profile::{PhaseHandle, Profiler};
 use bsc_telemetry::Telemetry;
 
 use crate::des::{ArrivalGen, ArrivalProcess, EventQueue, PRIORITY_ARRIVAL, PRIORITY_COMPLETION};
@@ -149,6 +150,12 @@ pub struct OnlineConfig {
     /// Per-shard backlog limit in cycles (`busy_until − now`); the
     /// `overloaded` rejection.  `None` disables the check.
     pub max_backlog_cycles: Option<u64>,
+    /// Cap on retained per-job decision records.  Decisions beyond the
+    /// cap are dropped from [`OnlineReport::events`], counted in
+    /// [`OnlineReport::events_truncated`] and surfaced through the
+    /// `engine.decision_log.truncated` counter.  Use [`EVENT_LOG_CAP`]
+    /// unless a test needs a tiny log.
+    pub event_log_cap: usize,
     /// Worker threads for the report-evaluation phase (`None` = auto).
     /// **Never** affects results.
     pub workers: Option<usize>,
@@ -175,6 +182,9 @@ pub struct ShardReport {
     pub last_completion_cycle: u64,
     /// High-water mark of dispatched-but-incomplete jobs.
     pub peak_outstanding: u64,
+    /// High-water mark of the backlog (`busy_until − now`) observed at
+    /// arrival decisions against this shard, in cycles.
+    pub peak_backlog_cycles: u64,
     /// Useful MACs completed.
     pub macs: u64,
     /// fJ-exact energy of completed jobs (integer sum of per-layer
@@ -212,6 +222,57 @@ pub struct OnlineEvent {
 /// the rest in [`OnlineReport::events_truncated`].
 pub const EVENT_LOG_CAP: usize = 10_000;
 
+/// Per-shard admission-ladder funnel: how many arrivals each stage
+/// passed or stopped while this shard was the dispatch choice.  The
+/// stages are checked in order, so
+/// `offered = queue_full + overloaded + deadline_infeasible +
+/// shed_deadline + dispatched` holds exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardFunnel {
+    /// Shard name.
+    pub shard: String,
+    /// Arrivals routed to this shard by the dispatch policy.
+    pub offered: u64,
+    /// Stopped by the outstanding-job cap.
+    pub queue_full: u64,
+    /// Stopped by the backlog limit.
+    pub overloaded: u64,
+    /// Stopped by the DMA-aware deadline lower bound.
+    pub deadline_infeasible: u64,
+    /// Passed admission but shed because the exact schedule missed the
+    /// absolute deadline.
+    pub shed_deadline: u64,
+    /// Dispatched onto the shard.
+    pub dispatched: u64,
+}
+
+/// One virtual-clock depth sample of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthSample {
+    /// Sample cycle (a multiple of [`OnlineReport::depth_stride_cycles`]).
+    pub cycle: u64,
+    /// Dispatched-but-incomplete jobs at that cycle.
+    pub outstanding: u64,
+    /// Backlog (`busy_until − cycle`) at that cycle.
+    pub backlog_cycles: u64,
+}
+
+/// The depth series of one shard, sampled on the virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDepth {
+    /// Shard name.
+    pub shard: String,
+    /// Samples in cycle order.
+    pub samples: Vec<DepthSample>,
+}
+
+/// Power-of-two sampling stride for the depth observatory: ~256 samples
+/// per shard across the horizon, so the series stays dashboard-sized no
+/// matter how many million events the run pops.
+pub fn depth_stride_for_horizon(horizon_cycles: u64) -> u64 {
+    (horizon_cycles / 256).max(1).next_power_of_two()
+}
+
 /// The deterministic result of one [`run_online`] call.
 #[derive(Debug, Clone)]
 pub struct OnlineReport {
@@ -235,10 +296,19 @@ pub struct OnlineReport {
     pub shards: Vec<ShardReport>,
     /// Per-tenant SLO accounting (latency = completion − arrival).
     pub slo: SloReport,
-    /// First [`EVENT_LOG_CAP`] per-job decisions, in event order.
+    /// First [`OnlineConfig::event_log_cap`] per-job decisions, in
+    /// event order.
     pub events: Vec<OnlineEvent>,
     /// Decisions beyond the event-log cap.
     pub events_truncated: u64,
+    /// Stride of the depth observatory samples (power of two, derived
+    /// from the horizon by [`depth_stride_for_horizon`]).
+    pub depth_stride_cycles: u64,
+    /// Per-shard depth series sampled on the virtual clock, in shard
+    /// order.
+    pub depth: Vec<ShardDepth>,
+    /// Per-shard admission-ladder funnels, in shard order.
+    pub funnel: Vec<ShardFunnel>,
 }
 
 impl OnlineReport {
@@ -253,6 +323,7 @@ struct ShardState {
     busy_until: u64,
     outstanding: u64,
     peak_outstanding: u64,
+    peak_backlog_cycles: u64,
 }
 
 /// Chooses the shard for one arrival.  Deterministic; ties break toward
@@ -283,6 +354,16 @@ fn choose_shard(
     }
 }
 
+/// The self-profiler phases of one online run, prefetched so the event
+/// loop pays at most two clock reads per guarded scope.
+struct OnlinePhases {
+    arrival: PhaseHandle,
+    dispatch: PhaseHandle,
+    admission: PhaseHandle,
+    schedule: PhaseHandle,
+    slo: PhaseHandle,
+}
+
 /// Runs one online-serving simulation.  See the module docs for the
 /// event semantics and determinism contract.
 ///
@@ -299,6 +380,28 @@ pub fn run_online(
     config: &OnlineConfig,
     telemetry: &Telemetry,
 ) -> Result<OnlineReport, AccelError> {
+    run_online_profiled(config, telemetry, None)
+}
+
+/// [`run_online`] with an optional self-profiler attached.
+///
+/// When `profiler` is `Some`, the run accumulates wall-clock time into
+/// the phases `arrival-sampling`, `dispatch`, `admission`,
+/// `schedule-eval` and `slo-fold`, plus deterministic work counters per
+/// phase (events popped, heap ops, map touches, metric increments, ...).
+/// The counters are a pure function of `config` — byte-identical at any
+/// worker count — while the wall-clock side is machine-dependent and
+/// never gated.  Profiling never changes the report: the deterministic
+/// work is tallied in loop-local integers and flushed once at the end.
+///
+/// # Errors
+///
+/// Same contract as [`run_online`].
+pub fn run_online_profiled(
+    config: &OnlineConfig,
+    telemetry: &Telemetry,
+    profiler: Option<&Profiler>,
+) -> Result<OnlineReport, AccelError> {
     if config.shards.is_empty() {
         return Err(AccelError::Config("online cluster needs at least one shard".into()));
     }
@@ -307,6 +410,13 @@ pub fn run_online(
     }
     let _wall = telemetry.metrics.timer("engine.run_online_ns");
     let m = &telemetry.metrics;
+    let phases = profiler.map(|p| OnlinePhases {
+        arrival: p.phase("arrival-sampling"),
+        dispatch: p.phase("dispatch"),
+        admission: p.phase("admission"),
+        schedule: p.phase("schedule-eval"),
+        slo: p.phase("slo-fold"),
+    });
 
     // Precision policies apply once; per-(source × shard) cycle numbers
     // are computed up front — the event loop then runs on pure integers.
@@ -315,10 +425,13 @@ pub fn run_online(
     let n_shards = config.shards.len();
     let mut estimate = vec![0u64; config.sources.len() * n_shards];
     let mut exact = vec![0u64; config.sources.len() * n_shards];
-    for (si, net) in networks.iter().enumerate() {
-        for (hi, shard) in config.shards.iter().enumerate() {
-            estimate[si * n_shards + hi] = estimate_cycles_for(&shard.accel, net);
-            exact[si * n_shards + hi] = schedule_cycles_for(&shard.accel, net)?;
+    {
+        let _g = phases.as_ref().map(|ph| ph.schedule.enter());
+        for (si, net) in networks.iter().enumerate() {
+            for (hi, shard) in config.shards.iter().enumerate() {
+                estimate[si * n_shards + hi] = estimate_cycles_for(&shard.accel, net);
+                exact[si * n_shards + hi] = schedule_cycles_for(&shard.accel, net)?;
+            }
         }
     }
 
@@ -340,16 +453,26 @@ pub fn run_online(
         })
         .collect();
     let mut arrivals_pushed = 0u64;
-    for (i, g) in gens.iter_mut().enumerate() {
-        let t = g.next_arrival();
-        if t <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
-            events.push(t, PRIORITY_ARRIVAL, Event::Arrival { source: i });
-            arrivals_pushed += 1;
+    let mut arrival_samples = 0u64;
+    {
+        let _g = phases.as_ref().map(|ph| ph.arrival.enter());
+        for (i, g) in gens.iter_mut().enumerate() {
+            let t = g.next_arrival();
+            arrival_samples += 1;
+            if t <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
+                events.push(t, PRIORITY_ARRIVAL, Event::Arrival { source: i });
+                arrivals_pushed += 1;
+            }
         }
     }
 
     let mut shards: Vec<ShardState> = (0..n_shards)
-        .map(|_| ShardState { busy_until: 0, outstanding: 0, peak_outstanding: 0 })
+        .map(|_| ShardState {
+            busy_until: 0,
+            outstanding: 0,
+            peak_outstanding: 0,
+            peak_backlog_cycles: 0,
+        })
         .collect();
     let mut shard_reports: Vec<ShardReport> = config
         .shards
@@ -363,6 +486,7 @@ pub fn run_online(
             busy_cycles: 0,
             last_completion_cycle: 0,
             peak_outstanding: 0,
+            peak_backlog_cycles: 0,
             macs: 0,
             energy_fj: 0,
         })
@@ -398,26 +522,55 @@ pub fn run_online(
     }
     let mut deferred: Vec<Deferred> = Vec::new();
 
-    let log_event = |log: &mut Vec<OnlineEvent>, truncated: &mut u64, ev: OnlineEvent| {
-        if log.len() < EVENT_LOG_CAP {
-            log.push(ev);
-        } else {
-            *truncated += 1;
-        }
-    };
+    // Depth observatory: per-shard (outstanding, backlog) sampled on the
+    // virtual clock at a power-of-two stride.  Boundaries are drained
+    // *before* the event that crosses them, and the queue delivers
+    // events in time order, so the state recorded at boundary `b` is
+    // exactly the state after every event with time ≤ `b` — a pure
+    // function of the event stream, independent of worker count.
+    let stride = depth_stride_for_horizon(config.horizon_cycles);
+    let mut next_sample = stride;
+    let mut depth: Vec<ShardDepth> = config
+        .shards
+        .iter()
+        .map(|s| ShardDepth { shard: s.name.clone(), samples: Vec::new() })
+        .collect();
+    let mut funnel: Vec<ShardFunnel> = config
+        .shards
+        .iter()
+        .map(|s| ShardFunnel { shard: s.name.clone(), ..ShardFunnel::default() })
+        .collect();
+
+    let event_log_cap = config.event_log_cap;
+    let mut completions_popped = 0u64;
 
     while let Some((now, event)) = events.pop() {
+        while next_sample < now {
+            for (d, s) in depth.iter_mut().zip(&shards) {
+                d.samples.push(DepthSample {
+                    cycle: next_sample,
+                    outstanding: s.outstanding,
+                    backlog_cycles: s.busy_until.saturating_sub(next_sample),
+                });
+            }
+            next_sample += stride;
+        }
         match event {
             Event::Completion { shard } => {
                 shards[shard].outstanding -= 1;
+                completions_popped += 1;
             }
             Event::Arrival { source } => {
                 // Keep the source's stream flowing before anything else,
                 // so admission decisions can't perturb arrival times.
-                let next = gens[source].next_arrival();
-                if next <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
-                    events.push(next, PRIORITY_ARRIVAL, Event::Arrival { source });
-                    arrivals_pushed += 1;
+                {
+                    let _g = phases.as_ref().map(|ph| ph.arrival.enter());
+                    let next = gens[source].next_arrival();
+                    arrival_samples += 1;
+                    if next <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
+                        events.push(next, PRIORITY_ARRIVAL, Event::Arrival { source });
+                        arrivals_pushed += 1;
+                    }
                 }
 
                 let tmpl = &config.sources[source].template;
@@ -426,16 +579,22 @@ pub fn run_online(
                 submitted += 1;
                 m.counter("engine.jobs.submitted").inc();
 
-                let hi = choose_shard(
-                    config.policy,
-                    now,
-                    &shards,
-                    &mut rr_cursor,
-                    &tenant_cycles,
-                    source,
-                );
+                let hi = {
+                    let _g = phases.as_ref().map(|ph| ph.dispatch.enter());
+                    choose_shard(
+                        config.policy,
+                        now,
+                        &shards,
+                        &mut rr_cursor,
+                        &tenant_cycles,
+                        source,
+                    )
+                };
+                let _g_admission = phases.as_ref().map(|ph| ph.admission.enter());
                 let shard_name = config.shards[hi].name.clone();
                 let backlog = shards[hi].busy_until.saturating_sub(now);
+                shards[hi].peak_backlog_cycles = shards[hi].peak_backlog_cycles.max(backlog);
+                funnel[hi].offered += 1;
                 let est = estimate[source * n_shards + hi];
 
                 let reject_reason = if shards[hi].outstanding >= config.max_outstanding {
@@ -464,6 +623,11 @@ pub fn run_online(
                 if let Some(reason) = reject_reason {
                     rejected += 1;
                     shard_reports[hi].rejected += 1;
+                    match reason {
+                        RejectReason::QueueFull { .. } => funnel[hi].queue_full += 1,
+                        RejectReason::Overloaded { .. } => funnel[hi].overloaded += 1,
+                        _ => funnel[hi].deadline_infeasible += 1,
+                    }
                     m.counter("engine.jobs.rejected").inc();
                     m.labeled_counter("engine.jobs")
                         .with(&[
@@ -476,17 +640,24 @@ pub fn run_online(
                         tenant: tmpl.tenant.clone(),
                         kind: DeferredKind::Rejection(reason.slug()),
                     });
-                    log_event(&mut event_log, &mut events_truncated, OnlineEvent {
-                        job: format!("{}#{seq}", tmpl.name),
-                        template: tmpl.name.clone(),
-                        tenant: tmpl.tenant.clone(),
-                        shard: shard_name,
-                        outcome: "rejected",
-                        reason: Some(reason.slug()),
-                        arrival_cycle: now,
-                        start_cycle: now,
-                        completion_cycle: now,
-                    });
+                    // The log caps out within the first 10⁴ decisions of
+                    // a multi-million-job run; skip the record (and its
+                    // string formatting) entirely once it is full.
+                    if event_log.len() < event_log_cap {
+                        event_log.push(OnlineEvent {
+                            job: format!("{}#{seq}", tmpl.name),
+                            template: tmpl.name.clone(),
+                            tenant: tmpl.tenant.clone(),
+                            shard: shard_name,
+                            outcome: "rejected",
+                            reason: Some(reason.slug()),
+                            arrival_cycle: now,
+                            start_cycle: now,
+                            completion_cycle: now,
+                        });
+                    } else {
+                        events_truncated += 1;
+                    }
                     continue;
                 }
 
@@ -501,6 +672,7 @@ pub fn run_online(
                         };
                         shed += 1;
                         shard_reports[hi].shed += 1;
+                        funnel[hi].shed_deadline += 1;
                         m.counter("engine.jobs.shed").inc();
                         m.labeled_counter("engine.jobs")
                             .with(&[
@@ -513,17 +685,21 @@ pub fn run_online(
                             tenant: tmpl.tenant.clone(),
                             kind: DeferredKind::Shed(reason.slug(), now),
                         });
-                        log_event(&mut event_log, &mut events_truncated, OnlineEvent {
-                            job: format!("{}#{seq}", tmpl.name),
-                            template: tmpl.name.clone(),
-                            tenant: tmpl.tenant.clone(),
-                            shard: shard_name,
-                            outcome: "shed",
-                            reason: Some(reason.slug()),
-                            arrival_cycle: now,
-                            start_cycle: now,
-                            completion_cycle: now,
-                        });
+                        if event_log.len() < event_log_cap {
+                            event_log.push(OnlineEvent {
+                                job: format!("{}#{seq}", tmpl.name),
+                                template: tmpl.name.clone(),
+                                tenant: tmpl.tenant.clone(),
+                                shard: shard_name,
+                                outcome: "shed",
+                                reason: Some(reason.slug()),
+                                arrival_cycle: now,
+                                start_cycle: now,
+                                completion_cycle: now,
+                            });
+                        } else {
+                            events_truncated += 1;
+                        }
                         continue;
                     }
                 }
@@ -533,6 +709,9 @@ pub fn run_online(
                 shards[hi].outstanding += 1;
                 shards[hi].peak_outstanding =
                     shards[hi].peak_outstanding.max(shards[hi].outstanding);
+                shards[hi].peak_backlog_cycles =
+                    shards[hi].peak_backlog_cycles.max(completion - now);
+                funnel[hi].dispatched += 1;
                 *tenant_cycles.entry((source, hi)).or_default() += cycles;
                 shard_reports[hi].completed += 1;
                 shard_reports[hi].busy_cycles += cycles;
@@ -551,24 +730,32 @@ pub fn run_online(
                     arrival: now,
                     completion,
                 });
-                log_event(&mut event_log, &mut events_truncated, OnlineEvent {
-                    job: format!("{}#{seq}", tmpl.name),
-                    template: tmpl.name.clone(),
-                    tenant: tmpl.tenant.clone(),
-                    shard: shard_name,
-                    outcome: "completed",
-                    reason: None,
-                    arrival_cycle: now,
-                    start_cycle: start,
-                    completion_cycle: completion,
-                });
+                if event_log.len() < event_log_cap {
+                    event_log.push(OnlineEvent {
+                        job: format!("{}#{seq}", tmpl.name),
+                        template: tmpl.name.clone(),
+                        tenant: tmpl.tenant.clone(),
+                        shard: shard_name,
+                        outcome: "completed",
+                        reason: None,
+                        arrival_cycle: now,
+                        start_cycle: start,
+                        completion_cycle: completion,
+                    });
+                } else {
+                    events_truncated += 1;
+                }
             }
         }
     }
+    // The drop count is also a counter, so a truncated decision log is
+    // visible in every metrics export, not just in the report.
+    m.counter("engine.decision_log.truncated").add(events_truncated);
 
     // Report-evaluation phase: the only parallel section.  One
     // NetworkReport per distinct (source × shard) pair that completed at
     // least one job; merged by pair index, so worker count is invisible.
+    let g_schedule = phases.as_ref().map(|ph| ph.schedule.enter());
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     {
         let mut seen = vec![false; config.sources.len() * n_shards];
@@ -610,11 +797,13 @@ pub fn run_online(
     for (&pair, report) in pairs.iter().zip(reports) {
         pair_reports.insert(pair, report?);
     }
+    drop(g_schedule);
 
     // Serial SLO fold.  Order never matters for the accountant's BTree
     // state, but folding deferred decisions then completions keeps the
     // walk obvious.  The window width derives from the full horizon —
     // completions may legitimately land past the arrival horizon.
+    let g_slo = phases.as_ref().map(|ph| ph.slo.enter());
     let makespan = completed_recs.iter().map(|r| r.completion).max().unwrap_or(0);
     let horizon = config.horizon_cycles.max(makespan);
     let mut acc = SloAccountant::new(window_width_for_horizon(horizon));
@@ -647,9 +836,69 @@ pub fn run_online(
     }
     for (sr, st) in shard_reports.iter_mut().zip(&shards) {
         sr.peak_outstanding = st.peak_outstanding;
+        sr.peak_backlog_cycles = st.peak_backlog_cycles;
     }
     let completed = completed_recs.len() as u64;
+    let slo_observations = acc.observations();
+    let slo_report = acc.report();
+    drop(g_slo);
     m.gauge("engine.online.makespan_cycles").set(makespan.min(i64::MAX as u64) as i64);
+
+    // Flush the deterministic work tallies into the profiler.  Every
+    // value below is a pure function of `config` (the parallel report
+    // phase merges by pair index), so the counter side of the profile is
+    // byte-identical at any worker count.
+    if let Some(ph) = phases.as_ref() {
+        ph.arrival.add("samples", arrival_samples);
+        ph.arrival.add("arrivals_enqueued", arrivals_pushed);
+
+        ph.dispatch.add("events_popped", events.pops());
+        ph.dispatch.add("arrivals_popped", submitted);
+        ph.dispatch.add("completions_popped", completions_popped);
+        ph.dispatch.add("heap_pushes", events.pushes());
+        ph.dispatch.add("heap_ops", events.pushes() + events.pops());
+        ph.dispatch.add("decisions", submitted);
+        // Shards examined per decision: round-robin reads one cursor,
+        // the other policies scan every shard.
+        let scan = match config.policy {
+            DispatchPolicy::RoundRobin => 1,
+            _ => n_shards as u64,
+        };
+        ph.dispatch.add("shard_scans", submitted * scan);
+
+        ph.admission.add("offered", submitted);
+        ph.admission.add("rejected_queue_full", funnel.iter().map(|f| f.queue_full).sum());
+        ph.admission.add("rejected_overloaded", funnel.iter().map(|f| f.overloaded).sum());
+        ph.admission.add(
+            "rejected_deadline_infeasible",
+            funnel.iter().map(|f| f.deadline_infeasible).sum(),
+        );
+        ph.admission.add("shed_deadline_missed", shed);
+        ph.admission.add("dispatched", completed);
+        // Tenant-cycle map writes (one per dispatch) plus the reads the
+        // tenant-fair scan performs per decision.
+        let tf_reads = match config.policy {
+            DispatchPolicy::TenantFair => submitted * n_shards as u64,
+            _ => 0,
+        };
+        ph.admission.add("tenant_map_touches", completed + tf_reads);
+        // Registry traffic per arrival: one `submitted` increment, two
+        // per rejection/shed (plain + labeled), three per completion
+        // (plain + labeled + wait histogram).
+        ph.admission
+            .add("metric_increments", submitted + 2 * (rejected + shed) + 3 * completed);
+        ph.admission.add("log_appends", event_log.len() as u64);
+        ph.admission.add("log_dropped", events_truncated);
+
+        ph.schedule.add("cycle_tables", (config.sources.len() * n_shards) as u64);
+        ph.schedule.add("pairs_evaluated", pairs.len() as u64);
+        ph.schedule
+            .add("layers_evaluated", pair_reports.values().map(|r| r.layers().len() as u64).sum());
+
+        ph.slo.add("observations", slo_observations);
+        ph.slo.add("completions_folded", completed);
+        ph.slo.add("depth_samples", depth.iter().map(|d| d.samples.len() as u64).sum());
+    }
 
     Ok(OnlineReport {
         policy: config.policy,
@@ -661,9 +910,12 @@ pub fn run_online(
         shed,
         makespan_cycles: makespan,
         shards: shard_reports,
-        slo: acc.report(),
+        slo: slo_report,
         events: event_log,
         events_truncated,
+        depth_stride_cycles: stride,
+        depth,
+        funnel,
     })
 }
 
@@ -703,6 +955,7 @@ mod tests {
             max_jobs: 10_000,
             max_outstanding: 8,
             max_backlog_cycles: Some(50_000),
+            event_log_cap: EVENT_LOG_CAP,
             workers,
             sources: vec![
                 TrafficSource {
@@ -754,7 +1007,134 @@ mod tests {
             assert_eq!(r.shards, runs[0].shards);
             assert_eq!(r.slo, runs[0].slo);
             assert_eq!(r.events, runs[0].events);
+            assert_eq!(r.depth, runs[0].depth);
+            assert_eq!(r.funnel, runs[0].funnel);
         }
+    }
+
+    #[test]
+    fn profile_counters_are_worker_count_independent() {
+        use bsc_telemetry::profile::profile_json;
+        let snaps: Vec<String> = [Some(1), Some(2), Some(8)]
+            .into_iter()
+            .map(|w| {
+                let prof = Profiler::new();
+                run_online_profiled(
+                    &quick_config(DispatchPolicy::TenantFair, w),
+                    &Telemetry::metrics_only(),
+                    Some(&prof),
+                )
+                .unwrap();
+                let mut snap = prof.snapshot();
+                // Deterministic side only: wall-clock is machine noise.
+                for p in &mut snap.phases {
+                    p.wall_ns = 0;
+                }
+                profile_json(&snap)
+            })
+            .collect();
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[0], snaps[2]);
+    }
+
+    #[test]
+    fn profiled_run_reproduces_the_unprofiled_report() {
+        let config = quick_config(DispatchPolicy::LeastOutstanding, Some(2));
+        let plain = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        let prof = Profiler::new();
+        let profiled =
+            run_online_profiled(&config, &Telemetry::metrics_only(), Some(&prof)).unwrap();
+        assert_eq!(plain.shards, profiled.shards);
+        assert_eq!(plain.slo, profiled.slo);
+        assert_eq!(plain.events, profiled.events);
+        assert_eq!(plain.depth, profiled.depth);
+        assert_eq!(plain.funnel, profiled.funnel);
+        // The profiler actually saw the run.
+        let snap = prof.snapshot();
+        let dispatch = snap.phase("dispatch").unwrap();
+        assert_eq!(dispatch.counter("arrivals_popped"), plain.submitted);
+        assert_eq!(
+            dispatch.counter("events_popped"),
+            plain.submitted + plain.completed,
+            "every dispatch pushes exactly one completion"
+        );
+        let admission = snap.phase("admission").unwrap();
+        assert_eq!(admission.counter("offered"), plain.submitted);
+        assert_eq!(admission.counter("dispatched"), plain.completed);
+        assert_eq!(
+            snap.phase("slo-fold").unwrap().counter("observations"),
+            plain.submitted,
+            "every arrival is observed exactly once"
+        );
+    }
+
+    #[test]
+    fn funnel_stages_partition_offered_arrivals() {
+        let mut config = quick_config(DispatchPolicy::RoundRobin, Some(1));
+        config.sources[0].template.deadline_cycles = Some(9_000);
+        let report = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        assert_eq!(report.funnel.len(), report.shards.len());
+        let mut offered_total = 0;
+        for (f, s) in report.funnel.iter().zip(&report.shards) {
+            assert_eq!(f.shard, s.name);
+            assert_eq!(
+                f.offered,
+                f.queue_full + f.overloaded + f.deadline_infeasible + f.shed_deadline
+                    + f.dispatched,
+                "funnel stages must partition {}",
+                f.shard
+            );
+            assert_eq!(f.dispatched, s.completed);
+            assert_eq!(f.queue_full + f.overloaded + f.deadline_infeasible, s.rejected);
+            assert_eq!(f.shed_deadline, s.shed);
+            offered_total += f.offered;
+        }
+        assert_eq!(offered_total, report.submitted);
+    }
+
+    #[test]
+    fn depth_series_samples_on_the_stride_grid() {
+        let config = quick_config(DispatchPolicy::LeastOutstanding, Some(2));
+        let report = run_online(&config, &Telemetry::metrics_only()).unwrap();
+        let stride = report.depth_stride_cycles;
+        assert_eq!(stride, depth_stride_for_horizon(config.horizon_cycles));
+        assert!(stride.is_power_of_two());
+        assert_eq!(report.depth.len(), report.shards.len());
+        for d in &report.depth {
+            assert!(!d.samples.is_empty(), "busy shard {} must be sampled", d.shard);
+            for pair in d.samples.windows(2) {
+                assert!(pair[0].cycle < pair[1].cycle, "samples must advance");
+            }
+            for s in &d.samples {
+                assert_eq!(s.cycle % stride, 0, "samples sit on the stride grid");
+            }
+        }
+        // The peaks bound the sampled series.
+        for (d, s) in report.depth.iter().zip(&report.shards) {
+            let max_out = d.samples.iter().map(|x| x.outstanding).max().unwrap_or(0);
+            assert!(max_out <= s.peak_outstanding);
+        }
+    }
+
+    #[test]
+    fn tiny_event_log_cap_truncates_and_counts() {
+        let mut config = quick_config(DispatchPolicy::RoundRobin, Some(1));
+        config.event_log_cap = 5;
+        let tel = Telemetry::metrics_only();
+        let report = run_online(&config, &tel).unwrap();
+        assert_eq!(report.events.len(), 5);
+        assert_eq!(report.events_truncated, report.submitted - 5);
+        assert_eq!(
+            tel.metrics.snapshot().counter("engine.decision_log.truncated"),
+            report.events_truncated,
+            "silent truncation must surface as a counter"
+        );
+        // An uncapped run drops nothing and the counter reads zero.
+        let tel2 = Telemetry::metrics_only();
+        config.event_log_cap = EVENT_LOG_CAP;
+        let full = run_online(&config, &tel2).unwrap();
+        assert_eq!(full.events_truncated, 0);
+        assert_eq!(tel2.metrics.snapshot().counter("engine.decision_log.truncated"), 0);
     }
 
     #[test]

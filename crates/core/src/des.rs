@@ -74,6 +74,7 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     next_seq: u64,
+    pops: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -85,7 +86,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pops: 0 }
     }
 
     /// Enqueues `payload` at `time` with the given priority class
@@ -98,7 +99,21 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        let popped = self.heap.pop().map(|Reverse(e)| (e.time, e.payload));
+        self.pops += u64::from(popped.is_some());
+        popped
+    }
+
+    /// Lifetime number of pushes (the next sequence number).  Together
+    /// with [`EventQueue::pops`] this gives consumers exact heap-op
+    /// accounting for self-profiling without touching the hot path.
+    pub fn pushes(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Lifetime number of successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// The timestamp of the next event without removing it.

@@ -1051,6 +1051,12 @@ impl Engine {
         for outcome in &outcomes {
             accountant.observe(outcome);
         }
+        // Fold-work accounting for the self-profiler: deterministic, so
+        // it is safe in every metrics export.
+        self.telemetry
+            .metrics
+            .counter("engine.slo.observations")
+            .add(accountant.observations());
         Ok(BatchReport { outcomes, peak_queue_depth, slo: accountant.report() })
     }
 

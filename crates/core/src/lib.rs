@@ -53,8 +53,9 @@ pub mod slo;
 
 pub use accelerator::{Accelerator, AcceleratorConfig};
 pub use cluster::{
-    DispatchPolicy, JobTemplate, OnlineConfig, OnlineReport, ShardReport, ShardSpec,
-    TrafficSource,
+    depth_stride_for_horizon, run_online, run_online_profiled, DepthSample, DispatchPolicy,
+    JobTemplate, OnlineConfig, OnlineReport, ShardDepth, ShardFunnel, ShardReport, ShardSpec,
+    TrafficSource, EVENT_LOG_CAP,
 };
 pub use des::{ArrivalGen, ArrivalProcess, DiurnalSegment, EventQueue};
 pub use engine::{

@@ -234,6 +234,7 @@ struct TenantAcc {
 pub struct SloAccountant {
     windows: WindowedAggregator,
     tenants: BTreeMap<TenantId, TenantAcc>,
+    observations: u64,
 }
 
 impl SloAccountant {
@@ -242,7 +243,15 @@ impl SloAccountant {
         SloAccountant {
             windows: WindowedAggregator::new(window_width_cycles),
             tenants: BTreeMap::new(),
+            observations: 0,
         }
+    }
+
+    /// Lifetime number of streamed observations (completions +
+    /// rejections + sheds) — the fold's deterministic work metric for
+    /// self-profiling.
+    pub fn observations(&self) -> u64 {
+        self.observations
     }
 
     /// Declares a tenant's target (idempotent; the last declaration
@@ -289,6 +298,7 @@ impl SloAccountant {
         deadline_met: Option<bool>,
         report: &NetworkReport,
     ) {
+        self.observations += 1;
         let acc = self.tenants.entry(tenant.clone()).or_default();
         acc.submitted += 1;
         acc.completed += 1;
@@ -319,6 +329,7 @@ impl SloAccountant {
     /// Streams one admission rejection under a machine-readable reason
     /// slug (see [`crate::RejectReason::slug`]).
     pub fn observe_rejection(&mut self, tenant: &TenantId, slug: &'static str) {
+        self.observations += 1;
         let acc = self.tenants.entry(tenant.clone()).or_default();
         acc.submitted += 1;
         acc.rejected += 1;
@@ -328,6 +339,7 @@ impl SloAccountant {
     /// Streams one shed decision at `decision_cycle` under a
     /// machine-readable reason slug (see [`crate::ShedReason::slug`]).
     pub fn observe_shed(&mut self, tenant: &TenantId, slug: &'static str, decision_cycle: u64) {
+        self.observations += 1;
         let acc = self.tenants.entry(tenant.clone()).or_default();
         acc.submitted += 1;
         acc.shed += 1;

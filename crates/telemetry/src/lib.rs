@@ -23,6 +23,10 @@
 //!   utilization heatmap;
 //! * [`perfetto`] — Chrome trace-event JSON export of a timeline,
 //!   loadable in Perfetto or `chrome://tracing`;
+//! * [`profile`] — the simulator's *self*-profiler: RAII scoped phases
+//!   accumulating wall-clock time plus deterministic work counters,
+//!   exported as a phase-breakdown JSON and a folded-stack file for
+//!   flamegraph tooling;
 //! * [`sink`] — hand-rolled JSON and CSV serialization of snapshots;
 //! * [`json`] — a strict RFC 8259 parser so exported documents can be
 //!   validated and diffed without external crates (the workspace builds
@@ -54,6 +58,7 @@
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod profile;
 pub mod sink;
 pub mod span;
 pub mod timeline;
@@ -66,6 +71,7 @@ pub use metrics::{
     WindowedAggregator,
 };
 pub use perfetto::perfetto_json;
+pub use profile::{PhaseGuard, PhaseHandle, PhaseSnapshot, ProfileSnapshot, Profiler};
 pub use sink::JsonBuilder;
 pub use span::{SpanCollector, SpanGuard, SpanRecord, SpanSnapshot, NO_SPAN};
 pub use timeline::{build_timeline, utilization_svg, PeTimeline, Timeline};

@@ -260,6 +260,23 @@ impl QuantileSketch {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// Folds `other`'s samples into this sketch: bucket counts, count
+    /// and sum add; min/max fold.  Merging is commutative and
+    /// associative (each field is a sum or a lattice join), so sketches
+    /// recorded per worker can merge in any order and snapshot
+    /// identically.  `other` is unchanged.
+    pub fn merge_from(&self, other: &QuantileSketch) {
+        let s = &*self.inner;
+        let o = &*other.inner;
+        for (mine, theirs) in s.buckets.iter().zip(&o.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        s.count.fetch_add(o.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        s.sum.fetch_add(o.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        s.min.fetch_min(o.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        s.max.fetch_max(o.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// A point-in-time copy with the quantiles dashboards read.
     pub fn snapshot(&self) -> SketchSnapshot {
         let s = &*self.inner;
@@ -551,6 +568,94 @@ mod tests {
             reverse.record((499 - v) * 17 % 499);
         }
         assert_eq!(forward.snapshot(), reverse.snapshot());
+    }
+
+    #[test]
+    fn sketch_merge_is_commutative_and_matches_single_recording() {
+        // Per-worker sketches merged in either order snapshot identically
+        // to one sketch that saw every sample.
+        let whole = QuantileSketch::new();
+        let left = QuantileSketch::new();
+        let right = QuantileSketch::new();
+        for v in 0..400u64 {
+            let sample = v * 131 % 4099;
+            whole.record(sample);
+            if v % 2 == 0 { left.record(sample) } else { right.record(sample) }
+        }
+        let ab = QuantileSketch::new();
+        ab.merge_from(&left);
+        ab.merge_from(&right);
+        let ba = QuantileSketch::new();
+        ba.merge_from(&right);
+        ba.merge_from(&left);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "merge must be commutative");
+        assert_eq!(ab.snapshot(), whole.snapshot(), "merge must equal direct recording");
+    }
+
+    #[test]
+    fn sketch_merge_with_an_empty_side_is_the_identity() {
+        let s = QuantileSketch::new();
+        s.record(7);
+        s.record(10_000);
+        let before = s.snapshot();
+        // Empty into populated: nothing changes (the empty side's
+        // u64::MAX min sentinel must not leak in).
+        s.merge_from(&QuantileSketch::new());
+        assert_eq!(s.snapshot(), before);
+        // Populated into empty: the copy snapshots identically.
+        let fresh = QuantileSketch::new();
+        fresh.merge_from(&s);
+        assert_eq!(fresh.snapshot(), before);
+        // Empty into empty stays the default snapshot.
+        let none = QuantileSketch::new();
+        none.merge_from(&QuantileSketch::new());
+        assert_eq!(none.snapshot(), SketchSnapshot::default());
+    }
+
+    #[test]
+    fn window_boundary_samples_land_in_the_later_window() {
+        // Windows are half-open [k*width, (k+1)*width): a sample exactly
+        // on the boundary opens the next window, never pads the previous.
+        let w = WindowedAggregator::new(100);
+        w.record(100, &[], 5);
+        w.record(200, &[], 7);
+        assert_eq!(
+            w.snapshot(),
+            vec![
+                (1, LabelSet::new(&[]), WindowCell { count: 1, sum: 5 }),
+                (2, LabelSet::new(&[]), WindowCell { count: 1, sum: 7 }),
+            ]
+        );
+        // The last cycle of a window stays inside it.
+        let edge = WindowedAggregator::new(100);
+        edge.record(99, &[], 1);
+        assert_eq!(edge.snapshot()[0].0, 0);
+    }
+
+    #[test]
+    fn empty_windows_mid_horizon_are_omitted_not_zero_filled() {
+        let w = WindowedAggregator::new(10);
+        w.record(5, &[], 1);
+        w.record(95, &[], 1);
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 2, "gap windows 1..=8 must not materialize");
+        assert_eq!((snap[0].0, snap[1].0), (0, 9));
+    }
+
+    #[test]
+    fn horizon_shorter_than_one_window_collapses_to_window_zero() {
+        // Width longer than the whole recorded horizon: every sample
+        // shares window 0 and the counts still add up.
+        let w = WindowedAggregator::new(1_000_000);
+        for cycle in [0, 17, 999, 314_159] {
+            w.record(cycle, &[("tenant", "a")], cycle);
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 1);
+        let (window, _, cell) = &snap[0];
+        assert_eq!(*window, 0);
+        assert_eq!(cell.count, 4);
+        assert_eq!(cell.sum, 17 + 999 + 314_159);
     }
 
     #[test]

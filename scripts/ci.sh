@@ -171,9 +171,70 @@ trace = json.load(open(sys.argv[4]))
 groups = [e["args"]["name"] for e in trace["traceEvents"]
           if e.get("ph") == "M" and e.get("name") == "process_name"]
 assert len(groups) == len(report["shards"]), "one Perfetto track group per shard"
+# Depth observatory: a sampled series and a balanced admission funnel
+# per shard, plus one counter track per shard in the Perfetto timeline.
+depth = report["depth"]
+assert len(depth["shards"]) == len(report["shards"])
+assert all(s["samples"] > 0 for s in depth["shards"])
+for f in report["funnel"]:
+    stages = (f["queue_full"] + f["overloaded"] + f["deadline_infeasible"]
+              + f["shed_deadline"] + f["dispatched"])
+    assert f["offered"] == stages, f"funnel of {f['shard']} does not balance"
+assert sum(f["offered"] for f in report["funnel"]) == agg["submitted"]
+counter_pids = {e["pid"] for e in trace["traceEvents"] if e.get("ph") == "C"}
+assert len(counter_pids) == len(report["shards"]), "one depth counter track per shard"
+assert report["counters"]["engine.decision_log.truncated"] == events[0]["events_truncated"]
 print(f"online gate valid ({agg['submitted']} jobs, {len(report['shards'])} shards, "
       f"{len(groups)} track groups, verdicts {sorted(verdicts)})")
 PY
+fi
+
+echo "==> profiler gate: repro profile examples/profile_manifest.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    profile examples/profile_manifest.json --profile-out "$out/profile.json" \
+    --folded-out "$out/profile.folded" > "$out/profile.txt"
+test -s "$out/profile.json" && test -s "$out/profile.folded" && test -s "$out/profile.txt"
+# The `counters` section of the profile is a pure function of the
+# manifest; `wall` / `throughput` carry *_ns / *_per_sec names the
+# differ reports but never gates.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_profile_baseline.json "$out/profile.json" --tol 0
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/profile.json" "$out/profile.folded" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+meta = doc["meta"]
+assert meta["submitted"] >= 2_000_000, "profile gate must simulate >= 2e6 arrivals"
+assert meta["shards"] >= 3, "profile gate needs a multi-shard cluster"
+phases = doc["counters"]
+for name in ("arrival-sampling", "dispatch", "admission",
+             "schedule-eval", "slo-fold", "export"):
+    assert name in phases, f"missing phase {name}"
+assert phases["dispatch"]["events_popped"] == meta["submitted"] + meta["completed"]
+assert phases["admission"]["offered"] == meta["submitted"]
+assert phases["slo-fold"]["observations"] == meta["submitted"]
+assert phases["export"]["bytes_written"] > 0
+folded = [l for l in open(sys.argv[2]).read().splitlines() if l]
+assert all(l.startswith("repro_online;") for l in folded), "folded stacks share one root"
+# Throughput is an informational datapoint, recorded but never gated.
+rate = doc["throughput"]["arrivals_per_sec"]
+print(f"profile gate valid ({meta['submitted']} arrivals; "
+      f"{rate:.0f} arrivals/sec, informational)")
+PY
+    # Counter-side worker independence: the gated section is
+    # byte-identical at 1, 2 and 8 workers (only wall clock may differ).
+    for w in 1 2 8; do
+        cargo run --release --offline -q -p bsc-bench --bin repro -- \
+            profile examples/profile_manifest.json --workers "$w" \
+            --profile-out "$out/profile_w$w.json" >/dev/null
+        python3 -c 'import json, sys
+open(sys.argv[2], "w").write(
+    json.dumps(json.load(open(sys.argv[1]))["counters"], sort_keys=True))' \
+            "$out/profile_w$w.json" "$out/profile_counters_w$w.json"
+    done
+    cmp "$out/profile_counters_w1.json" "$out/profile_counters_w2.json"
+    cmp "$out/profile_counters_w1.json" "$out/profile_counters_w8.json"
+    echo "profile counters byte-identical at 1, 2 and 8 workers"
 fi
 
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
