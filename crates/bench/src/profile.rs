@@ -29,6 +29,15 @@ use crate::online::{
 /// Root frame name used in the folded-stack export.
 pub const FOLDED_ROOT: &str = "repro_online";
 
+/// Arrivals per wall-clock second the profiler measured on the CI
+/// manifest **before** the hot path was batched (per-event registry
+/// increments, one heap push per completion, one RNG draw dispatch per
+/// arrival) — the PR-8 datapoint recorded in `docs/profiling.md`.
+/// Wall-clock is never gated at `--tol 0`, but `scripts/ci.sh` checks
+/// the 1e7-arrival run against this figure so a hot-path regression
+/// that survives the byte-identity gates still fails loudly.
+pub const PRE_BATCHING_ARRIVALS_PER_SEC: f64 = 696_474.47;
+
 /// One self-profiled online run: the run itself, the phase-attributed
 /// profile, and the end-to-end wall clock.
 #[derive(Debug)]
@@ -112,6 +121,11 @@ pub fn render(p: &ProfileRun) -> String {
         "  wall {} -> {:.0} arrivals/sec (informational; never gated)\n",
         crate::timing::fmt_ns(p.run_wall_ns as f64),
         p.arrivals_per_sec(),
+    ));
+    out.push_str(&format!(
+        "  pre-batching reference {:.0}/s -> {:.2}x\n",
+        PRE_BATCHING_ARRIVALS_PER_SEC,
+        p.arrivals_per_sec() / PRE_BATCHING_ARRIVALS_PER_SEC,
     ));
     out
 }
@@ -210,6 +224,27 @@ mod tests {
         let once = counters_of(1);
         assert_eq!(once, counters_of(2));
         assert_eq!(once, counters_of(8));
+    }
+
+    /// `metric_increments` used to be *defined* as
+    /// `submitted + 2*(rejected+shed) + 3*completed` — a formula
+    /// restating what the per-event path did (1 op per offer, reject +
+    /// labeled point, completion + labeled point + histogram record).
+    /// Since PR-9 it is *derived* from the `LocalMetrics` flush (every
+    /// `inc`/`add`/`record` the batch actually buffered).  This pins the
+    /// two definitions to each other: if batching ever skips or doubles
+    /// an increment, the derived count drifts from the formula.
+    #[test]
+    fn metric_increments_flush_derivation_matches_the_legacy_formula() {
+        let p = profile(MANIFEST, Some(2)).unwrap();
+        let r = &p.run.report;
+        let admission = p.snapshot.phase("admission").unwrap();
+        assert!(r.rejected > 0 && r.completed > 0, "formula terms must be live");
+        assert_eq!(
+            admission.counter("metric_increments"),
+            r.submitted + 2 * (r.rejected + r.shed) + 3 * r.completed,
+            "flush-derived increment count drifted from the per-event formula"
+        );
     }
 
     #[test]

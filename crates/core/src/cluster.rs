@@ -33,15 +33,17 @@
 //! [`SloAccountant`], so per-tenant p99 / goodput / shed series come
 //! for free over 10⁵–10⁶ simulated jobs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use bsc_mac::MacKind;
 use bsc_nn::SharedNetwork;
 use bsc_telemetry::profile::{PhaseHandle, Profiler};
-use bsc_telemetry::Telemetry;
+use bsc_telemetry::{
+    LocalCounter, LocalHistogram, LocalLabeledCounter, LocalMetrics, Registry, Telemetry,
+};
 
-use crate::des::{ArrivalGen, ArrivalProcess, EventQueue, PRIORITY_ARRIVAL, PRIORITY_COMPLETION};
+use crate::des::{ArrivalGen, ArrivalProcess, CompletionLanes, EventQueue, PRIORITY_ARRIVAL};
 use crate::engine::{
     estimate_cycles_for, schedule_cycles_for, CharacterizationCache, PrecisionPolicy,
     RejectReason, ShedReason,
@@ -364,6 +366,152 @@ struct OnlinePhases {
     slo: PhaseHandle,
 }
 
+/// How [`run_online_with_metrics`] records per-job metrics.
+///
+/// The two modes produce **byte-identical** metrics snapshots, reports
+/// and SLO documents — `tests/metrics_equivalence.rs` pins this across
+/// policies, arrival processes and worker counts.  [`MetricsMode::Batched`]
+/// is what [`run_online`] uses; the shadow mode exists so the
+/// equivalence stays testable, not for production use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Tally per-job counters into a lock-free [`LocalMetrics`]
+    /// accumulator (label handles interned once per shard up front) and
+    /// flush into the registry exactly once at end of run.  The hot
+    /// path takes no `Mutex` and performs no allocation.
+    Batched,
+    /// The legacy per-event path: one registry operation per counter
+    /// update, resolving names and label sets on every event.  Kept as
+    /// the differential-testing reference.
+    PerEventShadow,
+}
+
+/// Pre-interned [`LocalMetrics`] handles for one shard's labeled
+/// outcome points.
+struct ShardHandles {
+    completed: LocalLabeledCounter,
+    shed_deadline: LocalLabeledCounter,
+    /// Indexed by reject slot: 0 = `queue_full`, 1 = `overloaded`,
+    /// 2 = `deadline_infeasible` (the [`REJECT_SLUGS`] order).
+    rejected: [LocalLabeledCounter; 3],
+}
+
+/// Reject-reason slugs by admission-ladder slot — must match
+/// [`RejectReason::slug`] for each variant.
+const REJECT_SLUGS: [&str; 3] = ["queue_full", "overloaded", "deadline_infeasible"];
+
+/// The event loop's metric recording backend — see [`MetricsMode`].
+enum MetricSink {
+    Batched {
+        local: LocalMetrics,
+        submitted: LocalCounter,
+        rejected: LocalCounter,
+        shed: LocalCounter,
+        completed: LocalCounter,
+        wait: LocalHistogram,
+        shards: Vec<ShardHandles>,
+    },
+    Shadow(Registry),
+}
+
+impl MetricSink {
+    /// Interns every counter, labeled point and histogram the loop can
+    /// touch — names and label sets are resolved here, once per shard,
+    /// never on the hot path.  Points that never fire are skipped at
+    /// flush time, so eager interning cannot register spurious metrics.
+    fn batched(config: &OnlineConfig) -> MetricSink {
+        let mut local = LocalMetrics::new();
+        let submitted = local.counter("engine.jobs.submitted");
+        let rejected = local.counter("engine.jobs.rejected");
+        let shed = local.counter("engine.jobs.shed");
+        let completed = local.counter("engine.jobs.completed");
+        let wait = local
+            .histogram("engine.queue.wait_cycles", crate::engine::QUEUE_WAIT_BOUNDS_CYCLES);
+        let shards: Vec<ShardHandles> = config
+            .shards
+            .iter()
+            .map(|s| {
+                let n = s.name.as_str();
+                ShardHandles {
+                    completed: local
+                        .labeled_counter("engine.jobs", &[("outcome", "completed"), ("shard", n)]),
+                    shed_deadline: local.labeled_counter(
+                        "engine.jobs",
+                        &[("outcome", "shed"), ("reason", "deadline_missed"), ("shard", n)],
+                    ),
+                    rejected: REJECT_SLUGS.map(|slug| {
+                        local.labeled_counter(
+                            "engine.jobs",
+                            &[("outcome", "rejected"), ("reason", slug), ("shard", n)],
+                        )
+                    }),
+                }
+            })
+            .collect();
+        MetricSink::Batched { local, submitted, rejected, shed, completed, wait, shards }
+    }
+
+    #[inline]
+    fn on_submitted(&mut self) {
+        match self {
+            MetricSink::Batched { local, submitted, .. } => local.inc(*submitted),
+            MetricSink::Shadow(m) => m.counter("engine.jobs.submitted").inc(),
+        }
+    }
+
+    #[inline]
+    fn on_rejected(&mut self, hi: usize, slot: usize, slug: &'static str, shard_name: &str) {
+        debug_assert_eq!(REJECT_SLUGS[slot], slug);
+        match self {
+            MetricSink::Batched { local, rejected, shards, .. } => {
+                local.inc(*rejected);
+                local.inc_labeled(shards[hi].rejected[slot]);
+            }
+            MetricSink::Shadow(m) => {
+                m.counter("engine.jobs.rejected").inc();
+                m.labeled_counter("engine.jobs")
+                    .with(&[("outcome", "rejected"), ("reason", slug), ("shard", shard_name)])
+                    .inc();
+            }
+        }
+    }
+
+    #[inline]
+    fn on_shed(&mut self, hi: usize, slug: &'static str, shard_name: &str) {
+        match self {
+            MetricSink::Batched { local, shed, shards, .. } => {
+                local.inc(*shed);
+                local.inc_labeled(shards[hi].shed_deadline);
+            }
+            MetricSink::Shadow(m) => {
+                m.counter("engine.jobs.shed").inc();
+                m.labeled_counter("engine.jobs")
+                    .with(&[("outcome", "shed"), ("reason", slug), ("shard", shard_name)])
+                    .inc();
+            }
+        }
+    }
+
+    #[inline]
+    fn on_completed(&mut self, hi: usize, shard_name: &str, wait_cycles: u64) {
+        match self {
+            MetricSink::Batched { local, completed, wait, shards, .. } => {
+                local.inc(*completed);
+                local.inc_labeled(shards[hi].completed);
+                local.record(*wait, wait_cycles);
+            }
+            MetricSink::Shadow(m) => {
+                m.counter("engine.jobs.completed").inc();
+                m.labeled_counter("engine.jobs")
+                    .with(&[("outcome", "completed"), ("shard", shard_name)])
+                    .inc();
+                m.histogram("engine.queue.wait_cycles", crate::engine::QUEUE_WAIT_BOUNDS_CYCLES)
+                    .record(wait_cycles);
+            }
+        }
+    }
+}
+
 /// Runs one online-serving simulation.  See the module docs for the
 /// event semantics and determinism contract.
 ///
@@ -402,6 +550,23 @@ pub fn run_online_profiled(
     telemetry: &Telemetry,
     profiler: Option<&Profiler>,
 ) -> Result<OnlineReport, AccelError> {
+    run_online_with_metrics(config, telemetry, profiler, MetricsMode::Batched)
+}
+
+/// [`run_online_profiled`] with an explicit [`MetricsMode`].  Production
+/// callers never need this — [`MetricsMode::Batched`] is the default and
+/// the two modes are byte-equivalent; it exists so the differential
+/// test harness can drive the legacy per-event path side by side.
+///
+/// # Errors
+///
+/// Same contract as [`run_online`].
+pub fn run_online_with_metrics(
+    config: &OnlineConfig,
+    telemetry: &Telemetry,
+    profiler: Option<&Profiler>,
+    mode: MetricsMode,
+) -> Result<OnlineReport, AccelError> {
     if config.shards.is_empty() {
         return Err(AccelError::Config("online cluster needs at least one shard".into()));
     }
@@ -435,12 +600,12 @@ pub fn run_online_profiled(
         }
     }
 
-    enum Event {
-        Arrival { source: usize },
-        Completion { shard: usize },
-    }
-
-    let mut events: EventQueue<Event> = EventQueue::new();
+    // The heap holds *arrivals only* (payload = source index); shard
+    // completions live in per-lane monotone FIFOs and pop as coalesced
+    // same-cycle bursts.  The merge below preserves the unified queue's
+    // exact (time, priority, seq) order — see `CompletionLanes`.
+    let mut events: EventQueue<usize> = EventQueue::new();
+    let mut lanes = CompletionLanes::new(n_shards);
     let mut gens: Vec<ArrivalGen> = config
         .sources
         .iter()
@@ -452,15 +617,28 @@ pub fn run_online_profiled(
             ArrivalGen::new(s.process.clone(), seed)
         })
         .collect();
+    // Per-source arrival buffers, refilled in batches through the
+    // sampler's fast path.  The heap only ever holds each source's
+    // *next* arrival (exactly as before), so push gating — horizon and
+    // max_jobs — happens at the same moments and the report is
+    // unchanged; a buffered timestamp past the horizon stays put as a
+    // sentinel, so a dead source is never refilled again.
+    const ARRIVAL_BATCH: usize = 64;
+    let mut arrival_bufs: Vec<VecDeque<u64>> =
+        config.sources.iter().map(|_| VecDeque::with_capacity(ARRIVAL_BATCH)).collect();
     let mut arrivals_pushed = 0u64;
     let mut arrival_samples = 0u64;
+    let mut arrival_refills = 0u64;
     {
         let _g = phases.as_ref().map(|ph| ph.arrival.enter());
         for (i, g) in gens.iter_mut().enumerate() {
-            let t = g.next_arrival();
-            arrival_samples += 1;
+            g.refill(ARRIVAL_BATCH, &mut arrival_bufs[i]);
+            arrival_refills += 1;
+            arrival_samples += ARRIVAL_BATCH as u64;
+            let t = arrival_bufs[i][0];
             if t <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
-                events.push(t, PRIORITY_ARRIVAL, Event::Arrival { source: i });
+                arrival_bufs[i].pop_front();
+                events.push(t, PRIORITY_ARRIVAL, i);
                 arrivals_pushed += 1;
             }
         }
@@ -509,18 +687,16 @@ pub fn run_online_profiled(
     let mut shed = 0u64;
     let mut event_log: Vec<OnlineEvent> = Vec::new();
     let mut events_truncated = 0u64;
-    // Deferred SLO observations that need no NetworkReport fold
-    // immediately; completion observations wait for the report phase,
-    // but their *decision* bookkeeping happens here.
-    struct Deferred {
-        tenant: TenantId,
-        kind: DeferredKind,
-    }
-    enum DeferredKind {
-        Rejection(&'static str),
-        Shed(&'static str, u64),
-    }
-    let mut deferred: Vec<Deferred> = Vec::new();
+    // Deferred SLO observations (completion observations wait for the
+    // report phase; decision bookkeeping happens here).  Rejections
+    // carry no per-event payload the accountant keeps — no latency
+    // sample, no windowed series — so they defer as plain counts per
+    // (source × reason), allocation-free; `observe_rejections` folds
+    // each group in one call.  Sheds *do* record a windowed sample at
+    // their decision cycle, so they keep per-event records (they are
+    // rare: the deadline-missed path only).
+    let mut reject_counts: Vec<u64> = vec![0; config.sources.len() * REJECT_SLUGS.len()];
+    let mut deferred_sheds: Vec<(u32, &'static str, u64)> = Vec::new();
 
     // Depth observatory: per-shard (outstanding, backlog) sampled on the
     // virtual clock at a power-of-two stride.  Boundaries are drained
@@ -542,9 +718,24 @@ pub fn run_online_profiled(
         .collect();
 
     let event_log_cap = config.event_log_cap;
-    let mut completions_popped = 0u64;
+    let mut sink = match mode {
+        MetricsMode::Batched => MetricSink::batched(config),
+        MetricsMode::PerEventShadow => MetricSink::Shadow(m.clone()),
+    };
+    let mut burst: Vec<usize> = Vec::with_capacity(n_shards.max(4));
+    let mut completion_bursts = 0u64;
 
-    while let Some((now, event)) = events.pop() {
+    loop {
+        // Merge the arrival heap with the completion lanes: at equal
+        // times completions come first (the PRIORITY_COMPLETION rule),
+        // so `c <= a` picks the burst.
+        let (now, is_completion) = match (lanes.peek_time(), events.peek_time()) {
+            (Some(c), Some(a)) if c <= a => (c, true),
+            (Some(c), None) => (c, true),
+            (None, Some(a)) => (a, false),
+            (Some(_), Some(a)) => (a, false),
+            (None, None) => break,
+        };
         while next_sample < now {
             for (d, s) in depth.iter_mut().zip(&shards) {
                 d.samples.push(DepthSample {
@@ -555,197 +746,193 @@ pub fn run_online_profiled(
             }
             next_sample += stride;
         }
-        match event {
-            Event::Completion { shard } => {
-                shards[shard].outstanding -= 1;
-                completions_popped += 1;
+        if is_completion {
+            // One lane scan pops every completion due this cycle — a
+            // single batch operation per burst instead of one heap pop
+            // (plus sift-down) per job.
+            lanes.pop_burst(&mut burst);
+            completion_bursts += 1;
+            for &lane in &burst {
+                shards[lane].outstanding -= 1;
             }
-            Event::Arrival { source } => {
-                // Keep the source's stream flowing before anything else,
-                // so admission decisions can't perturb arrival times.
-                {
-                    let _g = phases.as_ref().map(|ph| ph.arrival.enter());
-                    let next = gens[source].next_arrival();
-                    arrival_samples += 1;
-                    if next <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
-                        events.push(next, PRIORITY_ARRIVAL, Event::Arrival { source });
-                        arrivals_pushed += 1;
-                    }
+            continue;
+        }
+        let (_, source) = events.pop().expect("peeked arrival");
+
+        // Keep the source's stream flowing before anything else, so
+        // admission decisions can't perturb arrival times.  The buffer
+        // refills through the batched sampler; the push gate below runs
+        // per arrival, exactly as the per-draw path did.
+        {
+            if arrival_bufs[source].is_empty() {
+                let _g = phases.as_ref().map(|ph| ph.arrival.enter());
+                gens[source].refill(ARRIVAL_BATCH, &mut arrival_bufs[source]);
+                arrival_refills += 1;
+                arrival_samples += ARRIVAL_BATCH as u64;
+            }
+            let next = arrival_bufs[source][0];
+            if next <= config.horizon_cycles && arrivals_pushed < config.max_jobs {
+                arrival_bufs[source].pop_front();
+                events.push(next, PRIORITY_ARRIVAL, source);
+                arrivals_pushed += 1;
+            }
+        }
+
+        let tmpl = &config.sources[source].template;
+        let seq = per_source_seq[source];
+        per_source_seq[source] += 1;
+        submitted += 1;
+        sink.on_submitted();
+
+        let hi = {
+            let _g = phases.as_ref().map(|ph| ph.dispatch.enter());
+            choose_shard(
+                config.policy,
+                now,
+                &shards,
+                &mut rr_cursor,
+                &tenant_cycles,
+                source,
+            )
+        };
+        let _g_admission = phases.as_ref().map(|ph| ph.admission.enter());
+        let shard_name = config.shards[hi].name.as_str();
+        let backlog = shards[hi].busy_until.saturating_sub(now);
+        shards[hi].peak_backlog_cycles = shards[hi].peak_backlog_cycles.max(backlog);
+        funnel[hi].offered += 1;
+        let est = estimate[source * n_shards + hi];
+
+        let reject_reason = if shards[hi].outstanding >= config.max_outstanding {
+            Some(RejectReason::QueueFull {
+                capacity: config.max_outstanding as usize,
+            })
+        } else if config
+            .max_backlog_cycles
+            .is_some_and(|limit| backlog > limit)
+        {
+            Some(RejectReason::Overloaded {
+                backlog_cycles: backlog,
+                limit_cycles: config.max_backlog_cycles.unwrap_or(0),
+            })
+        } else if tmpl
+            .deadline_cycles
+            .is_some_and(|d| backlog + est > d)
+        {
+            Some(RejectReason::DeadlineInfeasible {
+                projected_cycles: backlog + est,
+                deadline_cycles: tmpl.deadline_cycles.unwrap_or(0),
+            })
+        } else {
+            None
+        };
+        if let Some(reason) = reject_reason {
+            rejected += 1;
+            shard_reports[hi].rejected += 1;
+            let slot = match reason {
+                RejectReason::QueueFull { .. } => {
+                    funnel[hi].queue_full += 1;
+                    0
                 }
-
-                let tmpl = &config.sources[source].template;
-                let seq = per_source_seq[source];
-                per_source_seq[source] += 1;
-                submitted += 1;
-                m.counter("engine.jobs.submitted").inc();
-
-                let hi = {
-                    let _g = phases.as_ref().map(|ph| ph.dispatch.enter());
-                    choose_shard(
-                        config.policy,
-                        now,
-                        &shards,
-                        &mut rr_cursor,
-                        &tenant_cycles,
-                        source,
-                    )
-                };
-                let _g_admission = phases.as_ref().map(|ph| ph.admission.enter());
-                let shard_name = config.shards[hi].name.clone();
-                let backlog = shards[hi].busy_until.saturating_sub(now);
-                shards[hi].peak_backlog_cycles = shards[hi].peak_backlog_cycles.max(backlog);
-                funnel[hi].offered += 1;
-                let est = estimate[source * n_shards + hi];
-
-                let reject_reason = if shards[hi].outstanding >= config.max_outstanding {
-                    Some(RejectReason::QueueFull {
-                        capacity: config.max_outstanding as usize,
-                    })
-                } else if config
-                    .max_backlog_cycles
-                    .is_some_and(|limit| backlog > limit)
-                {
-                    Some(RejectReason::Overloaded {
-                        backlog_cycles: backlog,
-                        limit_cycles: config.max_backlog_cycles.unwrap_or(0),
-                    })
-                } else if tmpl
-                    .deadline_cycles
-                    .is_some_and(|d| backlog + est > d)
-                {
-                    Some(RejectReason::DeadlineInfeasible {
-                        projected_cycles: backlog + est,
-                        deadline_cycles: tmpl.deadline_cycles.unwrap_or(0),
-                    })
-                } else {
-                    None
-                };
-                if let Some(reason) = reject_reason {
-                    rejected += 1;
-                    shard_reports[hi].rejected += 1;
-                    match reason {
-                        RejectReason::QueueFull { .. } => funnel[hi].queue_full += 1,
-                        RejectReason::Overloaded { .. } => funnel[hi].overloaded += 1,
-                        _ => funnel[hi].deadline_infeasible += 1,
-                    }
-                    m.counter("engine.jobs.rejected").inc();
-                    m.labeled_counter("engine.jobs")
-                        .with(&[
-                            ("outcome", "rejected"),
-                            ("reason", reason.slug()),
-                            ("shard", &shard_name),
-                        ])
-                        .inc();
-                    deferred.push(Deferred {
-                        tenant: tmpl.tenant.clone(),
-                        kind: DeferredKind::Rejection(reason.slug()),
-                    });
-                    // The log caps out within the first 10⁴ decisions of
-                    // a multi-million-job run; skip the record (and its
-                    // string formatting) entirely once it is full.
-                    if event_log.len() < event_log_cap {
-                        event_log.push(OnlineEvent {
-                            job: format!("{}#{seq}", tmpl.name),
-                            template: tmpl.name.clone(),
-                            tenant: tmpl.tenant.clone(),
-                            shard: shard_name,
-                            outcome: "rejected",
-                            reason: Some(reason.slug()),
-                            arrival_cycle: now,
-                            start_cycle: now,
-                            completion_cycle: now,
-                        });
-                    } else {
-                        events_truncated += 1;
-                    }
-                    continue;
+                RejectReason::Overloaded { .. } => {
+                    funnel[hi].overloaded += 1;
+                    1
                 }
-
-                let cycles = exact[source * n_shards + hi];
-                let start = shards[hi].busy_until.max(now);
-                let completion = start + cycles;
-                if let Some(d) = tmpl.deadline_cycles {
-                    if completion > now + d {
-                        let reason = ShedReason::DeadlineMissed {
-                            completion_cycle: completion,
-                            deadline_cycles: now + d,
-                        };
-                        shed += 1;
-                        shard_reports[hi].shed += 1;
-                        funnel[hi].shed_deadline += 1;
-                        m.counter("engine.jobs.shed").inc();
-                        m.labeled_counter("engine.jobs")
-                            .with(&[
-                                ("outcome", "shed"),
-                                ("reason", reason.slug()),
-                                ("shard", &shard_name),
-                            ])
-                            .inc();
-                        deferred.push(Deferred {
-                            tenant: tmpl.tenant.clone(),
-                            kind: DeferredKind::Shed(reason.slug(), now),
-                        });
-                        if event_log.len() < event_log_cap {
-                            event_log.push(OnlineEvent {
-                                job: format!("{}#{seq}", tmpl.name),
-                                template: tmpl.name.clone(),
-                                tenant: tmpl.tenant.clone(),
-                                shard: shard_name,
-                                outcome: "shed",
-                                reason: Some(reason.slug()),
-                                arrival_cycle: now,
-                                start_cycle: now,
-                                completion_cycle: now,
-                            });
-                        } else {
-                            events_truncated += 1;
-                        }
-                        continue;
-                    }
+                _ => {
+                    funnel[hi].deadline_infeasible += 1;
+                    2
                 }
-
-                // Dispatch.
-                shards[hi].busy_until = completion;
-                shards[hi].outstanding += 1;
-                shards[hi].peak_outstanding =
-                    shards[hi].peak_outstanding.max(shards[hi].outstanding);
-                shards[hi].peak_backlog_cycles =
-                    shards[hi].peak_backlog_cycles.max(completion - now);
-                funnel[hi].dispatched += 1;
-                *tenant_cycles.entry((source, hi)).or_default() += cycles;
-                shard_reports[hi].completed += 1;
-                shard_reports[hi].busy_cycles += cycles;
-                shard_reports[hi].last_completion_cycle =
-                    shard_reports[hi].last_completion_cycle.max(completion);
-                m.counter("engine.jobs.completed").inc();
-                m.labeled_counter("engine.jobs")
-                    .with(&[("outcome", "completed"), ("shard", &shard_name)])
-                    .inc();
-                m.histogram("engine.queue.wait_cycles", crate::engine::QUEUE_WAIT_BOUNDS_CYCLES)
-                    .record(start - now);
-                events.push(completion, PRIORITY_COMPLETION, Event::Completion { shard: hi });
-                completed_recs.push(CompletedRec {
-                    source: source as u32,
-                    shard: hi as u32,
-                    arrival: now,
-                    completion,
+            };
+            sink.on_rejected(hi, slot, reason.slug(), shard_name);
+            reject_counts[source * REJECT_SLUGS.len() + slot] += 1;
+            // The log caps out within the first 10⁴ decisions of
+            // a multi-million-job run; skip the record (and its
+            // string formatting) entirely once it is full.
+            if event_log.len() < event_log_cap {
+                event_log.push(OnlineEvent {
+                    job: format!("{}#{seq}", tmpl.name),
+                    template: tmpl.name.clone(),
+                    tenant: tmpl.tenant.clone(),
+                    shard: shard_name.to_string(),
+                    outcome: "rejected",
+                    reason: Some(reason.slug()),
+                    arrival_cycle: now,
+                    start_cycle: now,
+                    completion_cycle: now,
                 });
+            } else {
+                events_truncated += 1;
+            }
+            continue;
+        }
+
+        let cycles = exact[source * n_shards + hi];
+        let start = shards[hi].busy_until.max(now);
+        let completion = start + cycles;
+        if let Some(d) = tmpl.deadline_cycles {
+            if completion > now + d {
+                let reason = ShedReason::DeadlineMissed {
+                    completion_cycle: completion,
+                    deadline_cycles: now + d,
+                };
+                shed += 1;
+                shard_reports[hi].shed += 1;
+                funnel[hi].shed_deadline += 1;
+                sink.on_shed(hi, reason.slug(), shard_name);
+                deferred_sheds.push((source as u32, reason.slug(), now));
                 if event_log.len() < event_log_cap {
                     event_log.push(OnlineEvent {
                         job: format!("{}#{seq}", tmpl.name),
                         template: tmpl.name.clone(),
                         tenant: tmpl.tenant.clone(),
-                        shard: shard_name,
-                        outcome: "completed",
-                        reason: None,
+                        shard: shard_name.to_string(),
+                        outcome: "shed",
+                        reason: Some(reason.slug()),
                         arrival_cycle: now,
-                        start_cycle: start,
-                        completion_cycle: completion,
+                        start_cycle: now,
+                        completion_cycle: now,
                     });
                 } else {
                     events_truncated += 1;
                 }
+                continue;
             }
+        }
+
+        // Dispatch.
+        shards[hi].busy_until = completion;
+        shards[hi].outstanding += 1;
+        shards[hi].peak_outstanding =
+            shards[hi].peak_outstanding.max(shards[hi].outstanding);
+        shards[hi].peak_backlog_cycles =
+            shards[hi].peak_backlog_cycles.max(completion - now);
+        funnel[hi].dispatched += 1;
+        *tenant_cycles.entry((source, hi)).or_default() += cycles;
+        shard_reports[hi].completed += 1;
+        shard_reports[hi].busy_cycles += cycles;
+        shard_reports[hi].last_completion_cycle =
+            shard_reports[hi].last_completion_cycle.max(completion);
+        sink.on_completed(hi, shard_name, start - now);
+        lanes.push(hi, completion);
+        completed_recs.push(CompletedRec {
+            source: source as u32,
+            shard: hi as u32,
+            arrival: now,
+            completion,
+        });
+        if event_log.len() < event_log_cap {
+            event_log.push(OnlineEvent {
+                job: format!("{}#{seq}", tmpl.name),
+                template: tmpl.name.clone(),
+                tenant: tmpl.tenant.clone(),
+                shard: shard_name.to_string(),
+                outcome: "completed",
+                reason: None,
+                arrival_cycle: now,
+                start_cycle: start,
+                completion_cycle: completion,
+            });
+        } else {
+            events_truncated += 1;
         }
     }
     // The drop count is also a counter, so a truncated decision log is
@@ -812,11 +999,21 @@ pub fn run_online_profiled(
             acc.declare_target(s.template.tenant.clone(), target);
         }
     }
-    for d in &deferred {
-        match d.kind {
-            DeferredKind::Rejection(slug) => acc.observe_rejection(&d.tenant, slug),
-            DeferredKind::Shed(slug, cycle) => acc.observe_shed(&d.tenant, slug, cycle),
+    // Rejections fold as grouped counts — observe_rejections(n) is
+    // defined as n observe_rejection calls, and rejections feed no
+    // windowed series, so grouping is exactly equivalent to the old
+    // per-event walk.  Sheds need their decision cycle and fold
+    // per event.
+    for (si, counts) in reject_counts.chunks(REJECT_SLUGS.len()).enumerate() {
+        let tenant = &config.sources[si].template.tenant;
+        for (slot, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                acc.observe_rejections(tenant, REJECT_SLUGS[slot], n);
+            }
         }
+    }
+    for &(si, slug, cycle) in &deferred_sheds {
+        acc.observe_shed(&config.sources[si as usize].template.tenant, slug, cycle);
     }
     for rec in &completed_recs {
         let tmpl = &config.sources[rec.source as usize].template;
@@ -844,17 +1041,39 @@ pub fn run_online_profiled(
     drop(g_slo);
     m.gauge("engine.online.makespan_cycles").set(makespan.min(i64::MAX as u64) as i64);
 
+    // Flush the batched per-job metrics into the registry exactly once.
+    // The profiler's `metric_increments` is *derived from the flush* —
+    // the accumulator counted every update as it happened — instead of a
+    // hand-maintained per-outcome formula that could drift from the real
+    // increment count.  The shadow mode already hit the registry per
+    // event, so it reports the classic formula (pinned equal to the
+    // derivation by a unit test).
+    let metric_increments = match &sink {
+        MetricSink::Batched { local, .. } => {
+            local.flush_into(m);
+            local.increments()
+        }
+        MetricSink::Shadow(_) => submitted + 2 * (rejected + shed) + 3 * completed,
+    };
+
     // Flush the deterministic work tallies into the profiler.  Every
     // value below is a pure function of `config` (the parallel report
     // phase merges by pair index), so the counter side of the profile is
     // byte-identical at any worker count.
     if let Some(ph) = phases.as_ref() {
         ph.arrival.add("samples", arrival_samples);
+        ph.arrival.add("refills", arrival_refills);
         ph.arrival.add("arrivals_enqueued", arrivals_pushed);
 
-        ph.dispatch.add("events_popped", events.pops());
+        // Logical event deliveries (arrivals + completions); actual
+        // BinaryHeap traffic is arrivals-only — completions move through
+        // the monotone lanes and surface as `lane_pushes` /
+        // `completion_bursts`.
+        ph.dispatch.add("events_popped", events.pops() + lanes.pops());
         ph.dispatch.add("arrivals_popped", submitted);
-        ph.dispatch.add("completions_popped", completions_popped);
+        ph.dispatch.add("completions_popped", lanes.pops());
+        ph.dispatch.add("completion_bursts", completion_bursts);
+        ph.dispatch.add("lane_pushes", lanes.pushes());
         ph.dispatch.add("heap_pushes", events.pushes());
         ph.dispatch.add("heap_ops", events.pushes() + events.pops());
         ph.dispatch.add("decisions", submitted);
@@ -882,11 +1101,11 @@ pub fn run_online_profiled(
             _ => 0,
         };
         ph.admission.add("tenant_map_touches", completed + tf_reads);
-        // Registry traffic per arrival: one `submitted` increment, two
-        // per rejection/shed (plain + labeled), three per completion
-        // (plain + labeled + wait histogram).
-        ph.admission
-            .add("metric_increments", submitted + 2 * (rejected + shed) + 3 * completed);
+        // Metric updates per arrival, as counted by the accumulator
+        // itself: one `submitted` increment, two per rejection/shed
+        // (plain + labeled), three per completion (plain + labeled +
+        // wait histogram).
+        ph.admission.add("metric_increments", metric_increments);
         ph.admission.add("log_appends", event_log.len() as u64);
         ph.admission.add("log_dropped", events_truncated);
 

@@ -26,7 +26,7 @@
 
 use bsc_netlist::rng::Rng64;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Event priority of shard completions: at equal times a completion is
 /// delivered **before** any arrival, so the freed capacity is visible
@@ -132,6 +132,115 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// Per-lane FIFO queues of completion timestamps, popped in coalesced
+/// same-cycle bursts.
+///
+/// A shard's completion times are **monotone**: each job's completion is
+/// `max(busy_until, now) + cycles`, and `busy_until` advances to it, so
+/// per shard the stream never goes backwards.  That makes a
+/// [`BinaryHeap`] overkill — a plain `VecDeque` per shard *is* sorted —
+/// and lets the consumer pop **every** completion due at the earliest
+/// pending cycle in one O(burst) operation instead of one heap pop
+/// (plus sift-down) per job.
+///
+/// The delivery order contract is *identical* to holding the same
+/// completions in an [`EventQueue`] at [`PRIORITY_COMPLETION`] alongside
+/// arrivals at [`PRIORITY_ARRIVAL`]:
+///
+/// * entries are stamped with a push-order `seq`, and a burst returns
+///   its lanes sorted by `seq` — FIFO within the same cycle, exactly the
+///   unified queue's tie-break (completion seqs are a subsequence of the
+///   global push order, so relative order is preserved);
+/// * the consumer merges with the arrival queue by delivering a burst
+///   whenever `lanes.peek_time() <= arrivals.peek_time()` — completions
+///   before same-cycle arrivals, the [`PRIORITY_COMPLETION`] rule.
+///
+/// `tests/des_conformance.rs` pins this equivalence against a reference
+/// unified queue.
+pub struct CompletionLanes {
+    lanes: Vec<VecDeque<(u64, u64)>>,
+    /// Scratch for sorting one burst by push seq (reused across pops).
+    scratch: Vec<(u64, usize)>,
+    next_seq: u64,
+    len: usize,
+    pops: u64,
+}
+
+impl CompletionLanes {
+    /// Empty lanes, one per shard.
+    pub fn new(n_lanes: usize) -> Self {
+        CompletionLanes {
+            lanes: (0..n_lanes).map(|_| VecDeque::new()).collect(),
+            scratch: Vec::new(),
+            next_seq: 0,
+            len: 0,
+            pops: 0,
+        }
+    }
+
+    /// Enqueues a completion on `lane` at `time`.  Times must be
+    /// non-decreasing per lane (the shard `busy_until` invariant).
+    pub fn push(&mut self, lane: usize, time: u64) {
+        debug_assert!(
+            self.lanes[lane].back().is_none_or(|&(t, _)| t <= time),
+            "lane {lane} completion times must be monotone"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lanes[lane].push_back((time, seq));
+        self.len += 1;
+    }
+
+    /// The earliest pending completion cycle across all lanes.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.lanes.iter().filter_map(|l| l.front()).map(|&(t, _)| t).min()
+    }
+
+    /// Pops **every** completion due at the earliest pending cycle into
+    /// `out` (lane indices in push order) and returns that cycle, or
+    /// `None` when no completions are pending.  One burst costs one lane
+    /// scan plus a sort of the burst itself — no per-job heap traffic.
+    pub fn pop_burst(&mut self, out: &mut Vec<usize>) -> Option<u64> {
+        out.clear();
+        let t = self.peek_time()?;
+        self.scratch.clear();
+        for (lane, q) in self.lanes.iter_mut().enumerate() {
+            while let Some(&(time, seq)) = q.front() {
+                if time != t {
+                    break;
+                }
+                q.pop_front();
+                self.scratch.push((seq, lane));
+            }
+        }
+        self.scratch.sort_unstable();
+        out.extend(self.scratch.iter().map(|&(_, lane)| lane));
+        self.len -= out.len();
+        self.pops += out.len() as u64;
+        Some(t)
+    }
+
+    /// Lifetime number of pushes.
+    pub fn pushes(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Lifetime number of popped completions (summed over bursts).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Number of pending completions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// ln 2 in Q32 fixed point (`⌊ln 2 · 2³²⌉`).
 const LN2_Q32: u64 = 2_977_044_472;
 
@@ -174,6 +283,22 @@ fn sample_exponential(rng: &mut Rng64, mean_cycles: u64) -> u64 {
     let q = neg_ln_unit_q32(u);
     let delta = ((u128::from(mean_cycles.max(1)) * u128::from(q)) >> 32) as u64;
     delta.max(1)
+}
+
+/// The diurnal mean in force at day-position `pos` (callers reduce the
+/// timestamp mod the day length first).  Shared by the per-draw and
+/// batched samplers so both look up rates identically.
+fn diurnal_mean(segments: &[DiurnalSegment], mut pos: u64) -> u64 {
+    let mut mean = segments[0].mean_interarrival_cycles;
+    for s in segments {
+        let d = s.duration_cycles.max(1);
+        if pos < d {
+            mean = s.mean_interarrival_cycles;
+            break;
+        }
+        pos -= d;
+    }
+    mean
 }
 
 /// One segment of a diurnal rate table: `duration_cycles` of traffic at
@@ -265,18 +390,64 @@ impl ArrivalGen {
                 let day: u64 =
                     segments.iter().map(|s| s.duration_cycles.max(1)).sum();
                 // Segment in force at the previous event's timestamp.
-                let mut pos = self.last_cycle % day.max(1);
-                let mut mean = segments[0].mean_interarrival_cycles;
-                for s in segments {
-                    let d = s.duration_cycles.max(1);
-                    if pos < d {
-                        mean = s.mean_interarrival_cycles;
-                        break;
-                    }
-                    pos -= d;
-                }
+                let mean = diurnal_mean(segments, self.last_cycle % day.max(1));
                 self.last_cycle += sample_exponential(&mut self.rng, mean);
                 self.last_cycle
+            }
+        }
+    }
+
+    /// Appends the next `n` arrival cycles to `out` — the batched fast
+    /// path.  Produces **bit-identical** timestamps to `n` calls of
+    /// [`ArrivalGen::next_arrival`] (same RNG draws, same Q32
+    /// arithmetic), but amortizes the per-call setup the scalar path
+    /// repeats around every `-ln` evaluation: the clamped mean, the
+    /// bursty on/off warp constants and the diurnal day length are
+    /// hoisted once per refill, so consecutive draws from the same
+    /// source share one resolved Q32 sampling environment and the inner
+    /// loop is just `rng → neg_ln_unit_q32 → fixed-point scale`.
+    /// `tests/des_conformance.rs` pins the equivalence per process at
+    /// extreme rates.
+    pub fn refill(&mut self, n: usize, out: &mut VecDeque<u64>) {
+        out.reserve(n);
+        match &self.process {
+            ArrivalProcess::Poisson { mean_interarrival_cycles } => {
+                let mean = (*mean_interarrival_cycles).max(1);
+                let mut last = self.last_cycle;
+                for _ in 0..n {
+                    let q = neg_ln_unit_q32(self.rng.next_u64());
+                    last += (((u128::from(mean) * u128::from(q)) >> 32) as u64).max(1);
+                    out.push_back(last);
+                }
+                self.last_cycle = last;
+            }
+            ArrivalProcess::Bursty { on_cycles, off_cycles, mean_interarrival_cycles } => {
+                let (on, off, mean) =
+                    ((*on_cycles).max(1), *off_cycles, (*mean_interarrival_cycles).max(1));
+                let period = on + off;
+                let mut active = self.active_cycles;
+                let mut last = self.last_cycle;
+                for _ in 0..n {
+                    let q = neg_ln_unit_q32(self.rng.next_u64());
+                    active += (((u128::from(mean) * u128::from(q)) >> 32) as u64).max(1);
+                    last = (active / on) * period + active % on;
+                    out.push_back(last);
+                }
+                self.active_cycles = active;
+                self.last_cycle = last;
+            }
+            ArrivalProcess::Diurnal { segments } => {
+                assert!(!segments.is_empty(), "diurnal table must be non-empty");
+                let day: u64 =
+                    segments.iter().map(|s| s.duration_cycles.max(1)).sum::<u64>().max(1);
+                let mut last = self.last_cycle;
+                for _ in 0..n {
+                    let mean = diurnal_mean(segments, last % day).max(1);
+                    let q = neg_ln_unit_q32(self.rng.next_u64());
+                    last += (((u128::from(mean) * u128::from(q)) >> 32) as u64).max(1);
+                    out.push_back(last);
+                }
+                self.last_cycle = last;
             }
         }
     }
@@ -376,6 +547,72 @@ mod tests {
             }
         }
         assert!(in_first_window > 0, "traffic starts in the first on-window");
+    }
+
+    #[test]
+    fn completion_lanes_pop_whole_same_cycle_bursts_in_push_order() {
+        let mut lanes = CompletionLanes::new(3);
+        lanes.push(2, 10);
+        lanes.push(0, 10);
+        lanes.push(1, 5);
+        lanes.push(1, 10);
+        lanes.push(0, 20);
+        assert_eq!(lanes.peek_time(), Some(5));
+        assert_eq!(lanes.len(), 5);
+        let mut burst = Vec::new();
+        assert_eq!(lanes.pop_burst(&mut burst), Some(5));
+        assert_eq!(burst, [1]);
+        // All three cycle-10 completions in one burst, FIFO by push seq:
+        // lane 2 was pushed first, then 0, then 1.
+        assert_eq!(lanes.pop_burst(&mut burst), Some(10));
+        assert_eq!(burst, [2, 0, 1]);
+        assert_eq!(lanes.pop_burst(&mut burst), Some(20));
+        assert_eq!(burst, [0]);
+        assert_eq!(lanes.pop_burst(&mut burst), None);
+        assert!(burst.is_empty() && lanes.is_empty());
+        assert_eq!((lanes.pushes(), lanes.pops()), (5, 5));
+    }
+
+    #[test]
+    fn completion_lanes_drain_repeated_times_within_one_lane() {
+        // Equal times on one lane (zero-cycle jobs) coalesce into the
+        // same burst, still in push order.
+        let mut lanes = CompletionLanes::new(2);
+        lanes.push(0, 7);
+        lanes.push(1, 7);
+        lanes.push(0, 7);
+        let mut burst = Vec::new();
+        assert_eq!(lanes.pop_burst(&mut burst), Some(7));
+        assert_eq!(burst, [0, 1, 0]);
+    }
+
+    #[test]
+    fn refill_matches_per_draw_sampling_for_every_process() {
+        let processes = [
+            ArrivalProcess::Poisson { mean_interarrival_cycles: 500 },
+            ArrivalProcess::Bursty {
+                on_cycles: 5_000,
+                off_cycles: 20_000,
+                mean_interarrival_cycles: 200,
+            },
+            ArrivalProcess::Diurnal {
+                segments: vec![
+                    DiurnalSegment { duration_cycles: 10_000, mean_interarrival_cycles: 50 },
+                    DiurnalSegment { duration_cycles: 30_000, mean_interarrival_cycles: 900 },
+                ],
+            },
+        ];
+        for p in processes {
+            let mut scalar = ArrivalGen::new(p.clone(), 20260808);
+            let expect: Vec<u64> = (0..300).map(|_| scalar.next_arrival()).collect();
+            // Uneven refill sizes must splice into the same stream.
+            let mut batched = ArrivalGen::new(p.clone(), 20260808);
+            let mut got = VecDeque::new();
+            for n in [1usize, 7, 64, 100, 128] {
+                batched.refill(n, &mut got);
+            }
+            assert_eq!(Vec::from(got), expect, "refill diverged for {p:?}");
+        }
     }
 
     #[test]

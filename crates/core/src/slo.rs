@@ -329,11 +329,20 @@ impl SloAccountant {
     /// Streams one admission rejection under a machine-readable reason
     /// slug (see [`crate::RejectReason::slug`]).
     pub fn observe_rejection(&mut self, tenant: &TenantId, slug: &'static str) {
-        self.observations += 1;
+        self.observe_rejections(tenant, slug, 1);
+    }
+
+    /// Streams `count` admission rejections at once — exactly equivalent
+    /// to `count` [`SloAccountant::observe_rejection`] calls.  Rejections
+    /// carry no per-event payload (no latency sample, no windowed
+    /// series), so a caller that groups them by `(tenant, slug)` can
+    /// fold millions of decisions in a handful of calls.
+    pub fn observe_rejections(&mut self, tenant: &TenantId, slug: &'static str, count: u64) {
+        self.observations += count;
         let acc = self.tenants.entry(tenant.clone()).or_default();
-        acc.submitted += 1;
-        acc.rejected += 1;
-        *acc.rejected_by_reason.entry(slug).or_default() += 1;
+        acc.submitted += count;
+        acc.rejected += count;
+        *acc.rejected_by_reason.entry(slug).or_default() += count;
     }
 
     /// Streams one shed decision at `decision_cycle` under a

@@ -1,0 +1,321 @@
+//! Lock-free local metric accumulation for hot loops.
+//!
+//! The [`Registry`](super::Registry) handles are cheap once resolved, but
+//! *resolving* them is not: `Registry::counter` takes the registry `Mutex`,
+//! and `LabeledCounter::with` takes the family `Mutex` **and** allocates a
+//! canonical [`LabelSet`] per call.  A loop that increments labeled
+//! counters per event — the online simulator's admission ladder does three
+//! registry operations per completed job — pays lock traffic and
+//! allocation on every iteration.
+//!
+//! [`LocalMetrics`] is the batched alternative: a plain-integer delta
+//! store with no `Mutex`, no atomics and no per-update allocation.  Names
+//! and label sets are interned **once** up front (at loop setup, e.g. once
+//! per shard), returning copyable index handles ([`LocalCounter`],
+//! [`LocalLabeledCounter`], [`LocalHistogram`]); each hot-path update is
+//! then a bounds-checked `u64` add.  At the end of the run,
+//! [`LocalMetrics::flush_into`] folds the accumulated deltas into a
+//! [`Registry`](super::Registry) in one pass.
+//!
+//! Two properties make the flush indistinguishable from having taken the
+//! per-event path all along:
+//!
+//! * **Identical arithmetic.** Histogram deltas bucket samples with the
+//!   same sorted-bounds `partition_point` rule as
+//!   [`Histogram::record`](super::Histogram::record), and the merge adds
+//!   buckets/count/sum (wrapping, like the atomics) and folds min/max —
+//!   recording a multiset of samples locally and flushing equals
+//!   recording each sample directly.
+//! * **Lazy-registration parity.** The registry registers a metric on
+//!   first touch, so a per-event path never materializes a counter that
+//!   was never incremented.  The flush preserves that: zero-delta
+//!   counters, zero labeled points and empty histograms are *skipped*,
+//!   so the flushed [`MetricsSnapshot`](super::MetricsSnapshot) is
+//!   byte-identical to the per-event one even for metrics that never
+//!   fired.
+//!
+//! Use [`LocalMetrics`] when one thread owns a hot loop and the registry
+//! only needs the totals at the end; use the registry handles directly
+//! when updates must be visible to concurrent readers mid-run.
+
+use super::labels::LabelSet;
+use super::Registry;
+
+/// Index handle for an interned plain counter in a [`LocalMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalCounter(usize);
+
+/// Index handle for one interned `(family, label set)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalLabeledCounter(usize);
+
+/// Index handle for an interned histogram delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalHistogram(usize);
+
+/// One histogram's accumulated delta: same bucket scheme as
+/// [`Histogram`](super::Histogram) (sorted, deduped finite bounds plus a
+/// trailing overflow bucket).
+#[derive(Debug, Clone)]
+struct LocalHist {
+    name: String,
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A `Mutex`-free, allocation-free (after interning) metric delta
+/// accumulator.  See the module docs for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct LocalMetrics {
+    counters: Vec<(String, u64)>,
+    labeled: Vec<(String, LabelSet, u64)>,
+    hists: Vec<LocalHist>,
+    increments: u64,
+}
+
+impl LocalMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LocalMetrics::default()
+    }
+
+    /// Interns the plain counter `name`, returning its handle.  Repeated
+    /// calls with the same name return the same handle.
+    pub fn counter(&mut self, name: &str) -> LocalCounter {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return LocalCounter(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        LocalCounter(self.counters.len() - 1)
+    }
+
+    /// Interns one point of the labeled counter family `family` at
+    /// `labels` (canonicalized once, here — the hot path never builds a
+    /// [`LabelSet`] again).  Repeated calls with an equal canonical set
+    /// return the same handle.
+    pub fn labeled_counter(&mut self, family: &str, labels: &[(&str, &str)]) -> LocalLabeledCounter {
+        let set = LabelSet::new(labels);
+        if let Some(i) = self.labeled.iter().position(|(f, s, _)| f == family && *s == set) {
+            return LocalLabeledCounter(i);
+        }
+        self.labeled.push((family.to_string(), set, 0));
+        LocalLabeledCounter(self.labeled.len() - 1)
+    }
+
+    /// Interns the histogram `name` with `bounds` (sorted and deduped
+    /// exactly like [`Registry::histogram`]; later calls reuse the first
+    /// bounds, which are then ignored).
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> LocalHistogram {
+        if let Some(i) = self.hists.iter().position(|h| h.name == name) {
+            return LocalHistogram(i);
+        }
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let n = sorted.len() + 1;
+        self.hists.push(LocalHist {
+            name: name.to_string(),
+            bounds: sorted,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        LocalHistogram(self.hists.len() - 1)
+    }
+
+    /// Adds one to an interned counter.
+    #[inline]
+    pub fn inc(&mut self, c: LocalCounter) {
+        self.counters[c.0].1 += 1;
+        self.increments += 1;
+    }
+
+    /// Adds `n` to an interned counter (counted as one update, like one
+    /// `Counter::add` call).
+    #[inline]
+    pub fn add(&mut self, c: LocalCounter, n: u64) {
+        self.counters[c.0].1 += n;
+        self.increments += 1;
+    }
+
+    /// Adds one to an interned labeled point.
+    #[inline]
+    pub fn inc_labeled(&mut self, c: LocalLabeledCounter) {
+        self.labeled[c.0].2 += 1;
+        self.increments += 1;
+    }
+
+    /// Records one sample into an interned histogram delta — the same
+    /// bucketing as [`Histogram::record`](super::Histogram::record).
+    #[inline]
+    pub fn record(&mut self, h: LocalHistogram, value: u64) {
+        let lh = &mut self.hists[h.0];
+        let idx = lh.bounds.partition_point(|&b| b < value);
+        lh.buckets[idx] += 1;
+        lh.count += 1;
+        lh.sum = lh.sum.wrapping_add(value);
+        lh.min = lh.min.min(value);
+        lh.max = lh.max.max(value);
+        self.increments += 1;
+    }
+
+    /// Total updates recorded so far — exactly the number of registry
+    /// operations the equivalent per-event path would have performed
+    /// (one per `inc`/`add`/`inc_labeled`/`record` call).
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// Folds every non-zero delta into `registry`.  Metrics that were
+    /// interned but never updated are skipped, preserving the registry's
+    /// lazy-registration behaviour (see the module docs).  The
+    /// accumulator is unchanged, so flushing twice would double-count —
+    /// flush once, at end of run.
+    pub fn flush_into(&self, registry: &Registry) {
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                registry.counter(name).add(*v);
+            }
+        }
+        for (family, set, v) in &self.labeled {
+            if *v != 0 {
+                registry.labeled_counter(family).with_set(set).add(*v);
+            }
+        }
+        for lh in &self.hists {
+            if lh.count != 0 {
+                registry.histogram(&lh.name, &lh.bounds).merge_bucketed(
+                    &lh.bounds,
+                    &lh.buckets,
+                    lh.count,
+                    lh.sum,
+                    lh.min,
+                    lh.max,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_handles_are_stable() {
+        let mut m = LocalMetrics::new();
+        let a = m.counter("a");
+        let b = m.counter("b");
+        assert_eq!(m.counter("a"), a);
+        assert_ne!(a, b);
+        let p = m.labeled_counter("fam", &[("k", "v"), ("x", "y")]);
+        // Canonicalization: differently-ordered pairs intern to one point.
+        assert_eq!(m.labeled_counter("fam", &[("x", "y"), ("k", "v")]), p);
+        let h = m.histogram("h", &[10, 100]);
+        assert_eq!(m.histogram("h", &[999]), h);
+    }
+
+    #[test]
+    fn flush_equals_per_event_recording() {
+        // The same update stream through the per-event registry path and
+        // through LocalMetrics + one flush must snapshot identically.
+        let direct = Registry::new();
+        let mut local = LocalMetrics::new();
+        let batched = Registry::new();
+
+        let c = local.counter("jobs.submitted");
+        let lp = local.labeled_counter("jobs", &[("outcome", "completed"), ("shard", "s0")]);
+        let h = local.histogram("wait", &[10, 100, 1000]);
+        for i in 0..500u64 {
+            direct.counter("jobs.submitted").inc();
+            local.inc(c);
+            if i % 3 == 0 {
+                direct
+                    .labeled_counter("jobs")
+                    .with(&[("outcome", "completed"), ("shard", "s0")])
+                    .inc();
+                local.inc_labeled(lp);
+            }
+            let sample = i * 7 % 1500;
+            direct.histogram("wait", &[10, 100, 1000]).record(sample);
+            local.record(h, sample);
+        }
+        local.flush_into(&batched);
+        assert_eq!(direct.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn zero_deltas_are_not_registered_on_flush() {
+        // Lazy-registration parity: a counter that never fired must not
+        // appear in the flushed snapshot, exactly as it would not appear
+        // on a per-event path that never touched it.
+        let mut local = LocalMetrics::new();
+        let _never = local.counter("jobs.shed");
+        let fired = local.counter("jobs.submitted");
+        let _point = local.labeled_counter("jobs", &[("outcome", "shed")]);
+        let _empty = local.histogram("wait", &[10]);
+        local.inc(fired);
+        let reg = Registry::new();
+        local.flush_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counter("jobs.submitted"), 1);
+        assert!(snap.labeled_counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_delta_merges_into_existing_samples() {
+        // Flushing into a registry that already holds samples adds the
+        // delta, like recording the extra samples directly would.
+        let reg = Registry::new();
+        reg.histogram("wait", &[10, 100]).record(5);
+        let expect = Registry::new();
+        for v in [5u64, 50, 5000] {
+            expect.histogram("wait", &[10, 100]).record(v);
+        }
+        let mut local = LocalMetrics::new();
+        let h = local.histogram("wait", &[10, 100]);
+        local.record(h, 50);
+        local.record(h, 5000);
+        local.flush_into(&reg);
+        assert_eq!(reg.snapshot(), expect.snapshot());
+    }
+
+    #[test]
+    fn increments_count_every_update_call() {
+        let mut m = LocalMetrics::new();
+        let c = m.counter("c");
+        let l = m.labeled_counter("f", &[("k", "v")]);
+        let h = m.histogram("h", &[1]);
+        m.inc(c);
+        m.add(c, 41);
+        m.inc_labeled(l);
+        m.record(h, 9);
+        assert_eq!(m.increments(), 4);
+    }
+
+    #[test]
+    fn histogram_bounds_dedup_matches_registry() {
+        // Unsorted, duplicated bounds canonicalize identically on both
+        // sides, so the flush's bounds-equality assertion holds.
+        let reg = Registry::new();
+        reg.histogram("h", &[100, 10, 100]).record(42);
+        let mut local = LocalMetrics::new();
+        let h = local.histogram("h", &[10, 100, 10]);
+        local.record(h, 42);
+        let flushed = Registry::new();
+        flushed.histogram("h", &[100, 10, 100]).record(42);
+        local.flush_into(&reg);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.bounds, vec![10, 100]);
+        assert_eq!(hs.count, 2);
+    }
+}

@@ -7,6 +7,7 @@
 //! is only held during registration and snapshotting.
 
 pub mod labels;
+pub mod local;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -17,6 +18,7 @@ pub use labels::{
     LabelSet, LabeledCounter, LabeledHistogram, QuantileSketch, SketchSnapshot, WindowCell,
     WindowedAggregator,
 };
+pub use local::{LocalCounter, LocalHistogram, LocalLabeledCounter, LocalMetrics};
 
 /// A monotonically increasing event count.
 #[derive(Debug, Clone, Default)]
@@ -122,6 +124,37 @@ impl Histogram {
         h.sum.fetch_add(value, Ordering::Relaxed);
         h.min.fetch_min(value, Ordering::Relaxed);
         h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds a pre-bucketed batch of samples into this histogram —
+    /// equivalent to calling [`Histogram::record`] once per sample.
+    /// `bounds` must equal the histogram's own canonical bounds (callers
+    /// bucket with the same sort+dedup scheme, see
+    /// [`local::LocalMetrics`]); `min`/`max` are the batch extremes and
+    /// `count` must be non-zero so the empty-batch min sentinel never
+    /// leaks in.
+    pub(crate) fn merge_bucketed(
+        &self,
+        bounds: &[u64],
+        buckets: &[u64],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) {
+        let h = &*self.inner;
+        assert_eq!(h.bounds, bounds, "bucketed merge requires identical bounds");
+        assert_eq!(h.buckets.len(), buckets.len());
+        assert!(count > 0, "empty batches must be skipped by the caller");
+        for (mine, &theirs) in h.buckets.iter().zip(buckets) {
+            if theirs != 0 {
+                mine.fetch_add(theirs, Ordering::Relaxed);
+            }
+        }
+        h.count.fetch_add(count, Ordering::Relaxed);
+        h.sum.fetch_add(sum, Ordering::Relaxed);
+        h.min.fetch_min(min, Ordering::Relaxed);
+        h.max.fetch_max(max, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.

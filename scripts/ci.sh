@@ -237,6 +237,55 @@ open(sys.argv[2], "w").write(
     echo "profile counters byte-identical at 1, 2 and 8 workers"
 fi
 
+echo "==> 1e7-arrival gate: repro profile examples/profile_10m_manifest.json"
+# The batched hot path (LocalMetrics deltas, completion-burst pops,
+# arrival refills) exists to make this scale routine: ~1.03e7 arrivals
+# through the full admission/dispatch/SLO pipeline.  Counters stay a
+# pure function of the manifest, so the baseline diff runs at --tol 0.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    profile examples/profile_10m_manifest.json \
+    --profile-out "$out/profile_10m.json" > "$out/profile_10m.txt"
+test -s "$out/profile_10m.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_profile_10m_baseline.json "$out/profile_10m.json" --tol 0
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/profile_10m.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+meta = doc["meta"]
+assert meta["submitted"] >= 10_000_000, "1e7 gate must simulate >= 1e7 arrivals"
+assert meta["submitted"] == meta["completed"] + meta["rejected"] + meta["shed"]
+phases = doc["counters"]
+assert phases["dispatch"]["events_popped"] == meta["submitted"] + meta["completed"]
+assert phases["admission"]["offered"] == meta["submitted"]
+assert phases["slo-fold"]["observations"] == meta["submitted"]
+# metric_increments is derived from the LocalMetrics flush; it must
+# still equal the legacy closed form of the per-event path.
+assert phases["admission"]["metric_increments"] == (
+    meta["submitted"] + 2 * (meta["rejected"] + meta["shed"]) + 3 * meta["completed"]
+), "flush-derived metric_increments drifted from the per-event formula"
+# Throughput datapoint: wall clock is never part of the --tol 0 gates,
+# but the batched hot path must beat the pre-batching figure (PR-8
+# measured 696474 arrivals/sec on this pipeline; see docs/profiling.md).
+rate = doc["throughput"]["arrivals_per_sec"]
+floor = 696474.47
+assert rate > floor, f"1e7 throughput regressed: {rate:.0f}/s <= pre-batching {floor:.0f}/s"
+print(f"1e7 gate valid ({meta['submitted']} arrivals; "
+      f"{rate:.0f} arrivals/sec vs pre-batching {floor:.0f}/s = {rate/floor:.2f}x)")
+PY
+fi
+# The 1e7 report itself is byte-identical at 1, 2 and 8 workers — the
+# batched metrics flush and completion coalescing do not perturb a
+# single exported field at any parallelism.
+for w in 1 2 8; do
+    cargo run --release --offline -q -p bsc-bench --bin repro -- \
+        online examples/profile_10m_manifest.json --workers "$w" \
+        --report-out "$out/online_10m_w$w.json" >/dev/null
+done
+cmp "$out/online_10m_w1.json" "$out/online_10m_w2.json"
+cmp "$out/online_10m_w1.json" "$out/online_10m_w8.json"
+echo "1e7 online report byte-identical at 1, 2 and 8 workers"
+
 # Lints are best-effort: a toolchain without clippy must not fail the gate.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"

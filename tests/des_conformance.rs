@@ -59,21 +59,44 @@ fn event_queue_is_fifo_across_many_equal_keys() {
 // forever; regenerating them is an intentional format break.
 // ---------------------------------------------------------------------
 
+const GOLDEN_MEAN: u64 = 1000;
+const GOLDEN_POISSON: [(u64, [u64; 8]); 3] = [
+    (1, [352, 1005, 1559, 2497, 2857, 4797, 7441, 8405]),
+    (42, [2478, 3448, 3833, 3911, 3919, 4180, 4509, 4671]),
+    (0xBAD_C0FFE, [455, 1566, 2509, 3842, 4615, 5959, 7250, 8190]),
+];
+
 #[test]
 fn poisson_arrivals_match_the_golden_table() {
-    const MEAN: u64 = 1000;
-    const GOLDEN: [(u64, [u64; 8]); 3] = [
-        (1, [352, 1005, 1559, 2497, 2857, 4797, 7441, 8405]),
-        (42, [2478, 3448, 3833, 3911, 3919, 4180, 4509, 4671]),
-        (0xBAD_C0FFE, [455, 1566, 2509, 3842, 4615, 5959, 7250, 8190]),
-    ];
-    for (seed, expected) in GOLDEN {
+    for (seed, expected) in GOLDEN_POISSON {
         let mut gen = ArrivalGen::new(
-            ArrivalProcess::Poisson { mean_interarrival_cycles: MEAN },
+            ArrivalProcess::Poisson { mean_interarrival_cycles: GOLDEN_MEAN },
             seed,
         );
         let got: Vec<u64> = (0..8).map(|_| gen.next_arrival()).collect();
         assert_eq!(got, expected, "seed {seed}: golden Poisson arrivals drifted");
+    }
+}
+
+/// The batched sampler ([`ArrivalGen::refill`], PR-9's hot-path reuse of
+/// the Q32 `-ln` evaluation across consecutive draws) reproduces the
+/// same golden tables at every batch split — including splits that
+/// straddle the table, proving the generator state carries across
+/// refills exactly as it does across single draws.
+#[test]
+fn refill_reproduces_the_golden_poisson_tables_at_every_batch_split() {
+    for (seed, expected) in GOLDEN_POISSON {
+        for split in 0..=8usize {
+            let mut gen = ArrivalGen::new(
+                ArrivalProcess::Poisson { mean_interarrival_cycles: GOLDEN_MEAN },
+                seed,
+            );
+            let mut buf = std::collections::VecDeque::new();
+            gen.refill(split, &mut buf);
+            gen.refill(8 - split, &mut buf);
+            let got: Vec<u64> = buf.into_iter().collect();
+            assert_eq!(got, expected, "seed {seed} split {split}: refill drifted from golden");
+        }
     }
 }
 
@@ -90,6 +113,148 @@ fn poisson_arrival_times_are_strictly_increasing_with_plausible_mean() {
         (400.0..600.0).contains(&mean),
         "empirical mean interarrival {mean:.1} strayed from 500"
     );
+}
+
+/// The fast path must stay bit-exact at the edges of the rate range:
+/// near-saturating processes (mean 1 — the Q32 product truncates to 0
+/// and the `max(1)` clamp fires on almost every draw) and near-zero
+/// rates (2^40-cycle mean gaps, where the hoisted constants dominate).
+/// For each process the batched refill is compared draw-for-draw
+/// against a per-draw reference generator, and the clamp contract
+/// (strictly increasing times, every gap >= 1) is asserted directly.
+#[test]
+fn refill_is_bit_exact_at_extreme_rates() {
+    use bsc_accel::des::DiurnalSegment;
+    let processes = [
+        ("poisson-saturating", ArrivalProcess::Poisson { mean_interarrival_cycles: 1 }),
+        ("poisson-sparse", ArrivalProcess::Poisson { mean_interarrival_cycles: 1 << 40 }),
+        (
+            "bursty-saturating",
+            ArrivalProcess::Bursty {
+                on_cycles: 1,
+                off_cycles: 1 << 30,
+                mean_interarrival_cycles: 1,
+            },
+        ),
+        (
+            "bursty-sparse",
+            ArrivalProcess::Bursty {
+                on_cycles: 1 << 40,
+                off_cycles: 1,
+                mean_interarrival_cycles: 1 << 36,
+            },
+        ),
+        (
+            "diurnal-extreme-swing",
+            ArrivalProcess::Diurnal {
+                segments: vec![
+                    DiurnalSegment { duration_cycles: 3, mean_interarrival_cycles: 1 },
+                    DiurnalSegment {
+                        duration_cycles: 1 << 40,
+                        mean_interarrival_cycles: 1 << 38,
+                    },
+                ],
+            },
+        ),
+    ];
+    for (name, process) in processes {
+        for seed in [1u64, 0xDEAD_BEEF] {
+            let mut reference = ArrivalGen::new(process.clone(), seed);
+            let golden: Vec<u64> = (0..200).map(|_| reference.next_arrival()).collect();
+            assert!(
+                golden.windows(2).all(|w| w[0] < w[1]),
+                "{name} seed {seed}: clamp contract broken (non-increasing times)"
+            );
+            let mut batched = ArrivalGen::new(process.clone(), seed);
+            let mut buf = std::collections::VecDeque::new();
+            // Batch sizes chosen to cross the engine's refill size (64)
+            // and to exercise odd tails.
+            for n in [1usize, 7, 64, 128] {
+                batched.refill(n, &mut buf);
+            }
+            let got: Vec<u64> = buf.into_iter().collect();
+            assert_eq!(got, golden, "{name} seed {seed}: refill diverged from per-draw");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion coalescing: popping a whole same-cycle burst from the
+// per-shard lanes must deliver payloads in exactly the order the old
+// unified event queue would have — (time, priority, seq), completions
+// before same-cycle arrivals, FIFO by push order within a class.
+// ---------------------------------------------------------------------
+
+/// Randomized differential: the split structure PR-9 put on the hot
+/// path (per-shard [`CompletionLanes`] + an arrival-only [`EventQueue`],
+/// merged with the `completions-first-at-equal-time` rule) is drained
+/// against a reference unified [`EventQueue`] fed the identical push
+/// sequence.  Lane pushes are monotone per lane (the shard `busy_until`
+/// invariant), with deliberate same-cycle collisions within a lane,
+/// across lanes and against arrivals.
+#[test]
+fn coalesced_burst_pops_match_the_unified_queue_golden_order() {
+    use bsc_accel::des::CompletionLanes;
+    use bsc_netlist::rng::Rng64;
+
+    const N_LANES: usize = 4;
+    let mut rng = Rng64::seed_from_u64(0x5EED_CAFE);
+    let mut reference: EventQueue<u32> = EventQueue::new();
+    let mut arrivals: EventQueue<u32> = EventQueue::new();
+    let mut lanes = CompletionLanes::new(N_LANES);
+    // FIFO of payload IDs per lane: pop_burst yields lane indices in
+    // seq order, which within one lane is push order.
+    let mut lane_fifo: Vec<std::collections::VecDeque<u32>> =
+        vec![std::collections::VecDeque::new(); N_LANES];
+
+    let mut lane_clock = [0u64; N_LANES];
+    let mut arrival_clock = 0u64;
+    for id in 0..800u32 {
+        if rng.gen_range(0..2) == 0 {
+            let lane = rng.gen_range(0..N_LANES as i64) as usize;
+            // Step 0..=2: zero steps force same-time entries in one lane.
+            lane_clock[lane] += rng.gen_range(0..3) as u64;
+            reference.push(lane_clock[lane], PRIORITY_COMPLETION, id);
+            lanes.push(lane, lane_clock[lane]);
+            lane_fifo[lane].push_back(id);
+        } else {
+            arrival_clock += rng.gen_range(0..3) as u64;
+            reference.push(arrival_clock, PRIORITY_ARRIVAL, id);
+            arrivals.push(arrival_clock, PRIORITY_ARRIVAL, id);
+        }
+    }
+
+    let mut golden = Vec::new();
+    while let Some((time, id)) = reference.pop() {
+        golden.push((time, id));
+    }
+
+    // Drain the split structure with the engine's merge rule.
+    let mut merged = Vec::new();
+    let mut burst = Vec::new();
+    loop {
+        let pop_completions = match (lanes.peek_time(), arrivals.peek_time()) {
+            (Some(c), Some(a)) => c <= a,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if pop_completions {
+            burst.clear();
+            let t = lanes.pop_burst(&mut burst).expect("peek said non-empty");
+            for &lane in &burst {
+                let id = lane_fifo[lane].pop_front().expect("lane FIFO underflow");
+                merged.push((t, id));
+            }
+        } else {
+            let (t, id) = arrivals.pop().expect("peek said non-empty");
+            merged.push((t, id));
+        }
+    }
+
+    assert_eq!(merged.len(), golden.len());
+    assert_eq!(merged, golden, "burst-coalesced drain drifted from the unified-queue order");
+    assert!(lane_fifo.iter().all(|f| f.is_empty()));
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,143 @@
+//! Differential equivalence harness for the batched hot-path metrics.
+//!
+//! PR-9 moved the online engine's per-event registry traffic
+//! (`Mutex`-guarded counter lookups, labeled-point canonicalization,
+//! atomic histogram records) onto thread-local [`LocalMetrics`] deltas
+//! that are flushed into the registry exactly once at end of run.  The
+//! legacy per-event path is kept alive behind
+//! [`MetricsMode::PerEventShadow`] — not as dead code, but as the
+//! reference side of this harness: every seeded manifest is run through
+//! **both** paths and every export that can observe a metric is
+//! compared byte-for-byte.
+//!
+//! What is compared, per (policy × worker count) cell:
+//!
+//! * the full metrics snapshot JSON (flat counters, gauges, histogram
+//!   buckets/sums/min/max, labeled counter families, labeled
+//!   histograms) via [`bsc_telemetry::sink::metrics_to_json`], timers
+//!   stripped — wall clock is the one legitimately nondeterministic
+//!   quantity;
+//! * the online report JSON (funnel, per-shard tallies, depth
+//!   timeline, event log);
+//! * the SLO JSON (windowed goodput/latency series, per-tenant
+//!   rejection reasons, quantile sketches).
+//!
+//! A drift in any counter delta, any histogram bucket boundary, any
+//! label canonicalization or any flush-ordering detail shows up here as
+//! a byte diff, with the policy/worker cell named in the panic.
+//!
+//! [`LocalMetrics`]: bsc_telemetry::LocalMetrics
+//! [`MetricsMode::PerEventShadow`]: bsc_accel::cluster::MetricsMode
+
+use bsc_bench::online::{online, online_shadow, report_json, slo_json, OnlineRun};
+use bsc_telemetry::sink::metrics_to_json;
+
+/// Seeded manifest exercising all three arrival processes (Poisson,
+/// bursty, diurnal), heterogeneous shards, every rejection reason
+/// (queue_full via `max_outstanding`, deadline_infeasible and shed via
+/// the tight `strict` deadline, overloaded via `max_backlog_cycles`)
+/// and both SLO-tracked and untracked tenants.  The dispatch policy is
+/// substituted per test cell.
+const MANIFEST: &str = r#"{
+  "cluster": {
+    "policy": "least-outstanding",
+    "seed": 20260808,
+    "horizon_cycles": 400000,
+    "max_jobs": 6000,
+    "max_outstanding": 6,
+    "max_backlog_cycles": 150000,
+    "workers": 2,
+    "shards": [
+      {"name": "bsc0", "kind": "bsc", "quick": true},
+      {"name": "lpc0", "kind": "lpc", "quick": true, "mem": "edge"},
+      {"name": "hps0", "kind": "hps", "quick": true, "mem": "edge",
+       "bandwidth_bytes_per_cycle": 64}
+    ]
+  },
+  "tenants": {
+    "gold": {"latency_p99_cycles": 120000, "min_goodput": 0.5},
+    "strict": {"latency_p99_cycles": 40000, "min_goodput": 0.9}
+  },
+  "sources": [
+    {"name": "steady", "network": "micro", "tenant": "gold",
+     "deadline_cycles": 120000,
+     "arrivals": {"process": "poisson", "mean_interarrival_cycles": 350}},
+    {"name": "squall", "network": "micro", "tenant": "strict", "precision": "int8",
+     "deadline_cycles": 40000,
+     "arrivals": {"process": "bursty", "on_cycles": 5000, "off_cycles": 15000,
+                  "mean_interarrival_cycles": 120}},
+    {"name": "tide", "network": "micro",
+     "arrivals": {"process": "diurnal", "segments": [
+        {"duration_cycles": 60000, "mean_interarrival_cycles": 250},
+        {"duration_cycles": 60000, "mean_interarrival_cycles": 2500}]}}
+  ]
+}"#;
+
+const POLICIES: [&str; 3] = ["least-outstanding", "round-robin", "tenant-fair"];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// Every metric-observable export of one run.  Timers are stripped
+/// (wall clock), as are the `engine.cache.*` / `telemetry.characterize.*`
+/// counters: those publish the *process-global* characterization cache,
+/// which warms monotonically across the runs of this test binary and is
+/// orthogonal to the per-run metrics path under test.
+fn exports(run: &OnlineRun) -> [String; 3] {
+    let mut snap = run.metrics.without_timers();
+    snap.counters.retain(|(name, _)| {
+        !name.starts_with("engine.cache.") && !name.starts_with("telemetry.characterize.")
+    });
+    [metrics_to_json(&snap), report_json(run), slo_json(run)]
+}
+
+/// The headline differential: batched `LocalMetrics` flush vs legacy
+/// per-event registry increments, byte-identical across all three
+/// dispatch policies, all three arrival processes (the manifest runs
+/// them concurrently) and 1/2/8 workers.
+#[test]
+fn batched_and_per_event_paths_are_byte_identical() {
+    for policy in POLICIES {
+        let manifest = MANIFEST.replace("least-outstanding", policy);
+        for workers in WORKERS {
+            let cell = format!("policy={policy} workers={workers}");
+            let batched = online(&manifest, Some(workers)).unwrap();
+            let shadow = online_shadow(&manifest, Some(workers)).unwrap();
+            // The run must be non-trivial or the equivalence is vacuous.
+            assert!(batched.report.submitted > 1000, "{cell}: too few arrivals");
+            assert!(batched.report.completed > 0, "{cell}: nothing completed");
+            let [b_metrics, b_report, b_slo] = exports(&batched);
+            let [s_metrics, s_report, s_slo] = exports(&shadow);
+            assert_eq!(b_metrics, s_metrics, "{cell}: metrics snapshot diverged");
+            assert_eq!(b_report, s_report, "{cell}: online report diverged");
+            assert_eq!(b_slo, s_slo, "{cell}: SLO document diverged");
+        }
+    }
+}
+
+/// The differential is not vacuous: the manifest drives every outcome
+/// class the per-event path would have recorded, so each labeled family
+/// and histogram the shadow path touches is populated on both sides.
+#[test]
+fn harness_covers_every_outcome_family() {
+    let run = online(MANIFEST, Some(2)).unwrap();
+    let json = metrics_to_json(&run.metrics.without_timers());
+    for needle in [
+        "engine.jobs.submitted",
+        "engine.jobs.rejected",
+        "engine.jobs.completed",
+        "engine.jobs{outcome=completed,",
+        "engine.jobs{outcome=rejected,",
+        "engine.queue.wait_cycles",
+    ] {
+        assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+    }
+    assert!(run.report.rejected > 0, "no rejections — queue_full family untested");
+}
+
+/// The shadow path is itself deterministic (two shadow runs agree), so
+/// a batched-vs-shadow diff can always be attributed to the batching.
+#[test]
+fn shadow_path_is_reproducible() {
+    let a = online_shadow(MANIFEST, Some(2)).unwrap();
+    let b = online_shadow(MANIFEST, Some(8)).unwrap();
+    assert_eq!(exports(&a), exports(&b), "shadow path varies with worker count");
+}
