@@ -12,6 +12,8 @@
 //!              [--perfetto-out FILE] [--profile-out FILE] [--folded-out FILE]
 //! repro profile <manifest.json> [--workers N] [--profile-out FILE]
 //!               [--folded-out FILE]
+//! repro dse <manifest.json> [--workers N] [--bench-out FILE] [--csv DIR]
+//!           [--svg-out FILE]
 //! repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]...
 //!            [--verbose]
 //! ```
@@ -79,7 +81,15 @@
 //!   against `BENCH_profile_baseline.json`); its `wall` / `throughput`
 //!   sections carry `*_ns` / `*_per_sec` names the differ never gates.
 //!   See `docs/profiling.md`.
-//! * `serve`, `mem`, `online` and `profile` validate their flags
+//! * `dse` sweeps dataflow × array geometry × memory config × precision
+//!   × MAC kind from a JSON manifest (see `docs/dse.md`), evaluating
+//!   every point's energy/latency/area through the calibrated PPA,
+//!   schedule and roofline models over the work-stealing pool (reports
+//!   byte-identical at any worker count), and extracts the 3-D Pareto
+//!   front; `--bench-out` writes the `BENCH_dse_baseline.json` document
+//!   the CI gate diffs at `--tol 0`, `--csv DIR` the per-point CSV, and
+//!   `--svg-out` a self-contained Pareto scatter SVG.
+//! * `serve`, `mem`, `online`, `profile` and `dse` validate their flags
 //!   strictly: an
 //!   unknown or out-of-place flag, or a flag missing its value, exits
 //!   with status 2 and the usage text.
@@ -94,7 +104,8 @@ use std::path::PathBuf;
 
 use bsc_bench::diff::{diff_documents, render_diff, DiffOptions};
 use bsc_bench::{
-    experiments, memexp, observatory, online, profile, serve, simbench, telemetry_probe, Workbench,
+    dse, experiments, memexp, observatory, online, profile, serve, simbench, telemetry_probe,
+    Workbench,
 };
 use bsc_mac::MacKind;
 
@@ -283,6 +294,7 @@ fn subcommand_flags(which: &str) -> Option<&'static [&'static str]> {
         ]),
         "profile" => Some(&["--workers", "--profile-out", "--folded-out"]),
         "mem" => Some(&["--quick", "--csv", "--bench-out"]),
+        "dse" => Some(&["--workers", "--bench-out", "--csv", "--svg-out"]),
         _ => None,
     }
 }
@@ -303,6 +315,7 @@ fn main() {
             | "telemetry"
             | "simbench"
             | "mem"
+            | "dse"
             | "trace"
             | "serve"
             | "online"
@@ -517,6 +530,20 @@ fn main() {
         write_out(&opts.perfetto_out, online::perfetto_json(&run));
     };
 
+    let run_dse = || {
+        let [manifest] = opts.files.as_slice() else {
+            die_usage("dse requires exactly one file argument: <manifest.json>");
+        };
+        let text = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", manifest.display())));
+        eprintln!("sweeping dataflow x geometry x memory x precision x kind...");
+        let run = dse::dse(&text, opts.workers).unwrap_or_else(|e| die(&e));
+        print!("{}", dse::render(&run));
+        write_csv("dse_sweep.csv", dse::to_csv(&run));
+        write_out(&opts.bench_out, dse::to_json(&run));
+        write_out(&opts.svg_out, bsc_bench::dashboard::dse_pareto_svg(&run));
+    };
+
     let run_profile = || {
         let [manifest] = opts.files.as_slice() else {
             die_usage("profile requires exactly one file argument: <manifest.json>");
@@ -555,6 +582,7 @@ fn main() {
         "table1" => run_table1(),
         "simbench" => run_simbench(),
         "mem" => run_mem(),
+        "dse" => run_dse(),
         "trace" => run_trace(),
         "serve" => run_serve(),
         "online" => run_online(),
@@ -595,7 +623,7 @@ fn main() {
             run_telemetry();
         }
         other => die(&format!(
-            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|trace|serve|online|profile|diff|extensions|all)"
+            "unknown experiment `{other}` (expected table1|fig7a|fig7b|fig8a|fig8b|fig8b-gate|fig9|telemetry|simbench|mem|dse|trace|serve|online|profile|diff|extensions|all)"
         )),
     }
 }
@@ -618,6 +646,8 @@ usage:
                [--profile-out FILE] [--folded-out FILE]
   repro profile <manifest.json> [--workers N] [--profile-out FILE]
                 [--folded-out FILE]
+  repro dse <manifest.json> [--workers N] [--bench-out FILE] [--csv DIR]
+            [--svg-out FILE]
   repro diff <baseline.json> <current.json> [--tol PCT] [--ignore PAT]... [--verbose]";
 
 /// A malformed command line: the message, the usage block, exit 2 (so

@@ -31,6 +31,7 @@
 
 use std::fmt::Write as _;
 
+use crate::dse::DseRun;
 use crate::online::OnlineRun;
 use crate::serve::ServeRun;
 
@@ -385,6 +386,115 @@ fn slo_dashboard_document(
     html
 }
 
+/// Pareto scatter geometry (CSS pixels).
+const DSE_W: u64 = 640;
+const DSE_H: u64 = 420;
+const DSE_PAD: u64 = 40;
+
+/// Maps `v` into `[lo, hi]` on a log axis spanning `[min, max]`, in
+/// integer pixels (deterministic layout; exact values ride in
+/// `<title>` tooltips).
+fn log_pos(v: f64, min: f64, max: f64, lo: u64, hi: u64) -> u64 {
+    let span = (max / min).ln();
+    if span.is_nan() || span <= 0.0 {
+        return (lo + hi) / 2;
+    }
+    let t = ((v / min).ln() / span).clamp(0.0, 1.0);
+    lo + (t * (hi - lo) as f64).round() as u64
+}
+
+/// Renders the `repro dse` Pareto scatter as one self-contained `<svg>`
+/// document: every sweep point on log energy (x) × log latency (y)
+/// axes, circle radius encoding array area, Pareto-front points filled
+/// blue and dominated points grey, bandwidth-bound points ringed red.
+/// Exact objective values sit in `<title>` tooltips; nothing references
+/// external assets and nothing reads wall time, so the file is
+/// byte-identical at any worker count.
+pub fn dse_pareto_svg(run: &DseRun) -> String {
+    let pts = &run.points;
+    let min_max = |f: fn(&crate::dse::DsePoint) -> f64| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in pts {
+            let v = f(p);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo.max(1e-12), hi.max(1e-12))
+    };
+    let (e_min, e_max) = min_max(|p| p.energy_fj);
+    let (l_min, l_max) = min_max(|p| p.total_cycles as f64);
+    let (a_min, a_max) = min_max(|p| p.area_um2);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w} {h}" width="{w}" height="{h}" role="img" aria-label="DSE Pareto scatter: {n} points, {k} on the front">"#,
+        w = DSE_W,
+        h = DSE_H,
+        n = pts.len(),
+        k = run.pareto_count(),
+    );
+    let _ = write!(svg, r##"<rect x="0" y="0" width="{DSE_W}" height="{DSE_H}" fill="#f7f7f8"/>"##);
+    // Axis frame and labels (energy grows rightward, latency downward
+    // is inverted so "better" is bottom-left... keep latency growing
+    // upward-inverted: smaller latency near the bottom axis).
+    let _ = write!(
+        svg,
+        r##"<rect x="{x}" y="{y}" width="{iw}" height="{ih}" fill="none" stroke="#bbb"/>"##,
+        x = DSE_PAD,
+        y = DSE_PAD / 2,
+        iw = DSE_W - DSE_PAD - DSE_PAD / 2,
+        ih = DSE_H - DSE_PAD - DSE_PAD / 2,
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{x}" y="{y}" font-size="12" fill="#555">energy (log) &#8594;</text>"##,
+        x = DSE_W / 2 - 40,
+        y = DSE_H - 8,
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="12" y="{y}" font-size="12" fill="#555" transform="rotate(-90 12 {y})">latency (log) &#8594;</text>"##,
+        y = DSE_H / 2,
+    );
+    // Dominated points first so the front renders on top.
+    for front_pass in [false, true] {
+        for p in pts {
+            if p.pareto != front_pass {
+                continue;
+            }
+            let cx = log_pos(p.energy_fj, e_min, e_max, DSE_PAD + 8, DSE_W - DSE_PAD / 2 - 8);
+            let cy = log_pos(
+                p.total_cycles as f64,
+                l_min,
+                l_max,
+                DSE_PAD / 2 + 8,
+                DSE_H - DSE_PAD - 8,
+            );
+            // Radius 3..=9 px from the point's share of the log area span.
+            let r = 3 + log_pos(p.area_um2, a_min, a_max, 0, 6);
+            let fill = if p.pareto { "#4878b0" } else { "#c8c8cc" };
+            let stroke = if p.roofline == "bandwidth-bound" { "#c04848" } else { "#888" };
+            let _ = write!(
+                svg,
+                r##"<circle cx="{cx}" cy="{cy}" r="{r}" fill="{fill}" stroke="{stroke}"><title>{df} {geom} {mem} {kind} int{bits}: {cyc} cycles, {fj:.0} fJ, {um:.0} um2, {roof}{front}</title></circle>"##,
+                df = p.dataflow.tag(),
+                geom = esc(&p.geometry.tag()),
+                mem = esc(&p.mem),
+                kind = p.kind,
+                bits = p.precision.bits(),
+                cyc = p.total_cycles,
+                fj = p.energy_fj,
+                um = p.area_um2,
+                roof = p.roofline,
+                front = if p.pareto { ", PARETO" } else { "" },
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,5 +597,51 @@ mod tests {
     #[test]
     fn escaping_covers_markup_characters() {
         assert_eq!(esc(r#"<a&"b>"#), "&lt;a&amp;&quot;b&gt;");
+    }
+
+    const DSE_MANIFEST: &str = r#"{
+      "name": "svg-dse", "workload": "tiny", "steps": 16,
+      "dataflows": ["weight-stationary", "output-stationary"],
+      "geometries": [{"rows": 8, "vector_length": 4}, {"rows": 4, "vector_length": 4}],
+      "mem": [
+        {"name": "edge", "preset": "edge"},
+        {"name": "edge-bw1", "preset": "edge", "bandwidth_bytes_per_cycle": 1}
+      ],
+      "kinds": ["bsc"], "precisions": ["int4", "int8"]
+    }"#;
+
+    #[test]
+    fn dse_scatter_is_self_contained_with_one_circle_per_point() {
+        let run = crate::dse::dse(DSE_MANIFEST, Some(2)).unwrap();
+        let svg = dse_pareto_svg(&run);
+        assert_eq!(svg.matches("<circle").count(), run.points.len());
+        assert_eq!(svg.matches("PARETO").count(), run.pareto_count());
+        // Self-contained: the only URI is the SVG namespace itself.
+        for forbidden in ["https://", "<script", "<link", "@import", "url(", "<image"] {
+            assert!(!svg.contains(forbidden), "scatter must not reference {forbidden}");
+        }
+        assert_eq!(svg.matches("http://").count(), 1, "xmlns only");
+        assert!(svg.contains(r#"xmlns="http://www.w3.org/2000/svg""#));
+        // Bandwidth-bound points are ringed red somewhere in the sweep.
+        assert!(svg.contains("#c04848"), "{svg}");
+    }
+
+    #[test]
+    fn dse_scatter_is_worker_count_independent() {
+        let a = dse_pareto_svg(&crate::dse::dse(DSE_MANIFEST, Some(1)).unwrap());
+        let b = dse_pareto_svg(&crate::dse::dse(DSE_MANIFEST, Some(8)).unwrap());
+        assert_eq!(a, b, "no wall-clock data may leak into the scatter");
+    }
+
+    #[test]
+    fn log_positions_stay_inside_the_axis_and_preserve_order() {
+        let lo = log_pos(1.0, 1.0, 100.0, 40, 600);
+        let mid = log_pos(10.0, 1.0, 100.0, 40, 600);
+        let hi = log_pos(100.0, 1.0, 100.0, 40, 600);
+        assert_eq!(lo, 40);
+        assert_eq!(hi, 600);
+        assert!(lo < mid && mid < hi);
+        // Degenerate span centers the point instead of dividing by zero.
+        assert_eq!(log_pos(5.0, 5.0, 5.0, 40, 600), 320);
     }
 }

@@ -11,6 +11,7 @@
 
 pub mod dashboard;
 pub mod diff;
+pub mod dse;
 pub mod experiments;
 pub mod memexp;
 pub mod observatory;

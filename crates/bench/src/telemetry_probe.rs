@@ -15,7 +15,7 @@ use bsc_netlist::{Simulator, SIM_LANES};
 use bsc_nn::ops::ConvWeights;
 use bsc_nn::Tensor;
 use bsc_systolic::mapping::ConvShape;
-use bsc_systolic::{ArrayConfig, Dataflow, Matrix, SystolicArray};
+use bsc_systolic::{ArrayConfig, Matrix, SystolicArray, WeightReuse};
 use bsc_telemetry::{sink, JsonBuilder, Telemetry, TraceSnapshot};
 
 /// One single-tile matmul per precision mode, cross-checking the
@@ -131,7 +131,7 @@ pub fn telemetry_report(kind: MacKind) -> Result<TelemetryReport, Box<dyn std::e
         let f = Matrix::from_fn(6, k, |r, c| ((r + 2 * c) % 3) as i64 - 1);
         let w = Matrix::from_fn(4, k, |r, c| ((2 * r + c) % 3) as i64 - 1);
         array.matmul(p, &f, &w)?;
-        let analytic = array.analytic_stats(p, 6, 4, Dataflow::WeightStationary);
+        let analytic = array.analytic_stats(p, 6, 4, WeightReuse::WeightStationary);
         let snap = tel.metrics.snapshot();
         let cycles = snap.counter("systolic.cycles");
         let pe_fired = snap.counter("systolic.pe_fired");

@@ -8,7 +8,7 @@ use bsc_nn::Network;
 use bsc_systolic::energy::ArrayEnergyModel;
 use bsc_systolic::mapping::schedule_conv;
 use bsc_systolic::mem::{schedule_conv_with_memory, MemConfig};
-use bsc_systolic::{ArrayConfig, Matrix, MatmulRun, SystolicArray};
+use bsc_systolic::{ArrayConfig, ArrayGeometry, Matrix, MatmulRun, SystolicArray};
 use bsc_telemetry::Telemetry;
 
 use crate::report::{LayerReport, NetworkReport};
@@ -62,6 +62,16 @@ impl AcceleratorConfig {
     /// Same accelerator behind a different memory hierarchy.
     pub fn with_mem(mut self, mem: MemConfig) -> Self {
         self.mem = mem;
+        self
+    }
+
+    /// Same accelerator at a different PE-array geometry.  The
+    /// characterization length follows the vector length automatically
+    /// (as in [`Accelerator::new`]), so the gate-level netlist matches
+    /// the datapath being modeled.
+    pub fn with_geometry(mut self, geometry: ArrayGeometry) -> Self {
+        self.array = ArrayConfig::with_geometry(self.kind, geometry);
+        self.characterize.length = geometry.vector_length;
         self
     }
 }
@@ -393,6 +403,18 @@ impl Accelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_geometry_threads_rows_and_vector_length() {
+        let cfg = AcceleratorConfig::paper(MacKind::Bsc)
+            .with_geometry(ArrayGeometry::new(16, 8));
+        assert_eq!(cfg.array.pes, 16);
+        assert_eq!(cfg.array.vector_length, 8);
+        assert_eq!(cfg.characterize.length, 8);
+        // The default geometry is still the paper's.
+        let paper = AcceleratorConfig::paper(MacKind::Bsc);
+        assert_eq!(paper.array.geometry(), ArrayGeometry::paper());
+    }
 
     #[test]
     fn quick_accelerator_runs_a_small_network() {

@@ -15,6 +15,43 @@ use bsc_telemetry::{Telemetry, TraceEvent};
 
 use crate::{Matrix, ProcessingElement, SystolicError};
 
+/// Physical geometry of the PE array: a chain of `rows` processing
+/// elements, each wrapping one vector MAC of `vector_length` elements.
+///
+/// The paper's design is the single point [`ArrayGeometry::paper`]
+/// (32 × 32); the design-space exploration sweeps arbitrary geometries
+/// through the same mapping and memory models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// Number of processing elements in the chain.
+    pub rows: usize,
+    /// Vector length of each PE's MAC.
+    pub vector_length: usize,
+}
+
+impl ArrayGeometry {
+    /// A geometry of `rows` PEs with MAC vector length `vector_length`.
+    pub const fn new(rows: usize, vector_length: usize) -> Self {
+        ArrayGeometry { rows, vector_length }
+    }
+
+    /// The paper's geometry: 32 PEs × vector length 32.
+    pub const fn paper() -> Self {
+        ArrayGeometry::new(32, 32)
+    }
+
+    /// Stable `rowsxlength` tag for sinks and reports (e.g. `32x32`).
+    pub fn tag(&self) -> String {
+        format!("{}x{}", self.rows, self.vector_length)
+    }
+}
+
+impl std::fmt::Display for ArrayGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.vector_length)
+    }
+}
+
 /// Static configuration of the PE array.
 ///
 /// The paper's configuration is 32 PEs with vector length 32
@@ -32,7 +69,21 @@ pub struct ArrayConfig {
 impl ArrayConfig {
     /// The paper's array: 32 PEs × vector length 32.
     pub fn paper(kind: MacKind) -> Self {
-        ArrayConfig { pes: 32, vector_length: 32, kind }
+        ArrayConfig::with_geometry(kind, ArrayGeometry::paper())
+    }
+
+    /// An array of `kind` MACs with an explicit [`ArrayGeometry`].
+    pub const fn with_geometry(kind: MacKind, geometry: ArrayGeometry) -> Self {
+        ArrayConfig {
+            pes: geometry.rows,
+            vector_length: geometry.vector_length,
+            kind,
+        }
+    }
+
+    /// The geometry (rows × vector length) of this configuration.
+    pub const fn geometry(&self) -> ArrayGeometry {
+        ArrayGeometry::new(self.pes, self.vector_length)
     }
 
     /// Dot-product length of one PE in mode `p` (also the required feature
@@ -88,7 +139,7 @@ pub struct MatmulRun {
 /// Weight-reuse policy of a matmul run (the Fig. 5 dataflow versus the
 /// no-reuse ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Dataflow {
+pub enum WeightReuse {
     /// The paper's dataflow: each PE holds its weight vector for the whole
     /// tile (one load per PE per tile).
     #[default]
@@ -103,8 +154,9 @@ pub enum Dataflow {
 ///
 /// See the crate-level example for usage; semantics of the dataflow:
 ///
-/// * weight vector `n` is loaded into PE `n` at cycle `n` (the 0..31-clock
-///   skew of Fig. 5) and then held for the whole tile;
+/// * weight vector `n` is loaded into PE `n` at cycle `n` (the
+///   `0..rows-1`-clock skew of Fig. 5; `0..31` in the paper's geometry)
+///   and then held for the whole tile;
 /// * feature vector `m` enters PE 0 at cycle `m` and hops one PE per cycle;
 /// * PE `n` therefore computes output `O[m][n]` at cycle `m + n`, and the
 ///   output diagonals retire one per cycle.
@@ -168,7 +220,7 @@ impl SystolicArray {
         features: &Matrix,
         weights: &Matrix,
     ) -> Result<MatmulRun, SystolicError> {
-        self.matmul_with_dataflow(p, features, weights, Dataflow::WeightStationary)
+        self.matmul_with_dataflow(p, features, weights, WeightReuse::WeightStationary)
     }
 
     /// Like [`SystolicArray::matmul`] but with an explicit weight-reuse
@@ -182,7 +234,7 @@ impl SystolicArray {
         p: Precision,
         features: &Matrix,
         weights: &Matrix,
-        dataflow: Dataflow,
+        dataflow: WeightReuse,
     ) -> Result<MatmulRun, SystolicError> {
         let k = self.config.dot_length(p);
         if features.cols() != k {
@@ -230,7 +282,7 @@ impl SystolicArray {
         for t in 0..total_cycles {
             let cycle = t as u64;
             match dataflow {
-                Dataflow::WeightStationary => {
+                WeightReuse::WeightStationary => {
                     // Weight skew: PE t receives its stationary vector at
                     // cycle t and keeps it.
                     if t < n_rows {
@@ -245,7 +297,7 @@ impl SystolicArray {
                         }
                     }
                 }
-                Dataflow::NoReuse => {
+                WeightReuse::NoReuse => {
                     // Re-deliver the weight vector to every PE that will
                     // fire this cycle.
                     for (n_idx, pe) in pes.iter_mut().enumerate() {
@@ -342,7 +394,7 @@ impl SystolicArray {
         p: Precision,
         feature_rows: usize,
         weight_rows: usize,
-        dataflow: Dataflow,
+        dataflow: WeightReuse,
     ) -> DataflowStats {
         analytic_stats(self.config, self.config.dot_length(p), feature_rows, weight_rows, dataflow)
     }
@@ -429,7 +481,7 @@ fn analytic_stats(
     k: usize,
     m: usize,
     n: usize,
-    dataflow: Dataflow,
+    dataflow: WeightReuse,
 ) -> DataflowStats {
     if m == 0 {
         return DataflowStats::default();
@@ -442,8 +494,8 @@ fn analytic_stats(
         macs: pe_busy * k as u64,
         feature_hops: pe_busy,
         weight_loads: match dataflow {
-            Dataflow::WeightStationary => n as u64,
-            Dataflow::NoReuse => pe_busy,
+            WeightReuse::WeightStationary => n as u64,
+            WeightReuse::NoReuse => pe_busy,
         },
         pe_busy_cycles: pe_busy,
         stall_cycles: (n * (n - 1) / 2) as u64,
@@ -606,8 +658,20 @@ mod tests {
         let array = SystolicArray::new(config);
         let k = config.dot_length(Precision::Int2);
         let run = array.matmul(Precision::Int2, &Matrix::zeros(7, k), &Matrix::zeros(3, k)).unwrap();
-        let predicted = array.analytic_stats(Precision::Int2, 7, 3, Dataflow::WeightStationary);
+        let predicted = array.analytic_stats(Precision::Int2, 7, 3, WeightReuse::WeightStationary);
         assert_eq!(run.stats, predicted);
+    }
+
+    #[test]
+    fn geometry_round_trips_through_config() {
+        let g = ArrayGeometry::new(16, 8);
+        let c = ArrayConfig::with_geometry(MacKind::Lpc, g);
+        assert_eq!(c.pes, 16);
+        assert_eq!(c.vector_length, 8);
+        assert_eq!(c.geometry(), g);
+        assert_eq!(g.tag(), "16x8");
+        assert_eq!(ArrayConfig::paper(MacKind::Bsc).geometry(), ArrayGeometry::paper());
+        assert_eq!(ArrayGeometry::paper().to_string(), "32x32");
     }
 
     #[test]
@@ -672,10 +736,10 @@ mod dataflow_tests {
         let f = Matrix::from_fn(10, k, |r, c| ((r * c) % 7) as i64 - 3);
         let w = Matrix::from_fn(4, k, |r, c| ((r + c) % 5) as i64 - 2);
         let ws = array
-            .matmul_with_dataflow(Precision::Int8, &f, &w, Dataflow::WeightStationary)
+            .matmul_with_dataflow(Precision::Int8, &f, &w, WeightReuse::WeightStationary)
             .unwrap();
         let nr = array
-            .matmul_with_dataflow(Precision::Int8, &f, &w, Dataflow::NoReuse)
+            .matmul_with_dataflow(Precision::Int8, &f, &w, WeightReuse::NoReuse)
             .unwrap();
         assert_eq!(ws.output, nr.output, "dataflow must not change results");
         assert_eq!(ws.stats.weight_loads, 4);

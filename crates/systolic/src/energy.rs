@@ -80,7 +80,8 @@ impl ArrayEnergyModel {
     /// Energy of moving one feature vector one hop down the PE chain, fJ
     /// (wires only; the receiving registers are inside the unit report).
     pub fn hop_energy_fj(&self) -> f64 {
-        let bits = (self.config.kind.element_bits() * self.config.vector_length) as f64;
+        let bits =
+            (self.config.kind.element_bits() * self.config.geometry().vector_length) as f64;
         // Random data toggles half the bits per transfer on average.
         0.5 * bits * self.wire_energy_per_bit_fj
     }
@@ -144,7 +145,8 @@ impl ArrayEnergyModel {
 
     /// Steady-state throughput of the array in TOPS.
     pub fn steady_state_tops(&self) -> f64 {
-        2.0 * (self.config.pes as f64) * self.unit.macs_per_cycle / self.unit.period_ps
+        2.0 * (self.config.geometry().rows as f64) * self.unit.macs_per_cycle
+            / self.unit.period_ps
     }
 }
 
@@ -207,7 +209,7 @@ mod tests {
 
     #[test]
     fn no_reuse_dataflow_costs_more_wire_energy() {
-        use crate::{Dataflow, Matrix, SystolicArray};
+        use crate::{Matrix, SystolicArray, WeightReuse};
         use bsc_mac::Precision;
         let config = ArrayConfig { pes: 4, vector_length: 4, kind: MacKind::Bsc };
         let array = SystolicArray::new(config);
@@ -216,10 +218,10 @@ mod tests {
         let f = Matrix::zeros(20, k);
         let w = Matrix::zeros(4, k);
         let ws = array
-            .matmul_with_dataflow(Precision::Int8, &f, &w, Dataflow::WeightStationary)
+            .matmul_with_dataflow(Precision::Int8, &f, &w, WeightReuse::WeightStationary)
             .unwrap();
         let nr = array
-            .matmul_with_dataflow(Precision::Int8, &f, &w, Dataflow::NoReuse)
+            .matmul_with_dataflow(Precision::Int8, &f, &w, WeightReuse::NoReuse)
             .unwrap();
         assert!(m.run_energy_fj(&nr.stats) > m.run_energy_fj(&ws.stats));
     }
@@ -311,23 +313,25 @@ impl MemoryEnergyBreakdown {
 impl ArrayEnergyModel {
     /// Extends [`ArrayEnergyModel::schedule_energy_fj`] with SRAM access
     /// energy derived from the schedule's buffer traffic: one vector read
-    /// per weight load and per feature fetch, and a partial-sum
-    /// read-modify-write per PE fire (accumulation across channel tiles
-    /// and kernel offsets happens in the output buffer).
+    /// per weight load and per feature fetch, and the schedule's own
+    /// partial-sum read/write counts (a read-modify-write per PE fire
+    /// under weight- and input-stationary dataflows; a single write per
+    /// finished output under output-stationary, where accumulation stays
+    /// in the PE registers).
     pub fn schedule_energy_with_memory(
         &self,
         s: &LayerSchedule,
         mem: &SramModel,
     ) -> MemoryEnergyBreakdown {
         let vector_bits =
-            (self.config.kind.element_bits() * self.config.vector_length) as f64;
+            (self.config.kind.element_bits() * self.config.geometry().vector_length) as f64;
         let weight_read_fj =
             s.weight_load_vectors as f64 * vector_bits * mem.read_fj_per_bit;
         let feature_read_fj =
             s.feature_read_vectors as f64 * vector_bits * mem.read_fj_per_bit;
-        let psum_rw_fj = s.busy_pe_cycles as f64
-            * mem.psum_bits as f64
-            * (mem.read_fj_per_bit + mem.write_fj_per_bit);
+        let psum_rw_fj = mem.psum_bits as f64
+            * (s.psum_read_words as f64 * mem.read_fj_per_bit
+                + s.psum_write_words as f64 * mem.write_fj_per_bit);
         MemoryEnergyBreakdown {
             compute_fj: self.schedule_energy_fj(s),
             weight_read_fj,

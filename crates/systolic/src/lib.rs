@@ -1,7 +1,9 @@
 //! Precision-scalable vector systolic PE array (paper §IV, Figs. 5 and 6).
 //!
-//! A weight-stationary array of 32 processing elements, each wrapping one
-//! precision-scalable vector MAC of length 32 (BSC, LPC or HPS).  The crate
+//! An array of processing elements (32 rows × vector length 32 in the
+//! paper's [`ArrayGeometry`]), each wrapping one precision-scalable vector
+//! MAC (BSC, LPC or HPS), schedulable under weight-, output- or
+//! input-stationary dataflows via the [`Dataflow`] trait.  The crate
 //! provides:
 //!
 //! * [`ProcessingElement`] and [`SystolicArray`] — a cycle-accurate
@@ -9,9 +11,10 @@
 //!   chain, weights are broadcast with a 0..31-cycle skew and then held,
 //!   and one output-row diagonal retires per cycle;
 //! * [`mapping`] — the Fig. 6 convolution-to-matrix mapping: channel
-//!   splitting to the mode's vector length (32/128/256), output-channel
-//!   splitting across the 32 PEs, `W`-before-`H` loop order, and the
-//!   resulting cycle/utilization schedule;
+//!   splitting to the mode's dot length, output-channel splitting across
+//!   the PE rows, `W`-before-`H` loop order, and the resulting
+//!   cycle/utilization schedule — generalized over the [`Dataflow`] trait
+//!   ([`WeightStationary`], [`OutputStationary`], [`InputStationary`]);
 //! * [`energy`] — the array-level energy model combining the gate-level
 //!   per-MAC characterization of `bsc-mac` (with weight-stationary
 //!   activity) with the dataflow statistics of the simulation;
@@ -50,10 +53,13 @@ pub mod mem;
 pub mod netlist;
 mod pe;
 
-pub use array::{ArrayConfig, Dataflow, DataflowStats, MatmulRun, SystolicArray};
+pub use array::{ArrayConfig, ArrayGeometry, DataflowStats, MatmulRun, SystolicArray, WeightReuse};
+pub use mapping::{
+    Dataflow, DataflowKind, InputStationary, OutputStationary, WeightStationary,
+};
 pub use mem::{
-    schedule_conv_with_memory, DramBandwidth, FeatureReuse, MemConfig, MemoryAwareSchedule,
-    Roofline,
+    schedule_conv_with_memory, schedule_conv_with_memory_dataflow, DramBandwidth,
+    FeatureReuse, MemConfig, MemoryAwareSchedule, Roofline, TilePass, Tiling,
 };
 pub use error::SystolicError;
 pub use matrix::Matrix;

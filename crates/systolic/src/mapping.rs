@@ -9,6 +9,7 @@
 
 use bsc_mac::Precision;
 
+use crate::mem::{MemConfig, Tiling};
 use crate::{ArrayConfig, SystolicError};
 
 /// Shape of one convolution (or fully connected) layer.
@@ -151,9 +152,224 @@ pub struct LayerSchedule {
     /// Feature vectors fetched from the feature buffer (one per output
     /// pixel per pass; re-read across PE tiles).
     pub feature_read_vectors: u64,
+    /// Partial-sum words read back from the output buffer for accumulation.
+    /// One per PE fire under weight- and input-stationary dataflows; zero
+    /// under output-stationary, where psums stay in the PE accumulators.
+    pub psum_read_words: u64,
+    /// Partial-sum words written to the output buffer.  One per PE fire
+    /// when accumulation round-trips the buffer; one per finished output
+    /// under output-stationary.
+    pub psum_write_words: u64,
 }
 
-/// Schedules one layer on the array in mode `p` per the Fig. 6 mapping.
+/// Identifies one of the three supported dataflows.
+///
+/// Every variant maps to a `'static` [`Dataflow`] implementation via
+/// [`DataflowKind::instance`]; manifests and reports use the stable
+/// [`DataflowKind::tag`] spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataflowKind {
+    /// The paper's Fig. 6 dataflow: weights pinned in the PEs.
+    #[default]
+    WeightStationary,
+    /// Partial sums pinned in the PE accumulators.
+    OutputStationary,
+    /// Feature vectors pinned in the PEs.
+    InputStationary,
+}
+
+impl DataflowKind {
+    /// All dataflows in sweep order.
+    pub const ALL: [DataflowKind; 3] = [
+        DataflowKind::WeightStationary,
+        DataflowKind::OutputStationary,
+        DataflowKind::InputStationary,
+    ];
+
+    /// Stable lowercase tag for manifests, sinks and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DataflowKind::WeightStationary => "weight-stationary",
+            DataflowKind::OutputStationary => "output-stationary",
+            DataflowKind::InputStationary => "input-stationary",
+        }
+    }
+
+    /// Parses a [`DataflowKind::tag`] spelling.
+    pub fn parse(tag: &str) -> Option<DataflowKind> {
+        DataflowKind::ALL.into_iter().find(|d| d.tag() == tag)
+    }
+
+    /// The `'static` implementation behind this kind.
+    pub fn instance(self) -> &'static dyn Dataflow {
+        match self {
+            DataflowKind::WeightStationary => &WeightStationary,
+            DataflowKind::OutputStationary => &OutputStationary,
+            DataflowKind::InputStationary => &InputStationary,
+        }
+    }
+}
+
+impl std::fmt::Display for DataflowKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A mapping dataflow: how one layer's loop nest is pinned onto the array.
+///
+/// Implementations produce both books the rest of the stack consumes —
+/// the compute-only [`LayerSchedule`] (cycles, lane accounting, SRAM
+/// vector traffic, psum round trips) and the buffer-sized [`Tiling`]
+/// whose pass list the DMA replay in [`crate::mem`] turns into a
+/// stall-accurate schedule.  Two invariants hold for every
+/// implementation and are pinned by tests:
+///
+/// * `useful_macs + gated_lane_macs == busy_pe_cycles × dot_length` and
+///   `useful_macs` equals the layer's exact MAC count;
+/// * under [`MemConfig::infinite`] the tiling replays to the
+///   compute-only cycle count bit-exactly.
+pub trait Dataflow: Sync {
+    /// Which dataflow this is.
+    fn kind(&self) -> DataflowKind;
+
+    /// The compute-only schedule of one layer in mode `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::EmptyShape`] when any shape field is zero.
+    fn schedule(
+        &self,
+        config: &ArrayConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Result<LayerSchedule, SystolicError>;
+
+    /// Splits the layer into buffer-sized tile passes for the DMA replay.
+    ///
+    /// The shape must already have passed validation (callers run
+    /// [`Dataflow::schedule`] first, which rejects zero fields).
+    fn tile(
+        &self,
+        config: &ArrayConfig,
+        mem: &MemConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Tiling;
+}
+
+/// The paper's Fig. 6 dataflow: one (kernel-offset, channel-tile, PE-tile)
+/// triple of weights stays stationary while every output pixel streams
+/// through; partial sums round-trip the output buffer across passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightStationary;
+
+/// Output-stationary dataflow: each PE accumulates one output pixel's
+/// partial sum in place across all kernel offsets and channel tiles
+/// (`kernel × channel_tiles` consecutive steps per pixel), so psums never
+/// round-trip the output buffer — but the weight vectors must be
+/// re-streamed on every step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutputStationary;
+
+/// Input-stationary dataflow: feature vectors are pinned in the PEs (one
+/// output pixel per PE) while the out-channel weight vectors stream
+/// through the chain, so each feature vector is fetched once per kernel
+/// offset instead of once per PE tile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InputStationary;
+
+impl Dataflow for WeightStationary {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::WeightStationary
+    }
+
+    fn schedule(
+        &self,
+        config: &ArrayConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Result<LayerSchedule, SystolicError> {
+        schedule_conv(config, p, shape)
+    }
+
+    fn tile(
+        &self,
+        config: &ArrayConfig,
+        mem: &MemConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Tiling {
+        crate::mem::tile_weight_stationary(config, mem, p, shape)
+    }
+}
+
+impl Dataflow for OutputStationary {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::OutputStationary
+    }
+
+    fn schedule(
+        &self,
+        config: &ArrayConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Result<LayerSchedule, SystolicError> {
+        schedule_output_stationary(config, p, shape)
+    }
+
+    fn tile(
+        &self,
+        config: &ArrayConfig,
+        mem: &MemConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Tiling {
+        crate::mem::tile_output_stationary(config, mem, p, shape)
+    }
+}
+
+impl Dataflow for InputStationary {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::InputStationary
+    }
+
+    fn schedule(
+        &self,
+        config: &ArrayConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Result<LayerSchedule, SystolicError> {
+        schedule_input_stationary(config, p, shape)
+    }
+
+    fn tile(
+        &self,
+        config: &ArrayConfig,
+        mem: &MemConfig,
+        p: Precision,
+        shape: &ConvShape,
+    ) -> Tiling {
+        crate::mem::tile_input_stationary(config, mem, p, shape)
+    }
+}
+
+/// Schedules one layer under an explicit dataflow.
+///
+/// # Errors
+///
+/// Returns [`SystolicError::EmptyShape`] when any shape field is zero.
+pub fn schedule_conv_dataflow(
+    config: &ArrayConfig,
+    p: Precision,
+    shape: &ConvShape,
+    dataflow: DataflowKind,
+) -> Result<LayerSchedule, SystolicError> {
+    dataflow.instance().schedule(config, p, shape)
+}
+
+/// Schedules one layer on the array in mode `p` per the Fig. 6 mapping
+/// (the weight-stationary dataflow).
 ///
 /// # Errors
 ///
@@ -215,6 +431,143 @@ pub fn schedule_conv(
         utilization: if peak > 0 { useful as f64 / peak as f64 } else { 0.0 },
         weight_load_vectors: weight_vectors,
         feature_read_vectors: feature_vectors,
+        // Accumulation round-trips the output buffer on every fire.
+        psum_read_words: busy,
+        psum_write_words: busy,
+    })
+}
+
+/// The output-stationary schedule: pixels stream through the chain in
+/// pixel-major order, each occupying a PE for `kernel × channel_tiles`
+/// consecutive accumulation steps, so one PE tile pays a single pipeline
+/// fill instead of one per (kernel offset, channel tile).
+fn schedule_output_stationary(
+    config: &ArrayConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Result<LayerSchedule, SystolicError> {
+    shape.validate()?;
+    let split = config.dot_length(p) as u64;
+    let pes = config.pes;
+    let spatial = (shape.out_w() * shape.out_h()) as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let in_channels = shape.in_channels as u64;
+    let channel_tiles = shape.in_channels.div_ceil(config.dot_length(p)) as u64;
+    let pe_tiles = shape.out_channels.div_ceil(pes) as u64;
+    // Accumulation steps per output pixel: its whole reduction runs to
+    // completion before the pixel leaves the PE.
+    let steps = kernel * channel_tiles;
+
+    let mut cycles = 0u64;
+    let mut busy = 0u64;
+    let mut useful = 0u64;
+    let mut gated = 0u64;
+    let mut weight_vectors = 0u64;
+    let mut feature_vectors = 0u64;
+    for nt in 0..pe_tiles {
+        let used_pes = if nt + 1 == pe_tiles {
+            shape.out_channels as u64 - nt * pes as u64
+        } else {
+            pes as u64
+        };
+        // One fill per PE tile; every pixel then streams its full
+        // reduction.  Σ tile_channels over channel tiles = in_channels.
+        cycles += spatial * steps + used_pes - 1;
+        busy += spatial * steps * used_pes;
+        useful += kernel * spatial * used_pes * in_channels;
+        gated += kernel * spatial * used_pes * (channel_tiles * split - in_channels);
+        // Weights cannot stay: one vector per PE per accumulation step.
+        weight_vectors += spatial * steps * used_pes;
+        // Features hop through the chain once per (pixel, step) per tile.
+        feature_vectors += spatial * steps;
+    }
+    debug_assert_eq!(useful, shape.macs());
+
+    // One stationary psum residency per (pixel, PE tile).
+    let passes = spatial * pe_tiles;
+    let pe_cycles = cycles * pes as u64;
+    let peak = pe_cycles * split;
+    Ok(LayerSchedule {
+        passes,
+        cycles,
+        useful_macs: useful,
+        gated_lane_macs: gated,
+        busy_pe_cycles: busy,
+        idle_pe_cycles: pe_cycles - busy,
+        utilization: if peak > 0 { useful as f64 / peak as f64 } else { 0.0 },
+        weight_load_vectors: weight_vectors,
+        feature_read_vectors: feature_vectors,
+        // Psums live in the PE accumulators: no read-modify-write, one
+        // buffer write per finished output value.
+        psum_read_words: 0,
+        psum_write_words: spatial * shape.out_channels as u64,
+    })
+}
+
+/// The input-stationary schedule: groups of `pes` output pixels pin their
+/// feature vectors (one pixel per PE) while the `out_channels` weight
+/// vectors of one (kernel offset, channel tile) stream through the chain.
+fn schedule_input_stationary(
+    config: &ArrayConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Result<LayerSchedule, SystolicError> {
+    shape.validate()?;
+    let split = config.dot_length(p);
+    let pes = config.pes as u64;
+    let spatial = (shape.out_w() * shape.out_h()) as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let out_channels = shape.out_channels as u64;
+    let channel_tiles = shape.in_channels.div_ceil(split);
+    let spatial_tiles = spatial.div_ceil(pes);
+
+    let mut cycles = 0u64;
+    let mut busy = 0u64;
+    let mut useful = 0u64;
+    let mut gated = 0u64;
+    let mut weight_vectors = 0u64;
+    let mut feature_vectors = 0u64;
+    for st in 0..spatial_tiles {
+        let used_pes = if st + 1 == spatial_tiles {
+            spatial - st * pes
+        } else {
+            pes
+        };
+        for ct in 0..channel_tiles {
+            let tile_channels = if ct + 1 == channel_tiles {
+                shape.in_channels - ct * split
+            } else {
+                split
+            };
+            // One pass per kernel offset: the pinned pixels watch all
+            // out-channel weight vectors stream past.
+            cycles += kernel * (out_channels + used_pes - 1);
+            busy += kernel * out_channels * used_pes;
+            useful += kernel * out_channels * used_pes * tile_channels as u64;
+            gated += kernel * out_channels * used_pes * (split - tile_channels) as u64;
+            weight_vectors += kernel * out_channels;
+            feature_vectors += kernel * used_pes;
+        }
+    }
+    debug_assert_eq!(useful, shape.macs());
+
+    let passes = kernel * channel_tiles as u64 * spatial_tiles;
+    let pe_cycles = cycles * config.pes as u64;
+    let peak = pe_cycles * split as u64;
+    Ok(LayerSchedule {
+        passes,
+        cycles,
+        useful_macs: useful,
+        gated_lane_macs: gated,
+        busy_pe_cycles: busy,
+        idle_pe_cycles: pe_cycles - busy,
+        utilization: if peak > 0 { useful as f64 / peak as f64 } else { 0.0 },
+        weight_load_vectors: weight_vectors,
+        feature_read_vectors: feature_vectors,
+        // Accumulation across kernel offsets and channel tiles round-trips
+        // the output buffer exactly as the weight-stationary flow does.
+        psum_read_words: busy,
+        psum_write_words: busy,
     })
 }
 
@@ -344,15 +697,21 @@ mod tests {
             let kind = bsc_mac::MacKind::ALL[(rng.next_u64() % 3) as usize];
             let p = Precision::ALL[(rng.next_u64() % 3) as usize];
             let config = ArrayConfig::paper(kind);
-            let s = schedule_conv(&config, p, &shape).unwrap();
             let split = config.dot_length(p) as u64;
-            assert_eq!(
-                s.useful_macs + s.gated_lane_macs,
-                s.busy_pe_cycles * split,
-                "{shape:?} {kind} {p}"
-            );
-            assert_eq!(s.useful_macs, shape.macs(), "{shape:?} {kind} {p}");
-            assert_eq!(s.busy_pe_cycles + s.idle_pe_cycles, s.cycles * 32);
+            for dataflow in DataflowKind::ALL {
+                let s = schedule_conv_dataflow(&config, p, &shape, dataflow).unwrap();
+                assert_eq!(
+                    s.useful_macs + s.gated_lane_macs,
+                    s.busy_pe_cycles * split,
+                    "{shape:?} {kind} {p} {dataflow}"
+                );
+                assert_eq!(s.useful_macs, shape.macs(), "{shape:?} {kind} {p} {dataflow}");
+                assert_eq!(
+                    s.busy_pe_cycles + s.idle_pe_cycles,
+                    s.cycles * config.pes as u64,
+                    "{shape:?} {kind} {p} {dataflow}"
+                );
+            }
         }
     }
 
@@ -360,9 +719,116 @@ mod tests {
     fn zero_shape_fields_are_rejected() {
         let mut shape = ConvShape::conv(1, 1, 1, 1, 1, 1, 0);
         shape.in_channels = 0;
-        assert!(matches!(
-            schedule_conv(&paper_bsc(), Precision::Int8, &shape),
-            Err(SystolicError::EmptyShape("in_channels"))
-        ));
+        for dataflow in DataflowKind::ALL {
+            assert!(matches!(
+                schedule_conv_dataflow(&paper_bsc(), Precision::Int8, &shape, dataflow),
+                Err(SystolicError::EmptyShape("in_channels"))
+            ));
+        }
+    }
+
+    #[test]
+    fn dataflow_kind_tags_round_trip() {
+        for d in DataflowKind::ALL {
+            assert_eq!(DataflowKind::parse(d.tag()), Some(d));
+            assert_eq!(d.instance().kind(), d);
+            assert_eq!(d.to_string(), d.tag());
+        }
+        assert_eq!(DataflowKind::parse("systolic-stationary"), None);
+    }
+
+    #[test]
+    fn weight_stationary_trait_is_bit_exact_with_schedule_conv() {
+        // Property: dispatching through the `Dataflow` trait at the paper's
+        // 32×32 geometry reproduces `schedule_conv` field for field, for
+        // random shapes across every MAC kind × precision.
+        let mut rng = bsc_netlist::rng::Rng64::seed_from_u64(0xd5e_0001);
+        for _ in 0..128 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 300) as usize,
+                out_channels: 1 + (rng.next_u64() % 96) as usize,
+                in_w: 3 + (rng.next_u64() % 30) as usize,
+                in_h: 3 + (rng.next_u64() % 30) as usize,
+                kernel_w: 1 + (rng.next_u64() % 3) as usize,
+                kernel_h: 1 + (rng.next_u64() % 3) as usize,
+                stride: 1 + (rng.next_u64() % 2) as usize,
+                padding: (rng.next_u64() % 2) as usize,
+            };
+            for kind in bsc_mac::MacKind::ALL {
+                let config = ArrayConfig::paper(kind);
+                for p in Precision::ALL {
+                    let direct = schedule_conv(&config, p, &shape).unwrap();
+                    let via_trait = WeightStationary.schedule(&config, p, &shape).unwrap();
+                    let via_kind = schedule_conv_dataflow(
+                        &config,
+                        p,
+                        &shape,
+                        DataflowKind::WeightStationary,
+                    )
+                    .unwrap();
+                    assert_eq!(direct, via_trait, "{shape:?} {kind} {p}");
+                    assert_eq!(direct, via_kind, "{shape:?} {kind} {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_stationary_pays_fewer_fills_and_no_psum_readback() {
+        // OS pays one pipeline fill per PE tile instead of one per
+        // (kernel offset × channel tile × PE tile), so its compute-only
+        // cycle count is never above WS; psums never leave the PEs.
+        let shapes = [
+            ConvShape::conv(128, 64, 14, 14, 3, 1, 1),
+            ConvShape::conv(64, 130, 7, 7, 1, 1, 0),
+            ConvShape::fully_connected(512, 100),
+        ];
+        for shape in &shapes {
+            for p in Precision::ALL {
+                let config = paper_bsc();
+                let ws = schedule_conv(&config, p, shape).unwrap();
+                let os = schedule_conv_dataflow(
+                    &config,
+                    p,
+                    shape,
+                    DataflowKind::OutputStationary,
+                )
+                .unwrap();
+                assert!(os.cycles <= ws.cycles, "{shape:?} {p}");
+                assert_eq!(os.psum_read_words, 0);
+                assert_eq!(
+                    os.psum_write_words,
+                    (shape.out_w() * shape.out_h() * shape.out_channels) as u64
+                );
+                // The price: weights re-stream on every accumulation step
+                // (equal only in the degenerate spatial=1 FC case, where
+                // each weight is needed exactly once either way).
+                assert!(os.weight_load_vectors >= ws.weight_load_vectors, "{shape:?} {p}");
+                if shape.out_w() * shape.out_h() > 1 {
+                    assert!(os.weight_load_vectors > ws.weight_load_vectors, "{shape:?} {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_stationary_trades_feature_reads_for_weight_streams() {
+        // A many-output-channel layer re-reads features once per PE tile
+        // under WS; IS pins them and reads each vector once per kernel
+        // offset, at the cost of streaming out_channels weight vectors
+        // per spatial tile.
+        let shape = ConvShape::conv(64, 128, 14, 14, 3, 1, 1);
+        let config = paper_bsc();
+        let ws = schedule_conv(&config, Precision::Int8, &shape).unwrap();
+        let is = schedule_conv_dataflow(
+            &config,
+            Precision::Int8,
+            &shape,
+            DataflowKind::InputStationary,
+        )
+        .unwrap();
+        assert!(is.feature_read_vectors < ws.feature_read_vectors);
+        assert!(is.weight_load_vectors > ws.weight_load_vectors);
+        assert_eq!(is.psum_read_words, is.busy_pe_cycles);
     }
 }

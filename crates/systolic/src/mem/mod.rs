@@ -21,10 +21,14 @@
 
 use bsc_mac::Precision;
 
-use crate::mapping::{schedule_conv, ConvShape, LayerSchedule};
+use crate::mapping::{ConvShape, DataflowKind, LayerSchedule};
 use crate::{ArrayConfig, SystolicError};
 
 mod tiler;
+
+pub use tiler::{TilePass, Tiling};
+
+pub(crate) use tiler::{tile_input_stationary, tile_output_stationary, tile_weight_stationary};
 
 /// DRAM channel bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,8 +313,27 @@ pub fn schedule_conv_with_memory(
     p: Precision,
     shape: &ConvShape,
 ) -> Result<MemoryAwareSchedule, SystolicError> {
-    let compute = schedule_conv(config, p, shape)?;
-    let tiling = tiler::tile(config, mem, p, shape);
+    schedule_conv_with_memory_dataflow(config, mem, p, shape, DataflowKind::WeightStationary)
+}
+
+/// Like [`schedule_conv_with_memory`] with an explicit dataflow: the
+/// dataflow's own tiler produces the pass list, and the same DMA replay
+/// prices it.  With [`DataflowKind::WeightStationary`] this is bit-exact
+/// with [`schedule_conv_with_memory`].
+///
+/// # Errors
+///
+/// Returns [`SystolicError::EmptyShape`] when any shape field is zero.
+pub fn schedule_conv_with_memory_dataflow(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+    dataflow: DataflowKind,
+) -> Result<MemoryAwareSchedule, SystolicError> {
+    let flow = dataflow.instance();
+    let compute = flow.schedule(config, p, shape)?;
+    let tiling = flow.tile(config, mem, p, shape);
 
     let mut clock = 0u64; // when the array finishes its current pass
     let mut dma_free = 0u64; // when the DMA channel is next free
@@ -405,6 +428,7 @@ pub fn schedule_conv_with_memory(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mapping::schedule_conv;
     use bsc_mac::MacKind;
     use bsc_netlist::rng::Rng64;
 
@@ -437,6 +461,115 @@ mod tests {
                     assert_eq!(aware.roofline, Roofline::ComputeBound);
                     // Traffic is still accounted even though it is free.
                     assert!(aware.dma_load_bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_memory_is_bit_exact_for_every_dataflow() {
+        // Each dataflow's tiler must replay to its own compute-only cycle
+        // count bit-exactly when the buffers and channel are unbounded.
+        use crate::mapping::schedule_conv_dataflow;
+        let mem = MemConfig::infinite();
+        let shapes = [
+            table1_layer(),
+            ConvShape::conv(3, 32, 32, 32, 3, 1, 1),
+            ConvShape::conv(64, 64, 7, 7, 1, 1, 0),
+            ConvShape::fully_connected(512, 10),
+        ];
+        for kind in MacKind::ALL {
+            let config = ArrayConfig::paper(kind);
+            for p in Precision::ALL {
+                for shape in &shapes {
+                    for dataflow in DataflowKind::ALL {
+                        let base =
+                            schedule_conv_dataflow(&config, p, shape, dataflow).unwrap();
+                        let aware = schedule_conv_with_memory_dataflow(
+                            &config, &mem, p, shape, dataflow,
+                        )
+                        .unwrap();
+                        assert_eq!(aware.compute, base, "{kind} {p} {dataflow}");
+                        assert_eq!(aware.total_cycles, base.cycles, "{kind} {p} {dataflow}");
+                        assert_eq!(aware.stall_cycles, 0, "{kind} {p} {dataflow}");
+                        assert_eq!(aware.roofline, Roofline::ComputeBound);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_stationary_dataflow_entry_point_is_bit_exact() {
+        // The explicit-dataflow scheduler with WeightStationary must equal
+        // the legacy entry point field for field, finite memory included.
+        let mut rng = Rng64::seed_from_u64(0xd5e_0002);
+        for _ in 0..48 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 300) as usize,
+                out_channels: 1 + (rng.next_u64() % 96) as usize,
+                in_w: 3 + (rng.next_u64() % 30) as usize,
+                in_h: 3 + (rng.next_u64() % 30) as usize,
+                kernel_w: 1 + (rng.next_u64() % 3) as usize,
+                kernel_h: 1 + (rng.next_u64() % 3) as usize,
+                stride: 1 + (rng.next_u64() % 2) as usize,
+                padding: (rng.next_u64() % 2) as usize,
+            };
+            let kind = MacKind::ALL[(rng.next_u64() % 3) as usize];
+            let config = ArrayConfig::paper(kind);
+            for p in Precision::ALL {
+                for mem in [
+                    MemConfig::infinite(),
+                    MemConfig::edge(),
+                    MemConfig::edge().with_bandwidth(DramBandwidth::BytesPerCycle(2)),
+                ] {
+                    let legacy =
+                        schedule_conv_with_memory(&config, &mem, p, &shape).unwrap();
+                    let explicit = schedule_conv_with_memory_dataflow(
+                        &config,
+                        &mem,
+                        p,
+                        &shape,
+                        DataflowKind::WeightStationary,
+                    )
+                    .unwrap();
+                    assert_eq!(legacy, explicit, "{shape:?} {kind} {p} {mem:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_cycles_are_monotone_in_bandwidth_for_every_dataflow() {
+        let mut rng = Rng64::seed_from_u64(0xd5e_0003);
+        for _ in 0..24 {
+            let shape = ConvShape {
+                in_channels: 1 + (rng.next_u64() % 200) as usize,
+                out_channels: 1 + (rng.next_u64() % 80) as usize,
+                in_w: 3 + (rng.next_u64() % 24) as usize,
+                in_h: 3 + (rng.next_u64() % 24) as usize,
+                kernel_w: 1 + (rng.next_u64() % 3) as usize,
+                kernel_h: 1 + (rng.next_u64() % 3) as usize,
+                stride: 1 + (rng.next_u64() % 2) as usize,
+                padding: (rng.next_u64() % 2) as usize,
+            };
+            let kind = MacKind::ALL[(rng.next_u64() % 3) as usize];
+            let p = Precision::ALL[(rng.next_u64() % 3) as usize];
+            let config = ArrayConfig::paper(kind);
+            for dataflow in DataflowKind::ALL {
+                let mut prev = u64::MAX;
+                for bw in [1, 4, 16, 64, 1024] {
+                    let mem = MemConfig::edge()
+                        .with_bandwidth(DramBandwidth::BytesPerCycle(bw));
+                    let aware = schedule_conv_with_memory_dataflow(
+                        &config, &mem, p, &shape, dataflow,
+                    )
+                    .unwrap();
+                    assert!(
+                        aware.total_cycles <= prev,
+                        "bw {bw} slowed {shape:?} {kind} {p} {dataflow}"
+                    );
+                    prev = aware.total_cycles;
                 }
             }
         }

@@ -1,7 +1,9 @@
-//! Splits a [`ConvShape`] into buffer-sized tile passes (paper Fig. 6 order).
+//! Splits a [`ConvShape`] into buffer-sized tile passes, one tiler per
+//! dataflow (paper Fig. 6 order for the weight-stationary default).
 //!
-//! The loop nest mirrors [`crate::mapping::schedule_conv`] — channel split to
-//! the mode's dot length, `K_N` across the PEs, then the spatial loops — with
+//! Each tiler's loop nest mirrors its dataflow's compute schedule in
+//! [`crate::mapping`] — channel split to the mode's dot length, the
+//! stationary dimension pinned, the streaming loops inside — with
 //! one extra level the compute-only schedule does not need: the output rows
 //! are chunked so that (a) the psums of one chunk fit the output buffer and
 //! (b) the input-row region feeding one chunk fits (twice, for double
@@ -16,9 +18,9 @@ use crate::ArrayConfig;
 
 use super::{FeatureReuse, MemConfig};
 
-/// One stationary-weight pass plus the DMA traffic tied to it.
+/// One stationary pass plus the DMA traffic tied to it.
 #[derive(Debug, Clone, Copy)]
-pub(super) struct TilePass {
+pub struct TilePass {
     /// Cycles the array computes: chunk pixels + PE-chain fill.
     pub compute_cycles: u64,
     /// Bytes that must be resident in SRAM before this pass starts.
@@ -33,8 +35,9 @@ pub(super) struct TilePass {
 /// The full tiling of one layer: the flat pass list in execution order plus
 /// the buffer-occupancy bookkeeping the schedule reports.
 #[derive(Debug, Clone)]
-pub(super) struct Tiling {
-    /// Passes in execution order (PE tile → chunk → channel tile → kernel).
+pub struct Tiling {
+    /// Passes in execution order (outer stationary loop → chunk → inner
+    /// streaming loops; the exact nest depends on the dataflow).
     pub passes: Vec<TilePass>,
     /// Output-row chunks per PE tile (1 when the buffers hold the layer).
     pub spatial_chunks: u64,
@@ -51,7 +54,7 @@ pub(super) struct Tiling {
 }
 
 /// Bytes of one SRAM vector word in the array's element format.
-pub(super) fn vector_bytes(config: &ArrayConfig) -> u64 {
+pub(crate) fn vector_bytes(config: &ArrayConfig) -> u64 {
     (config.vector_length as u64 * config.kind.element_bits() as u64).div_ceil(8)
 }
 
@@ -60,11 +63,18 @@ fn region_rows(shape: &ConvShape, rows: u64) -> u64 {
     ((rows - 1) * shape.stride as u64 + shape.kernel_h as u64).min(shape.in_h as u64)
 }
 
-/// Tiles `shape` in mode `p` onto the buffers of `mem`.
+/// Input rows needed by one output-row chunk, in bytes, for one channel
+/// tile of the map.
+fn chunk_region_bytes_of(shape: &ConvShape, vb: u64, rows: u64) -> u64 {
+    region_rows(shape, rows) * shape.in_w as u64 * vb
+}
+
+/// Tiles `shape` in mode `p` onto the buffers of `mem` under the paper's
+/// weight-stationary dataflow (Fig. 6 loop order).
 ///
 /// The shape must already have passed [`ConvShape`] validation (the caller
 /// runs `schedule_conv` first, which rejects zero fields).
-pub(super) fn tile(
+pub(crate) fn tile_weight_stationary(
     config: &ArrayConfig,
     mem: &MemConfig,
     p: Precision,
@@ -208,6 +218,278 @@ pub(super) fn tile(
     }
 }
 
+/// Tiles `shape` under the output-stationary dataflow.
+///
+/// One pass covers a whole (PE tile, output-row chunk) pair: the pinned
+/// psums run their complete reduction (every kernel offset and channel
+/// tile) before retiring, so the pass needs the PE tile's full weight set
+/// and the chunk's input region across **all** channel tiles at once.
+/// Weights that do not fit the weight buffer are re-streamed every pass.
+pub(crate) fn tile_output_stationary(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Tiling {
+    let split = config.dot_length(p);
+    let pes = config.pes as u64;
+    let vb = vector_bytes(config);
+    let out_w = shape.out_w() as u64;
+    let out_h = shape.out_h() as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let channel_tiles = shape.in_channels.div_ceil(split) as u64;
+    let pe_tiles = shape.out_channels.div_ceil(config.pes) as u64;
+    let in_pixels = (shape.in_w * shape.in_h) as u64;
+    let steps = kernel * channel_tiles;
+
+    let full_map_bytes = channel_tiles.saturating_mul(in_pixels).saturating_mul(vb);
+    let full_map_fits = full_map_bytes <= mem.feature_buffer_bytes;
+
+    let weight_tile_bytes = kernel
+        .saturating_mul(channel_tiles)
+        .saturating_mul(pes)
+        .saturating_mul(vb);
+    let weights_resident = weight_tile_bytes <= mem.weight_buffer_bytes;
+
+    // A chunk's working set spans every channel tile (the reduction runs
+    // to completion per pixel), so the region is `channel_tiles` deep.
+    let feature_ok = |rows: u64| {
+        full_map_fits
+            || 2 * chunk_region_bytes_of(shape, vb, rows) * channel_tiles
+                <= mem.feature_buffer_bytes
+    };
+    // Finished outputs stage through the output buffer before writeback.
+    let output_ok =
+        |rows: u64| rows * out_w * pes * mem.psum_bytes <= mem.output_buffer_bytes;
+    let mut chunk_rows = 1;
+    for rows in (1..=out_h).rev() {
+        if feature_ok(rows) && output_ok(rows) {
+            chunk_rows = rows;
+            break;
+        }
+    }
+    let spatial_chunks = out_h.div_ceil(chunk_rows);
+
+    let feature_reuse = if full_map_fits {
+        FeatureReuse::FullMap
+    } else if feature_ok(chunk_rows) {
+        FeatureReuse::ChunkResident
+    } else {
+        FeatureReuse::Streamed
+    };
+    // Non-resident weights keep the channel busy all pass: no slack to
+    // prefetch the next chunk into.
+    let double_buffered = weights_resident && feature_reuse != FeatureReuse::Streamed;
+
+    let mut passes = Vec::with_capacity((pe_tiles * spatial_chunks) as usize);
+    let mut output_high_water = 0u64;
+    for nt in 0..pe_tiles {
+        let used_pes = if nt + 1 == pe_tiles {
+            shape.out_channels as u64 - nt * pes
+        } else {
+            pes
+        };
+        let mut row = 0;
+        for chunk in 0..spatial_chunks {
+            let rows = chunk_rows.min(out_h - row);
+            row += rows;
+            let chunk_spatial = rows * out_w;
+            let psum_bytes = chunk_spatial * used_pes * mem.psum_bytes;
+            output_high_water = output_high_water.max(psum_bytes);
+            let mut load_bytes = 0u64;
+            let mut loads = 0u64;
+            // Weights: the PE tile's whole set streams during the pass.
+            if !weights_resident || chunk == 0 {
+                load_bytes += steps * used_pes * vb;
+                loads += 1;
+            }
+            // Features: the chunk region across every channel tile.
+            match feature_reuse {
+                FeatureReuse::FullMap => {
+                    if nt == 0 && chunk == 0 {
+                        load_bytes += full_map_bytes;
+                        loads += 1;
+                    }
+                }
+                FeatureReuse::ChunkResident | FeatureReuse::Streamed => {
+                    load_bytes += chunk_region_bytes_of(shape, vb, rows) * channel_tiles;
+                    loads += 1;
+                }
+            }
+            passes.push(TilePass {
+                compute_cycles: chunk_spatial * steps + used_pes - 1,
+                load_bytes,
+                loads,
+                // Every pass retires its chunk: psums never span passes.
+                store_bytes: psum_bytes,
+            });
+        }
+    }
+
+    let weight_high_water = if weights_resident { weight_tile_bytes } else { pes * vb };
+    let feature_high_water = match feature_reuse {
+        FeatureReuse::FullMap => full_map_bytes,
+        FeatureReuse::ChunkResident => {
+            2 * chunk_region_bytes_of(shape, vb, chunk_rows) * channel_tiles
+        }
+        FeatureReuse::Streamed => chunk_region_bytes_of(shape, vb, chunk_rows) * channel_tiles,
+    };
+
+    Tiling {
+        passes,
+        spatial_chunks,
+        feature_reuse,
+        double_buffered,
+        weight_high_water,
+        feature_high_water,
+        output_high_water,
+    }
+}
+
+/// Tiles `shape` under the input-stationary dataflow.
+///
+/// The loop nest is chunk → spatial tile (groups of `pes` pinned pixels)
+/// → channel tile → kernel offset; every pass streams the layer's
+/// `out_channels` weight vectors through the chain.  Psums for **all**
+/// output channels of a chunk accumulate in the output buffer, which is
+/// what limits the chunk size.
+pub(crate) fn tile_input_stationary(
+    config: &ArrayConfig,
+    mem: &MemConfig,
+    p: Precision,
+    shape: &ConvShape,
+) -> Tiling {
+    let split = config.dot_length(p);
+    let pes = config.pes as u64;
+    let vb = vector_bytes(config);
+    let out_w = shape.out_w() as u64;
+    let out_h = shape.out_h() as u64;
+    let kernel = (shape.kernel_w * shape.kernel_h) as u64;
+    let channel_tiles = shape.in_channels.div_ceil(split) as u64;
+    let out_channels = shape.out_channels as u64;
+    let in_pixels = (shape.in_w * shape.in_h) as u64;
+
+    let full_map_bytes = channel_tiles.saturating_mul(in_pixels).saturating_mul(vb);
+    let full_map_fits = full_map_bytes <= mem.feature_buffer_bytes;
+
+    // Whole-layer weight residency: every (channel tile, kernel offset)
+    // slab of out_channels vectors at once.
+    let weight_total_bytes = kernel
+        .saturating_mul(channel_tiles)
+        .saturating_mul(out_channels)
+        .saturating_mul(vb);
+    let weights_resident = weight_total_bytes <= mem.weight_buffer_bytes;
+
+    let feature_ok = |rows: u64| {
+        full_map_fits
+            || 2 * chunk_region_bytes_of(shape, vb, rows) <= mem.feature_buffer_bytes
+    };
+    // The chunk's psums cover every output channel simultaneously.
+    let output_ok =
+        |rows: u64| rows * out_w * out_channels * mem.psum_bytes <= mem.output_buffer_bytes;
+    let mut chunk_rows = 1;
+    for rows in (1..=out_h).rev() {
+        if feature_ok(rows) && output_ok(rows) {
+            chunk_rows = rows;
+            break;
+        }
+    }
+    let spatial_chunks = out_h.div_ceil(chunk_rows);
+
+    let feature_reuse = if full_map_fits {
+        FeatureReuse::FullMap
+    } else if feature_ok(chunk_rows) {
+        FeatureReuse::ChunkResident
+    } else {
+        FeatureReuse::Streamed
+    };
+    let double_buffered = (weights_resident || 2 * out_channels * vb <= mem.weight_buffer_bytes)
+        && feature_reuse != FeatureReuse::Streamed;
+
+    let mut passes = Vec::new();
+    let mut output_high_water = 0u64;
+    let mut row = 0;
+    for chunk in 0..spatial_chunks {
+        let rows = chunk_rows.min(out_h - row);
+        row += rows;
+        let chunk_spatial = rows * out_w;
+        let psum_bytes = chunk_spatial * out_channels * mem.psum_bytes;
+        output_high_water = output_high_water.max(psum_bytes);
+        let spatial_tiles = chunk_spatial.div_ceil(pes);
+        for st in 0..spatial_tiles {
+            let used_pes = if st + 1 == spatial_tiles {
+                chunk_spatial - st * pes
+            } else {
+                pes
+            };
+            for ct in 0..channel_tiles {
+                for k in 0..kernel {
+                    let mut load_bytes = 0u64;
+                    let mut loads = 0u64;
+                    // Weights: the (ct, k) slab of out_channels vectors,
+                    // fetched once when the whole layer stays resident.
+                    if !weights_resident || (chunk == 0 && st == 0) {
+                        load_bytes += out_channels * vb;
+                        loads += 1;
+                    }
+                    // Features, by reuse level.
+                    match feature_reuse {
+                        FeatureReuse::FullMap => {
+                            if chunk == 0 && st == 0 && k == 0 {
+                                load_bytes += in_pixels * vb;
+                                loads += 1;
+                            }
+                        }
+                        FeatureReuse::ChunkResident => {
+                            if st == 0 && k == 0 {
+                                load_bytes += chunk_region_bytes_of(shape, vb, rows);
+                                loads += 1;
+                            }
+                        }
+                        FeatureReuse::Streamed => {
+                            // Exactly the vectors pinned for this pass.
+                            load_bytes += used_pes * vb;
+                            loads += 1;
+                        }
+                    }
+                    let last_of_chunk = st + 1 == spatial_tiles
+                        && ct + 1 == channel_tiles
+                        && k + 1 == kernel;
+                    passes.push(TilePass {
+                        compute_cycles: out_channels + used_pes - 1,
+                        load_bytes,
+                        loads,
+                        store_bytes: if last_of_chunk { psum_bytes } else { 0 },
+                    });
+                }
+            }
+        }
+    }
+
+    let weight_high_water = if weights_resident {
+        weight_total_bytes
+    } else if double_buffered {
+        2 * out_channels * vb
+    } else {
+        out_channels * vb
+    };
+    let feature_high_water = match feature_reuse {
+        FeatureReuse::FullMap => full_map_bytes,
+        FeatureReuse::ChunkResident => 2 * chunk_region_bytes_of(shape, vb, chunk_rows),
+        FeatureReuse::Streamed => pes * vb,
+    };
+
+    Tiling {
+        passes,
+        spatial_chunks,
+        feature_reuse,
+        double_buffered,
+        weight_high_water,
+        feature_high_water,
+        output_high_water,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,7 +502,7 @@ mod tests {
     #[test]
     fn infinite_buffers_produce_one_chunk_per_pe_tile() {
         let shape = ConvShape::conv(64, 64, 28, 28, 3, 1, 1);
-        let t = tile(&paper(), &MemConfig::infinite(), Precision::Int8, &shape);
+        let t = tile_weight_stationary(&paper(), &MemConfig::infinite(), Precision::Int8, &shape);
         assert_eq!(t.spatial_chunks, 1);
         assert_eq!(t.feature_reuse, FeatureReuse::FullMap);
         // 2 PE tiles × 2 channel tiles × 9 kernel offsets.
@@ -235,7 +517,7 @@ mod tests {
             output_buffer_bytes: 2 * 1024,
             ..MemConfig::infinite()
         };
-        let t = tile(&paper(), &mem, Precision::Int8, &shape);
+        let t = tile_weight_stationary(&paper(), &mem, Precision::Int8, &shape);
         assert_eq!(t.spatial_chunks, 16);
         assert!(t.output_high_water <= mem.output_buffer_bytes);
         // Writebacks: one per (PE tile, chunk).
@@ -250,10 +532,52 @@ mod tests {
             feature_buffer_bytes: 1024, // under one row region (3×16×64 B)
             ..MemConfig::infinite()
         };
-        let t = tile(&paper(), &mem, Precision::Int8, &shape);
+        let t = tile_weight_stationary(&paper(), &mem, Precision::Int8, &shape);
         assert_eq!(t.feature_reuse, FeatureReuse::Streamed);
         assert!(!t.double_buffered);
         assert!(t.passes.iter().all(|p| p.load_bytes > 0));
+    }
+
+    #[test]
+    fn output_stationary_has_one_pass_per_pe_tile_when_unconstrained() {
+        let shape = ConvShape::conv(64, 64, 28, 28, 3, 1, 1);
+        let t = tile_output_stationary(
+            &paper(),
+            &MemConfig::infinite(),
+            Precision::Int8,
+            &shape,
+        );
+        assert_eq!(t.spatial_chunks, 1);
+        // The whole reduction happens inside each PE tile's single pass.
+        assert_eq!(t.passes.len(), 2);
+        assert!(t.passes.iter().all(|p| p.store_bytes > 0));
+    }
+
+    #[test]
+    fn input_stationary_passes_follow_the_spatial_tiling() {
+        let shape = ConvShape::conv(64, 64, 7, 7, 1, 1, 0);
+        let t = tile_input_stationary(
+            &paper(),
+            &MemConfig::infinite(),
+            Precision::Int8,
+            &shape,
+        );
+        // 49 pixels / 32 PEs = 2 spatial tiles × 2 channel tiles.
+        assert_eq!(t.passes.len(), 2 * 2);
+        assert_eq!(t.spatial_chunks, 1);
+    }
+
+    #[test]
+    fn input_stationary_output_buffer_holds_all_out_channels() {
+        let shape = ConvShape::conv(32, 64, 16, 16, 3, 1, 1);
+        let mem = MemConfig {
+            // One output row × 64 channels × 4 B = 4 KiB: force row chunks.
+            output_buffer_bytes: 4 * 1024,
+            ..MemConfig::infinite()
+        };
+        let t = tile_input_stationary(&paper(), &mem, Precision::Int8, &shape);
+        assert_eq!(t.spatial_chunks, 16);
+        assert!(t.output_high_water <= mem.output_buffer_bytes);
     }
 
     #[test]

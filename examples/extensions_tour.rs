@@ -18,7 +18,7 @@ use bsc_accel::{Accelerator, AcceleratorConfig};
 use bsc_mac::asym::{estimate_energy_per_mac_fj, lpc_dot, AsymMode};
 use bsc_mac::{MacKind, Precision};
 use bsc_systolic::energy::SramModel;
-use bsc_systolic::{Dataflow, Matrix, SystolicArray};
+use bsc_systolic::{Matrix, SystolicArray, WeightReuse};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. asymmetric LPC modes -------------------------------------------
@@ -75,8 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = Matrix::from_fn(config.pes, k, |r, c| ((r * c) % 11) as i64 - 5);
     let model = bsc.energy_model(p)?;
     for (name, flow) in [
-        ("weight-stationary", Dataflow::WeightStationary),
-        ("no-reuse", Dataflow::NoReuse),
+        ("weight-stationary", WeightReuse::WeightStationary),
+        ("no-reuse", WeightReuse::NoReuse),
     ] {
         let run = array.matmul_with_dataflow(p, &f, &w, flow)?;
         println!(

@@ -117,6 +117,51 @@ print(f"mem sweep valid ({doc['bandwidth_bound_points']} bandwidth-bound, "
 PY
 fi
 
+echo "==> design-space exploration gate: repro dse examples/dse_manifest.json"
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    dse examples/dse_manifest.json --bench-out "$out/BENCH_dse.json" \
+    --svg-out "$out/dse_pareto.svg" >/dev/null
+test -s "$out/BENCH_dse.json" && test -s "$out/dse_pareto.svg"
+# Every field is a pure function of the manifest (no wall clock in the
+# document), so the baseline diff runs at zero tolerance and the report
+# must be byte-identical at any worker count.
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    diff BENCH_dse_baseline.json "$out/BENCH_dse.json" --tol 0
+for w in 1 2 8; do
+    cargo run --release --offline -q -p bsc-bench --bin repro -- \
+        dse examples/dse_manifest.json --workers "$w" \
+        --bench-out "$out/BENCH_dse_w$w.json" >/dev/null
+    cmp "$out/BENCH_dse.json" "$out/BENCH_dse_w$w.json"
+done
+echo "dse report byte-identical at 1, 2 and 8 workers"
+# Strict flag parsing: a flag that belongs to another subcommand is a
+# usage error here, not silently ignored.
+set +e
+cargo run --release --offline -q -p bsc-bench --bin repro -- \
+    dse examples/dse_manifest.json --report-out "$out/nope.json" >/dev/null 2>&1
+[ $? -eq 2 ] || { echo "dse: out-of-place flag must exit 2"; exit 1; }
+set -e
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/BENCH_dse.json" "$out/dse_pareto.svg" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sides = {p["roofline"] for p in doc["points"]}
+assert "bandwidth-bound" in sides, "sweep lost its bandwidth-bound points"
+assert "compute-bound" in sides, "sweep lost its compute-bound points"
+front = [p for p in doc["points"] if p["pareto"]]
+assert 1 < len(front) < len(doc["points"]), "Pareto front must be non-trivial"
+assert len(front) == doc["pareto_points"] == doc["metrics"]["dse.points.pareto"]
+assert len(doc["points"]) == doc["points_evaluated"] == doc["metrics"]["dse.points.evaluated"]
+assert doc["counters"]["evaluate"]["points_evaluated"] == len(doc["points"])
+svg = open(sys.argv[2]).read()
+assert svg.count("<circle") == len(doc["points"]), "one circle per sweep point"
+for needle in ("<script", "https://"):
+    assert needle not in svg, f"scatter must be self-contained (found {needle})"
+print(f"dse gate valid ({len(doc['points'])} points, {len(front)} on the front, "
+      f"{doc['bandwidth_bound_points']} bandwidth-bound)")
+PY
+fi
+
 echo "==> online serving gate: repro online examples/online_manifest.json"
 cargo run --release --offline -q -p bsc-bench --bin repro -- \
     online examples/online_manifest.json --report-out "$out/online_report.json" \
